@@ -1,0 +1,77 @@
+// Ablation: bus read priority on vs off (DESIGN.md §7).
+//
+// Read priority is the mechanism behind the paper's Figure 2(a) (Shared
+// write latency inflated at low write proportions). This bench repeats a
+// condensed Figure-2 sweep with the arbiter in priority and in fair
+// (alternating) mode and reports how each class's latency moves.
+//
+// Overrides: requests=N rate=R seed=S.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace ssdk;
+
+namespace {
+std::vector<sim::IoRequest> two_tenant_mix(double write_prop,
+                                           std::uint64_t requests,
+                                           double rate, std::uint64_t seed) {
+  trace::SyntheticSpec writer;
+  writer.write_fraction = 1.0;
+  writer.request_count = static_cast<std::uint64_t>(
+      write_prop * static_cast<double>(requests));
+  writer.intensity_rps = rate * write_prop;
+  writer.mean_request_pages = 1.0;
+  writer.seed = seed;
+  trace::SyntheticSpec reader;
+  reader.write_fraction = 0.0;
+  reader.request_count = requests - writer.request_count;
+  reader.intensity_rps = rate * (1.0 - write_prop);
+  reader.mean_request_pages = 1.0;
+  reader.seed = seed + 1;
+  return trace::mix_workloads(std::vector<trace::Workload>{
+      trace::generate_synthetic(writer), trace::generate_synthetic(reader)});
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::uint64_t requests = cfg.get_uint("requests", 40'000);
+  const double rate = cfg.get_double("rate", 18'000.0);
+  const std::uint64_t seed = cfg.get_uint("seed", 1);
+
+  core::LabelGenConfig config;
+  bench::print_header("Ablation: bus read priority (Shared allocation)",
+                      config.run);
+
+  std::printf("%-8s | %12s %12s | %12s %12s | %9s %9s\n", "wr-prop",
+              "rd-prio: wr", "rd", "fair: wr", "rd", "wr ratio",
+              "rd ratio");
+  for (int wp = 1; wp <= 9; wp += 2) {
+    const double write_prop = wp / 10.0;
+    const auto mix = two_tenant_mix(write_prop, requests, rate, seed);
+    const auto features = core::features_of(mix, config.features);
+    const auto profiles = features.profiles(2);
+
+    core::RunConfig prio = config.run;
+    prio.ssd.read_priority = true;
+    core::RunConfig fair = config.run;
+    fair.ssd.read_priority = false;
+
+    const auto with_prio =
+        core::run_with_strategy(mix, core::Strategy{}, profiles, prio);
+    const auto without =
+        core::run_with_strategy(mix, core::Strategy{}, profiles, fair);
+    std::printf("%-8.1f | %12.1f %12.1f | %12.1f %12.1f | %9.3f %9.3f\n",
+                write_prop, with_prio.avg_write_us, with_prio.avg_read_us,
+                without.avg_write_us, without.avg_read_us,
+                with_prio.avg_write_us / without.avg_write_us,
+                with_prio.avg_read_us / without.avg_read_us);
+  }
+  std::printf("\nexpected: wr ratio >= 1 (writes pay for read priority), "
+              "rd ratio <= 1 (reads gain), strongest at low write "
+              "proportions.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 6 reproduction: SSDKeeper's chosen channel-allocation strategy as
+// a function of (intensity level, total write proportion). The paper plots
+// the prediction for many mixed workloads; we sweep a feature grid through
+// the trained model and print the strategy map (four-part strategies are
+// shown in their canonical sorted form, the paper's simplification).
+//
+// Shape targets: low intensity -> write-heavy mixes get more write
+// channels as write proportion grows; low write proportion at moderate
+// intensity -> most channels to the readers (e.g. 1:7); high intensity,
+// high write proportion -> most channels to the writers (e.g. 7:1).
+//
+// With oracle=1 the bench additionally computes the ground-truth map on a
+// coarser grid by synthesizing a workload per cell and exhaustively
+// sweeping all 42 strategies (slower but substrate truth, independent of
+// the learned model).
+//
+// Overrides: threads=T retrain=0|1 model=PATH oracle=0|1 duration=S.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace ssdk;
+
+namespace {
+/// Canonical display name: four-part strategies sorted descending (the
+/// paper's 5:1:1:1-style simplification).
+std::string canonical_name(const core::Strategy& s) {
+  if (s.kind != core::StrategyKind::kFourPart) return s.name();
+  auto parts = s.parts;
+  std::sort(parts.begin(), parts.end(), std::greater<>());
+  return std::to_string(parts[0]) + ":" + std::to_string(parts[1]) + ":" +
+         std::to_string(parts[2]) + ":" + std::to_string(parts[3]);
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto space = core::StrategySpace::for_tenants(4);
+  ThreadPool pool(static_cast<std::size_t>(cfg.get_uint("threads", 0)));
+
+  core::RunConfig run;
+  bench::print_header(
+      "Figure 6: strategy map over (intensity level, write proportion)",
+      run);
+  const auto allocator = bench::obtain_allocator(cfg, space, pool);
+
+  // Grid: intensity level 0..19 (x-axis), total write proportion 0.1..0.9
+  // (y-axis). Each cell is a 4-tenant feature vector with two write-
+  // dominated and two read-dominated tenants whose proportions realize
+  // the requested total write share.
+  std::printf("\n%-8s", "wr-prop");
+  for (int level = 0; level < 20; level += 2) std::printf(" %-8d", level);
+  std::printf("\n");
+  for (int wp = 9; wp >= 1; --wp) {
+    const double write_prop = wp / 10.0;
+    std::printf("%-8.1f", write_prop);
+    for (int level = 0; level < 20; level += 2) {
+      core::MixFeatures f;
+      f.intensity_level = static_cast<std::uint32_t>(level);
+      f.read_dominated = {0, 0, 1, 1};  // tenants 0,1 write; 2,3 read
+      f.proportion = {write_prop * 0.7, write_prop * 0.3,
+                      (1.0 - write_prop) * 0.7, (1.0 - write_prop) * 0.3};
+      const auto strategy = allocator.predict(f);
+      std::printf(" %-8s", canonical_name(strategy).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(read as paper Figure 6: x = intensity level, y = total "
+              "write proportion; cell = chosen strategy, four-part names "
+              "canonicalized)\n");
+
+  if (cfg.get_bool("oracle", true)) {
+    // Ground-truth map: synthesize a 4-tenant workload per cell (two
+    // write-dominated + two read-dominated tenants realizing the cell's
+    // write share) and label it by exhaustive strategy sweep.
+    const double duration = cfg.get_double("duration", 0.4);
+    core::LabelGenConfig label_config;
+    std::printf("\noracle map (exhaustive sweeps, coarse grid):\n%-8s",
+                "wr-prop");
+    for (int level = 3; level < 20; level += 4) {
+      std::printf(" %-8d", level);
+    }
+    std::printf("\n");
+    for (int wp = 9; wp >= 1; wp -= 2) {
+      const double write_prop = wp / 10.0;
+      std::printf("%-8.1f", write_prop);
+      for (int level = 3; level < 20; level += 4) {
+        const double rate = (level + 0.5) / 20.0 *
+                            label_config.features.max_intensity_rps;
+        const std::array<double, 4> shares{write_prop * 0.7,
+                                           write_prop * 0.3,
+                                           (1.0 - write_prop) * 0.7,
+                                           (1.0 - write_prop) * 0.3};
+        std::vector<trace::Workload> workloads;
+        for (std::size_t t = 0; t < 4; ++t) {
+          // Writers shaped like prxy_0 (small, scattered), readers like
+          // src_1 (large, sequential) — the catalog archetypes.
+          const bool writer = t < 2;
+          trace::SyntheticSpec spec;
+          spec.write_fraction = writer ? 0.9 : 0.1;
+          spec.intensity_rps = std::max(1.0, rate * shares[t]);
+          spec.request_count = static_cast<std::uint64_t>(
+              spec.intensity_rps * duration) + 4;
+          spec.mean_request_pages = writer ? 1.5 : 4.0;
+          spec.sequential_fraction = writer ? 0.15 : 0.5;
+          spec.zipf_theta = writer ? 0.4 : 0.25;
+          spec.address_space_pages = 32 * 1024;
+          spec.seed = 1000 + static_cast<std::uint64_t>(level) * 16 +
+                      static_cast<std::uint64_t>(wp) * 4 + t;
+          workloads.push_back(trace::generate_synthetic(spec));
+        }
+        const auto mixed = trace::mix_workloads(workloads);
+        const auto sample =
+            core::label_workload(mixed, space, label_config, &pool);
+        std::printf(" %-8s",
+                    canonical_name(space.at(sample.label)).c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Microbenchmarks (google-benchmark) for the components whose overhead the
+// paper argues is negligible (Section IV.D): channel-allocator inference
+// (one forward pass of the 9->64->42 network), feature collection per
+// request, and raw simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/allocator.hpp"
+#include "core/features.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "ssd/ssd.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace ssdk;
+
+namespace {
+
+core::ChannelAllocator make_allocator() {
+  const auto space = core::StrategySpace::for_tenants(4);
+  nn::Mlp model({core::kFeatureDim, 64, space.size()},
+                nn::Activation::kLogistic, 7);
+  nn::StandardScaler scaler;
+  scaler.set_parameters(std::vector<double>(core::kFeatureDim, 0.5),
+                        std::vector<double>(core::kFeatureDim, 1.0));
+  return core::ChannelAllocator(std::move(model), std::move(scaler), space);
+}
+
+void BM_AllocatorInference(benchmark::State& state) {
+  const auto allocator = make_allocator();
+  core::MixFeatures f;
+  f.intensity_level = 11;
+  f.read_dominated = {0, 1, 0, 1};
+  f.proportion = {0.4, 0.3, 0.2, 0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.predict_index(f));
+  }
+  state.counters["multiplications"] = static_cast<double>(
+      allocator.multiplications_per_inference());
+  state.counters["parameter_bytes"] =
+      static_cast<double>(allocator.parameter_bytes());
+}
+BENCHMARK(BM_AllocatorInference);
+
+void BM_FeatureObservation(benchmark::State& state) {
+  core::FeaturesCollector collector;
+  sim::IoRequest r;
+  r.tenant = 2;
+  r.type = sim::OpType::kRead;
+  SimTime t = 0;
+  for (auto _ : state) {
+    r.arrival = t += 1000;
+    collector.observe(r);
+  }
+  benchmark::DoNotOptimize(collector.observed());
+}
+BENCHMARK(BM_FeatureObservation);
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  // Page ops simulated per second of wall time (drives dataset-generation
+  // cost). One batch = a 2000-request mixed burst.
+  trace::SyntheticSpec spec;
+  spec.request_count = 2000;
+  spec.intensity_rps = 30'000.0;
+  spec.write_fraction = 0.5;
+  spec.mean_request_pages = 2.0;
+  spec.seed = 3;
+  const auto workload = trace::generate_synthetic(spec);
+  std::uint64_t pages = 0;
+  for (auto _ : state) {
+    ssd::Ssd device;
+    std::uint64_t id = 0;
+    for (const auto& rec : workload) {
+      sim::IoRequest r;
+      r.id = id++;
+      r.tenant = 0;
+      r.type = rec.type;
+      r.lpn = rec.lpn;
+      r.page_count = rec.pages;
+      r.arrival = rec.arrival;
+      device.submit(r);
+    }
+    device.run_to_completion();
+    pages += device.metrics().counters().page_ops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pages));
+}
+BENCHMARK(BM_SimulatorThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_TrainingEpoch(benchmark::State& state) {
+  // One epoch of the 9->64->42 model on 3500 samples (paper: 5000 x 0.7),
+  // the unit of Figure 4's x-axis.
+  Rng rng(5);
+  nn::Matrix x(3500, core::kFeatureDim);
+  std::vector<std::uint32_t> y(3500);
+  for (std::size_t i = 0; i < 3500; ++i) {
+    for (std::size_t c = 0; c < core::kFeatureDim; ++c) {
+      x(i, c) = rng.next_double();
+    }
+    y[i] = static_cast<std::uint32_t>(rng.next_below(42));
+  }
+  nn::Dataset data(std::move(x), std::move(y));
+  nn::Mlp model({core::kFeatureDim, 64, 42}, nn::Activation::kLogistic, 9);
+  auto opt = nn::make_optimizer("adam");
+  for (auto _ : state) {
+    for (std::size_t begin = 0; begin < data.size(); begin += 64) {
+      const std::size_t end = std::min(begin + 64, data.size());
+      auto [bx, by] = data.batch(begin, end);
+      model.zero_grad();
+      benchmark::DoNotOptimize(model.train_loss_and_grad(bx, by));
+      opt->step(model);
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_TrainingEpoch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

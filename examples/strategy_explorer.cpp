@@ -1,0 +1,58 @@
+// Strategy explorer: exhaustively evaluate every channel-allocation
+// strategy for one Table-IV mix (or a custom synthetic mix) and print the
+// ranking — the ground truth SSDKeeper's label generator distills.
+//
+// Usage: strategy_explorer [mix=2] [duration=0.6] [top=12] [hybrid=0]
+//                          [threads=0] [seed=0]
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/label_gen.hpp"
+#include "trace/catalog.hpp"
+#include "trace/workload_stats.hpp"
+#include "util/config.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace ssdk;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto mix = static_cast<std::uint32_t>(cfg.get_uint("mix", 2));
+  const double duration_s = cfg.get_double("duration", 0.6);
+  const std::size_t top = cfg.get_uint("top", 12);
+  const std::uint64_t seed = cfg.get_uint("seed", 0);
+
+  const auto requests = trace::build_mix(mix, duration_s, 0, seed);
+  const auto stats = trace::mixed_stats(requests);
+  std::printf("Mix%u: %s\n", mix, stats.describe().c_str());
+
+  const auto space = core::StrategySpace::for_tenants(4);
+  core::LabelGenConfig config;
+  config.run.hybrid_page_allocation = cfg.get_bool("hybrid", false);
+
+  ThreadPool pool(static_cast<std::size_t>(cfg.get_uint("threads", 0)));
+  const auto sample = core::label_workload(requests, space, config, &pool);
+  std::printf("features: %s\n\n", sample.features.describe().c_str());
+
+  std::vector<std::size_t> order(space.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return sample.strategy_total_us[a] < sample.strategy_total_us[b];
+  });
+  std::printf("%-4s %-10s %14s %10s\n", "rank", "strategy", "total us",
+              "vs best");
+  for (std::size_t r = 0; r < std::min(top, order.size()); ++r) {
+    const std::size_t i = order[r];
+    std::printf("%-4zu %-10s %14.1f %9.2fx\n", r + 1,
+                space.at(i).name().c_str(), sample.strategy_total_us[i],
+                sample.strategy_total_us[i] /
+                    sample.strategy_total_us[order[0]]);
+  }
+  std::printf("...\nworst: %s (%.1f us, %.1fx best)\n",
+              space.at(order.back()).name().c_str(),
+              sample.strategy_total_us[order.back()],
+              sample.strategy_total_us[order.back()] /
+                  sample.strategy_total_us[order[0]]);
+  return 0;
+}

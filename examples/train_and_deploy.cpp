@@ -1,0 +1,105 @@
+// End-to-end SSDKeeper pipeline (the paper's full workflow):
+//   1. generate labeled training data — synthetic 4-tenant mixed workloads,
+//      each simulated under all 42 channel-allocation strategies
+//      (Algorithm 1, lines 3-8),
+//   2. train the 9 -> 64 -> 42 strategy learner (Algorithm 1, lines 10-15),
+//   3. save the model ("send the parameters to the FTL"),
+//   4. deploy: run the four Table-IV mixes under SSDKeeper (Algorithm 2)
+//      and compare against the Shared and Isolated baselines.
+//
+// Usage: train_and_deploy [workloads=160] [train_duration=0.35] [optimizer=adam]
+//                         [activation=logistic] [iterations=120]
+//                         [model=/tmp/ssdkeeper_model.txt] [threads=0]
+#include <cstdio>
+
+#include "core/keeper.hpp"
+#include "core/label_gen.hpp"
+#include "core/learner.hpp"
+#include "trace/catalog.hpp"
+#include "trace/workload_stats.hpp"
+#include "util/config.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace ssdk;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+
+  const auto space = core::StrategySpace::for_tenants(4);
+  ThreadPool pool(static_cast<std::size_t>(cfg.get_uint("threads", 0)));
+
+  // 1. Dataset.
+  core::DatasetGenConfig gen;
+  gen.workloads = cfg.get_uint("workloads", 160);
+  gen.workload_duration_s = cfg.get_double("train_duration", 0.35);
+  gen.requests_per_workload = cfg.get_uint("requests", 0);  // 0 = by duration
+  std::printf("generating %llu workloads x %zu strategies...\n",
+              static_cast<unsigned long long>(gen.workloads), space.size());
+  const auto dataset = core::generate_dataset(space, gen, pool);
+
+  // Label diversity: how many distinct strategies won at least once?
+  std::vector<std::uint64_t> wins(space.size(), 0);
+  for (const auto label : dataset.data.labels()) ++wins[label];
+  std::size_t distinct = 0;
+  for (const auto w : wins) distinct += w > 0 ? 1 : 0;
+  std::printf("dataset: %zu samples, %zu distinct winning strategies\n",
+              dataset.data.size(), distinct);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (wins[i] > 0) {
+      std::printf("  %-8s won %llu\n", space.at(i).name().c_str(),
+                  static_cast<unsigned long long>(wins[i]));
+    }
+  }
+
+  // 2. Train.
+  core::LearnerConfig learner;
+  learner.optimizer = cfg.get_string("optimizer", "adam");
+  learner.activation = cfg.get_string("activation", "logistic");
+  learner.max_iterations = cfg.get_uint("iterations", 120);
+  auto learned = core::train_strategy_learner(dataset.data, space, learner);
+  std::printf("\ntrained %s/%s: final loss %.3f, test accuracy %.1f%%, "
+              "%.0f ms\n",
+              learner.optimizer.c_str(), learner.activation.c_str(),
+              learned.history.final_loss,
+              learned.history.final_accuracy * 100.0,
+              learned.history.wall_time_ms);
+  std::printf("model: %zu parameters (%zu bytes), %zu multiplications per "
+              "inference\n",
+              learned.allocator.model().parameter_count(),
+              learned.allocator.parameter_bytes(),
+              learned.allocator.multiplications_per_inference());
+
+  // 3. Save.
+  const std::string model_path =
+      cfg.get_string("model", "/tmp/ssdkeeper_model.txt");
+  learned.allocator.save(model_path);
+  std::printf("saved model to %s\n\n", model_path.c_str());
+
+  // 4. Deploy on the Table-IV mixes.
+  const double duration_s = cfg.get_double("mix_duration", 0.6);
+  core::KeeperConfig keeper_config;
+  keeper_config.collect_window_ns =
+      static_cast<Duration>(duration_s * 0.2 * 1e9);
+  core::RunConfig baseline_run;
+
+  std::printf("%-5s %-38s %-9s %10s %10s %10s %9s\n", "mix", "features",
+              "choice", "Shared us", "Isolated", "SSDKeeper", "gain");
+  for (std::uint32_t m = 1; m <= 4; ++m) {
+    const auto requests = trace::build_mix(m, duration_s);
+    const auto features = core::features_of(requests);
+    const auto profiles = features.profiles(4);
+    const auto shared = core::run_with_strategy(
+        requests, space.shared(), profiles, baseline_run);
+    const auto isolated = core::run_with_strategy(
+        requests, space.isolated(), profiles, baseline_run);
+    const auto keeper = core::run_with_keeper(
+        requests, learned.allocator, keeper_config, baseline_run.ssd);
+    std::printf("Mix%u  %-38s %-9s %10.1f %10.1f %10.1f %8.1f%%\n", m,
+                keeper.features.describe().c_str(),
+                keeper.strategy.name().c_str(), shared.total_us,
+                isolated.total_us, keeper.run.total_us,
+                (shared.total_us - keeper.run.total_us) / shared.total_us *
+                    100.0);
+  }
+  return 0;
+}

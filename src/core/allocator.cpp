@@ -1,0 +1,53 @@
+#include "core/allocator.hpp"
+
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace ssdk::core {
+
+ChannelAllocator::ChannelAllocator(nn::Mlp model, nn::StandardScaler scaler,
+                                   StrategySpace space)
+    : model_(std::move(model)), scaler_(std::move(scaler)),
+      space_(std::move(space)) {
+  if (model_.input_size() != kFeatureDim) {
+    throw std::invalid_argument("allocator: model input dim != 9");
+  }
+  if (model_.output_size() != space_.size()) {
+    throw std::invalid_argument(
+        "allocator: model output classes != strategy-space size");
+  }
+}
+
+std::uint32_t ChannelAllocator::predict_index(
+    const MixFeatures& features) const {
+  const auto row = features.to_vector();
+  nn::Matrix x(1, kFeatureDim);
+  for (std::size_t c = 0; c < kFeatureDim; ++c) x(0, c) = row[c];
+  const nn::Matrix scaled = scaler_.transform(x);
+  return model_.predict(scaled).front();
+}
+
+Strategy ChannelAllocator::predict(const MixFeatures& features) const {
+  return space_.at(predict_index(features));
+}
+
+std::size_t ChannelAllocator::parameter_bytes() const {
+  return model_.parameter_count() * sizeof(double);
+}
+
+void ChannelAllocator::save(const std::string& path) const {
+  nn::save_model_file(path, model_, &scaler_);
+}
+
+ChannelAllocator ChannelAllocator::load(const std::string& path,
+                                        StrategySpace space) {
+  nn::LoadedModel loaded = nn::load_model_file(path);
+  if (!loaded.scaler) {
+    throw std::runtime_error("allocator: model file lacks a scaler block");
+  }
+  return ChannelAllocator(std::move(loaded.model), *std::move(loaded.scaler),
+                          std::move(space));
+}
+
+}  // namespace ssdk::core

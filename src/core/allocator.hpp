@@ -1,0 +1,50 @@
+// Channel allocator (paper Section IV.D): the trained network, deployed.
+// Takes a feature vector from the features collector, runs one forward
+// pass, and returns the strategy with the highest score. Also reports the
+// paper's overhead estimates (parameter storage, multiplications per
+// inference).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/features.hpp"
+#include "core/strategy.hpp"
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+
+namespace ssdk::core {
+
+class ChannelAllocator {
+ public:
+  ChannelAllocator(nn::Mlp model, nn::StandardScaler scaler,
+                   StrategySpace space);
+
+  /// Forward-propagate the features; returns the argmax strategy index.
+  std::uint32_t predict_index(const MixFeatures& features) const;
+  Strategy predict(const MixFeatures& features) const;
+
+  const StrategySpace& space() const { return space_; }
+  const nn::Mlp& model() const { return model_; }
+  const nn::StandardScaler& scaler() const { return scaler_; }
+
+  /// Bytes of parameter storage (8 bytes per weight/bias; the paper
+  /// budgets 16 bytes per neuron and reaches the same "negligible"
+  /// conclusion).
+  std::size_t parameter_bytes() const;
+  std::size_t multiplications_per_inference() const {
+    return model_.multiplications_per_inference();
+  }
+
+  /// Persist/load alongside the scaler (the "send parameters to the FTL"
+  /// step of Section IV.C).
+  void save(const std::string& path) const;
+  static ChannelAllocator load(const std::string& path, StrategySpace space);
+
+ private:
+  mutable nn::Mlp model_;  // forward() caches activations internally
+  nn::StandardScaler scaler_;
+  StrategySpace space_;
+};
+
+}  // namespace ssdk::core

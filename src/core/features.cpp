@@ -1,0 +1,121 @@
+#include "core/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ssdk::core {
+
+std::vector<double> MixFeatures::to_vector() const {
+  std::vector<double> v;
+  v.reserve(kFeatureDim);
+  v.push_back(static_cast<double>(intensity_level));
+  for (const auto c : read_dominated) v.push_back(static_cast<double>(c));
+  for (const auto p : proportion) v.push_back(p);
+  return v;
+}
+
+std::vector<TenantProfile> MixFeatures::profiles(
+    std::uint32_t tenants) const {
+  if (tenants > 4) throw std::invalid_argument("features: > 4 tenants");
+  std::vector<TenantProfile> out(tenants);
+  for (std::uint32_t t = 0; t < tenants; ++t) {
+    out[t].id = t;
+    out[t].read_dominated = read_dominated[t] != 0;
+    out[t].relative_intensity = proportion[t];
+  }
+  return out;
+}
+
+double MixFeatures::total_write_proportion() const {
+  double w = 0.0;
+  for (std::size_t t = 0; t < 4; ++t) {
+    if (read_dominated[t] == 0) w += proportion[t];
+  }
+  return w;
+}
+
+std::string MixFeatures::describe() const {
+  std::ostringstream os;
+  os << '[' << intensity_level << "] [";
+  for (std::size_t t = 0; t < 4; ++t) {
+    os << static_cast<int>(read_dominated[t]) << (t + 1 < 4 ? "," : "");
+  }
+  os << "] [" << std::fixed << std::setprecision(2);
+  for (std::size_t t = 0; t < 4; ++t) {
+    os << proportion[t] << (t + 1 < 4 ? "," : "");
+  }
+  os << ']';
+  return os.str();
+}
+
+FeaturesCollector::FeaturesCollector(FeatureConfig config)
+    : config_(config) {
+  if (config_.max_tenants == 0 || config_.max_tenants > 4) {
+    throw std::invalid_argument("features: max_tenants must be 1..4");
+  }
+  if (config_.intensity_levels == 0 || config_.max_intensity_rps <= 0.0) {
+    throw std::invalid_argument("features: bad intensity scale");
+  }
+}
+
+void FeaturesCollector::observe(const sim::IoRequest& request) {
+  if (request.tenant >= config_.max_tenants) {
+    throw std::invalid_argument("features: tenant id out of range");
+  }
+  if (total_ == 0) {
+    first_arrival_ = last_arrival_ = request.arrival;
+  } else {
+    first_arrival_ = std::min(first_arrival_, request.arrival);
+    last_arrival_ = std::max(last_arrival_, request.arrival);
+  }
+  ++total_;
+  auto& t = tenants_[request.tenant];
+  if (request.type == sim::OpType::kRead) {
+    ++t.reads;
+  } else {
+    ++t.writes;
+  }
+}
+
+void FeaturesCollector::reset() {
+  tenants_ = {};
+  total_ = 0;
+  first_arrival_ = last_arrival_ = 0;
+}
+
+MixFeatures FeaturesCollector::finalize(double window_s) const {
+  MixFeatures f;
+  if (total_ == 0) return f;
+
+  double duration_s = window_s;
+  if (duration_s <= 0.0) {
+    duration_s = static_cast<double>(last_arrival_ - first_arrival_) / 1e9;
+  }
+  const double rate =
+      duration_s > 0.0 ? static_cast<double>(total_) / duration_s
+                       : config_.max_intensity_rps;
+  const double frac = rate / config_.max_intensity_rps;
+  f.intensity_level = static_cast<std::uint32_t>(std::min(
+      static_cast<double>(config_.intensity_levels - 1),
+      std::floor(frac * static_cast<double>(config_.intensity_levels))));
+
+  for (std::uint32_t t = 0; t < config_.max_tenants; ++t) {
+    const auto& pt = tenants_[t];
+    f.read_dominated[t] = pt.reads > pt.writes ? 1 : 0;
+    f.proportion[t] = static_cast<double>(pt.reads + pt.writes) /
+                      static_cast<double>(total_);
+  }
+  return f;
+}
+
+MixFeatures features_of(std::span<const sim::IoRequest> requests,
+                        const FeatureConfig& config) {
+  FeaturesCollector collector(config);
+  for (const auto& r : requests) collector.observe(r);
+  return collector.finalize();
+}
+
+}  // namespace ssdk::core

@@ -1,0 +1,83 @@
+// Features collector (paper Section IV.B, V.A).
+//
+// Produces the nine-dimensional feature vector the strategy learner
+// consumes: overall intensity level of the mixed workload (1-D, quantized
+// into 20 levels), per-tenant read/write characteristic (4-D, 1 = read-
+// dominated), and per-tenant read/write proportion of total requests
+// (4-D, sums to 1). Example from the paper: [5] [1,0,1,0] [0.1,0.2,0.3,0.4].
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "sim/request.hpp"
+#include "util/time_types.hpp"
+
+namespace ssdk::core {
+
+struct FeatureConfig {
+  std::uint32_t max_tenants = 4;
+  std::uint32_t intensity_levels = 20;
+  /// Request rate mapped to the top intensity level.
+  double max_intensity_rps = 36'000.0;
+};
+
+inline constexpr std::size_t kFeatureDim = 9;
+
+struct MixFeatures {
+  std::uint32_t intensity_level = 0;
+  std::array<std::uint8_t, 4> read_dominated{0, 0, 0, 0};
+  std::array<double, 4> proportion{0.0, 0.0, 0.0, 0.0};
+
+  /// Flattened 9-D vector for the network: [level, char x4, prop x4].
+  std::vector<double> to_vector() const;
+
+  /// Tenant profiles for strategy application (tenant ids 0..3).
+  std::vector<TenantProfile> profiles(std::uint32_t tenants) const;
+
+  /// Total write proportion of the mix (Figure 6's y-axis): the summed
+  /// proportion-weighted write fraction of each tenant, approximated by
+  /// treating tenants as fully write- or read-dominated.
+  double total_write_proportion() const;
+
+  /// "[5] [1,0,1,0] [0.10,0.20,0.30,0.40]" — the paper's notation.
+  std::string describe() const;
+};
+
+class FeaturesCollector {
+ public:
+  explicit FeaturesCollector(FeatureConfig config = {});
+
+  /// Record one request arrival.
+  void observe(const sim::IoRequest& request);
+
+  std::uint64_t observed() const { return total_; }
+  void reset();
+
+  /// Features over everything observed so far. Intensity derives from the
+  /// observed arrival span unless `window_s` > 0 overrides it.
+  MixFeatures finalize(double window_s = 0.0) const;
+
+  const FeatureConfig& config() const { return config_; }
+
+ private:
+  FeatureConfig config_;
+  struct PerTenant {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+  std::array<PerTenant, 4> tenants_{};
+  std::uint64_t total_ = 0;
+  SimTime first_arrival_ = 0;
+  SimTime last_arrival_ = 0;
+};
+
+/// One-shot features of a full request stream.
+MixFeatures features_of(std::span<const sim::IoRequest> requests,
+                        const FeatureConfig& config = {});
+
+}  // namespace ssdk::core

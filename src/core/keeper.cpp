@@ -1,0 +1,87 @@
+#include "core/keeper.hpp"
+
+#include <stdexcept>
+
+namespace ssdk::core {
+
+SsdKeeper::SsdKeeper(const ChannelAllocator& allocator, KeeperConfig config)
+    : allocator_(allocator), config_(config), collector_(config.features),
+      window_end_(config.collect_window_ns) {}
+
+void SsdKeeper::attach(ssd::Ssd& device) {
+  device.set_arrival_hook([this, &device](const sim::IoRequest& request) {
+    on_arrival(device, request);
+  });
+}
+
+std::optional<Strategy> SsdKeeper::chosen_strategy() const {
+  if (decisions_.empty()) return std::nullopt;
+  return decisions_.back().second;
+}
+
+std::size_t SsdKeeper::strategy_changes() const {
+  if (decisions_.empty()) return 0;
+  std::size_t changes = 1;  // the initial switch
+  for (std::size_t i = 1; i < decisions_.size(); ++i) {
+    if (!(decisions_[i].second == decisions_[i - 1].second)) ++changes;
+  }
+  return changes;
+}
+
+void SsdKeeper::apply(ssd::Ssd& device, SimTime at) {
+  const double window_s =
+      static_cast<double>(initial_done_ ? config_.repredict_interval_ns
+                                        : config_.collect_window_ns) /
+      1e9;
+  features_ = collector_.finalize(window_s);
+  const Strategy strategy = allocator_.predict(*features_);
+  const bool changed =
+      decisions_.empty() || !(strategy == decisions_.back().second);
+  if (changed) {
+    const auto profiles = features_->profiles(allocator_.space().tenants());
+    configure_ssd(device, strategy, profiles,
+                  config_.hybrid_page_allocation);
+  }
+  decisions_.emplace_back(at, strategy);
+  collector_.reset();
+}
+
+void SsdKeeper::on_arrival(ssd::Ssd& device,
+                           const sim::IoRequest& request) {
+  if (request.arrival >= window_end_ && collector_.observed() > 0) {
+    // Window boundary crossed: decide (Algorithm 2 line 8, or a periodic
+    // re-prediction), then open the next window when in periodic mode.
+    apply(device, request.arrival);
+    if (!initial_done_) {
+      initial_done_ = true;
+      window_end_ = config_.repredict_interval_ns == 0
+                        ? ~SimTime{0}
+                        : request.arrival + config_.repredict_interval_ns;
+    } else {
+      while (window_end_ <= request.arrival) {
+        window_end_ += config_.repredict_interval_ns;
+      }
+    }
+  }
+  if (window_end_ != ~SimTime{0}) collector_.observe(request);
+}
+
+KeeperRunResult run_with_keeper(std::span<const sim::IoRequest> requests,
+                                const ChannelAllocator& allocator,
+                                const KeeperConfig& keeper_config,
+                                const ssd::SsdOptions& ssd_options) {
+  ssd::Ssd device(ssd_options);
+  SsdKeeper keeper(allocator, keeper_config);
+  keeper.attach(device);
+  device.submit(requests);
+  device.run_to_completion();
+  if (!keeper.switched()) {
+    throw std::runtime_error(
+        "keeper: collection window never elapsed; shorten "
+        "collect_window_ns or lengthen the workload");
+  }
+  return KeeperRunResult{summarize(device), *keeper.measured_features(),
+                         *keeper.chosen_strategy(), keeper.decisions()};
+}
+
+}  // namespace ssdk::core

@@ -1,0 +1,94 @@
+// SSDKeeper online controller — the paper's Algorithm 2, plus an optional
+// periodic re-prediction mode (DESIGN.md §8).
+//
+// For t < T (the feature-collection window) the device runs Shared with
+// default page allocation while the features collector observes arrivals.
+// At the first arrival with t >= T the keeper finalizes the features,
+// queries the channel allocator, and re-partitions channels (optionally
+// also switching per-tenant page-allocation modes — the hybrid allocator).
+// Data written before the switch stays where it is; reads continue to find
+// it via the mapping, exactly as a real FTL would behave.
+//
+// With `repredict_interval_ns` set, the keeper keeps collecting after the
+// initial switch in rolling windows and re-applies the predicted strategy
+// at each window boundary — adapting when the tenant mix drifts (the
+// paper's "self-adapting" goal taken online).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/features.hpp"
+#include "core/runner.hpp"
+#include "ssd/ssd.hpp"
+#include "util/time_types.hpp"
+
+namespace ssdk::core {
+
+struct KeeperConfig {
+  /// Feature-collection window T.
+  Duration collect_window_ns = 200 * kMillisecond;
+  /// Enable the hybrid page allocator after the switch.
+  bool hybrid_page_allocation = true;
+  /// 0 = one-shot Algorithm 2. Otherwise the keeper re-collects features
+  /// in rolling windows of this length and re-partitions whenever the
+  /// prediction changes.
+  Duration repredict_interval_ns = 0;
+  FeatureConfig features;
+};
+
+class SsdKeeper {
+ public:
+  SsdKeeper(const ChannelAllocator& allocator, KeeperConfig config);
+
+  /// Install the keeper's arrival hook on a device. The device must be
+  /// driven (submit + run_to_completion) by the caller. Replaces any
+  /// existing arrival hook.
+  void attach(ssd::Ssd& device);
+
+  bool switched() const { return !decisions_.empty(); }
+  /// Features measured over the most recent completed window.
+  const std::optional<MixFeatures>& measured_features() const {
+    return features_;
+  }
+  /// Strategy currently in force (the most recent decision).
+  std::optional<Strategy> chosen_strategy() const;
+  /// Every (switch time, strategy) decision, including re-predictions
+  /// that confirmed the incumbent strategy.
+  const std::vector<std::pair<SimTime, Strategy>>& decisions() const {
+    return decisions_;
+  }
+  /// Number of decisions that changed the allocation.
+  std::size_t strategy_changes() const;
+
+ private:
+  void on_arrival(ssd::Ssd& device, const sim::IoRequest& request);
+  void apply(ssd::Ssd& device, SimTime at);
+
+  const ChannelAllocator& allocator_;
+  KeeperConfig config_;
+  FeaturesCollector collector_;
+  SimTime window_end_;
+  bool initial_done_ = false;
+  std::optional<MixFeatures> features_;
+  std::vector<std::pair<SimTime, Strategy>> decisions_;
+};
+
+struct KeeperRunResult {
+  RunResult run;
+  MixFeatures features;
+  Strategy strategy;  ///< strategy in force at the end of the run
+  std::vector<std::pair<SimTime, Strategy>> decisions;
+};
+
+/// Convenience: run a mixed workload end-to-end under SSDKeeper control.
+KeeperRunResult run_with_keeper(std::span<const sim::IoRequest> requests,
+                                const ChannelAllocator& allocator,
+                                const KeeperConfig& keeper_config,
+                                const ssd::SsdOptions& ssd_options);
+
+}  // namespace ssdk::core

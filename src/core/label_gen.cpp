@@ -1,0 +1,124 @@
+#include "core/label_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace ssdk::core {
+
+LabeledSample label_workload(std::span<const sim::IoRequest> requests,
+                             const StrategySpace& space,
+                             const LabelGenConfig& config,
+                             ThreadPool* pool) {
+  LabeledSample sample;
+  sample.features = features_of(requests, config.features);
+  const auto profiles = sample.features.profiles(space.tenants());
+  sample.strategy_total_us.assign(space.size(), 0.0);
+
+  const auto evaluate = [&](std::size_t i) {
+    const RunResult r =
+        run_with_strategy(requests, space.at(i), profiles, config.run);
+    sample.strategy_total_us[i] = r.total_us;
+  };
+
+  if (pool != nullptr) {
+    parallel_for(*pool, space.size(), evaluate);
+  } else {
+    for (std::size_t i = 0; i < space.size(); ++i) evaluate(i);
+  }
+
+  const auto best = std::min_element(sample.strategy_total_us.begin(),
+                                     sample.strategy_total_us.end());
+  sample.label = static_cast<std::uint32_t>(
+      std::distance(sample.strategy_total_us.begin(), best));
+  return sample;
+}
+
+std::vector<sim::IoRequest> synthesize_mix(const DatasetGenConfig& config,
+                                           std::uint64_t index) {
+  std::uint64_t seed_state = config.seed;
+  // Mix seeds so consecutive indices give unrelated streams.
+  seed_state ^= splitmix64(seed_state) + index;
+  Rng rng(splitmix64(seed_state));
+
+  // Sample the aggregate rate uniformly over the feature collector's
+  // intensity *levels* (not raw rates) so the training set covers every
+  // level band evenly, including the contended top of the scale.
+  const std::uint32_t levels = config.label.features.intensity_levels;
+  const double level = rng.uniform_real(0.0, static_cast<double>(levels));
+  const double level_rate =
+      level / static_cast<double>(levels) *
+      config.label.features.max_intensity_rps;
+  const double total_rate = std::clamp(level_rate, config.min_rate_rps,
+                                       config.max_rate_rps);
+
+  // Per-tenant proportions: normalized exponentials with a floor so every
+  // tenant contributes measurable traffic.
+  std::vector<double> props(config.tenants);
+  double sum = 0.0;
+  for (auto& p : props) {
+    p = rng.exponential(1.0) + 0.05;
+    sum += p;
+  }
+  for (auto& p : props) p /= sum;
+
+  // Every tenant covers the configured duration; the mixed stream is cut
+  // at the duration boundary (and at the optional request cap).
+  std::vector<trace::Workload> workloads(config.tenants);
+  for (std::uint32_t t = 0; t < config.tenants; ++t) {
+    const bool read_dominated = rng.bernoulli(0.5);
+    trace::SyntheticSpec spec;
+    spec.write_fraction =
+        read_dominated
+            ? rng.uniform_real(config.read_band_lo, config.read_band_hi)
+            : rng.uniform_real(config.write_band_lo, config.write_band_hi);
+    spec.intensity_rps = std::max(1.0, total_rate * props[t]);
+    spec.request_count = static_cast<std::uint64_t>(
+        spec.intensity_rps * config.workload_duration_s * 1.05) + 8;
+    spec.mean_request_pages =
+        rng.uniform_real(config.mean_pages_lo, config.mean_pages_hi);
+    spec.address_space_pages = config.address_space_pages;
+    spec.zipf_theta = rng.uniform_real(config.zipf_lo, config.zipf_hi);
+    spec.sequential_fraction = rng.uniform_real(config.seq_lo, config.seq_hi);
+    spec.seed = rng.next_u64();
+    workloads[t] = trace::generate_synthetic(spec);
+  }
+  std::uint64_t cap = static_cast<std::uint64_t>(
+      total_rate * config.workload_duration_s);
+  if (config.requests_per_workload != 0) {
+    cap = std::min(cap, config.requests_per_workload);
+  }
+  cap = std::max<std::uint64_t>(cap, 64);
+  return trace::mix_workloads(workloads, cap);
+}
+
+GeneratedDataset generate_dataset(const StrategySpace& space,
+                                  const DatasetGenConfig& config,
+                                  ThreadPool& pool) {
+  GeneratedDataset out;
+  out.samples.resize(config.workloads);
+
+  // One task per workload; each runs its 8/42 strategy sweeps inline so
+  // tasks are coarse and evenly sized.
+  parallel_for(pool, config.workloads, [&](std::size_t i) {
+    const auto requests = synthesize_mix(config, i);
+    out.samples[i] = label_workload(requests, space, config.label, nullptr);
+  });
+
+  nn::Matrix features(config.workloads, kFeatureDim);
+  std::vector<std::uint32_t> labels(config.workloads);
+  for (std::size_t i = 0; i < config.workloads; ++i) {
+    const auto row = out.samples[i].features.to_vector();
+    assert(row.size() == kFeatureDim);
+    for (std::size_t c = 0; c < kFeatureDim; ++c) features(i, c) = row[c];
+    labels[i] = out.samples[i].label;
+  }
+  out.data = nn::Dataset(std::move(features), std::move(labels));
+  return out;
+}
+
+}  // namespace ssdk::core

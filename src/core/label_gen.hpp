@@ -1,0 +1,87 @@
+// Label generation (paper Algorithm 1, lines 3-8): run a mixed workload
+// under every channel-allocation strategy, record each strategy's overall
+// latency, and label the workload with the argmin strategy. Dataset
+// generation synthesizes thousands of such workloads with randomized
+// feature-space coverage and fans the strategy sweeps out on a thread pool.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/runner.hpp"
+#include "core/strategy.hpp"
+#include "nn/dataset.hpp"
+#include "sim/request.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ssdk::core {
+
+struct LabelGenConfig {
+  RunConfig run;
+  FeatureConfig features;
+};
+
+struct LabeledSample {
+  MixFeatures features;
+  std::uint32_t label = 0;  ///< index into the strategy space
+  /// Overall latency (avg read + avg write, us) per strategy, aligned with
+  /// the space — the raw material of Figures 2 and 6.
+  std::vector<double> strategy_total_us;
+};
+
+/// Evaluate every strategy on one workload. When `pool` is non-null the
+/// per-strategy simulations run in parallel (each on its own device).
+LabeledSample label_workload(std::span<const sim::IoRequest> requests,
+                             const StrategySpace& space,
+                             const LabelGenConfig& config,
+                             ThreadPool* pool = nullptr);
+
+struct DatasetGenConfig {
+  std::uint32_t tenants = 4;
+  std::uint64_t workloads = 200;
+  /// Each synthesized mixed workload covers this much arrival time, so
+  /// high-intensity samples contain enough requests for queueing to reach
+  /// steady state (a fixed request count would shrink the horizon exactly
+  /// where contention matters).
+  double workload_duration_s = 0.5;
+  /// Optional hard cap on the mixed stream length (0 = no cap).
+  std::uint64_t requests_per_workload = 0;
+  /// Aggregate arrival-rate range sampled per workload; spans the feature
+  /// collector's intensity scale.
+  double min_rate_rps = 1'200.0;
+  double max_rate_rps = 36'000.0;
+  /// Per-tenant write fraction bands: read-dominated tenants draw from
+  /// [read_lo, read_hi], write-dominated from [write_lo, write_hi].
+  double read_band_lo = 0.05, read_band_hi = 0.15;
+  double write_band_lo = 0.85, write_band_hi = 0.95;
+  std::uint64_t address_space_pages = 32 * 1024;
+  /// Per-tenant request-shape ranges. Heterogeneous sizes and
+  /// sequentiality are what make channel partitioning pay off (large
+  /// sequential readers suffer most from sharing with writers), so the
+  /// training distribution must span them like the evaluation traces do.
+  double mean_pages_lo = 1.5, mean_pages_hi = 4.0;
+  double seq_lo = 0.05, seq_hi = 0.5;
+  double zipf_lo = 0.2, zipf_hi = 0.4;
+  std::uint64_t seed = 7;
+  LabelGenConfig label;
+};
+
+struct GeneratedDataset {
+  nn::Dataset data;  ///< 9-D feature rows -> strategy-index labels
+  std::vector<LabeledSample> samples;
+};
+
+/// Synthesize one mixed workload for dataset row `index` (deterministic in
+/// (config.seed, index)).
+std::vector<sim::IoRequest> synthesize_mix(const DatasetGenConfig& config,
+                                           std::uint64_t index);
+
+/// Generate the full dataset; workloads are distributed over the pool and
+/// each workload's strategies run sequentially within its task.
+GeneratedDataset generate_dataset(const StrategySpace& space,
+                                  const DatasetGenConfig& config,
+                                  ThreadPool& pool);
+
+}  // namespace ssdk::core

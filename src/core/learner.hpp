@@ -1,0 +1,38 @@
+// Strategy learner (paper Section IV.C): trains the 9 -> 64 -> |space|
+// network on (features, best-strategy) pairs and packages the result as a
+// deployable ChannelAllocator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/allocator.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace ssdk::core {
+
+struct LearnerConfig {
+  std::size_t hidden_neurons = 64;  ///< paper: one hidden layer of 64
+  /// "sgd", "sgd-momentum", "adam" (+ "adagrad", "rmsprop").
+  std::string optimizer = "adam";
+  /// Hidden activation; the paper compares "relu" and "logistic" for Adam.
+  std::string activation = "logistic";
+  std::size_t max_iterations = 200;  ///< paper Figure 4 x-axis
+  std::size_t batch_size = 64;
+  double train_fraction = 0.7;  ///< paper: 7:3 train/test split
+  std::uint64_t seed = 42;
+};
+
+struct LearnedModel {
+  ChannelAllocator allocator;
+  nn::TrainHistory history;
+};
+
+/// Shuffle + split + scale + train. The dataset's labels must index into
+/// `space` (labels >= space.size() throw).
+LearnedModel train_strategy_learner(const nn::Dataset& dataset,
+                                    const StrategySpace& space,
+                                    const LearnerConfig& config);
+
+}  // namespace ssdk::core

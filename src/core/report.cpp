@@ -1,0 +1,69 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace ssdk::core {
+
+void SweepTable::validate() const {
+  for (const auto& s : series) {
+    if (s.values.size() != x.size()) {
+      throw std::invalid_argument("sweep table: series '" + s.name +
+                                  "' length != x-axis length");
+    }
+    if (s.name.find(',') != std::string::npos) {
+      throw std::invalid_argument("sweep table: comma in series name");
+    }
+  }
+}
+
+void write_sweep_csv(std::ostream& os, const SweepTable& table) {
+  table.validate();
+  CsvWriter writer(os);
+  std::vector<std::string> header{table.x_label};
+  for (const auto& s : table.series) header.push_back(s.name);
+  writer.write_row(header);
+  for (std::size_t i = 0; i < table.x.size(); ++i) {
+    std::vector<std::string> row;
+    row.reserve(table.series.size() + 1);
+    row.push_back(std::to_string(table.x[i]));
+    for (const auto& s : table.series) {
+      row.push_back(std::to_string(s.values[i]));
+    }
+    writer.write_row(row);
+  }
+}
+
+void write_sweep_csv_file(const std::string& path, const SweepTable& table) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("report: cannot open " + path);
+  write_sweep_csv(out, table);
+}
+
+std::string format_run_markdown(const RunResult& result) {
+  std::ostringstream os;
+  os << "| tenant | avg read (us) | avg write (us) | total (us) |\n"
+     << "|---|---|---|---|\n";
+  for (const auto& [tenant, metrics] : result.per_tenant) {
+    os << "| " << tenant << " | " << metrics.avg_read_us() << " | "
+       << metrics.avg_write_us() << " | " << metrics.total_us() << " |\n";
+  }
+  os << "| **all** | " << result.avg_read_us << " | " << result.avg_write_us
+     << " | " << result.total_us << " |\n";
+  return os.str();
+}
+
+std::vector<double> normalize_to_first(const std::vector<double>& values) {
+  std::vector<double> out(values.size(), 0.0);
+  if (values.empty() || values.front() == 0.0) return out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out[i] = values[i] / values.front();
+  }
+  return out;
+}
+
+}  // namespace ssdk::core

@@ -1,0 +1,40 @@
+// Result reporting: serialize benchmark series to CSV for plotting and
+// format latency tables consistently across examples and benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace ssdk::core {
+
+/// A named series over a shared x-axis — one Figure-2-style sweep.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+struct SweepTable {
+  std::string x_label;
+  std::vector<double> x;
+  std::vector<Series> series;
+
+  /// All series must match the x-axis length; throws otherwise.
+  void validate() const;
+};
+
+/// Write a sweep as CSV: header "x_label,series0,series1,...", one row per
+/// x value. Validates first.
+void write_sweep_csv(std::ostream& os, const SweepTable& table);
+void write_sweep_csv_file(const std::string& path, const SweepTable& table);
+
+/// One row per tenant plus an aggregate row, pipe-separated Markdown.
+std::string format_run_markdown(const RunResult& result);
+
+/// Normalize a series against its first element (the paper's Figure-2
+/// convention: everything relative to Shared). Zero baseline -> zeros.
+std::vector<double> normalize_to_first(const std::vector<double>& values);
+
+}  // namespace ssdk::core

@@ -1,0 +1,56 @@
+#include "core/runner.hpp"
+
+namespace ssdk::core {
+
+void configure_ssd(ssd::Ssd& device, const Strategy& strategy,
+                   std::span<const TenantProfile> profiles,
+                   bool hybrid_page_allocation) {
+  const auto sets = assign_channels(strategy, profiles,
+                                    device.options().geometry.channels);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    device.set_tenant_channels(profiles[i].id, sets[i]);
+    const bool dynamic =
+        hybrid_page_allocation && !profiles[i].read_dominated;
+    device.set_tenant_alloc_mode(profiles[i].id,
+                                 dynamic ? ftl::AllocMode::kDynamic
+                                         : ftl::AllocMode::kStatic);
+  }
+}
+
+RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
+                            const Strategy& strategy,
+                            std::span<const TenantProfile> profiles,
+                            const RunConfig& config) {
+  ssd::Ssd device(config.ssd);
+  configure_ssd(device, strategy, profiles, config.hybrid_page_allocation);
+  if (config.warmup_fraction > 0.0 && !requests.empty()) {
+    const SimTime first = requests.front().arrival;
+    const SimTime last = requests.back().arrival;
+    device.metrics().set_warmup_ns(
+        first + static_cast<Duration>(config.warmup_fraction *
+                                      static_cast<double>(last - first)));
+  }
+  device.submit(requests);
+  device.run_to_completion();
+  return summarize(device);
+}
+
+RunResult summarize(const ssd::Ssd& device) {
+  RunResult result;
+  const auto& metrics = device.metrics();
+  const sim::TenantMetrics agg = metrics.aggregate();
+  result.avg_read_us = agg.avg_read_us();
+  result.avg_write_us = agg.avg_write_us();
+  result.total_us = agg.total_us();
+  if (!agg.read_latency_us.empty()) {
+    result.p99_read_us = agg.read_latency_us.percentile(99.0);
+  }
+  if (!agg.write_latency_us.empty()) {
+    result.p99_write_us = agg.write_latency_us.percentile(99.0);
+  }
+  result.per_tenant = metrics.all_tenants();
+  result.counters = metrics.counters();
+  return result;
+}
+
+}  // namespace ssdk::core

@@ -1,0 +1,56 @@
+// Glue between workloads, strategies and the device: run a mixed request
+// stream on a freshly configured SSD and summarize the latencies the paper
+// reports.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/strategy.hpp"
+#include "sim/metrics.hpp"
+#include "sim/request.hpp"
+#include "ssd/ssd.hpp"
+
+namespace ssdk::core {
+
+struct RunConfig {
+  ssd::SsdOptions ssd;
+  /// Paper Section IV.E: static page allocation for read-dominated
+  /// tenants, dynamic for write-dominated ones. When false, every tenant
+  /// uses static allocation (the traditional FTL default).
+  bool hybrid_page_allocation = false;
+  /// Fraction of the request stream's arrival span treated as warmup:
+  /// requests arriving in that prefix are executed but excluded from the
+  /// latency statistics. 0 = measure everything.
+  double warmup_fraction = 0.0;
+};
+
+struct RunResult {
+  double avg_read_us = 0.0;
+  double avg_write_us = 0.0;
+  /// Sum of average read and average write latency (paper Section III.B).
+  double total_us = 0.0;
+  /// Tail latencies (the paper reports averages only; tails often tell a
+  /// sharper story about conflicts).
+  double p99_read_us = 0.0;
+  double p99_write_us = 0.0;
+  std::map<sim::TenantId, sim::TenantMetrics> per_tenant;
+  sim::DeviceCounters counters;
+};
+
+/// Configure an already-constructed SSD for (strategy, tenants, hybrid).
+void configure_ssd(ssd::Ssd& device, const Strategy& strategy,
+                   std::span<const TenantProfile> profiles,
+                   bool hybrid_page_allocation);
+
+/// Run the stream under one strategy on a fresh device.
+RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
+                            const Strategy& strategy,
+                            std::span<const TenantProfile> profiles,
+                            const RunConfig& config);
+
+/// Summarize a finished device's metrics.
+RunResult summarize(const ssd::Ssd& device);
+
+}  // namespace ssdk::core

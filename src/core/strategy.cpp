@@ -1,0 +1,179 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace ssdk::core {
+
+std::string Strategy::name() const {
+  switch (kind) {
+    case StrategyKind::kShared:
+      return "Shared";
+    case StrategyKind::kTwoPart: {
+      std::ostringstream os;
+      os << parts[0] << ':' << parts[1];
+      return os.str();
+    }
+    case StrategyKind::kFourPart: {
+      std::ostringstream os;
+      os << parts[0] << ':' << parts[1] << ':' << parts[2] << ':' << parts[3];
+      return os.str();
+    }
+  }
+  throw std::logic_error("unreachable strategy kind");
+}
+
+StrategySpace StrategySpace::for_tenants(std::uint32_t tenants,
+                                         std::uint32_t channels) {
+  if (tenants != 2 && tenants != 4) {
+    throw std::invalid_argument(
+        "strategy space defined for 2 or 4 tenants (paper Section IV.C)");
+  }
+  if (channels < tenants) {
+    throw std::invalid_argument("strategy space: fewer channels than tenants");
+  }
+  StrategySpace space;
+  space.channels_ = channels;
+  space.tenants_ = tenants;
+
+  space.strategies_.push_back(Strategy{});  // Shared
+
+  // Two-part splits a : (channels - a).
+  for (std::uint32_t a = channels - 1; a >= 1; --a) {
+    Strategy s;
+    s.kind = StrategyKind::kTwoPart;
+    s.parts = {a, channels - a, 0, 0};
+    space.strategies_.push_back(s);
+  }
+
+  if (tenants == 4) {
+    // All compositions of `channels` into 4 positive parts, except the
+    // all-equal one (channels/4 repeated), which the paper counts as
+    // Isolated rather than a learnable class.
+    for (std::uint32_t p0 = 1; p0 + 3 <= channels; ++p0) {
+      for (std::uint32_t p1 = 1; p0 + p1 + 2 <= channels; ++p1) {
+        for (std::uint32_t p2 = 1; p0 + p1 + p2 + 1 <= channels; ++p2) {
+          const std::uint32_t p3 = channels - p0 - p1 - p2;
+          if (p0 == p1 && p1 == p2 && p2 == p3) continue;
+          Strategy s;
+          s.kind = StrategyKind::kFourPart;
+          s.parts = {p0, p1, p2, p3};
+          space.strategies_.push_back(s);
+        }
+      }
+    }
+  }
+  return space;
+}
+
+std::size_t StrategySpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < strategies_.size(); ++i) {
+    if (strategies_[i].name() == name) return i;
+  }
+  throw std::out_of_range("strategy space: no strategy named '" + name + "'");
+}
+
+Strategy StrategySpace::isolated() const {
+  Strategy s;
+  if (tenants_ == 2) {
+    s.kind = StrategyKind::kTwoPart;
+    s.parts = {channels_ / 2, channels_ - channels_ / 2, 0, 0};
+  } else {
+    s.kind = StrategyKind::kFourPart;
+    const std::uint32_t q = channels_ / 4;
+    s.parts = {q, q, q, channels_ - 3 * q};
+  }
+  return s;
+}
+
+namespace {
+/// Contiguous channel range [first, first + count).
+std::vector<std::uint32_t> channel_range(std::uint32_t first,
+                                         std::uint32_t count) {
+  std::vector<std::uint32_t> out(count);
+  std::iota(out.begin(), out.end(), first);
+  return out;
+}
+
+std::vector<std::uint32_t> all_channels(std::uint32_t channels) {
+  return channel_range(0, channels);
+}
+}  // namespace
+
+std::vector<std::vector<std::uint32_t>> assign_channels(
+    const Strategy& strategy, std::span<const TenantProfile> profiles,
+    std::uint32_t channels) {
+  std::vector<std::vector<std::uint32_t>> out(profiles.size());
+
+  switch (strategy.kind) {
+    case StrategyKind::kShared: {
+      for (auto& set : out) set = all_channels(channels);
+      return out;
+    }
+    case StrategyKind::kTwoPart: {
+      if (strategy.parts[0] + strategy.parts[1] != channels) {
+        throw std::invalid_argument("strategy: two-part sum != channels");
+      }
+      const auto write_set = channel_range(0, strategy.parts[0]);
+      const auto read_set =
+          channel_range(strategy.parts[0], strategy.parts[1]);
+      // All-read or all-write mixes cannot split by characteristic; fall
+      // back to ranking by relative intensity (most intense -> part 0).
+      const bool homogeneous = std::all_of(
+          profiles.begin(), profiles.end(), [&](const TenantProfile& p) {
+            return p.read_dominated == profiles.front().read_dominated;
+          });
+      if (homogeneous && profiles.size() >= 2) {
+        std::vector<std::size_t> order(profiles.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return profiles[a].relative_intensity >
+                                  profiles[b].relative_intensity;
+                         });
+        // Most intense tenant gets part 0, everyone else part 1.
+        for (std::size_t rank = 0; rank < order.size(); ++rank) {
+          out[order[rank]] = rank == 0 ? write_set : read_set;
+        }
+        return out;
+      }
+      for (std::size_t i = 0; i < profiles.size(); ++i) {
+        out[i] = profiles[i].read_dominated ? read_set : write_set;
+      }
+      return out;
+    }
+    case StrategyKind::kFourPart: {
+      if (profiles.size() != 4) {
+        throw std::invalid_argument(
+            "strategy: four-part requires exactly 4 tenants");
+      }
+      const std::uint32_t sum = strategy.parts[0] + strategy.parts[1] +
+                                strategy.parts[2] + strategy.parts[3];
+      if (sum != channels) {
+        throw std::invalid_argument("strategy: four-part sum != channels");
+      }
+      // Parts largest-first to tenants in descending relative intensity
+      // (the paper's Figure-6 convention).
+      std::array<std::uint32_t, 4> parts = strategy.parts;
+      std::sort(parts.begin(), parts.end(), std::greater<>());
+      std::vector<std::size_t> order(4);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return profiles[a].relative_intensity >
+                                profiles[b].relative_intensity;
+                       });
+      std::uint32_t first = 0;
+      for (std::size_t rank = 0; rank < 4; ++rank) {
+        out[order[rank]] = channel_range(first, parts[rank]);
+        first += parts[rank];
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("unreachable strategy kind");
+}
+
+}  // namespace ssdk::core

@@ -1,0 +1,84 @@
+// Channel-allocation strategies and the strategy space SSDKeeper learns
+// over (Section IV.C of the paper).
+//
+// For an 8-channel SSD:
+//   * 2 tenants: Shared + the seven two-part splits 7:1 ... 1:7 (4:4 is the
+//     paper's Isolated) = 8 strategies.
+//   * 4 tenants: Shared + the seven two-part splits (write-group :
+//     read-group) + 34 four-part compositions of 8 (all 35 compositions
+//     into four positive parts minus 2:2:2:2, which the paper folds into
+//     Isolated) = 42 strategies — the network's 42 output classes.
+//
+// Application conventions (Sections III/V.D):
+//   * two-part: the first part goes to write-dominated tenants, the second
+//     to read-dominated tenants (for two tenants of equal characteristic,
+//     ordering falls back to relative intensity).
+//   * four-part: parts are assigned largest-first to tenants in descending
+//     relative intensity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/request.hpp"
+
+namespace ssdk::core {
+
+enum class StrategyKind : std::uint8_t { kShared, kTwoPart, kFourPart };
+
+struct Strategy {
+  StrategyKind kind = StrategyKind::kShared;
+  /// Channel counts per part; [0..1] used for kTwoPart, [0..3] for
+  /// kFourPart, ignored for kShared.
+  std::array<std::uint32_t, 4> parts{0, 0, 0, 0};
+
+  /// "Shared", "7:1", "5:1:1:1", ...
+  std::string name() const;
+
+  friend bool operator==(const Strategy&, const Strategy&) = default;
+};
+
+/// What strategy application needs to know about each tenant.
+struct TenantProfile {
+  sim::TenantId id = 0;
+  bool read_dominated = false;
+  /// Fraction of the mixed workload's requests issued by this tenant.
+  double relative_intensity = 0.0;
+};
+
+class StrategySpace {
+ public:
+  /// The paper's space for 2 or 4 tenants on `channels` channels.
+  /// Other tenant counts throw std::invalid_argument.
+  static StrategySpace for_tenants(std::uint32_t tenants,
+                                   std::uint32_t channels = 8);
+
+  std::size_t size() const { return strategies_.size(); }
+  const Strategy& at(std::size_t i) const { return strategies_.at(i); }
+  std::uint32_t channels() const { return channels_; }
+  std::uint32_t tenants() const { return tenants_; }
+
+  /// Index of a strategy by name; throws std::out_of_range when absent.
+  std::size_t index_of(const std::string& name) const;
+
+  /// The paper's Isolated baseline (4:4 for two tenants, 2:2:2:2 for
+  /// four). Note 2:2:2:2 is deliberately NOT in the learnable space.
+  Strategy isolated() const;
+  Strategy shared() const { return Strategy{}; }
+
+ private:
+  std::vector<Strategy> strategies_;
+  std::uint32_t channels_ = 8;
+  std::uint32_t tenants_ = 0;
+};
+
+/// Concrete channel sets per tenant (indexed by position in `profiles`).
+/// Channels are assigned as contiguous ranges of [0, channels).
+std::vector<std::vector<std::uint32_t>> assign_channels(
+    const Strategy& strategy, std::span<const TenantProfile> profiles,
+    std::uint32_t channels);
+
+}  // namespace ssdk::core

@@ -1,0 +1,258 @@
+#include "ftl/block_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace ssdk::ftl {
+
+namespace {
+constexpr std::uint64_t kLpnMask = (1ULL << 40) - 1;
+constexpr std::uint64_t kNoOwner = ~std::uint64_t{0};
+
+std::uint64_t pack_owner(sim::TenantId tenant, std::uint64_t lpn) {
+  assert(lpn <= kLpnMask);
+  return (static_cast<std::uint64_t>(tenant) << 40) | lpn;
+}
+}  // namespace
+
+BlockManager::BlockManager(const sim::Geometry& geometry) : geom_(geometry) {
+  geom_.validate();
+  blocks_.resize(geom_.total_blocks());
+  planes_.resize(geom_.total_planes());
+  page_valid_.assign(geom_.total_pages(), 0);
+  page_owner_.assign(geom_.total_pages(), kNoOwner);
+  for (std::uint64_t p = 0; p < planes_.size(); ++p) {
+    auto& plane = planes_[p];
+    plane.free_list.reserve(geom_.blocks_per_plane);
+    for (std::uint32_t b = 0; b < geom_.blocks_per_plane; ++b) {
+      plane.free_list.push_back(b);
+    }
+  }
+}
+
+bool BlockManager::open_new_block(std::uint64_t plane_id) {
+  auto& plane = planes_[plane_id];
+  if (plane.free_list.empty()) return false;
+  // Wear leveling: the least-erased free block; ties break toward the
+  // lowest block id so allocation order is deterministic.
+  auto best = plane.free_list.begin();
+  for (auto it = plane.free_list.begin(); it != plane.free_list.end(); ++it) {
+    const auto& cand = blocks_[block_index(plane_id, *it)];
+    const auto& cur = blocks_[block_index(plane_id, *best)];
+    if (cand.erases < cur.erases ||
+        (cand.erases == cur.erases && *it < *best)) {
+      best = it;
+    }
+  }
+  const std::uint32_t chosen = *best;
+  // Swap-remove keeps the pop O(1); order within the free list is not
+  // meaningful.
+  *best = plane.free_list.back();
+  plane.free_list.pop_back();
+
+  auto& info = blocks_[block_index(plane_id, chosen)];
+  assert(info.state == BlockState::kFree);
+  info.state = BlockState::kOpen;
+  info.write_ptr = 0;
+  info.valid = 0;
+  plane.open_block = chosen;
+  return true;
+}
+
+std::optional<sim::Ppn> BlockManager::allocate_page(std::uint64_t plane_id) {
+  assert(plane_id < planes_.size());
+  auto& plane = planes_[plane_id];
+  if (plane.open_block < 0 && !open_new_block(plane_id)) return std::nullopt;
+
+  auto block = static_cast<std::uint32_t>(plane.open_block);
+  auto* info = &blocks_[block_index(plane_id, block)];
+  if (info->write_ptr >= geom_.pages_per_block) {
+    info->state = BlockState::kFull;
+    plane.open_block = -1;
+    if (!open_new_block(plane_id)) return std::nullopt;
+    block = static_cast<std::uint32_t>(plane.open_block);
+    info = &blocks_[block_index(plane_id, block)];
+  }
+
+  const sim::Ppn ppn =
+      (block_index(plane_id, block)) * geom_.pages_per_block +
+      info->write_ptr;
+  ++info->write_ptr;
+  if (info->write_ptr == geom_.pages_per_block) {
+    info->state = BlockState::kFull;
+    plane.open_block = -1;
+  }
+  return ppn;
+}
+
+void BlockManager::mark_valid(sim::Ppn ppn, sim::TenantId tenant,
+                              std::uint64_t lpn) {
+  assert(ppn < page_valid_.size());
+  assert(page_valid_[ppn] == 0);
+  page_valid_[ppn] = 1;
+  page_owner_[ppn] = pack_owner(tenant, lpn);
+  ++blocks_[ppn / geom_.pages_per_block].valid;
+}
+
+void BlockManager::invalidate(sim::Ppn ppn) {
+  assert(ppn < page_valid_.size());
+  if (page_valid_[ppn] == 0) return;
+  page_valid_[ppn] = 0;
+  page_owner_[ppn] = kNoOwner;
+  auto& info = blocks_[ppn / geom_.pages_per_block];
+  assert(info.valid > 0);
+  --info.valid;
+}
+
+bool BlockManager::is_valid(sim::Ppn ppn) const {
+  assert(ppn < page_valid_.size());
+  return page_valid_[ppn] != 0;
+}
+
+PageOwner BlockManager::owner(sim::Ppn ppn) const {
+  assert(ppn < page_owner_.size());
+  const std::uint64_t packed = page_owner_[ppn];
+  if (packed == kNoOwner) {
+    throw std::logic_error("block_manager: page has no owner");
+  }
+  return PageOwner{static_cast<sim::TenantId>(packed >> 40),
+                   packed & kLpnMask};
+}
+
+std::uint32_t BlockManager::free_blocks(std::uint64_t plane_id) const {
+  assert(plane_id < planes_.size());
+  return static_cast<std::uint32_t>(planes_[plane_id].free_list.size());
+}
+
+std::uint64_t BlockManager::free_pages(std::uint64_t plane_id) const {
+  assert(plane_id < planes_.size());
+  const auto& plane = planes_[plane_id];
+  std::uint64_t pages = static_cast<std::uint64_t>(plane.free_list.size()) *
+                        geom_.pages_per_block;
+  if (plane.open_block >= 0) {
+    const auto& info = blocks_[block_index(
+        plane_id, static_cast<std::uint32_t>(plane.open_block))];
+    pages += geom_.pages_per_block - info.write_ptr;
+  }
+  return pages;
+}
+
+std::optional<std::uint32_t> BlockManager::select_victim(
+    std::uint64_t plane_id) const {
+  assert(plane_id < planes_.size());
+  // Greedy victim: fewest valid pages (lowest migration cost). Ties break
+  // toward the least-erased block — cleaning cost is identical, so take
+  // the wear-leveling win; this also guarantees every reclaimable block is
+  // eventually cycled instead of a fixed subset.
+  std::optional<std::uint32_t> best;
+  std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+  std::uint64_t best_erases = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t b = 0; b < geom_.blocks_per_plane; ++b) {
+    const auto& info = blocks_[block_index(plane_id, b)];
+    if (info.state != BlockState::kFull) continue;
+    if (info.valid < best_valid ||
+        (info.valid == best_valid && info.erases < best_erases)) {
+      best_valid = info.valid;
+      best_erases = info.erases;
+      best = b;
+    }
+  }
+  // A victim with every page still valid frees nothing; reject it.
+  if (best && best_valid >= geom_.pages_per_block) return std::nullopt;
+  return best;
+}
+
+std::vector<sim::Ppn> BlockManager::valid_pages(std::uint64_t plane_id,
+                                                std::uint32_t block) const {
+  const std::uint64_t base =
+      block_index(plane_id, block) * geom_.pages_per_block;
+  std::vector<sim::Ppn> out;
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    if (page_valid_[base + p]) out.push_back(base + p);
+  }
+  return out;
+}
+
+void BlockManager::erase_block(std::uint64_t plane_id, std::uint32_t block) {
+  auto& info = blocks_[block_index(plane_id, block)];
+  if (info.state != BlockState::kFull || info.valid != 0) {
+    throw std::logic_error(
+        "block_manager: erase requires a Full block with no valid pages");
+  }
+  const std::uint64_t base =
+      block_index(plane_id, block) * geom_.pages_per_block;
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    page_valid_[base + p] = 0;
+    page_owner_[base + p] = kNoOwner;
+  }
+  info.state = BlockState::kFree;
+  info.write_ptr = 0;
+  info.valid = 0;
+  ++info.erases;
+  planes_[plane_id].free_list.push_back(block);
+}
+
+std::uint32_t BlockManager::valid_count(std::uint64_t plane_id,
+                                        std::uint32_t block) const {
+  return blocks_[block_index(plane_id, block)].valid;
+}
+
+std::uint64_t BlockManager::erase_count(std::uint64_t plane_id,
+                                        std::uint32_t block) const {
+  return blocks_[block_index(plane_id, block)].erases;
+}
+
+BlockState BlockManager::block_state(std::uint64_t plane_id,
+                                     std::uint32_t block) const {
+  return blocks_[block_index(plane_id, block)].state;
+}
+
+WearStats BlockManager::wear_stats() const {
+  WearStats stats;
+  if (blocks_.empty()) return stats;
+  stats.min_erases = std::numeric_limits<std::uint64_t>::max();
+  double sum = 0.0;
+  for (const auto& info : blocks_) {
+    stats.min_erases = std::min(stats.min_erases, info.erases);
+    stats.max_erases = std::max(stats.max_erases, info.erases);
+    stats.total_erases += info.erases;
+    sum += static_cast<double>(info.erases);
+  }
+  stats.mean_erases = sum / static_cast<double>(blocks_.size());
+  return stats;
+}
+
+std::uint64_t BlockManager::plane_wear_gap(std::uint64_t plane_id) const {
+  std::uint64_t lo = std::numeric_limits<std::uint64_t>::max(), hi = 0;
+  for (std::uint32_t b = 0; b < geom_.blocks_per_plane; ++b) {
+    const auto e = blocks_[block_index(plane_id, b)].erases;
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  return hi - lo;
+}
+
+std::optional<std::uint32_t> BlockManager::coldest_full_block(
+    std::uint64_t plane_id) const {
+  std::optional<std::uint32_t> best;
+  std::uint64_t best_erases = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint32_t b = 0; b < geom_.blocks_per_plane; ++b) {
+    const auto& info = blocks_[block_index(plane_id, b)];
+    if (info.state != BlockState::kFull) continue;
+    if (info.erases < best_erases) {
+      best_erases = info.erases;
+      best = b;
+    }
+  }
+  return best;
+}
+
+std::uint64_t BlockManager::total_valid_pages() const {
+  std::uint64_t total = 0;
+  for (const auto& info : blocks_) total += info.valid;
+  return total;
+}
+
+}  // namespace ssdk::ftl

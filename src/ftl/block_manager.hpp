@@ -1,0 +1,119 @@
+// Physical block bookkeeping: free lists, open (append-point) blocks,
+// per-page validity and reverse mapping, erase counts for wear leveling.
+//
+// One open block per plane; writes routed to a plane append into its open
+// block. Wear leveling is allocation-time: when a plane needs a fresh open
+// block, the least-erased free block is chosen.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "sim/request.hpp"
+
+namespace ssdk::ftl {
+
+/// Packed owner of a physical page: tenant in the top 24 bits, LPN in the
+/// low 40 (a tenant logical space of up to ~10^12 pages).
+struct PageOwner {
+  sim::TenantId tenant = 0;
+  std::uint64_t lpn = 0;
+};
+
+enum class BlockState : std::uint8_t { kFree, kOpen, kFull };
+
+struct WearStats {
+  std::uint64_t min_erases = 0;
+  std::uint64_t max_erases = 0;
+  double mean_erases = 0.0;
+  std::uint64_t total_erases = 0;
+};
+
+class BlockManager {
+ public:
+  explicit BlockManager(const sim::Geometry& geometry);
+
+  const sim::Geometry& geometry() const { return geom_; }
+
+  /// Append one page in the plane's open block; opens a new block when the
+  /// current one fills. Returns std::nullopt when the plane has no free
+  /// page left (caller must GC or redirect).
+  std::optional<sim::Ppn> allocate_page(std::uint64_t plane_id);
+
+  /// Record ownership of a just-written page and mark it valid.
+  void mark_valid(sim::Ppn ppn, sim::TenantId tenant, std::uint64_t lpn);
+
+  /// Invalidate a page (its LPN was overwritten or trimmed).
+  void invalidate(sim::Ppn ppn);
+
+  bool is_valid(sim::Ppn ppn) const;
+  PageOwner owner(sim::Ppn ppn) const;
+
+  std::uint32_t free_blocks(std::uint64_t plane_id) const;
+  std::uint64_t free_pages(std::uint64_t plane_id) const;
+
+  /// GC victim: the Full block in the plane with the fewest valid pages;
+  /// std::nullopt when no Full block exists or the best victim has no
+  /// reclaimable (invalid) page.
+  std::optional<std::uint32_t> select_victim(std::uint64_t plane_id) const;
+
+  /// Valid PPNs remaining in a block (the pages GC must migrate).
+  std::vector<sim::Ppn> valid_pages(std::uint64_t plane_id,
+                                    std::uint32_t block) const;
+
+  /// Erase a Full block with no valid pages: resets it to Free.
+  /// Precondition (checked): block is Full and has zero valid pages.
+  void erase_block(std::uint64_t plane_id, std::uint32_t block);
+
+  std::uint32_t valid_count(std::uint64_t plane_id,
+                            std::uint32_t block) const;
+  std::uint64_t erase_count(std::uint64_t plane_id,
+                            std::uint32_t block) const;
+  BlockState block_state(std::uint64_t plane_id, std::uint32_t block) const;
+
+  WearStats wear_stats() const;
+
+  /// max - min erase count across one plane's blocks.
+  std::uint64_t plane_wear_gap(std::uint64_t plane_id) const;
+
+  /// The Full block with the lowest erase count in the plane — the static
+  /// wear-leveling candidate (its cold data pins a low-wear block out of
+  /// rotation). std::nullopt when no Full block exists.
+  std::optional<std::uint32_t> coldest_full_block(
+      std::uint64_t plane_id) const;
+
+  /// Total valid pages across the device (conservation checks in tests).
+  std::uint64_t total_valid_pages() const;
+
+ private:
+  std::uint64_t block_index(std::uint64_t plane_id,
+                            std::uint32_t block) const {
+    return plane_id * geom_.blocks_per_plane + block;
+  }
+
+  /// Pop the least-erased free block of a plane and open it.
+  bool open_new_block(std::uint64_t plane_id);
+
+  sim::Geometry geom_;
+
+  struct BlockInfo {
+    std::uint32_t write_ptr = 0;    ///< next page to program
+    std::uint32_t valid = 0;        ///< valid page count
+    std::uint64_t erases = 0;
+    BlockState state = BlockState::kFree;
+  };
+  struct PlaneInfo {
+    std::vector<std::uint32_t> free_list;  ///< free block ids
+    std::int64_t open_block = -1;          ///< -1 = none
+  };
+
+  std::vector<BlockInfo> blocks_;     // indexed by global block id
+  std::vector<PlaneInfo> planes_;     // indexed by plane id
+  // Per-page: validity bit and packed owner (tenant<<40 | lpn).
+  std::vector<std::uint8_t> page_valid_;
+  std::vector<std::uint64_t> page_owner_;
+};
+
+}  // namespace ssdk::ftl

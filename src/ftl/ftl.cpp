@@ -1,0 +1,183 @@
+#include "ftl/ftl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ssdk::ftl {
+
+Ftl::Ftl(const sim::Geometry& geometry, FtlConfig config)
+    : geom_(geometry), config_(config), blocks_(geometry) {
+  geom_.validate();
+  if (config_.gc_target_free_blocks < config_.gc_trigger_free_blocks) {
+    throw std::invalid_argument("ftl: gc target below trigger");
+  }
+  all_channels_.resize(geom_.channels);
+  for (std::uint32_t c = 0; c < geom_.channels; ++c) all_channels_[c] = c;
+}
+
+Ftl::TenantPolicy& Ftl::policy_for(sim::TenantId tenant) {
+  if (policies_.size() <= tenant) {
+    policies_.resize(tenant + 1);
+  }
+  auto& p = policies_[tenant];
+  if (p.channels.empty()) p.channels = all_channels_;
+  return p;
+}
+
+const Ftl::TenantPolicy& Ftl::policy_for(sim::TenantId tenant) const {
+  return const_cast<Ftl*>(this)->policy_for(tenant);
+}
+
+void Ftl::set_tenant_channels(sim::TenantId tenant,
+                              std::vector<std::uint32_t> channels) {
+  if (channels.empty()) {
+    throw std::invalid_argument("ftl: tenant channel set must be non-empty");
+  }
+  for (const auto ch : channels) {
+    if (ch >= geom_.channels) {
+      throw std::invalid_argument("ftl: channel id out of range");
+    }
+  }
+  std::sort(channels.begin(), channels.end());
+  channels.erase(std::unique(channels.begin(), channels.end()),
+                 channels.end());
+  policy_for(tenant).channels = std::move(channels);
+}
+
+const std::vector<std::uint32_t>& Ftl::tenant_channels(
+    sim::TenantId tenant) const {
+  return policy_for(tenant).channels;
+}
+
+void Ftl::set_tenant_alloc_mode(sim::TenantId tenant, AllocMode mode) {
+  policy_for(tenant).mode = mode;
+}
+
+AllocMode Ftl::tenant_alloc_mode(sim::TenantId tenant) const {
+  return policy_for(tenant).mode;
+}
+
+sim::Ppn Ftl::allocate_near(const PlaneTarget& target,
+                            const std::vector<std::uint32_t>& channels) {
+  // Preferred plane, then sibling planes on the same chip, then sibling
+  // chips on the same channel, then the rest of the allowed channel set.
+  const auto try_plane = [&](std::uint32_t ch, std::uint32_t chip,
+                             std::uint32_t plane) -> sim::Ppn {
+    PlaneTarget t{ch, chip, plane};
+    if (auto ppn = blocks_.allocate_page(t.plane_id(geom_))) return *ppn;
+    return sim::kInvalidPpn;
+  };
+
+  sim::Ppn ppn = try_plane(target.channel, target.chip, target.plane);
+  if (ppn != sim::kInvalidPpn) return ppn;
+
+  for (std::uint32_t pl = 0; pl < geom_.planes_per_chip; ++pl) {
+    if (pl == target.plane) continue;
+    ppn = try_plane(target.channel, target.chip, pl);
+    if (ppn != sim::kInvalidPpn) return ppn;
+  }
+  for (std::uint32_t chip = 0; chip < geom_.chips_per_channel; ++chip) {
+    if (chip == target.chip) continue;
+    for (std::uint32_t pl = 0; pl < geom_.planes_per_chip; ++pl) {
+      ppn = try_plane(target.channel, chip, pl);
+      if (ppn != sim::kInvalidPpn) return ppn;
+    }
+  }
+  for (const std::uint32_t ch : channels) {
+    if (ch == target.channel) continue;
+    for (std::uint32_t chip = 0; chip < geom_.chips_per_channel; ++chip) {
+      for (std::uint32_t pl = 0; pl < geom_.planes_per_chip; ++pl) {
+        ppn = try_plane(ch, chip, pl);
+        if (ppn != sim::kInvalidPpn) return ppn;
+      }
+    }
+  }
+  return sim::kInvalidPpn;
+}
+
+sim::Ppn Ftl::translate_read(sim::TenantId tenant, std::uint64_t lpn) {
+  const sim::Ppn mapped = map_.lookup(tenant, lpn);
+  if (mapped != sim::kInvalidPpn) return mapped;
+
+  // Prepopulate: the data is assumed to predate the simulation. Static
+  // placement keeps sequential LPNs striped over the tenant's channels.
+  const auto& policy = policy_for(tenant);
+  const PlaneTarget target = static_place(geom_, policy.channels, lpn);
+  const sim::Ppn ppn = allocate_near(target, policy.channels);
+  if (ppn == sim::kInvalidPpn) throw DeviceFullError();
+  blocks_.mark_valid(ppn, tenant, lpn);
+  map_.update(tenant, lpn, ppn);
+  return ppn;
+}
+
+sim::Ppn Ftl::allocate_write(sim::TenantId tenant, std::uint64_t lpn,
+                             const LoadView& load) {
+  auto& policy = policy_for(tenant);
+  const PlaneTarget target =
+      policy.mode == AllocMode::kStatic
+          ? static_place(geom_, policy.channels, lpn)
+          : dynamic_place(geom_, policy.channels, load, policy.rr_counter);
+  const sim::Ppn ppn = allocate_near(target, policy.channels);
+  if (ppn == sim::kInvalidPpn) throw DeviceFullError();
+  blocks_.mark_valid(ppn, tenant, lpn);
+  const sim::Ppn old = map_.update(tenant, lpn, ppn);
+  if (old != sim::kInvalidPpn) blocks_.invalidate(old);
+  return ppn;
+}
+
+bool Ftl::trim(sim::TenantId tenant, std::uint64_t lpn) {
+  const sim::Ppn old = map_.erase(tenant, lpn);
+  if (old == sim::kInvalidPpn) return false;
+  blocks_.invalidate(old);
+  return true;
+}
+
+bool Ftl::needs_gc(std::uint64_t plane_id) const {
+  return blocks_.free_blocks(plane_id) <= config_.gc_trigger_free_blocks;
+}
+
+bool Ftl::gc_satisfied(std::uint64_t plane_id) const {
+  return blocks_.free_blocks(plane_id) > config_.gc_target_free_blocks;
+}
+
+std::optional<std::uint32_t> Ftl::select_victim(
+    std::uint64_t plane_id) const {
+  return blocks_.select_victim(plane_id);
+}
+
+std::vector<sim::Ppn> Ftl::valid_pages(std::uint64_t plane_id,
+                                       std::uint32_t block) const {
+  return blocks_.valid_pages(plane_id, block);
+}
+
+sim::Ppn Ftl::allocate_migration(std::uint64_t plane_id) {
+  if (auto ppn = blocks_.allocate_page(plane_id)) return *ppn;
+  return sim::kInvalidPpn;
+}
+
+bool Ftl::complete_migration(sim::Ppn src, sim::Ppn dst) {
+  if (!blocks_.is_valid(src)) {
+    // Overwritten while the migration was in flight: the copy is garbage.
+    return false;
+  }
+  const PageOwner who = blocks_.owner(src);
+  blocks_.invalidate(src);
+  blocks_.mark_valid(dst, who.tenant, who.lpn);
+  map_.update(who.tenant, who.lpn, dst);
+  return true;
+}
+
+void Ftl::erase_block(std::uint64_t plane_id, std::uint32_t block) {
+  blocks_.erase_block(plane_id, block);
+}
+
+std::optional<std::uint32_t> Ftl::wear_leveling_candidate(
+    std::uint64_t plane_id) const {
+  if (config_.wear_gap_threshold == 0) return std::nullopt;
+  if (blocks_.plane_wear_gap(plane_id) <= config_.wear_gap_threshold) {
+    return std::nullopt;
+  }
+  return blocks_.coldest_full_block(plane_id);
+}
+
+}  // namespace ssdk::ftl

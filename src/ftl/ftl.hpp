@@ -1,0 +1,132 @@
+// Flash translation layer facade: address mapping + block management +
+// per-tenant placement policy + garbage-collection bookkeeping.
+//
+// The FTL is deliberately time-free: it decides *where* data lives; the
+// device model (src/ssd) decides *when* operations execute and drives GC
+// migrations through the same timed pipeline as host I/O.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "ftl/block_manager.hpp"
+#include "ftl/mapping.hpp"
+#include "ftl/page_alloc.hpp"
+#include "sim/geometry.hpp"
+#include "sim/request.hpp"
+
+namespace ssdk::ftl {
+
+struct FtlConfig {
+  /// GC starts when a plane's free-block count drops to this value...
+  std::uint32_t gc_trigger_free_blocks = 2;
+  /// ...and runs until the plane is back above this value.
+  std::uint32_t gc_target_free_blocks = 3;
+  /// Static wear leveling: when a plane's (max - min) erase gap exceeds
+  /// this, the coldest Full block is force-migrated so its low-wear block
+  /// re-enters rotation. 0 disables (allocation-time wear leveling only).
+  std::uint64_t wear_gap_threshold = 0;
+};
+
+/// Thrown when a write cannot be placed anywhere in the tenant's allowed
+/// channel set (device full even after GC had its chance).
+class DeviceFullError : public std::runtime_error {
+ public:
+  DeviceFullError() : std::runtime_error("ftl: no free page available") {}
+};
+
+class Ftl {
+ public:
+  Ftl(const sim::Geometry& geometry, FtlConfig config = {});
+
+  const sim::Geometry& geometry() const { return geom_; }
+  const FtlConfig& config() const { return config_; }
+
+  // --- tenant policy -----------------------------------------------------
+
+  /// Restrict a tenant's new writes (and read prepopulation) to a channel
+  /// set. Defaults to all channels (the paper's Shared baseline).
+  void set_tenant_channels(sim::TenantId tenant,
+                           std::vector<std::uint32_t> channels);
+  const std::vector<std::uint32_t>& tenant_channels(
+      sim::TenantId tenant) const;
+
+  void set_tenant_alloc_mode(sim::TenantId tenant, AllocMode mode);
+  AllocMode tenant_alloc_mode(sim::TenantId tenant) const;
+
+  // --- host path ----------------------------------------------------------
+
+  /// Translate a read. Unmapped LPNs are prepopulated (static placement,
+  /// no timing cost) as if the data had been written before the simulation
+  /// started — read-only workloads then exercise real locations.
+  sim::Ppn translate_read(sim::TenantId tenant, std::uint64_t lpn);
+
+  /// Place a write according to the tenant's mode, invalidate the previous
+  /// location, install the new mapping. Throws DeviceFullError when no
+  /// allowed plane has a free page.
+  sim::Ppn allocate_write(sim::TenantId tenant, std::uint64_t lpn,
+                          const LoadView& load);
+
+  /// Host discard: drop the mapping and invalidate the physical page.
+  /// Returns true when the LPN was mapped (false = no-op trim).
+  bool trim(sim::TenantId tenant, std::uint64_t lpn);
+
+  // --- garbage collection --------------------------------------------------
+
+  bool needs_gc(std::uint64_t plane_id) const;
+  bool gc_satisfied(std::uint64_t plane_id) const;
+  std::optional<std::uint32_t> select_victim(std::uint64_t plane_id) const;
+  std::vector<sim::Ppn> valid_pages(std::uint64_t plane_id,
+                                    std::uint32_t block) const;
+
+  /// Destination page for migrating `src` (same plane). Returns
+  /// kInvalidPpn when the plane has no free page (GC cannot proceed).
+  sim::Ppn allocate_migration(std::uint64_t plane_id);
+
+  /// Finish a migration: if the mapping still points at `src`, repoint it
+  /// to `dst` and transfer validity; otherwise (the LPN was overwritten
+  /// mid-flight) the freshly written dst page is immediately invalid.
+  /// Returns true when the migrated data is still live.
+  bool complete_migration(sim::Ppn src, sim::Ppn dst);
+
+  void erase_block(std::uint64_t plane_id, std::uint32_t block);
+
+  /// Static wear-leveling candidate: the coldest Full block, but only when
+  /// the feature is enabled and the plane's wear gap exceeds the
+  /// threshold.
+  std::optional<std::uint32_t> wear_leveling_candidate(
+      std::uint64_t plane_id) const;
+
+  // --- introspection --------------------------------------------------------
+
+  MappingTable& mapping() { return map_; }
+  const MappingTable& mapping() const { return map_; }
+  BlockManager& blocks() { return blocks_; }
+  const BlockManager& blocks() const { return blocks_; }
+
+ private:
+  struct TenantPolicy {
+    std::vector<std::uint32_t> channels;
+    AllocMode mode = AllocMode::kStatic;
+    std::uint64_t rr_counter = 0;  // dynamic-placement plane rotation
+  };
+
+  TenantPolicy& policy_for(sim::TenantId tenant);
+  const TenantPolicy& policy_for(sim::TenantId tenant) const;
+
+  /// Allocate a page at/near `target`, falling back to sibling planes,
+  /// chips and allowed channels when full. kInvalidPpn if nothing free.
+  sim::Ppn allocate_near(const PlaneTarget& target,
+                         const std::vector<std::uint32_t>& channels);
+
+  sim::Geometry geom_;
+  FtlConfig config_;
+  MappingTable map_;
+  BlockManager blocks_;
+  std::vector<std::uint32_t> all_channels_;
+  mutable std::vector<TenantPolicy> policies_;
+};
+
+}  // namespace ssdk::ftl

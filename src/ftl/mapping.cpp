@@ -1,0 +1,58 @@
+#include "ftl/mapping.hpp"
+
+#include <stdexcept>
+
+namespace ssdk::ftl {
+
+namespace {
+constexpr std::size_t kMaxTenants = 1024;  // sanity bound on dense ids
+}
+
+std::vector<sim::Ppn>& MappingTable::table_for(sim::TenantId tenant) {
+  if (tenant >= kMaxTenants) {
+    throw std::invalid_argument("mapping: tenant id too large (dense ids "
+                                "expected): " + std::to_string(tenant));
+  }
+  if (tables_.size() <= tenant) {
+    tables_.resize(tenant + 1);
+    mapped_counts_.resize(tenant + 1, 0);
+  }
+  return tables_[tenant];
+}
+
+const std::vector<sim::Ppn>* MappingTable::table_for(
+    sim::TenantId tenant) const {
+  if (tenant >= tables_.size()) return nullptr;
+  return &tables_[tenant];
+}
+
+sim::Ppn MappingTable::lookup(sim::TenantId tenant, std::uint64_t lpn) const {
+  const auto* table = table_for(tenant);
+  if (table == nullptr || lpn >= table->size()) return sim::kInvalidPpn;
+  return (*table)[lpn];
+}
+
+sim::Ppn MappingTable::update(sim::TenantId tenant, std::uint64_t lpn,
+                              sim::Ppn ppn) {
+  auto& table = table_for(tenant);
+  if (lpn >= table.size()) table.resize(lpn + 1, sim::kInvalidPpn);
+  const sim::Ppn old = table[lpn];
+  table[lpn] = ppn;
+  if (old == sim::kInvalidPpn && ppn != sim::kInvalidPpn) {
+    ++mapped_counts_[tenant];
+  } else if (old != sim::kInvalidPpn && ppn == sim::kInvalidPpn) {
+    --mapped_counts_[tenant];
+  }
+  return old;
+}
+
+sim::Ppn MappingTable::erase(sim::TenantId tenant, std::uint64_t lpn) {
+  return update(tenant, lpn, sim::kInvalidPpn);
+}
+
+std::uint64_t MappingTable::mapped_count(sim::TenantId tenant) const {
+  if (tenant >= mapped_counts_.size()) return 0;
+  return mapped_counts_[tenant];
+}
+
+}  // namespace ssdk::ftl

@@ -1,0 +1,40 @@
+// Page-level logical-to-physical address mapping, one table per tenant.
+//
+// Tenants address independent logical spaces (the multi-tenant setting of
+// the paper); tables grow on demand as higher LPNs are touched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "sim/request.hpp"
+
+namespace ssdk::ftl {
+
+class MappingTable {
+ public:
+  /// Current mapping for (tenant, lpn); kInvalidPpn when never written.
+  sim::Ppn lookup(sim::TenantId tenant, std::uint64_t lpn) const;
+
+  /// Install a new mapping; returns the previous PPN (kInvalidPpn if none).
+  sim::Ppn update(sim::TenantId tenant, std::uint64_t lpn, sim::Ppn ppn);
+
+  /// Remove the mapping (trim); returns the previous PPN.
+  sim::Ppn erase(sim::TenantId tenant, std::uint64_t lpn);
+
+  /// Number of mapped (valid) logical pages for a tenant.
+  std::uint64_t mapped_count(sim::TenantId tenant) const;
+
+  std::size_t tenant_table_count() const { return tables_.size(); }
+
+ private:
+  std::vector<sim::Ppn>& table_for(sim::TenantId tenant);
+  const std::vector<sim::Ppn>* table_for(sim::TenantId tenant) const;
+
+  // Dense tenant ids index directly; the tables vector grows as needed.
+  std::vector<std::vector<sim::Ppn>> tables_;
+  std::vector<std::uint64_t> mapped_counts_;
+};
+
+}  // namespace ssdk::ftl

@@ -1,0 +1,58 @@
+// Page-allocation policies: where (channel, chip, plane) a logical write
+// lands. The paper's hybrid page allocator chooses *static* placement for
+// read-dominated tenants (successive LPNs stripe across channels, so large
+// reads exploit parallelism) and *dynamic* placement for write-dominated
+// tenants (writes go to the least-loaded allowed channel/chip).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "sim/request.hpp"
+#include "util/time_types.hpp"
+
+namespace ssdk::ftl {
+
+enum class AllocMode : std::uint8_t { kStatic, kDynamic };
+
+/// Live load information the dynamic policy consults; implemented by the
+/// device model (queue depths and busy horizons).
+struct LoadView {
+  /// Estimated ns until the channel bus could take a new transfer.
+  std::function<Duration(std::uint32_t channel)> channel_backlog;
+  /// Estimated ns until the (global) chip could take a new operation.
+  std::function<Duration(std::uint32_t global_chip)> chip_backlog;
+};
+
+/// Target of a placement decision: a plane (block/page are chosen by the
+/// block manager's append point).
+struct PlaneTarget {
+  std::uint32_t channel = 0;
+  std::uint32_t chip = 0;   ///< within channel
+  std::uint32_t plane = 0;  ///< within chip
+
+  std::uint64_t plane_id(const sim::Geometry& g) const {
+    return (static_cast<std::uint64_t>(g.chip_id(channel, chip))) *
+               g.planes_per_chip +
+           plane;
+  }
+};
+
+/// Static placement: stripes LPNs channel-first over the tenant's allowed
+/// channel set, then over chips, then planes. Deterministic in (lpn,
+/// channels), which is what gives sequential reads their parallelism.
+PlaneTarget static_place(const sim::Geometry& g,
+                         const std::vector<std::uint32_t>& channels,
+                         std::uint64_t lpn);
+
+/// Dynamic placement: least-backlogged allowed channel, then least-
+/// backlogged chip on it; plane chosen round-robin via `rr_counter`
+/// (incremented by the call). Ties break toward lower indices so results
+/// are deterministic.
+PlaneTarget dynamic_place(const sim::Geometry& g,
+                          const std::vector<std::uint32_t>& channels,
+                          const LoadView& load, std::uint64_t& rr_counter);
+
+}  // namespace ssdk::ftl

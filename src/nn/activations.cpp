@@ -1,0 +1,87 @@
+#include "nn/activations.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdk::nn {
+
+Activation activation_from_string(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kReLU;
+  if (name == "logistic") return Activation::kLogistic;
+  if (name == "tanh") return Activation::kTanh;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+std::string to_string(Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kReLU: return "relu";
+    case Activation::kLogistic: return "logistic";
+    case Activation::kTanh: return "tanh";
+  }
+  throw std::logic_error("unreachable activation");
+}
+
+void apply_activation(Activation a, const Matrix& z, Matrix& out) {
+  if (&out != &z) out = z;
+  switch (a) {
+    case Activation::kIdentity:
+      break;
+    case Activation::kReLU:
+      for (auto& v : out.raw()) v = std::max(0.0, v);
+      break;
+    case Activation::kLogistic:
+      for (auto& v : out.raw()) v = 1.0 / (1.0 + std::exp(-v));
+      break;
+    case Activation::kTanh:
+      for (auto& v : out.raw()) v = std::tanh(v);
+      break;
+  }
+}
+
+void activation_derivative_from_output(Activation a, const Matrix& y,
+                                       Matrix& out) {
+  out = Matrix(y.rows(), y.cols());
+  const auto& yin = y.raw();
+  auto& o = out.raw();
+  switch (a) {
+    case Activation::kIdentity:
+      std::fill(o.begin(), o.end(), 1.0);
+      break;
+    case Activation::kReLU:
+      for (std::size_t i = 0; i < yin.size(); ++i) {
+        o[i] = yin[i] > 0.0 ? 1.0 : 0.0;
+      }
+      break;
+    case Activation::kLogistic:
+      for (std::size_t i = 0; i < yin.size(); ++i) {
+        o[i] = yin[i] * (1.0 - yin[i]);
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < yin.size(); ++i) {
+        o[i] = 1.0 - yin[i] * yin[i];
+      }
+      break;
+  }
+}
+
+void softmax_rows(const Matrix& z, Matrix& out) {
+  out = Matrix(z.rows(), z.cols());
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    const double* in = z.data() + r * z.cols();
+    double* o = out.data() + r * z.cols();
+    double mx = in[0];
+    for (std::size_t c = 1; c < z.cols(); ++c) mx = std::max(mx, in[c]);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    for (std::size_t c = 0; c < z.cols(); ++c) o[c] /= denom;
+  }
+}
+
+}  // namespace ssdk::nn

@@ -1,0 +1,31 @@
+// Activation functions for the MLP. The paper compares Adam with ReLU and
+// with logistic (sigmoid) activations; tanh and identity round out the set
+// for tests and baselines. Softmax lives here too but is always fused with
+// cross-entropy in the loss (see loss.hpp) for the stable gradient.
+#pragma once
+
+#include <string>
+
+#include "nn/tensor.hpp"
+
+namespace ssdk::nn {
+
+enum class Activation { kIdentity, kReLU, kLogistic, kTanh };
+
+/// Parse/print for model serialization and CLI flags.
+Activation activation_from_string(const std::string& name);
+std::string to_string(Activation a);
+
+/// out = f(z), element-wise. `out` may alias `z`.
+void apply_activation(Activation a, const Matrix& z, Matrix& out);
+
+/// out = f'(z) expressed in terms of the *activated* value y = f(z).
+/// (All supported activations have derivatives computable from y alone:
+/// ReLU' = [y > 0], logistic' = y(1-y), tanh' = 1-y^2, identity' = 1.)
+void activation_derivative_from_output(Activation a, const Matrix& y,
+                                       Matrix& out);
+
+/// Row-wise numerically-stable softmax: out(r, :) = softmax(z(r, :)).
+void softmax_rows(const Matrix& z, Matrix& out);
+
+}  // namespace ssdk::nn

@@ -1,0 +1,75 @@
+#include "nn/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/metrics.hpp"
+#include "nn/scaler.hpp"
+#include "util/rng.hpp"
+
+namespace ssdk::nn {
+
+CrossValidationResult k_fold_cross_validate(
+    const Dataset& data, const CrossValidationOptions& options,
+    const std::function<Mlp()>& make_model,
+    const std::function<std::unique_ptr<Optimizer>()>& make_optimizer) {
+  if (options.folds < 2) {
+    throw std::invalid_argument("cross-validate: need >= 2 folds");
+  }
+  if (data.size() < options.folds) {
+    throw std::invalid_argument("cross-validate: dataset smaller than fold "
+                                "count");
+  }
+
+  Dataset shuffled = data;
+  Rng rng(options.shuffle_seed);
+  shuffled.shuffle(rng);
+
+  const std::size_t n = shuffled.size();
+  CrossValidationResult result;
+  result.fold_accuracy.reserve(options.folds);
+
+  for (std::size_t fold = 0; fold < options.folds; ++fold) {
+    const std::size_t lo = fold * n / options.folds;
+    const std::size_t hi = (fold + 1) * n / options.folds;
+
+    // Assemble train = everything outside [lo, hi), test = [lo, hi).
+    auto [test_x, test_y] = shuffled.batch(lo, hi);
+    Matrix train_x(n - (hi - lo), shuffled.feature_dim());
+    std::vector<std::uint32_t> train_y;
+    train_y.reserve(n - (hi - lo));
+    std::size_t row = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi) continue;
+      for (std::size_t c = 0; c < shuffled.feature_dim(); ++c) {
+        train_x(row, c) = shuffled.features()(i, c);
+      }
+      train_y.push_back(shuffled.labels()[i]);
+      ++row;
+    }
+
+    StandardScaler scaler;
+    scaler.fit(train_x);
+    Dataset train(scaler.transform(train_x), std::move(train_y));
+    Dataset test(scaler.transform(test_x), std::move(test_y));
+
+    Mlp model = make_model();
+    auto optimizer = make_optimizer();
+    train_classifier(model, *optimizer, train, test, options.train);
+    const auto preds = model.predict(test.features());
+    result.fold_accuracy.push_back(accuracy(preds, test.labels()));
+  }
+
+  double sum = 0.0;
+  for (const double a : result.fold_accuracy) sum += a;
+  result.mean_accuracy = sum / static_cast<double>(options.folds);
+  double var = 0.0;
+  for (const double a : result.fold_accuracy) {
+    var += (a - result.mean_accuracy) * (a - result.mean_accuracy);
+  }
+  result.stddev_accuracy =
+      std::sqrt(var / static_cast<double>(options.folds));
+  return result;
+}
+
+}  // namespace ssdk::nn

@@ -1,0 +1,40 @@
+// k-fold cross-validation over Dataset — used to put error bars on the
+// Table III accuracy numbers instead of trusting one 7:3 split.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace ssdk::nn {
+
+struct CrossValidationOptions {
+  std::size_t folds = 5;
+  TrainOptions train;
+  /// Shuffle the dataset once before splitting into folds.
+  std::uint64_t shuffle_seed = 99;
+};
+
+struct CrossValidationResult {
+  std::vector<double> fold_accuracy;
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+};
+
+/// For each fold: fit a scaler on the training part, train a freshly
+/// constructed model (from `make_model`) with a fresh optimizer (from
+/// `make_optimizer`), evaluate on the held-out fold.
+/// Throws std::invalid_argument when folds < 2 or dataset smaller than
+/// the fold count.
+CrossValidationResult k_fold_cross_validate(
+    const Dataset& data, const CrossValidationOptions& options,
+    const std::function<Mlp()>& make_model,
+    const std::function<std::unique_ptr<Optimizer>()>& make_optimizer);
+
+}  // namespace ssdk::nn

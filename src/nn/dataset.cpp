@@ -1,0 +1,78 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ssdk::nn {
+
+Dataset::Dataset(Matrix features, std::vector<std::uint32_t> labels)
+    : features_(std::move(features)), labels_(std::move(labels)) {
+  if (features_.rows() != labels_.size()) {
+    throw std::invalid_argument("dataset: rows != labels");
+  }
+}
+
+void Dataset::add(const std::vector<double>& row, std::uint32_t label) {
+  if (features_.empty()) {
+    features_ = Matrix(0, row.size());
+  }
+  if (row.size() != features_.cols()) {
+    throw std::invalid_argument("dataset: inconsistent feature dimension");
+  }
+  Matrix grown(features_.rows() + 1, features_.cols());
+  std::copy(features_.raw().begin(), features_.raw().end(),
+            grown.raw().begin());
+  std::copy(row.begin(), row.end(),
+            grown.raw().begin() +
+                static_cast<std::ptrdiff_t>(features_.size()));
+  features_ = std::move(grown);
+  labels_.push_back(label);
+}
+
+std::uint32_t Dataset::num_classes() const {
+  if (labels_.empty()) return 0;
+  return *std::max_element(labels_.begin(), labels_.end()) + 1;
+}
+
+void Dataset::shuffle(Rng& rng) {
+  std::vector<std::size_t> perm(size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  rng.shuffle(perm);
+
+  Matrix shuffled(features_.rows(), features_.cols());
+  std::vector<std::uint32_t> shuffled_labels(labels_.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const std::size_t src = perm[i];
+    std::copy_n(features_.data() + src * features_.cols(), features_.cols(),
+                shuffled.data() + i * features_.cols());
+    shuffled_labels[i] = labels_[src];
+  }
+  features_ = std::move(shuffled);
+  labels_ = std::move(shuffled_labels);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction) const {
+  assert(train_fraction >= 0.0 && train_fraction <= 1.0);
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(size()));
+  auto [train_x, train_y] = batch(0, n_train);
+  auto [test_x, test_y] = batch(n_train, size());
+  return {Dataset(std::move(train_x), std::move(train_y)),
+          Dataset(std::move(test_x), std::move(test_y))};
+}
+
+std::pair<Matrix, std::vector<std::uint32_t>> Dataset::batch(
+    std::size_t begin, std::size_t end) const {
+  assert(begin <= end && end <= size());
+  Matrix x(end - begin, features_.cols());
+  std::copy_n(features_.data() + begin * features_.cols(),
+              (end - begin) * features_.cols(), x.data());
+  std::vector<std::uint32_t> y(labels_.begin() +
+                                   static_cast<std::ptrdiff_t>(begin),
+                               labels_.begin() +
+                                   static_cast<std::ptrdiff_t>(end));
+  return {std::move(x), std::move(y)};
+}
+
+}  // namespace ssdk::nn

@@ -1,0 +1,48 @@
+// Labeled dataset container: feature rows + integer class labels, with the
+// shuffling / splitting / batching operations the trainer needs.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ssdk::nn {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(Matrix features, std::vector<std::uint32_t> labels);
+
+  std::size_t size() const { return labels_.size(); }
+  std::size_t feature_dim() const { return features_.cols(); }
+  bool empty() const { return labels_.empty(); }
+
+  const Matrix& features() const { return features_; }
+  const std::vector<std::uint32_t>& labels() const { return labels_; }
+
+  void add(const std::vector<double>& row, std::uint32_t label);
+
+  /// Number of distinct label values assuming labels are dense in
+  /// [0, max]; returns max label + 1 (0 for empty).
+  std::uint32_t num_classes() const;
+
+  /// Deterministic in-place shuffle.
+  void shuffle(Rng& rng);
+
+  /// Split into (train, test) with `train_fraction` of rows in train.
+  /// The paper uses 7:3. Rows keep their current (e.g. shuffled) order.
+  std::pair<Dataset, Dataset> split(double train_fraction) const;
+
+  /// Copy rows [begin, end) into a batch (features + labels).
+  std::pair<Matrix, std::vector<std::uint32_t>> batch(std::size_t begin,
+                                                      std::size_t end) const;
+
+ private:
+  Matrix features_;  // n x d
+  std::vector<std::uint32_t> labels_;
+};
+
+}  // namespace ssdk::nn

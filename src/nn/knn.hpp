@@ -1,0 +1,42 @@
+// k-nearest-neighbors classifier — the memory-hungry baseline the paper
+// contrasts the ANN against ("compared to other machine learning
+// algorithms such as Bayesian or k-nearest neighbors, ANN does not need
+// to save all the training data set, only a small number of parameters",
+// Section IV.C). Exact brute-force search; fine at this project's dataset
+// sizes and it makes the memory/latency comparison honest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/tensor.hpp"
+
+namespace ssdk::nn {
+
+class KnnClassifier {
+ public:
+  /// `k` neighbors vote; ties break toward the smaller class id.
+  explicit KnnClassifier(std::size_t k = 5);
+
+  /// Stores the (already scaled) training set. Throws on empty data or
+  /// k = 0.
+  void fit(const Dataset& train);
+
+  bool fitted() const { return !train_.empty(); }
+  std::size_t k() const { return k_; }
+
+  /// Majority vote among the k nearest (squared-Euclidean) neighbors.
+  std::uint32_t predict_one(const double* row, std::size_t dim) const;
+  std::vector<std::uint32_t> predict(const Matrix& x) const;
+
+  /// Bytes retained after training: the entire dataset — the cost the
+  /// paper's ANN avoids.
+  std::size_t memory_bytes() const;
+
+ private:
+  std::size_t k_;
+  Dataset train_;
+};
+
+}  // namespace ssdk::nn

@@ -1,0 +1,62 @@
+#include "nn/layer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdk::nn {
+
+DenseLayer::DenseLayer(std::size_t in, std::size_t out, Activation act,
+                       Rng& rng)
+    : weights_(in, out), bias_(1, out), act_(act),
+      grad_w_(in, out), grad_b_(1, out) {
+  // He for ReLU (variance 2/in); Xavier for saturating activations.
+  const double scale = act == Activation::kReLU
+                           ? std::sqrt(2.0 / static_cast<double>(in))
+                           : std::sqrt(1.0 / static_cast<double>(in));
+  for (auto& w : weights_.raw()) w = rng.normal(0.0, scale);
+}
+
+DenseLayer::DenseLayer(Matrix weights, Matrix bias, Activation act)
+    : weights_(std::move(weights)), bias_(std::move(bias)), act_(act),
+      grad_w_(weights_.rows(), weights_.cols()),
+      grad_b_(1, bias_.cols()) {
+  if (bias_.rows() != 1 || bias_.cols() != weights_.cols()) {
+    throw std::invalid_argument("dense layer: bias must be 1 x out");
+  }
+}
+
+const Matrix& DenseLayer::forward(const Matrix& input) {
+  assert(input.cols() == weights_.rows());
+  input_ = input;
+  matmul(input_, weights_, output_);
+  add_row_broadcast(output_, bias_);
+  apply_activation(act_, output_, output_);
+  return output_;
+}
+
+const Matrix& DenseLayer::backward(const Matrix& grad_out,
+                                   bool grad_is_pre_activation) {
+  assert(grad_out.rows() == input_.rows());
+  assert(grad_out.cols() == weights_.cols());
+
+  const Matrix* dz = &grad_out;
+  if (!grad_is_pre_activation) {
+    activation_derivative_from_output(act_, output_, deriv_);
+    hadamard(grad_out, deriv_, dz_);
+    dz = &dz_;
+  }
+
+  // dW = x^T dz, db = column sums of dz, dx = dz W^T.
+  matmul_at_b(input_, *dz, grad_w_);
+  column_sums(*dz, grad_b_);
+  matmul_a_bt(*dz, weights_, grad_in_);
+  return grad_in_;
+}
+
+void DenseLayer::zero_grad() {
+  grad_w_.zero();
+  grad_b_.zero();
+}
+
+}  // namespace ssdk::nn

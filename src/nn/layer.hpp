@@ -1,0 +1,78 @@
+// Fully-connected layer: y = act(x W + b).
+//
+// Weights are (in x out), inputs are batches of row vectors (batch x in).
+// The layer caches its input and activated output during forward so that
+// backward can compute gradients without re-running the network.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/activations.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ssdk::nn {
+
+class DenseLayer {
+ public:
+  /// He initialization for ReLU, Xavier/Glorot otherwise; biases zero.
+  DenseLayer(std::size_t in, std::size_t out, Activation act, Rng& rng);
+
+  /// Construct with explicit parameters (deserialization, tests).
+  DenseLayer(Matrix weights, Matrix bias, Activation act);
+
+  std::size_t in_features() const { return weights_.rows(); }
+  std::size_t out_features() const { return weights_.cols(); }
+  Activation activation() const { return act_; }
+
+  const Matrix& weights() const { return weights_; }
+  const Matrix& bias() const { return bias_; }
+  Matrix& mutable_weights() { return weights_; }
+  Matrix& mutable_bias() { return bias_; }
+
+  /// Forward pass; stores input and output for the subsequent backward.
+  /// Returns the activated output (batch x out).
+  const Matrix& forward(const Matrix& input);
+
+  /// Backward pass: given d(loss)/d(output activation), accumulates
+  /// d(loss)/dW into grad_w_ and d(loss)/db into grad_b_, and returns
+  /// d(loss)/d(input) for the upstream layer.
+  ///
+  /// When `grad_is_pre_activation` is true, `grad_out` is already the
+  /// gradient w.r.t. the pre-activation z (the fused softmax+CE case) and
+  /// the activation derivative is skipped.
+  const Matrix& backward(const Matrix& grad_out,
+                         bool grad_is_pre_activation = false);
+
+  const Matrix& grad_weights() const { return grad_w_; }
+  const Matrix& grad_bias() const { return grad_b_; }
+  Matrix& mutable_grad_weights() { return grad_w_; }
+  Matrix& mutable_grad_bias() { return grad_b_; }
+
+  void zero_grad();
+
+  /// Parameter count (weights + biases), for the paper's overhead estimate.
+  std::size_t parameter_count() const {
+    return weights_.size() + bias_.size();
+  }
+
+ private:
+  Matrix weights_;  // in x out
+  Matrix bias_;     // 1 x out
+  Activation act_;
+
+  // Forward caches.
+  Matrix input_;   // batch x in
+  Matrix output_;  // batch x out (activated)
+
+  // Gradients.
+  Matrix grad_w_;
+  Matrix grad_b_;
+  Matrix grad_in_;
+
+  // Scratch.
+  Matrix dz_;
+  Matrix deriv_;
+};
+
+}  // namespace ssdk::nn

@@ -1,0 +1,56 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "nn/activations.hpp"
+
+namespace ssdk::nn {
+
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::vector<std::uint32_t>& labels,
+                             Matrix* dlogits) {
+  assert(logits.rows() == labels.size());
+  Matrix probs;
+  softmax_rows(logits, probs);
+
+  const auto batch = static_cast<double>(logits.rows());
+  double loss = 0.0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const std::uint32_t y = labels[r];
+    assert(y < logits.cols());
+    // Clamp to avoid log(0) when the model is confidently wrong.
+    const double p = std::max(probs(r, y), 1e-300);
+    loss -= std::log(p);
+  }
+  loss /= batch;
+
+  if (dlogits != nullptr) {
+    *dlogits = probs;
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+      (*dlogits)(r, labels[r]) -= 1.0;
+    }
+    *dlogits *= 1.0 / batch;
+  }
+  return loss;
+}
+
+double mean_squared_error(const Matrix& pred, const Matrix& target,
+                          Matrix* dpred) {
+  assert(pred.same_shape(target));
+  const auto n = static_cast<double>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred.raw()[i] - target.raw()[i];
+    loss += d * d;
+  }
+  loss /= n;
+  if (dpred != nullptr) {
+    *dpred = pred;
+    *dpred -= target;
+    *dpred *= 2.0 / n;
+  }
+  return loss;
+}
+
+}  // namespace ssdk::nn

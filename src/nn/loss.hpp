@@ -1,0 +1,24 @@
+// Loss functions. Classification uses softmax + cross-entropy fused so the
+// output-layer gradient is simply (softmax(z) - onehot(y)) / batch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ssdk::nn {
+
+/// Mean cross-entropy over the batch given raw logits (pre-softmax) and
+/// integer class labels. Also emits d(loss)/d(logits) into `dlogits`
+/// when non-null.
+double softmax_cross_entropy(const Matrix& logits,
+                             const std::vector<std::uint32_t>& labels,
+                             Matrix* dlogits);
+
+/// Mean squared error between predictions and targets (regression tests).
+/// Emits d(loss)/d(pred) into `dpred` when non-null.
+double mean_squared_error(const Matrix& pred, const Matrix& target,
+                          Matrix* dpred);
+
+}  // namespace ssdk::nn

@@ -1,0 +1,80 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ssdk::nn {
+
+double accuracy(const std::vector<std::uint32_t>& predicted,
+                const std::vector<std::uint32_t>& truth) {
+  assert(predicted.size() == truth.size());
+  if (truth.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (predicted[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+double top_k_accuracy(const Matrix& logits,
+                      const std::vector<std::uint32_t>& truth,
+                      std::size_t k) {
+  assert(logits.rows() == truth.size());
+  if (truth.empty()) return 0.0;
+  k = std::min(k, logits.cols());
+  std::size_t hits = 0;
+  std::vector<std::size_t> idx(logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    std::iota(idx.begin(), idx.end(), 0);
+    std::partial_sort(idx.begin(),
+                      idx.begin() + static_cast<std::ptrdiff_t>(k),
+                      idx.end(), [&](std::size_t a, std::size_t b) {
+                        return logits(r, a) > logits(r, b);
+                      });
+    for (std::size_t i = 0; i < k; ++i) {
+      if (idx[i] == truth[r]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+Matrix confusion_matrix(const std::vector<std::uint32_t>& predicted,
+                        const std::vector<std::uint32_t>& truth,
+                        std::uint32_t num_classes) {
+  assert(predicted.size() == truth.size());
+  Matrix m(num_classes, num_classes);
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    assert(truth[i] < num_classes && predicted[i] < num_classes);
+    m(truth[i], predicted[i]) += 1.0;
+  }
+  return m;
+}
+
+double macro_f1(const std::vector<std::uint32_t>& predicted,
+                const std::vector<std::uint32_t>& truth,
+                std::uint32_t num_classes) {
+  const Matrix cm = confusion_matrix(predicted, truth, num_classes);
+  double f1_sum = 0.0;
+  std::size_t present = 0;
+  for (std::uint32_t c = 0; c < num_classes; ++c) {
+    double tp = cm(c, c), fp = 0.0, fn = 0.0, support = 0.0;
+    for (std::uint32_t j = 0; j < num_classes; ++j) {
+      if (j != c) {
+        fp += cm(j, c);
+        fn += cm(c, j);
+      }
+      support += cm(c, j);
+    }
+    if (support == 0.0) continue;
+    ++present;
+    const double denom = 2.0 * tp + fp + fn;
+    f1_sum += denom > 0.0 ? 2.0 * tp / denom : 0.0;
+  }
+  return present ? f1_sum / static_cast<double>(present) : 0.0;
+}
+
+}  // namespace ssdk::nn

@@ -1,0 +1,29 @@
+// Classification metrics: accuracy, top-k accuracy, confusion matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ssdk::nn {
+
+/// Fraction of predictions equal to truth. Empty input -> 0.
+double accuracy(const std::vector<std::uint32_t>& predicted,
+                const std::vector<std::uint32_t>& truth);
+
+/// Fraction of rows where the true class is among the k largest logits.
+double top_k_accuracy(const Matrix& logits,
+                      const std::vector<std::uint32_t>& truth, std::size_t k);
+
+/// confusion(i, j) = count of samples with truth i predicted as j.
+Matrix confusion_matrix(const std::vector<std::uint32_t>& predicted,
+                        const std::vector<std::uint32_t>& truth,
+                        std::uint32_t num_classes);
+
+/// Macro-averaged F1 over classes that appear in `truth`.
+double macro_f1(const std::vector<std::uint32_t>& predicted,
+                const std::vector<std::uint32_t>& truth,
+                std::uint32_t num_classes);
+
+}  // namespace ssdk::nn

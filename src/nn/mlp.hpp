@@ -1,0 +1,66 @@
+// Multi-layer perceptron classifier.
+//
+// The paper's strategy learner is a 9 -> 64 -> 42 network: one hidden layer
+// with a configurable activation and a linear output layer whose logits feed
+// a fused softmax + cross-entropy. This class supports arbitrary depth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ssdk::nn {
+
+class Mlp {
+ public:
+  /// `layer_sizes` = {in, hidden..., out}; hidden layers use `hidden_act`,
+  /// the output layer is linear (logits).
+  Mlp(const std::vector<std::size_t>& layer_sizes, Activation hidden_act,
+      std::uint64_t seed);
+
+  /// For deserialization.
+  explicit Mlp(std::vector<DenseLayer> layers);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  const DenseLayer& layer(std::size_t i) const { return layers_.at(i); }
+  DenseLayer& mutable_layer(std::size_t i) { return layers_.at(i); }
+
+  std::size_t input_size() const { return layers_.front().in_features(); }
+  std::size_t output_size() const { return layers_.back().out_features(); }
+
+  /// Forward pass to raw logits (batch x classes).
+  const Matrix& forward(const Matrix& input);
+
+  /// Backprop of the fused-softmax gradient (d loss / d logits).
+  void backward(const Matrix& dlogits);
+
+  void zero_grad();
+
+  /// Mean cross-entropy loss on a batch plus gradient accumulation.
+  double train_loss_and_grad(const Matrix& input,
+                             const std::vector<std::uint32_t>& labels);
+
+  /// Argmax class per row.
+  std::vector<std::uint32_t> predict(const Matrix& input);
+
+  /// Class probabilities (softmax of logits).
+  Matrix predict_proba(const Matrix& input);
+
+  /// Total parameters; the paper's storage-overhead estimate is 16 bytes
+  /// per neuron, ours is exact: 8 bytes per parameter.
+  std::size_t parameter_count() const;
+
+  /// Float multiplications per forward pass of one sample
+  /// (sum over layers of in*out), matching the paper's overhead formula.
+  std::size_t multiplications_per_inference() const;
+
+ private:
+  std::vector<DenseLayer> layers_;
+  Matrix logits_grad_;  // scratch
+};
+
+}  // namespace ssdk::nn

@@ -1,0 +1,44 @@
+// Gaussian Naive Bayes classifier — the "Bayesian" baseline the paper
+// names alongside k-NN (Section IV.C). Per-class feature means/variances
+// plus log priors; prediction maximizes the log posterior under the
+// feature-independence assumption.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "nn/tensor.hpp"
+
+namespace ssdk::nn {
+
+class NaiveBayesClassifier {
+ public:
+  /// Variance floor guards against zero-variance features in small
+  /// classes.
+  explicit NaiveBayesClassifier(double var_floor = 1e-6);
+
+  /// Estimates per-class Gaussians. Classes absent from the training set
+  /// get a -inf prior (never predicted).
+  void fit(const Dataset& train);
+
+  bool fitted() const { return num_classes_ > 0; }
+  std::uint32_t num_classes() const { return num_classes_; }
+
+  std::uint32_t predict_one(const double* row, std::size_t dim) const;
+  std::vector<std::uint32_t> predict(const Matrix& x) const;
+
+  /// Bytes of retained model state: 2 doubles per (class, feature) plus
+  /// one prior per class — independent of the dataset size, like the ANN.
+  std::size_t memory_bytes() const;
+
+ private:
+  double var_floor_;
+  std::uint32_t num_classes_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> log_prior_;  // per class; -inf when unseen
+  Matrix mean_;                    // classes x features
+  Matrix variance_;                // classes x features
+};
+
+}  // namespace ssdk::nn

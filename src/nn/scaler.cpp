@@ -1,0 +1,57 @@
+#include "nn/scaler.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdk::nn {
+
+void StandardScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("scaler: empty matrix");
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  stddev_.assign(d, 0.0);
+  const auto n = static_cast<double>(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += x(r, c);
+  }
+  for (auto& m : mean_) m /= n;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      const double dlt = x(r, c) - mean_[c];
+      stddev_[c] += dlt * dlt;
+    }
+  }
+  for (auto& s : stddev_) {
+    s = std::sqrt(s / n);
+    if (s < 1e-12) s = 1.0;  // constant feature: avoid division by zero
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("scaler: transform before fit");
+  assert(x.cols() == mean_.size());
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - mean_[c]) / stddev_[c];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+void StandardScaler::set_parameters(std::vector<double> mean,
+                                    std::vector<double> stddev) {
+  if (mean.size() != stddev.size()) {
+    throw std::invalid_argument("scaler: mean/stddev size mismatch");
+  }
+  mean_ = std::move(mean);
+  stddev_ = std::move(stddev);
+}
+
+}  // namespace ssdk::nn

@@ -1,0 +1,35 @@
+// Per-feature standardization (zero mean, unit variance), the usual
+// preprocessing before MLP training ("Data preprocessing()" in the paper's
+// Algorithm 1). Fit on the training set, applied to both splits.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace ssdk::nn {
+
+class StandardScaler {
+ public:
+  /// Learn per-column mean and stddev. Columns with zero variance get
+  /// stddev 1 so they pass through unchanged (minus centering).
+  void fit(const Matrix& x);
+
+  /// (x - mean) / stddev, column-wise. Requires fit() first.
+  Matrix transform(const Matrix& x) const;
+
+  Matrix fit_transform(const Matrix& x);
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+  /// For serialization alongside a trained model.
+  void set_parameters(std::vector<double> mean, std::vector<double> stddev);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace ssdk::nn

@@ -1,0 +1,130 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ssdk::nn {
+
+namespace {
+constexpr const char* kMagic = "ssdkeeper-mlp v1";
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw std::runtime_error("model load: " + what);
+}
+
+void write_values(std::ostream& os, const char* tag,
+                  const std::vector<double>& values) {
+  os << tag;
+  os << std::hexfloat;
+  for (double v : values) os << ' ' << v;
+  os << std::defaultfloat << '\n';
+}
+
+std::vector<double> read_values(std::istream& is, const std::string& tag,
+                                std::size_t expected) {
+  std::string line;
+  if (!std::getline(is, line)) malformed("unexpected EOF before " + tag);
+  std::istringstream ls(line);
+  std::string got;
+  ls >> got;
+  if (got != tag) malformed("expected '" + tag + "', got '" + got + "'");
+  std::vector<double> values;
+  values.reserve(expected);
+  std::string tok;
+  while (ls >> tok) {
+    // std::istream >> double does not reliably parse hexfloat; use strtod.
+    values.push_back(std::strtod(tok.c_str(), nullptr));
+  }
+  if (values.size() != expected) {
+    malformed(tag + ": expected " + std::to_string(expected) + " values, got " +
+              std::to_string(values.size()));
+  }
+  return values;
+}
+}  // namespace
+
+void save_model(std::ostream& os, const Mlp& model,
+                const StandardScaler* scaler) {
+  os << kMagic << '\n';
+  os << "layers " << model.num_layers() << '\n';
+  for (std::size_t i = 0; i < model.num_layers(); ++i) {
+    const DenseLayer& layer = model.layer(i);
+    os << "layer " << layer.in_features() << ' ' << layer.out_features()
+       << ' ' << to_string(layer.activation()) << '\n';
+    write_values(os, "w", layer.weights().raw());
+    write_values(os, "b", layer.bias().raw());
+  }
+  if (scaler != nullptr && scaler->fitted()) {
+    os << "scaler " << scaler->mean().size() << '\n';
+    write_values(os, "mean", scaler->mean());
+    write_values(os, "stddev", scaler->stddev());
+  }
+}
+
+void save_model_file(const std::string& path, const Mlp& model,
+                     const StandardScaler* scaler) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_model(out, model, scaler);
+}
+
+LoadedModel load_model(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) malformed("bad magic");
+
+  std::size_t n_layers = 0;
+  {
+    if (!std::getline(is, line)) malformed("missing layer count");
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag >> n_layers;
+    if (tag != "layers" || n_layers == 0) malformed("bad layer count line");
+  }
+
+  std::vector<DenseLayer> layers;
+  layers.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    if (!std::getline(is, line)) malformed("missing layer header");
+    std::istringstream ls(line);
+    std::string tag, act_name;
+    std::size_t in = 0, out = 0;
+    ls >> tag >> in >> out >> act_name;
+    if (tag != "layer" || in == 0 || out == 0) malformed("bad layer header");
+    const Activation act = activation_from_string(act_name);
+
+    const auto w_vals = read_values(is, "w", in * out);
+    const auto b_vals = read_values(is, "b", out);
+    Matrix w(in, out);
+    w.raw() = w_vals;
+    Matrix b(1, out);
+    b.raw() = b_vals;
+    layers.emplace_back(std::move(w), std::move(b), act);
+  }
+
+  LoadedModel loaded{Mlp(std::move(layers)), std::nullopt};
+
+  // Optional scaler block.
+  if (std::getline(is, line) && !line.empty()) {
+    std::istringstream ls(line);
+    std::string tag;
+    std::size_t dim = 0;
+    ls >> tag >> dim;
+    if (tag != "scaler" || dim == 0) malformed("bad scaler header");
+    auto mean = read_values(is, "mean", dim);
+    auto stddev = read_values(is, "stddev", dim);
+    StandardScaler scaler;
+    scaler.set_parameters(std::move(mean), std::move(stddev));
+    loaded.scaler = std::move(scaler);
+  }
+  return loaded;
+}
+
+LoadedModel load_model_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load_model(in);
+}
+
+}  // namespace ssdk::nn

@@ -1,0 +1,40 @@
+// Text-format model (de)serialization: the paper deploys the trained
+// network's parameters into the SSD's channel allocator ("the host trains
+// and sends the parameters to the FTL"); this is that wire format.
+//
+// Format (line-oriented, hexfloat values for lossless round-trips):
+//   ssdkeeper-mlp v1
+//   layers <n>
+//   layer <in> <out> <activation>
+//   w <in*out hexfloats...>
+//   b <out hexfloats...>
+//   ... repeated per layer ...
+//   scaler <dim> (optional)
+//   mean <hexfloats...>
+//   stddev <hexfloats...>
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+
+namespace ssdk::nn {
+
+void save_model(std::ostream& os, const Mlp& model,
+                const StandardScaler* scaler = nullptr);
+void save_model_file(const std::string& path, const Mlp& model,
+                     const StandardScaler* scaler = nullptr);
+
+struct LoadedModel {
+  Mlp model;
+  std::optional<StandardScaler> scaler;
+};
+
+/// Throws std::runtime_error on malformed input.
+LoadedModel load_model(std::istream& is);
+LoadedModel load_model_file(const std::string& path);
+
+}  // namespace ssdk::nn

@@ -1,0 +1,120 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssdk::nn {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ ? init.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    assert(row.size() == cols_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::axpy(double s, const Matrix& other) {
+  assert(same_shape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += s * other.data_[i];
+  }
+}
+
+void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  out = Matrix(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    double* out_row = out.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = a(i, p);
+      if (aip == 0.0) continue;
+      const double* b_row = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+    }
+  }
+}
+
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.rows() == b.rows());
+  out = Matrix(a.cols(), b.cols());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* a_row = a.data() + p * m;
+    const double* b_row = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aip = a_row[i];
+      if (aip == 0.0) continue;
+      double* out_row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];
+    }
+  }
+}
+
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.cols());
+  out = Matrix(a.rows(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a.data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* b_row = b.data() + j * k;
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out(i, j) = acc;
+    }
+  }
+}
+
+void add_row_broadcast(Matrix& m, const Matrix& bias) {
+  assert(bias.rows() == 1 && bias.cols() == m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias(0, c);
+  }
+}
+
+void column_sums(const Matrix& m, Matrix& out) {
+  out = Matrix(1, m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) out(0, c) += row[c];
+  }
+}
+
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.same_shape(b));
+  out = Matrix(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.raw()[i] = a.raw()[i] * b.raw()[i];
+  }
+}
+
+double frobenius_norm(const Matrix& m) {
+  double acc = 0.0;
+  for (double v : m.raw()) acc += v * v;
+  return std::sqrt(acc);
+}
+
+}  // namespace ssdk::nn

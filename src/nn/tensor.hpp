@@ -1,0 +1,85 @@
+// Dense row-major matrix for the neural-network substrate.
+//
+// Sized for this project's models (9 -> 64 -> 42): a straightforward
+// cache-friendly matmul with the k-loop hoisted is all that is required.
+// Doubles throughout; the paper's model is tiny so precision is cheap.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace ssdk::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  void fill(double v);
+  void zero() { fill(0.0); }
+
+  /// Element-wise in-place operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// this += s * other (axpy), the optimizer's workhorse.
+  void axpy(double s, const Matrix& other);
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
+void matmul(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+void matmul_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Add row vector `bias` (1 x n) to every row of `m` (r x n).
+void add_row_broadcast(Matrix& m, const Matrix& bias);
+
+/// out(0, j) = sum over rows of m(:, j). `out` is resized to 1 x n.
+void column_sums(const Matrix& m, Matrix& out);
+
+/// Element-wise product: out = a .* b (shapes must match; out resized).
+void hadamard(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Frobenius norm (used by gradient-check tests).
+double frobenius_norm(const Matrix& m);
+
+}  // namespace ssdk::nn

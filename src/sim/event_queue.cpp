@@ -1,0 +1,24 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace ssdk::sim {
+
+void EventQueue::push(SimTime time, EventKind kind, std::uint64_t a,
+                      std::uint64_t b) {
+  heap_.push(Event{time, next_seq_++, kind, a, b});
+}
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+Event EventQueue::pop() {
+  assert(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace ssdk::sim

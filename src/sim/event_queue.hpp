@@ -1,0 +1,58 @@
+// Discrete-event kernel: a binary min-heap of typed events ordered by
+// (time, sequence). Sequence numbers make ordering of simultaneous events
+// deterministic, which in turn makes every simulation bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/time_types.hpp"
+
+namespace ssdk::sim {
+
+enum class EventKind : std::uint8_t {
+  kArrival,     ///< host request enters the device; a = request index
+  kFlashDone,   ///< plane finished its flash phase; a = plane, b = op id
+  kBusFree,     ///< channel bus released; a = channel, b = op id or kNoOp
+  kBufferDone,  ///< DRAM write-buffer latency elapsed; a = request index,
+                ///< b = number of pages completing
+};
+
+inline constexpr std::uint64_t kNoOp = ~std::uint64_t{0};
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  EventKind kind = EventKind::kArrival;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class EventQueue {
+ public:
+  void push(SimTime time, EventKind kind, std::uint64_t a,
+            std::uint64_t b = 0);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest event time; queue must be non-empty.
+  SimTime next_time() const;
+
+  /// Remove and return the earliest event; queue must be non-empty.
+  Event pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& x, const Event& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.seq > y.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ssdk::sim

@@ -1,0 +1,77 @@
+#include "sim/geometry.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace ssdk::sim {
+
+Geometry Geometry::paper() {
+  return Geometry{};  // defaults are Table I
+}
+
+Geometry Geometry::small() {
+  Geometry g;
+  g.blocks_per_plane = 256;
+  g.pages_per_block = 64;
+  return g;
+}
+
+Geometry Geometry::tiny() {
+  Geometry g;
+  g.channels = 2;
+  g.chips_per_channel = 1;
+  g.planes_per_chip = 1;
+  g.blocks_per_plane = 8;
+  g.pages_per_block = 8;
+  return g;
+}
+
+Ppn Geometry::encode(const PhysAddr& a) const {
+  assert(a.channel < channels);
+  assert(a.chip < chips_per_channel);
+  assert(a.plane < planes_per_chip);
+  assert(a.block < blocks_per_plane);
+  assert(a.page < pages_per_block);
+  return (((static_cast<Ppn>(chip_id(a.channel, a.chip)) * planes_per_chip +
+            a.plane) *
+               blocks_per_plane +
+           a.block) *
+              pages_per_block +
+          a.page);
+}
+
+PhysAddr Geometry::decode(Ppn ppn) const {
+  assert(ppn < total_pages());
+  PhysAddr a;
+  a.page = static_cast<std::uint32_t>(ppn % pages_per_block);
+  ppn /= pages_per_block;
+  a.block = static_cast<std::uint32_t>(ppn % blocks_per_plane);
+  ppn /= blocks_per_plane;
+  a.plane = static_cast<std::uint32_t>(ppn % planes_per_chip);
+  ppn /= planes_per_chip;
+  const auto chip = static_cast<std::uint32_t>(ppn);
+  a.channel = chip / chips_per_channel;
+  a.chip = chip % chips_per_channel;
+  return a;
+}
+
+void Geometry::validate() const {
+  if (channels == 0 || chips_per_channel == 0 || planes_per_chip == 0 ||
+      blocks_per_plane == 0 || pages_per_block == 0 ||
+      page_size_bytes == 0) {
+    throw std::invalid_argument("geometry: all dimensions must be non-zero");
+  }
+}
+
+std::string Geometry::describe() const {
+  std::ostringstream os;
+  os << channels << " channels x " << chips_per_channel << " chips x "
+     << planes_per_chip << " planes x " << blocks_per_plane << " blocks x "
+     << pages_per_block << " pages x " << page_size_bytes << " B = "
+     << static_cast<double>(capacity_bytes()) / (1024.0 * 1024.0 * 1024.0)
+     << " GiB";
+  return os.str();
+}
+
+}  // namespace ssdk::sim

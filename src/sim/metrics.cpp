@@ -1,0 +1,65 @@
+#include "sim/metrics.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ssdk::sim {
+
+void MetricsCollector::record(const Completion& c) {
+  if (c.type == OpType::kTrim) {
+    ++counters_.host_trims;
+    return;
+  }
+  if (c.type == OpType::kRead) {
+    ++counters_.host_reads;
+  } else {
+    ++counters_.host_writes;
+  }
+  if (c.arrival < warmup_ns_) return;  // warmup: counted, not sampled
+  auto& t = tenants_[c.tenant];
+  const double us = to_us(c.latency());
+  if (c.type == OpType::kRead) {
+    t.read_latency_us.add(us);
+  } else {
+    t.write_latency_us.add(us);
+  }
+}
+
+const TenantMetrics& MetricsCollector::tenant(TenantId id) const {
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    throw std::out_of_range("metrics: unknown tenant " + std::to_string(id));
+  }
+  return it->second;
+}
+
+TenantMetrics MetricsCollector::aggregate() const {
+  TenantMetrics agg;
+  for (const auto& [_, t] : tenants_) {
+    agg.read_latency_us.merge(t.read_latency_us);
+    agg.write_latency_us.merge(t.write_latency_us);
+  }
+  return agg;
+}
+
+double MetricsCollector::conflict_rate() const {
+  if (counters_.page_ops == 0) return 0.0;
+  return static_cast<double>(counters_.conflicts) /
+         static_cast<double>(counters_.page_ops);
+}
+
+std::string MetricsCollector::report() const {
+  std::ostringstream os;
+  const TenantMetrics agg = aggregate();
+  os << "reads: " << summarize(agg.read_latency_us) << " us\n"
+     << "writes: " << summarize(agg.write_latency_us) << " us\n"
+     << "conflict rate: " << conflict_rate() << ", gc migrations: "
+     << counters_.gc_migrations << ", erases: " << counters_.erases << '\n';
+  for (const auto& [id, t] : tenants_) {
+    os << "  tenant " << id << ": avg read " << t.avg_read_us()
+       << " us, avg write " << t.avg_write_us() << " us\n";
+  }
+  return os.str();
+}
+
+}  // namespace ssdk::sim

@@ -1,0 +1,94 @@
+// Per-tenant latency accounting and device-level counters — the quantities
+// every figure in the paper is built from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/request.hpp"
+#include "util/stats.hpp"
+
+namespace ssdk::sim {
+
+/// Latency statistics for one tenant, split by operation type.
+struct TenantMetrics {
+  SampleSet read_latency_us;
+  SampleSet write_latency_us;
+
+  double avg_read_us() const { return read_latency_us.mean(); }
+  double avg_write_us() const { return write_latency_us.mean(); }
+  /// The paper's "total response latency" is the sum of the average read
+  /// and average write response latencies (Section III.B).
+  double total_us() const { return avg_read_us() + avg_write_us(); }
+};
+
+/// Device-level health/contention counters.
+struct DeviceCounters {
+  std::uint64_t host_reads = 0;
+  std::uint64_t host_writes = 0;
+  std::uint64_t host_trims = 0;
+  std::uint64_t gc_migrations = 0;
+  std::uint64_t erases = 0;
+  /// Page ops that found their target chip or channel busy on dispatch —
+  /// the paper's "access conflicts".
+  std::uint64_t conflicts = 0;
+  std::uint64_t page_ops = 0;
+  Duration bus_busy_ns = 0;   ///< summed over channels
+  Duration chip_busy_ns = 0;  ///< summed over chips
+  /// Queueing decomposition: time page ops spent waiting for their first
+  /// resource grant, split by class. Averages = wait_ns / ops_started.
+  Duration read_wait_ns = 0;
+  Duration write_wait_ns = 0;
+  std::uint64_t read_ops_started = 0;
+  std::uint64_t write_ops_started = 0;
+
+  double avg_read_wait_us() const {
+    return read_ops_started
+               ? static_cast<double>(read_wait_ns) /
+                     static_cast<double>(read_ops_started) / 1e3
+               : 0.0;
+  }
+  double avg_write_wait_us() const {
+    return write_ops_started
+               ? static_cast<double>(write_wait_ns) /
+                     static_cast<double>(write_ops_started) / 1e3
+               : 0.0;
+  }
+};
+
+class MetricsCollector {
+ public:
+  void record(const Completion& c);
+
+  /// Completions whose request arrived before `t` are excluded from the
+  /// latency samples (counters still accumulate) — a warmup window so
+  /// steady-state measurements aren't diluted by the empty-device start.
+  void set_warmup_ns(SimTime t) { warmup_ns_ = t; }
+  SimTime warmup_ns() const { return warmup_ns_; }
+
+  void count_conflict() { ++counters_.conflicts; }
+  DeviceCounters& counters() { return counters_; }
+  const DeviceCounters& counters() const { return counters_; }
+
+  const TenantMetrics& tenant(TenantId id) const;
+  bool has_tenant(TenantId id) const { return tenants_.contains(id); }
+  const std::map<TenantId, TenantMetrics>& all_tenants() const {
+    return tenants_;
+  }
+
+  /// Aggregate over every tenant (used when normalizing Figure 2/5 bars).
+  TenantMetrics aggregate() const;
+
+  /// Conflict rate = conflicts / page ops dispatched.
+  double conflict_rate() const;
+
+  std::string report() const;
+
+ private:
+  std::map<TenantId, TenantMetrics> tenants_;
+  DeviceCounters counters_;
+  SimTime warmup_ns_ = 0;
+};
+
+}  // namespace ssdk::sim

@@ -1,0 +1,49 @@
+// Host-level I/O requests and their page-granular sub-operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/geometry.hpp"
+#include "util/time_types.hpp"
+
+namespace ssdk::sim {
+
+/// Tenant (workload) identifier. The paper's features collector obtains a
+/// workloadID per stream; here it is carried on every request.
+using TenantId = std::uint32_t;
+
+/// Tenant id used for FTL-internal traffic (GC migrations, erases).
+inline constexpr TenantId kInternalTenant = ~TenantId{0};
+
+enum class OpType : std::uint8_t {
+  kRead,
+  kWrite,
+  /// Host discard: the LPN range's mapping is dropped and its pages
+  /// invalidated. Metadata-only — completes immediately, no flash work.
+  kTrim,
+};
+
+/// A host I/O request: `page_count` logical pages starting at `lpn` in the
+/// issuing tenant's logical address space.
+struct IoRequest {
+  std::uint64_t id = 0;
+  TenantId tenant = 0;
+  OpType type = OpType::kRead;
+  std::uint64_t lpn = 0;
+  std::uint32_t page_count = 1;
+  SimTime arrival = 0;
+};
+
+/// Completion record emitted by the device.
+struct Completion {
+  std::uint64_t request_id = 0;
+  TenantId tenant = 0;
+  OpType type = OpType::kRead;
+  SimTime arrival = 0;
+  SimTime finish = 0;
+
+  Duration latency() const { return finish - arrival; }
+};
+
+}  // namespace ssdk::sim

@@ -1,0 +1,15 @@
+#include "sim/timing.hpp"
+
+#include <sstream>
+
+namespace ssdk::sim {
+
+std::string Timing::describe(const Geometry& g) const {
+  std::ostringstream os;
+  os << "read " << to_us(read_ns) << " us, program " << to_us(program_ns)
+     << " us, erase " << to_ms(erase_ns) << " ms, page transfer "
+     << to_us(page_transfer_ns(g)) << " us";
+  return os.str();
+}
+
+}  // namespace ssdk::sim

@@ -1,0 +1,48 @@
+// Flash and bus timing parameters (paper Table I plus the channel transfer
+// rate SSDSim models). The channel bus is occupied for page transfers in
+// both directions; the chip is occupied for the flash array operation and,
+// for reads, also while its data is being shifted out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/geometry.hpp"
+#include "util/time_types.hpp"
+
+namespace ssdk::sim {
+
+struct Timing {
+  Duration read_ns = 20 * kMicrosecond;      ///< flash array read
+  Duration program_ns = 200 * kMicrosecond;  ///< flash array program
+  Duration erase_ns = 1500 * kMicrosecond;   ///< block erase (1.5 ms)
+  /// Channel transfer cost per byte. Default models an ONFI-class bus at
+  /// ~400 MB/s: a 16 KB page takes ~41 us on the wire, so the channel is a
+  /// genuine point of contention (the effect SSDKeeper manages).
+  double xfer_ns_per_byte = 2.5;
+  /// Fixed command/addressing overhead per bus transaction.
+  Duration cmd_overhead_ns = 200;
+
+  static Timing paper() { return Timing{}; }
+
+  /// Bus occupancy for moving one page (+ command overhead).
+  Duration page_transfer_ns(const Geometry& g) const {
+    return cmd_overhead_ns +
+           static_cast<Duration>(xfer_ns_per_byte *
+                                 static_cast<double>(g.page_size_bytes));
+  }
+
+  /// Chip occupancy of a full write (transfer + program).
+  Duration write_service_ns(const Geometry& g) const {
+    return page_transfer_ns(g) + program_ns;
+  }
+
+  /// Unloaded read latency (array read + transfer).
+  Duration read_service_ns(const Geometry& g) const {
+    return read_ns + page_transfer_ns(g);
+  }
+
+  std::string describe(const Geometry& g) const;
+};
+
+}  // namespace ssdk::sim

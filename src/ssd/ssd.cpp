@@ -1,0 +1,701 @@
+#include "ssd/ssd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace ssdk::ssd {
+
+using sim::EventKind;
+using sim::kNoOp;
+
+Ssd::Ssd(SsdOptions options)
+    : options_(std::move(options)),
+      ftl_(options_.geometry, options_.ftl),
+      channels_(options_.geometry.channels),
+      units_(options_.multiplane_program
+                 ? options_.geometry.total_planes()
+                 : options_.geometry.total_chips()),
+      channel_busy_ns_(options_.geometry.channels, 0),
+      unit_busy_ns_(units_.size(), 0),
+      gc_job_of_plane_(options_.geometry.total_planes(), kNoJob),
+      page_xfer_ns_(options_.timing.page_transfer_ns(options_.geometry)) {
+  load_view_.channel_backlog = [this](std::uint32_t ch) {
+    return channel_backlog_ns(ch);
+  };
+  load_view_.chip_backlog = [this](std::uint32_t chip) {
+    return chip_backlog_ns(chip);
+  };
+}
+
+// --- op slab ----------------------------------------------------------------
+
+std::uint64_t Ssd::alloc_op() {
+  std::uint64_t id;
+  if (!free_ops_.empty()) {
+    id = free_ops_.back();
+    free_ops_.pop_back();
+  } else {
+    id = ops_.size();
+    ops_.emplace_back();
+  }
+  PageOp& op = ops_[id];
+  op = PageOp{};
+  op.in_use = true;
+  op.enq_seq = next_enq_seq_++;
+  return id;
+}
+
+void Ssd::free_op(std::uint64_t id) {
+  assert(ops_[id].in_use);
+  ops_[id].in_use = false;
+  free_ops_.push_back(id);
+}
+
+// --- ingestion ----------------------------------------------------------------
+
+void Ssd::submit(std::span<const sim::IoRequest> requests) {
+  for (const auto& r : requests) submit(r);
+}
+
+void Ssd::submit(const sim::IoRequest& request) {
+  if (request.page_count == 0) {
+    throw std::invalid_argument("ssd: request with zero pages");
+  }
+  if (request.arrival < last_submitted_arrival_) {
+    throw std::invalid_argument("ssd: arrivals must be non-decreasing");
+  }
+  last_submitted_arrival_ = request.arrival;
+  requests_.push_back(RequestState{request, request.page_count});
+}
+
+void Ssd::run_to_completion() {
+  while (arrival_cursor_ < requests_.size() || !events_.empty()) {
+    const bool have_arrival = arrival_cursor_ < requests_.size();
+    const bool take_arrival =
+        have_arrival &&
+        (events_.empty() ||
+         requests_[arrival_cursor_].req.arrival <= events_.next_time());
+    if (take_arrival) {
+      now_ = std::max(now_, requests_[arrival_cursor_].req.arrival);
+      handle_arrival(arrival_cursor_++);
+    } else {
+      const sim::Event e = events_.pop();
+      now_ = e.time;
+      switch (e.kind) {
+        case EventKind::kArrival:
+          handle_arrival(e.a);
+          break;
+        case EventKind::kFlashDone:
+          handle_flash_done(e.a, e.b);
+          break;
+        case EventKind::kBusFree:
+          handle_bus_free(static_cast<std::uint32_t>(e.a), e.b);
+          break;
+        case EventKind::kBufferDone:
+          handle_buffer_done(e.a, e.b);
+          break;
+      }
+    }
+  }
+}
+
+// --- arrival / dispatch -------------------------------------------------------
+
+void Ssd::handle_arrival(std::uint64_t request_index) {
+  RequestState& rs = requests_[request_index];
+  if (arrival_hook_) arrival_hook_(rs.req);
+  for (std::uint32_t i = 0; i < rs.req.page_count; ++i) {
+    const std::uint64_t lpn = rs.req.lpn + i;
+    const std::uint64_t op_id = alloc_op();
+    PageOp& op = ops_[op_id];
+    op.request = request_index;
+    op.tenant = rs.req.tenant;
+    if (rs.req.type == sim::OpType::kTrim) {
+      // Metadata-only: no flash op, completes instantly. A dirty buffered
+      // copy must be dropped too, or a later flush would resurrect it.
+      free_op(op_id);
+      buffer_.erase(buffer_key(rs.req.tenant, lpn));
+      ftl_.trim(rs.req.tenant, lpn);
+      if (--rs.remaining == 0) {
+        sim::Completion c;
+        c.request_id = rs.req.id;
+        c.tenant = rs.req.tenant;
+        c.type = sim::OpType::kTrim;
+        c.arrival = rs.req.arrival;
+        c.finish = now_;
+        metrics_.record(c);
+        if (completion_hook_) completion_hook_(c);
+      }
+    } else if (rs.req.type == sim::OpType::kRead) {
+      if (buffer_holds(rs.req.tenant, lpn)) {
+        // Read hit on a dirty buffered page: served from DRAM.
+        free_op(op_id);
+        ++buffer_hits_;
+        events_.push(now_ + options_.write_buffer.dram_ns,
+                     EventKind::kBufferDone, request_index, 1);
+        continue;
+      }
+      op.kind = OpKind::kHostRead;
+      op.ppn = ftl_.translate_read(rs.req.tenant, lpn);
+      op.addr = options_.geometry.decode(op.ppn);
+      dispatch_read(op_id);
+    } else {
+      if (buffer_write(rs.req.tenant, lpn)) {
+        free_op(op_id);
+        events_.push(now_ + options_.write_buffer.dram_ns,
+                     EventKind::kBufferDone, request_index, 1);
+        maybe_flush_buffer();
+        continue;
+      }
+      op.kind = OpKind::kHostWrite;
+      op.ppn = ftl_.allocate_write(rs.req.tenant, lpn, load_view_);
+      op.addr = options_.geometry.decode(op.ppn);
+      dispatch_write(op_id);
+      maybe_start_gc(options_.geometry.plane_id(op.addr));
+    }
+  }
+}
+
+// --- write buffer ---------------------------------------------------------
+
+bool Ssd::buffer_write(sim::TenantId tenant, std::uint64_t lpn) {
+  const auto& cfg = options_.write_buffer;
+  if (cfg.capacity_pages == 0) return false;
+  const std::uint64_t key = buffer_key(tenant, lpn);
+  const auto it = buffer_.find(key);
+  if (it != buffer_.end()) {
+    // Overwrite of a dirty page is absorbed in place.
+    ++buffer_hits_;
+    return true;
+  }
+  if (buffer_.size() >= cfg.capacity_pages) return false;
+  buffer_.emplace(key, buffer_seq_++);
+  buffer_fifo_.push_back(key);
+  return true;
+}
+
+bool Ssd::buffer_holds(sim::TenantId tenant, std::uint64_t lpn) const {
+  if (options_.write_buffer.capacity_pages == 0) return false;
+  return buffer_.contains(buffer_key(tenant, lpn));
+}
+
+void Ssd::maybe_flush_buffer() {
+  const auto& cfg = options_.write_buffer;
+  if (cfg.capacity_pages == 0) return;
+  const auto high = static_cast<std::size_t>(
+      cfg.high_watermark * static_cast<double>(cfg.capacity_pages));
+  if (buffer_.size() <= high) return;
+  const auto low = static_cast<std::size_t>(
+      cfg.low_watermark * static_cast<double>(cfg.capacity_pages));
+  while (buffer_.size() > low && !buffer_fifo_.empty()) {
+    const std::uint64_t key = buffer_fifo_.front();
+    buffer_fifo_.pop_front();
+    if (!buffer_.contains(key)) continue;  // stale entry
+    buffer_.erase(key);
+    flush_one(static_cast<sim::TenantId>(key >> 40),
+              key & ((1ULL << 40) - 1));
+  }
+}
+
+void Ssd::flush_one(sim::TenantId tenant, std::uint64_t lpn) {
+  const std::uint64_t op_id = alloc_op();
+  PageOp& op = ops_[op_id];
+  op.kind = OpKind::kFlushWrite;
+  op.tenant = tenant;
+  op.ppn = ftl_.allocate_write(tenant, lpn, load_view_);
+  op.addr = options_.geometry.decode(op.ppn);
+  dispatch_write(op_id);
+  maybe_start_gc(options_.geometry.plane_id(op.addr));
+}
+
+void Ssd::flush_write_buffer() {
+  while (!buffer_fifo_.empty()) {
+    const std::uint64_t key = buffer_fifo_.front();
+    buffer_fifo_.pop_front();
+    if (!buffer_.contains(key)) continue;
+    buffer_.erase(key);
+    flush_one(static_cast<sim::TenantId>(key >> 40),
+              key & ((1ULL << 40) - 1));
+  }
+}
+
+void Ssd::handle_buffer_done(std::uint64_t request_index,
+                             std::uint64_t pages) {
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    complete_request_page(request_index);
+  }
+}
+
+void Ssd::dispatch_read(std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  op.dispatched_at = now_;
+  const std::uint64_t unit = unit_of(op.addr);
+  ++metrics_.counters().page_ops;
+  if (!units_[unit].busy) {
+    start_array_read(unit, op_id);
+  } else {
+    metrics_.count_conflict();
+    units_[unit].read_wait.push_back(op_id);
+  }
+}
+
+void Ssd::dispatch_write(std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  op.dispatched_at = now_;
+  const std::uint64_t unit = unit_of(op.addr);
+  ++metrics_.counters().page_ops;
+  if (channels_[op.addr.channel].bus_busy || units_[unit].busy) {
+    metrics_.count_conflict();
+  }
+  units_[unit].write_q.push_back(op_id);
+  arbitrate(op.addr.channel);
+}
+
+void Ssd::dispatch_erase(std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  const std::uint64_t unit = unit_of(op.addr);
+  ++metrics_.counters().page_ops;
+  if (!units_[unit].busy) {
+    start_erase(unit, op_id);
+  } else {
+    metrics_.count_conflict();
+    units_[unit].erase_wait.push_back(op_id);
+  }
+}
+
+void Ssd::start_array_read(std::uint64_t unit, std::uint64_t op_id) {
+  metrics_.counters().read_wait_ns += now_ - ops_[op_id].dispatched_at;
+  ++metrics_.counters().read_ops_started;
+  UnitState& u = units_[unit];
+  assert(!u.busy);
+  u.busy = true;
+  u.busy_until = now_ + options_.timing.read_ns;
+  metrics_.counters().chip_busy_ns += options_.timing.read_ns;
+  unit_busy_ns_[unit] += options_.timing.read_ns;
+  events_.push(u.busy_until, EventKind::kFlashDone, unit, op_id);
+}
+
+void Ssd::start_erase(std::uint64_t unit, std::uint64_t op_id) {
+  UnitState& u = units_[unit];
+  assert(!u.busy);
+  u.busy = true;
+  u.busy_until = now_ + options_.timing.erase_ns;
+  metrics_.counters().chip_busy_ns += options_.timing.erase_ns;
+  unit_busy_ns_[unit] += options_.timing.erase_ns;
+  events_.push(u.busy_until, EventKind::kFlashDone, unit, op_id);
+}
+
+void Ssd::unit_next(std::uint64_t unit) {
+  UnitState& u = units_[unit];
+  if (u.busy) return;
+  if (!u.read_wait.empty()) {
+    const std::uint64_t op_id = u.read_wait.front();
+    u.read_wait.pop_front();
+    start_array_read(unit, op_id);
+    return;
+  }
+  if (!u.erase_wait.empty()) {
+    const std::uint64_t op_id = u.erase_wait.front();
+    u.erase_wait.pop_front();
+    start_erase(unit, op_id);
+    return;
+  }
+  // A queued write may now be grantable; let the channel decide.
+  arbitrate(channel_of_unit(unit));
+}
+
+bool Ssd::write_grantable(std::uint32_t channel) const {
+  const std::uint64_t base = first_unit(channel);
+  const std::uint64_t count = units_per_channel();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const UnitState& u = units_[base + i];
+    if (!u.busy && !u.write_q.empty()) return true;
+  }
+  return false;
+}
+
+void Ssd::arbitrate(std::uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  if (ch.bus_busy) return;
+  const bool read_ready = !ch.read_q.empty();
+  const bool write_ready = write_grantable(channel);
+  if (!read_ready && !write_ready) return;
+
+  bool grant_read;
+  if (options_.read_priority) {
+    grant_read = read_ready;
+  } else if (read_ready && write_ready) {
+    // Fair mode: alternate between classes when both are ready.
+    grant_read = ch.rr_toggle;
+    ch.rr_toggle = !ch.rr_toggle;
+  } else {
+    grant_read = read_ready;
+  }
+
+  if (grant_read) {
+    grant_read_transfer(channel);
+  } else {
+    try_grant_write(channel);
+  }
+}
+
+void Ssd::grant_read_transfer(std::uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  assert(!ch.bus_busy && !ch.read_q.empty());
+  const std::uint64_t op_id = ch.read_q.front();
+  ch.read_q.pop_front();
+  ch.bus_busy = true;
+  ch.bus_free_at = now_ + page_xfer_ns_;
+  metrics_.counters().bus_busy_ns += page_xfer_ns_;
+  channel_busy_ns_[channel] += page_xfer_ns_;
+  // The unit is held while its page register is shifted out.
+  const std::uint64_t held_unit = unit_of(ops_[op_id].addr);
+  UnitState& u = units_[held_unit];
+  assert(u.busy);
+  u.busy_until = ch.bus_free_at;
+  metrics_.counters().chip_busy_ns += page_xfer_ns_;
+  unit_busy_ns_[held_unit] += page_xfer_ns_;
+  events_.push(ch.bus_free_at, EventKind::kBusFree, channel, op_id);
+}
+
+bool Ssd::try_grant_write(std::uint32_t channel) {
+  ChannelState& ch = channels_[channel];
+  assert(!ch.bus_busy);
+  const std::uint64_t base = first_unit(channel);
+  const std::uint64_t count = units_per_channel();
+
+  // Oldest queued write among units that are currently free.
+  std::uint64_t best_unit = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const UnitState& u = units_[base + i];
+    if (u.busy || u.write_q.empty()) continue;
+    const std::uint64_t seq = ops_[u.write_q.front()].enq_seq;
+    if (seq < best_seq) {
+      best_seq = seq;
+      best_unit = base + i;
+    }
+  }
+  if (best_unit == std::numeric_limits<std::uint64_t>::max()) return false;
+
+  UnitState& u = units_[best_unit];
+  const std::uint64_t op_id = u.write_q.front();
+  u.write_q.pop_front();
+  metrics_.counters().write_wait_ns += now_ - ops_[op_id].dispatched_at;
+  ++metrics_.counters().write_ops_started;
+
+  const Duration service = page_xfer_ns_ + options_.timing.program_ns;
+  // Basic command set: the bus is occupied until the program finishes;
+  // pipelined mode releases it after the data transfer.
+  const Duration bus_hold =
+      options_.pipelined_writes ? page_xfer_ns_ : service;
+  ch.bus_busy = true;
+  ch.bus_free_at = now_ + bus_hold;
+  metrics_.counters().bus_busy_ns += bus_hold;
+  channel_busy_ns_[channel] += bus_hold;
+  events_.push(ch.bus_free_at, EventKind::kBusFree, channel, kNoOp);
+
+  u.busy = true;
+  u.busy_until = now_ + service;
+  metrics_.counters().chip_busy_ns += service;
+  unit_busy_ns_[best_unit] += service;
+  events_.push(u.busy_until, EventKind::kFlashDone, best_unit, op_id);
+  return true;
+}
+
+// --- event handlers -------------------------------------------------------------
+
+void Ssd::handle_flash_done(std::uint64_t unit, std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  switch (op.kind) {
+    case OpKind::kHostRead:
+    case OpKind::kGcRead:
+      // Array read done; data sits in the page register. The unit stays
+      // held until the bus moves the data out.
+      channels_[op.addr.channel].read_q.push_back(op_id);
+      arbitrate(op.addr.channel);
+      break;
+    case OpKind::kHostWrite:
+      units_[unit].busy = false;
+      finish_host_op(op_id);
+      unit_next(unit);
+      break;
+    case OpKind::kFlushWrite:
+      units_[unit].busy = false;
+      free_op(op_id);
+      unit_next(unit);
+      break;
+    case OpKind::kGcWrite:
+      units_[unit].busy = false;
+      on_gc_write_done(op_id);
+      unit_next(unit);
+      break;
+    case OpKind::kErase:
+      units_[unit].busy = false;
+      on_erase_done(op_id);
+      unit_next(unit);
+      break;
+  }
+}
+
+void Ssd::handle_bus_free(std::uint32_t channel, std::uint64_t op_id) {
+  channels_[channel].bus_busy = false;
+  if (op_id != kNoOp) {
+    // A read transfer finished: release the unit and complete the op.
+    PageOp& op = ops_[op_id];
+    const std::uint64_t unit = unit_of(op.addr);
+    units_[unit].busy = false;
+    if (op.kind == OpKind::kHostRead) {
+      finish_host_op(op_id);
+    } else {
+      on_gc_read_done(op_id);
+    }
+    unit_next(unit);
+  }
+  arbitrate(channel);
+}
+
+// --- completions ------------------------------------------------------------------
+
+void Ssd::finish_host_op(std::uint64_t op_id) {
+  const std::uint64_t request_index = ops_[op_id].request;
+  free_op(op_id);
+  complete_request_page(request_index);
+}
+
+void Ssd::complete_request_page(std::uint64_t request_index) {
+  RequestState& rs = requests_[request_index];
+  assert(rs.remaining > 0);
+  if (--rs.remaining == 0) {
+    sim::Completion c;
+    c.request_id = rs.req.id;
+    c.tenant = rs.req.tenant;
+    c.type = rs.req.type;
+    c.arrival = rs.req.arrival;
+    c.finish = now_;
+    metrics_.record(c);
+    if (completion_hook_) completion_hook_(c);
+  }
+}
+
+void Ssd::on_gc_read_done(std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  const std::uint32_t job_index = op.gc_job;
+  GcJob& job = gc_jobs_[job_index];
+  const sim::Ppn src = op.ppn;
+  free_op(op_id);
+
+  const sim::Ppn dst = ftl_.allocate_migration(job.plane_id);
+  if (dst == sim::kInvalidPpn) {
+    throw std::logic_error(
+        "ssd: GC cannot allocate a migration target; raise "
+        "gc_trigger_free_blocks");
+  }
+  const std::uint64_t write_id = alloc_op();
+  PageOp& w = ops_[write_id];
+  w.kind = OpKind::kGcWrite;
+  w.tenant = sim::kInternalTenant;
+  w.ppn = dst;
+  w.addr = options_.geometry.decode(dst);
+  w.gc_src = src;
+  w.gc_job = job_index;
+  ++metrics_.counters().gc_migrations;
+  dispatch_write(write_id);
+}
+
+void Ssd::on_gc_write_done(std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  GcJob& job = gc_jobs_[op.gc_job];
+  ftl_.complete_migration(op.gc_src, op.ppn);
+  const std::uint32_t job_index = op.gc_job;
+  free_op(op_id);
+  assert(job.outstanding > 0);
+  if (--job.outstanding == 0) {
+    // All survivors moved; the victim is now fully invalid.
+    const std::uint64_t erase_id = alloc_op();
+    PageOp& e = ops_[erase_id];
+    e.kind = OpKind::kErase;
+    e.tenant = sim::kInternalTenant;
+    e.addr = block_addr(job.plane_id, job.victim);
+    e.gc_job = job_index;
+    dispatch_erase(erase_id);
+  }
+}
+
+void Ssd::on_erase_done(std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  const std::uint32_t job_index = op.gc_job;
+  GcJob& job = gc_jobs_[job_index];
+  const std::uint64_t plane = job.plane_id;
+  ftl_.erase_block(plane, job.victim);
+  ++metrics_.counters().erases;
+  free_op(op_id);
+
+  if (!ftl_.gc_satisfied(plane)) {
+    start_gc_round(job_index);  // another victim in the same plane
+    return;
+  }
+  // Space pressure resolved; give static wear leveling one rotation per
+  // episode, and only with a full block of free headroom (a fully-valid
+  // cold victim transiently consumes a block's worth of pages before its
+  // erase returns one).
+  if (!job.wl_round &&
+      ftl_.blocks().free_blocks(plane) >
+          ftl_.config().gc_target_free_blocks) {
+    if (const auto cold = ftl_.wear_leveling_candidate(plane)) {
+      job.wl_round = true;
+      start_round_on_victim(job_index, *cold);
+      return;
+    }
+  }
+  job.active = false;
+  gc_job_of_plane_[plane] = kNoJob;
+}
+
+// --- garbage collection -----------------------------------------------------------
+
+void Ssd::maybe_start_gc(std::uint64_t plane_id) {
+  if (!options_.gc_enabled) return;
+  if (gc_job_of_plane_[plane_id] != kNoJob) return;
+  if (!ftl_.needs_gc(plane_id)) return;
+
+  std::uint32_t job_index = kNoJob;
+  for (std::uint32_t i = 0; i < gc_jobs_.size(); ++i) {
+    if (!gc_jobs_[i].active) {
+      job_index = i;
+      break;
+    }
+  }
+  if (job_index == kNoJob) {
+    job_index = static_cast<std::uint32_t>(gc_jobs_.size());
+    gc_jobs_.emplace_back();
+  }
+  GcJob& job = gc_jobs_[job_index];
+  job = GcJob{};
+  job.plane_id = plane_id;
+  job.active = true;
+  gc_job_of_plane_[plane_id] = job_index;
+  start_gc_round(job_index);
+}
+
+void Ssd::start_gc_round(std::uint32_t job_index) {
+  GcJob& job = gc_jobs_[job_index];
+  const auto victim = ftl_.select_victim(job.plane_id);
+  if (!victim) {
+    // Nothing reclaimable (all Full blocks fully valid, or none Full).
+    job.active = false;
+    gc_job_of_plane_[job.plane_id] = kNoJob;
+    return;
+  }
+  start_round_on_victim(job_index, *victim);
+}
+
+void Ssd::start_round_on_victim(std::uint32_t job_index,
+                                std::uint32_t victim) {
+  GcJob& job = gc_jobs_[job_index];
+  job.victim = victim;
+  const auto survivors = ftl_.valid_pages(job.plane_id, job.victim);
+  job.outstanding = static_cast<std::uint32_t>(survivors.size());
+  if (survivors.empty()) {
+    const std::uint64_t erase_id = alloc_op();
+    PageOp& e = ops_[erase_id];
+    e.kind = OpKind::kErase;
+    e.tenant = sim::kInternalTenant;
+    e.addr = block_addr(job.plane_id, job.victim);
+    e.gc_job = job_index;
+    dispatch_erase(erase_id);
+    return;
+  }
+  for (const sim::Ppn src : survivors) {
+    const std::uint64_t read_id = alloc_op();
+    PageOp& r = ops_[read_id];
+    r.kind = OpKind::kGcRead;
+    r.tenant = sim::kInternalTenant;
+    r.ppn = src;
+    r.addr = options_.geometry.decode(src);
+    r.gc_job = job_index;
+    dispatch_read(read_id);
+  }
+}
+
+sim::PhysAddr Ssd::block_addr(std::uint64_t plane_id,
+                              std::uint32_t block) const {
+  const auto& g = options_.geometry;
+  sim::PhysAddr a;
+  const auto chip = static_cast<std::uint32_t>(plane_id / g.planes_per_chip);
+  a.plane = static_cast<std::uint32_t>(plane_id % g.planes_per_chip);
+  a.channel = chip / g.chips_per_channel;
+  a.chip = chip % g.chips_per_channel;
+  a.block = block;
+  a.page = 0;
+  return a;
+}
+
+// --- load introspection -----------------------------------------------------------
+
+double Ssd::channel_utilization(std::uint32_t channel) const {
+  if (now_ == 0) return 0.0;
+  return static_cast<double>(channel_busy_ns_.at(channel)) /
+         static_cast<double>(now_);
+}
+
+Duration Ssd::plane_backlog_ns(std::uint64_t global_plane_id) const {
+  // Map the plane to its execution unit under the current granularity.
+  const std::uint64_t unit =
+      options_.multiplane_program
+          ? global_plane_id
+          : global_plane_id / options_.geometry.planes_per_chip;
+  const UnitState& u = units_[unit];
+  Duration backlog = 0;
+  if (u.busy && u.busy_until > now_) backlog += u.busy_until - now_;
+  backlog += static_cast<Duration>(u.read_wait.size()) *
+             (options_.timing.read_ns + page_xfer_ns_);
+  backlog += static_cast<Duration>(u.write_q.size()) *
+             (page_xfer_ns_ + options_.timing.program_ns);
+  backlog += static_cast<Duration>(u.erase_wait.size()) *
+             options_.timing.erase_ns;
+  return backlog;
+}
+
+Duration Ssd::channel_backlog_ns(std::uint32_t channel) const {
+  const ChannelState& ch = channels_[channel];
+  Duration backlog = 0;
+  if (ch.bus_busy && ch.bus_free_at > now_) backlog += ch.bus_free_at - now_;
+  backlog += static_cast<Duration>(ch.read_q.size()) * page_xfer_ns_;
+  const std::uint64_t base = first_unit(channel);
+  const std::uint64_t count = units_per_channel();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    backlog += static_cast<Duration>(units_[base + i].write_q.size()) *
+               page_xfer_ns_;
+  }
+  return backlog;
+}
+
+Duration Ssd::chip_backlog_ns(std::uint32_t global_chip_id) const {
+  if (!options_.multiplane_program) {
+    // The chip is the execution unit.
+    const UnitState& u = units_[global_chip_id];
+    Duration backlog = 0;
+    if (u.busy && u.busy_until > now_) backlog += u.busy_until - now_;
+    backlog += static_cast<Duration>(u.read_wait.size()) *
+               (options_.timing.read_ns + page_xfer_ns_);
+    backlog += static_cast<Duration>(u.write_q.size()) *
+               (page_xfer_ns_ + options_.timing.program_ns);
+    backlog += static_cast<Duration>(u.erase_wait.size()) *
+               options_.timing.erase_ns;
+    return backlog;
+  }
+  const auto& g = options_.geometry;
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(global_chip_id) * g.planes_per_chip;
+  // Least-loaded plane of the chip dominates where the next write lands.
+  Duration best = std::numeric_limits<Duration>::max();
+  for (std::uint32_t i = 0; i < g.planes_per_chip; ++i) {
+    best = std::min(best, plane_backlog_ns(base + i));
+  }
+  return best;
+}
+
+}  // namespace ssdk::ssd

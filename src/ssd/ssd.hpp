@@ -1,0 +1,322 @@
+// The simulated SSD device: multi-channel, multi-chip, multi-plane,
+// event-driven.
+//
+// Resource model (SSDSim-style multilevel parallelism, Hu et al. [18]):
+//   * Each channel has one shared bus. A page transfer occupies the bus for
+//     timing.page_transfer_ns(); command overhead is folded in.
+//   * Each plane executes one flash-array operation at a time (read /
+//     program / erase). Planes of a chip operate concurrently (multiplane /
+//     die-interleaved commands), so a channel's write bandwidth is bounded
+//     by min(bus, planes x program rate). During a read the plane is also
+//     held while its page register is shifted out over the bus.
+// Operation pipelines:
+//   write: [bus: transfer, plane held] -> [plane: program]
+//   read:  [plane: array read]         -> [bus + plane: transfer out]
+//   erase: [plane: erase]
+// Arbitration: reads have bus priority over writes (configurable — the
+// paper's motivation experiment depends on it); a write is granted only
+// when its target plane is also free. GC (victim migration + erase) flows
+// through the same pipelines and therefore interferes realistically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ftl/ftl.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/geometry.hpp"
+#include "sim/metrics.hpp"
+#include "sim/request.hpp"
+#include "sim/timing.hpp"
+
+namespace ssdk::ssd {
+
+/// DRAM write buffer (the "DRAM buffer" of the paper's Figure 1).
+/// Dirty pages are absorbed at DRAM latency and flushed to flash in FIFO
+/// order once occupancy crosses the high watermark. Disabled by default —
+/// the paper's experiments measure raw flash-path behaviour.
+///
+/// Modeling note: a page leaves the buffer when its flush is *enqueued*,
+/// not when its program completes, so occupancy never reflects the
+/// in-flight flush backlog. Under sustained overload this overstates the
+/// buffer's benefit (host writes keep hitting DRAM latency while flush
+/// traffic competes with reads on the flash path).
+struct WriteBufferConfig {
+  std::uint32_t capacity_pages = 0;  ///< 0 disables the buffer
+  Duration dram_ns = 2 * kMicrosecond;  ///< buffered-completion latency
+  double high_watermark = 0.9;  ///< start flushing above this occupancy
+  double low_watermark = 0.7;   ///< stop flushing below this occupancy
+};
+
+struct SsdOptions {
+  sim::Geometry geometry = sim::Geometry::small();
+  sim::Timing timing = sim::Timing::paper();
+  ftl::FtlConfig ftl;
+  WriteBufferConfig write_buffer;
+  bool read_priority = true;  ///< reads preempt queued writes on the bus
+  bool gc_enabled = true;
+  /// Flash execution granularity. false (default): a chip executes one
+  /// array operation at a time (SSDSim's basic command set, the paper's
+  /// substrate). true: planes of a chip operate concurrently (multiplane /
+  /// die-interleaved advanced commands) — the ablation in
+  /// bench_ablation_multiplane.
+  bool multiplane_program = false;
+  /// Write/bus pipelining. false (default, SSDSim basic commands): the
+  /// channel bus is held for the entire write — transfer plus program —
+  /// serializing writes per channel; this is what makes heavy write
+  /// streams monopolize shared channels (the conflicts SSDKeeper
+  /// manages). true: the bus is released after the data transfer so
+  /// another chip can use the channel while the program completes
+  /// (advanced / pipelined mode).
+  bool pipelined_writes = false;
+};
+
+class Ssd {
+ public:
+  explicit Ssd(SsdOptions options = {});
+
+  const SsdOptions& options() const { return options_; }
+  ftl::Ftl& ftl() { return ftl_; }
+  const ftl::Ftl& ftl() const { return ftl_; }
+
+  // --- tenant policy (forwarded to the FTL) -------------------------------
+  void set_tenant_channels(sim::TenantId tenant,
+                           std::vector<std::uint32_t> channels) {
+    ftl_.set_tenant_channels(tenant, std::move(channels));
+  }
+  void set_tenant_alloc_mode(sim::TenantId tenant, ftl::AllocMode mode) {
+    ftl_.set_tenant_alloc_mode(tenant, mode);
+  }
+
+  // --- request ingestion ----------------------------------------------------
+
+  /// Append requests (arrival times must be non-decreasing across all
+  /// submissions). Call run_to_completion() afterwards.
+  void submit(std::span<const sim::IoRequest> requests);
+  void submit(const sim::IoRequest& request);
+
+  /// Drain every submitted request and all induced GC work. Dirty pages
+  /// may remain in the write buffer afterwards (volatile cache
+  /// semantics); call flush_write_buffer() + run_to_completion() to force
+  /// them to flash.
+  void run_to_completion();
+
+  /// Schedule flash writes for every dirty buffered page.
+  void flush_write_buffer();
+
+  /// Dirty pages currently held in the write buffer.
+  std::size_t write_buffer_occupancy() const { return buffer_.size(); }
+  std::uint64_t write_buffer_hits() const { return buffer_hits_; }
+
+  SimTime now() const { return now_; }
+  sim::MetricsCollector& metrics() { return metrics_; }
+  const sim::MetricsCollector& metrics() const { return metrics_; }
+
+  // --- hooks (used by the online SSDKeeper) --------------------------------
+
+  /// Called when a request enters the device, before dispatch. A hook may
+  /// call set_tenant_channels / set_tenant_alloc_mode (Algorithm 2's
+  /// strategy switch takes effect for subsequent placements). Hooks must
+  /// not call submit().
+  using ArrivalHook = std::function<void(const sim::IoRequest&)>;
+  /// Called when a host request fully completes.
+  using CompletionHook = std::function<void(const sim::Completion&)>;
+
+  void set_arrival_hook(ArrivalHook hook) { arrival_hook_ = std::move(hook); }
+  void set_completion_hook(CompletionHook hook) {
+    completion_hook_ = std::move(hook);
+  }
+
+  // --- load introspection (dynamic page allocation) -------------------------
+
+  Duration channel_backlog_ns(std::uint32_t channel) const;
+  Duration chip_backlog_ns(std::uint32_t global_chip) const;
+  Duration plane_backlog_ns(std::uint64_t global_plane) const;
+
+  // --- utilization accounting -----------------------------------------------
+
+  /// Cumulative bus-busy time of one channel.
+  Duration channel_busy_ns(std::uint32_t channel) const {
+    return channel_busy_ns_.at(channel);
+  }
+  /// Fraction of elapsed simulation time the channel's bus was busy.
+  double channel_utilization(std::uint32_t channel) const;
+  /// Cumulative flash busy time of one execution unit (chip by default).
+  Duration unit_busy_ns(std::uint64_t unit) const {
+    return unit_busy_ns_.at(unit);
+  }
+  std::size_t unit_count() const { return units_.size(); }
+
+ private:
+  enum class OpKind : std::uint8_t {
+    kHostRead,
+    kHostWrite,
+    kGcRead,
+    kGcWrite,
+    kErase,
+    kFlushWrite,  ///< write-buffer eviction flowing to flash
+  };
+
+  struct PageOp {
+    std::uint64_t request = kNoRequest;  ///< host request index
+    sim::TenantId tenant = 0;
+    OpKind kind = OpKind::kHostRead;
+    sim::PhysAddr addr;
+    sim::Ppn ppn = sim::kInvalidPpn;
+    sim::Ppn gc_src = sim::kInvalidPpn;  ///< migration source (kGcWrite)
+    std::uint32_t gc_job = kNoJob;
+    std::uint64_t enq_seq = 0;  ///< dispatch order (FIFO tie-breaks)
+    SimTime dispatched_at = 0;  ///< queue-wait accounting
+    bool in_use = false;
+  };
+
+  struct ChannelState {
+    bool bus_busy = false;
+    SimTime bus_free_at = 0;
+    std::deque<std::uint64_t> read_q;  ///< ops ready for read-out transfer
+    bool rr_toggle = false;            ///< fairness state when !read_priority
+  };
+
+  /// One flash execution unit: a chip (default) or a plane (multiplane).
+  struct UnitState {
+    bool busy = false;
+    SimTime busy_until = 0;
+    std::deque<std::uint64_t> read_wait;   ///< array reads awaiting the unit
+    std::deque<std::uint64_t> erase_wait;  ///< erases awaiting the unit
+    std::deque<std::uint64_t> write_q;     ///< writes awaiting bus + unit
+  };
+
+  struct RequestState {
+    sim::IoRequest req;
+    std::uint32_t remaining = 0;
+  };
+
+  struct GcJob {
+    std::uint64_t plane_id = 0;
+    std::uint32_t victim = 0;
+    std::uint32_t outstanding = 0;  ///< migrations not yet durable
+    bool active = false;
+    /// Set when the current round is a static wear-leveling rotation; at
+    /// most one rotation runs per GC episode so leveling overhead stays
+    /// proportional to GC activity.
+    bool wl_round = false;
+  };
+
+  static constexpr std::uint64_t kNoRequest = ~std::uint64_t{0};
+  static constexpr std::uint32_t kNoJob = ~std::uint32_t{0};
+
+  // Op slab management.
+  std::uint64_t alloc_op();
+  void free_op(std::uint64_t id);
+
+  // Event handlers.
+  void handle_arrival(std::uint64_t request_index);
+  void handle_flash_done(std::uint64_t unit, std::uint64_t op_id);
+  void handle_bus_free(std::uint32_t channel, std::uint64_t op_id);
+  void handle_buffer_done(std::uint64_t request_index,
+                          std::uint64_t pages);
+
+  // Write-buffer internals.
+  static std::uint64_t buffer_key(sim::TenantId tenant, std::uint64_t lpn) {
+    return (static_cast<std::uint64_t>(tenant) << 40) | lpn;
+  }
+  /// Absorb one page into the buffer; returns false when the buffer is
+  /// disabled or full (caller sends the page to flash).
+  bool buffer_write(sim::TenantId tenant, std::uint64_t lpn);
+  /// True when (tenant, lpn) is dirty in the buffer (read hit).
+  bool buffer_holds(sim::TenantId tenant, std::uint64_t lpn) const;
+  /// Evict FIFO-oldest dirty pages down to the low watermark.
+  void maybe_flush_buffer();
+  void flush_one(sim::TenantId tenant, std::uint64_t lpn);
+
+  // Dispatch / arbitration.
+  void dispatch_read(std::uint64_t op_id);
+  void dispatch_write(std::uint64_t op_id);
+  void dispatch_erase(std::uint64_t op_id);
+  void start_array_read(std::uint64_t unit, std::uint64_t op_id);
+  void start_erase(std::uint64_t unit, std::uint64_t op_id);
+  void unit_next(std::uint64_t unit);
+  void arbitrate(std::uint32_t channel);
+  void grant_read_transfer(std::uint32_t channel);
+  /// Grant the oldest queued write on this channel whose unit is free.
+  bool try_grant_write(std::uint32_t channel);
+  /// Is any write currently grantable on this channel?
+  bool write_grantable(std::uint32_t channel) const;
+
+  // Completions.
+  void finish_host_op(std::uint64_t op_id);
+  void complete_request_page(std::uint64_t request_index);
+  void on_gc_read_done(std::uint64_t op_id);
+  void on_gc_write_done(std::uint64_t op_id);
+  void on_erase_done(std::uint64_t op_id);
+
+  // GC control.
+  void maybe_start_gc(std::uint64_t plane_id);
+  void start_gc_round(std::uint32_t job_index);
+  /// Run one reclamation round on an explicit victim (GC proper passes the
+  /// greedy pick; static wear leveling passes the coldest Full block).
+  void start_round_on_victim(std::uint32_t job_index, std::uint32_t victim);
+  sim::PhysAddr block_addr(std::uint64_t plane_id,
+                           std::uint32_t block) const;
+
+  /// Execution units per channel under the current granularity.
+  std::uint64_t units_per_channel() const {
+    return options_.multiplane_program
+               ? options_.geometry.planes_per_channel()
+               : options_.geometry.chips_per_channel;
+  }
+  std::uint64_t unit_of(const sim::PhysAddr& a) const {
+    return options_.multiplane_program
+               ? options_.geometry.plane_id(a)
+               : options_.geometry.chip_id(a.channel, a.chip);
+  }
+  std::uint32_t channel_of_unit(std::uint64_t unit) const {
+    return static_cast<std::uint32_t>(unit / units_per_channel());
+  }
+  /// First execution unit id on a channel.
+  std::uint64_t first_unit(std::uint32_t channel) const {
+    return static_cast<std::uint64_t>(channel) * units_per_channel();
+  }
+
+  SsdOptions options_;
+  ftl::Ftl ftl_;
+  ftl::LoadView load_view_;
+  sim::EventQueue events_;
+  SimTime now_ = 0;
+
+  std::vector<ChannelState> channels_;
+  std::vector<UnitState> units_;
+  std::vector<Duration> channel_busy_ns_;
+  std::vector<Duration> unit_busy_ns_;
+
+  std::vector<RequestState> requests_;
+  std::uint64_t arrival_cursor_ = 0;
+  SimTime last_submitted_arrival_ = 0;
+
+  std::vector<PageOp> ops_;
+  std::vector<std::uint64_t> free_ops_;
+  std::uint64_t next_enq_seq_ = 0;
+
+  std::vector<GcJob> gc_jobs_;
+  std::vector<std::uint32_t> gc_job_of_plane_;  // kNoJob when idle
+
+  // Write buffer: dirty (tenant, lpn) keys with FIFO eviction order.
+  // The deque may hold stale keys (overwritten entries); they are skipped
+  // lazily at eviction time.
+  std::unordered_map<std::uint64_t, std::uint64_t> buffer_;  // key -> seq
+  std::deque<std::uint64_t> buffer_fifo_;
+  std::uint64_t buffer_seq_ = 0;
+  std::uint64_t buffer_hits_ = 0;
+
+  sim::MetricsCollector metrics_;
+  ArrivalHook arrival_hook_;
+  CompletionHook completion_hook_;
+
+  Duration page_xfer_ns_ = 0;
+};
+
+}  // namespace ssdk::ssd

@@ -1,0 +1,51 @@
+#include "trace/mixer.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace ssdk::trace {
+
+std::vector<sim::IoRequest> mix_workloads(
+    std::span<const Workload> workloads, std::uint64_t max_requests) {
+  // K-way merge by (arrival, workload index) for deterministic ties.
+  struct Cursor {
+    std::size_t workload;
+    std::size_t index;
+  };
+  const auto later = [&](const Cursor& a, const Cursor& b) {
+    const SimTime ta = workloads[a.workload][a.index].arrival;
+    const SimTime tb = workloads[b.workload][b.index].arrival;
+    if (ta != tb) return ta > tb;
+    return a.workload > b.workload;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(later)> heap(
+      later);
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    if (!workloads[w].empty()) heap.push(Cursor{w, 0});
+    total += workloads[w].size();
+  }
+  if (max_requests != 0) total = std::min(total, max_requests);
+
+  std::vector<sim::IoRequest> out;
+  out.reserve(total);
+  while (!heap.empty() && out.size() < total) {
+    const Cursor c = heap.top();
+    heap.pop();
+    const TraceRecord& rec = workloads[c.workload][c.index];
+    sim::IoRequest req;
+    req.id = out.size();
+    req.tenant = static_cast<sim::TenantId>(c.workload);
+    req.type = rec.type;
+    req.lpn = rec.lpn;
+    req.page_count = rec.pages;
+    req.arrival = rec.arrival;
+    out.push_back(req);
+    if (c.index + 1 < workloads[c.workload].size()) {
+      heap.push(Cursor{c.workload, c.index + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace ssdk::trace

@@ -1,0 +1,21 @@
+// Chronological mixing of per-tenant workloads into one request stream —
+// the paper's "mix the four workloads in chronological order, then take one
+// million traces".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/request.hpp"
+#include "trace/record.hpp"
+
+namespace ssdk::trace {
+
+/// Merge workloads by arrival time; workload i becomes tenant i. Request
+/// ids are assigned in merged order. `max_requests` truncates the merged
+/// stream (0 = keep everything).
+std::vector<sim::IoRequest> mix_workloads(
+    std::span<const Workload> workloads, std::uint64_t max_requests = 0);
+
+}  // namespace ssdk::trace

@@ -1,0 +1,39 @@
+// Parser for MSR Cambridge block traces (the format of mds_0, prxy_0, ...).
+//
+// CSV columns: Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//   Timestamp   Windows FILETIME (100 ns ticks since 1601)
+//   Type        "Read" or "Write" (case-insensitive)
+//   Offset/Size bytes
+// Timestamps are rebased so the first record arrives at t = 0; offsets are
+// converted to page numbers and wrapped into a bounded logical space so a
+// week-long server trace fits any simulated capacity.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace ssdk::trace {
+
+struct MsrParseOptions {
+  std::uint32_t page_size_bytes = 16 * 1024;
+  /// Logical footprint cap; offsets are wrapped modulo this many pages.
+  std::uint64_t address_space_pages = 1 << 20;
+  /// Multiply all inter-arrival gaps by this factor (< 1 accelerates a
+  /// trace so a simulator run exercises contention in reasonable time).
+  double time_scale = 1.0;
+  /// Stop after this many records (0 = no limit).
+  std::uint64_t max_records = 0;
+};
+
+/// Parse an MSR CSV stream. Malformed lines throw std::invalid_argument
+/// with the line number.
+Workload parse_msr(std::istream& in, const MsrParseOptions& options = {});
+
+/// Convenience file wrapper; throws std::runtime_error if unreadable.
+Workload parse_msr_file(const std::string& path,
+                        const MsrParseOptions& options = {});
+
+}  // namespace ssdk::trace

@@ -1,0 +1,37 @@
+#include "trace/msr_writer.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ssdk::trace {
+
+void write_msr(std::ostream& os, const Workload& workload,
+               const MsrWriteOptions& options) {
+  if (options.page_size_bytes == 0) {
+    throw std::invalid_argument("msr writer: zero page size");
+  }
+  for (const auto& rec : workload) {
+    if (rec.type == sim::OpType::kTrim) {
+      // The MSR format predates TRIM; skip such records.
+      continue;
+    }
+    const std::uint64_t ticks = options.base_ticks + rec.arrival / 100;
+    const std::uint64_t offset =
+        rec.lpn * static_cast<std::uint64_t>(options.page_size_bytes);
+    const std::uint64_t size =
+        static_cast<std::uint64_t>(rec.pages) * options.page_size_bytes;
+    os << ticks << ',' << options.hostname << ',' << options.disk_number
+       << ',' << (rec.type == sim::OpType::kWrite ? "Write" : "Read") << ','
+       << offset << ',' << size << ",0\n";
+  }
+}
+
+void write_msr_file(const std::string& path, const Workload& workload,
+                    const MsrWriteOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("msr writer: cannot open " + path);
+  write_msr(out, workload, options);
+}
+
+}  // namespace ssdk::trace

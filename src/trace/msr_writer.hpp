@@ -1,0 +1,33 @@
+// Export workloads in MSR Cambridge CSV format — the inverse of
+// trace/msr_parser. Lets synthetic workloads (including the Table-II
+// catalog) be fed to other SSD simulators, and round-trips through our own
+// parser for interop testing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace ssdk::trace {
+
+struct MsrWriteOptions {
+  std::uint32_t page_size_bytes = 16 * 1024;
+  std::string hostname = "ssdk";
+  std::uint32_t disk_number = 0;
+  /// FILETIME ticks (100 ns) assigned to the first record.
+  std::uint64_t base_ticks = 128166372000000000ULL;
+};
+
+/// Write records as "Timestamp,Hostname,DiskNumber,Type,Offset,Size,
+/// ResponseTime" rows (ResponseTime written as 0 — it is an output of
+/// replay, not an input).
+void write_msr(std::ostream& os, const Workload& workload,
+               const MsrWriteOptions& options = {});
+
+/// Convenience file wrapper; throws std::runtime_error if unwritable.
+void write_msr_file(const std::string& path, const Workload& workload,
+                    const MsrWriteOptions& options = {});
+
+}  // namespace ssdk::trace

@@ -1,0 +1,23 @@
+// Tenant-agnostic trace records. A workload is a time-ordered sequence of
+// records; the mixer assigns tenant ids and merges several workloads into
+// the multi-tenant request stream the device consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/request.hpp"
+#include "util/time_types.hpp"
+
+namespace ssdk::trace {
+
+struct TraceRecord {
+  SimTime arrival = 0;
+  sim::OpType type = sim::OpType::kRead;
+  std::uint64_t lpn = 0;
+  std::uint32_t pages = 1;
+};
+
+using Workload = std::vector<TraceRecord>;
+
+}  // namespace ssdk::trace

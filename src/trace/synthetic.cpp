@@ -1,0 +1,83 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssdk::trace {
+
+void SyntheticSpec::validate() const {
+  if (write_fraction < 0.0 || write_fraction > 1.0) {
+    throw std::invalid_argument("synthetic: write_fraction out of [0,1]");
+  }
+  if (intensity_rps <= 0.0) {
+    throw std::invalid_argument("synthetic: intensity must be positive");
+  }
+  if (mean_request_pages < 1.0) {
+    throw std::invalid_argument("synthetic: mean_request_pages < 1");
+  }
+  if (max_request_pages == 0 || address_space_pages == 0) {
+    throw std::invalid_argument("synthetic: zero sizes");
+  }
+  if (zipf_theta < 0.0 || zipf_theta >= 1.0) {
+    throw std::invalid_argument("synthetic: zipf_theta out of [0,1)");
+  }
+  if (sequential_fraction < 0.0 || sequential_fraction > 1.0) {
+    throw std::invalid_argument("synthetic: sequential_fraction out of [0,1]");
+  }
+  if (burstiness < 0.0 || burstiness >= 1.0) {
+    throw std::invalid_argument("synthetic: burstiness out of [0,1)");
+  }
+}
+
+Workload generate_synthetic(const SyntheticSpec& spec) {
+  spec.validate();
+  Rng rng(spec.seed);
+  ZipfGenerator zipf(spec.address_space_pages, spec.zipf_theta);
+
+  // Geometric request size with mean `mean_request_pages`:
+  // P(extra page) = 1 - 1/mean.
+  const double p_more = 1.0 - 1.0 / spec.mean_request_pages;
+
+  // Burstiness: compress a fraction p of gaps by kSquash and stretch the
+  // rest so E[multiplier] = 1 and the configured rate is preserved.
+  constexpr double kSquash = 0.2;
+  const double stretch =
+      spec.burstiness > 0.0
+          ? (1.0 - kSquash * spec.burstiness) / (1.0 - spec.burstiness)
+          : 1.0;
+
+  Workload out;
+  out.reserve(spec.request_count);
+  double clock_ns = 0.0;
+  std::uint64_t prev_end = 0;
+  for (std::uint64_t i = 0; i < spec.request_count; ++i) {
+    TraceRecord rec;
+    double gap = rng.exponential(spec.intensity_rps) * 1e9;
+    if (spec.burstiness > 0.0) {
+      gap *= rng.bernoulli(spec.burstiness) ? kSquash : stretch;
+    }
+    clock_ns += gap;
+    rec.arrival = static_cast<SimTime>(clock_ns);
+    rec.type = rng.bernoulli(spec.write_fraction) ? sim::OpType::kWrite
+                                                  : sim::OpType::kRead;
+    std::uint32_t pages = 1;
+    while (pages < spec.max_request_pages && rng.bernoulli(p_more)) ++pages;
+    rec.pages = pages;
+
+    if (rng.bernoulli(spec.sequential_fraction)) {
+      rec.lpn = prev_end;  // continue where the last request ended
+    } else {
+      rec.lpn = zipf(rng);
+    }
+    // Keep the whole request inside the address space.
+    if (rec.lpn + rec.pages > spec.address_space_pages) {
+      rec.lpn = spec.address_space_pages - rec.pages;
+    }
+    prev_end = (rec.lpn + rec.pages) % spec.address_space_pages;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace ssdk::trace

@@ -1,0 +1,99 @@
+#include "trace/workload_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssdk::trace {
+
+namespace {
+void finalize(WorkloadStats& s, SimTime first, SimTime last) {
+  if (s.requests == 0) return;
+  s.write_ratio =
+      static_cast<double>(s.writes) / static_cast<double>(s.requests);
+  s.read_ratio =
+      static_cast<double>(s.reads) / static_cast<double>(s.requests);
+  s.mean_pages =
+      static_cast<double>(s.pages) / static_cast<double>(s.requests);
+  s.duration_s = static_cast<double>(last - first) / 1e9;
+  s.intensity_rps = s.duration_s > 0.0
+                        ? static_cast<double>(s.requests) / s.duration_s
+                        : 0.0;
+}
+}  // namespace
+
+std::string WorkloadStats::describe() const {
+  std::ostringstream os;
+  os << requests << " reqs, " << write_ratio * 100.0 << "% write, mean "
+     << mean_pages << " pages, " << intensity_rps << " req/s over "
+     << duration_s << " s";
+  return os.str();
+}
+
+WorkloadStats compute_stats(const Workload& w) {
+  WorkloadStats s;
+  if (w.empty()) return s;
+  SimTime first = w.front().arrival, last = w.front().arrival;
+  for (const auto& rec : w) {
+    ++s.requests;
+    s.pages += rec.pages;
+    if (rec.type == sim::OpType::kWrite) {
+      ++s.writes;
+    } else {
+      ++s.reads;
+    }
+    first = std::min(first, rec.arrival);
+    last = std::max(last, rec.arrival);
+  }
+  finalize(s, first, last);
+  return s;
+}
+
+std::vector<WorkloadStats> per_tenant_stats(
+    std::span<const sim::IoRequest> mixed, std::uint32_t num_tenants) {
+  std::vector<WorkloadStats> out(num_tenants);
+  std::vector<SimTime> first(num_tenants, 0), last(num_tenants, 0);
+  std::vector<bool> seen(num_tenants, false);
+  for (const auto& req : mixed) {
+    if (req.tenant >= num_tenants) continue;
+    auto& s = out[req.tenant];
+    ++s.requests;
+    s.pages += req.page_count;
+    if (req.type == sim::OpType::kWrite) {
+      ++s.writes;
+    } else {
+      ++s.reads;
+    }
+    if (!seen[req.tenant]) {
+      first[req.tenant] = last[req.tenant] = req.arrival;
+      seen[req.tenant] = true;
+    } else {
+      first[req.tenant] = std::min(first[req.tenant], req.arrival);
+      last[req.tenant] = std::max(last[req.tenant], req.arrival);
+    }
+  }
+  for (std::uint32_t t = 0; t < num_tenants; ++t) {
+    finalize(out[t], first[t], last[t]);
+  }
+  return out;
+}
+
+WorkloadStats mixed_stats(std::span<const sim::IoRequest> mixed) {
+  WorkloadStats s;
+  if (mixed.empty()) return s;
+  SimTime first = mixed.front().arrival, last = mixed.front().arrival;
+  for (const auto& req : mixed) {
+    ++s.requests;
+    s.pages += req.page_count;
+    if (req.type == sim::OpType::kWrite) {
+      ++s.writes;
+    } else {
+      ++s.reads;
+    }
+    first = std::min(first, req.arrival);
+    last = std::max(last, req.arrival);
+  }
+  finalize(s, first, last);
+  return s;
+}
+
+}  // namespace ssdk::trace

@@ -1,0 +1,39 @@
+// Descriptive statistics over workloads and mixed request streams —
+// the measured counterpart of Table II, and helpers to size experiments
+// (aggregate arrival rate vs device capability).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/request.hpp"
+#include "trace/record.hpp"
+
+namespace ssdk::trace {
+
+struct WorkloadStats {
+  std::uint64_t requests = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t pages = 0;
+  double write_ratio = 0.0;
+  double read_ratio = 0.0;
+  double mean_pages = 0.0;
+  double duration_s = 0.0;
+  double intensity_rps = 0.0;  ///< requests / duration
+
+  std::string describe() const;
+};
+
+WorkloadStats compute_stats(const Workload& w);
+
+/// Per-tenant stats of a mixed stream, indexed by tenant id.
+std::vector<WorkloadStats> per_tenant_stats(
+    std::span<const sim::IoRequest> mixed, std::uint32_t num_tenants);
+
+/// Aggregate stats of a mixed stream.
+WorkloadStats mixed_stats(std::span<const sim::IoRequest> mixed);
+
+}  // namespace ssdk::trace

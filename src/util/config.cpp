@@ -1,0 +1,106 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace ssdk {
+
+namespace {
+std::string trim(std::string_view s) {
+  const auto* b = s.begin();
+  const auto* e = s.end();
+  while (b != e && std::isspace(static_cast<unsigned char>(*b))) ++b;
+  while (e != b && std::isspace(static_cast<unsigned char>(*(e - 1)))) --e;
+  return std::string(b, e);
+}
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view tok(argv[i]);
+    const auto eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("config: expected key=value, got '" +
+                                  std::string(tok) + "'");
+    }
+    cfg.set(std::string(tok.substr(0, eq)), std::string(tok.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  Config cfg;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("config: bad line '" + line + "' in " +
+                                  path);
+    }
+    cfg.set(trim(trimmed.substr(0, eq)), trim(trimmed.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::string Config::get_string(std::string_view key,
+                               std::string fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t Config::get_int(std::string_view key,
+                             std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : parse_i64(it->second);
+}
+
+std::uint64_t Config::get_uint(std::string_view key,
+                               std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : parse_u64(it->second);
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : parse_double(it->second);
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("config: bad bool '" + it->second + "' for " +
+                              std::string(key));
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace ssdk

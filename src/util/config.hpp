@@ -1,0 +1,44 @@
+// Key=value configuration store.
+//
+// Examples and benches accept overrides (request counts, seeds, channel
+// counts) either from "key=value" command-line tokens or from a config file
+// with one pair per line ('#' comments). Typed getters validate on access.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssdk {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens; unrecognized tokens throw.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parse a file of "key = value" lines; '#' starts a comment.
+  static Config from_file(const std::string& path);
+
+  void set(std::string key, std::string value);
+  bool has(std::string_view key) const;
+
+  /// Typed getters: return `fallback` when the key is absent; throw
+  /// std::invalid_argument when present but malformed.
+  std::string get_string(std::string_view key, std::string fallback) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  std::uint64_t get_uint(std::string_view key, std::uint64_t fallback) const;
+  double get_double(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  /// All keys in lexicographic order (for echo/debug output).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace ssdk

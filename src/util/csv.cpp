@@ -1,0 +1,65 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace ssdk {
+
+std::vector<std::string> split_csv_line(std::string_view line, char sep) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == sep) {
+      out.emplace_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+namespace {
+[[noreturn]] void fail(std::string_view what, std::string_view field) {
+  throw std::invalid_argument(std::string("csv: cannot parse ") +
+                              std::string(what) + " from '" +
+                              std::string(field) + "'");
+}
+}  // namespace
+
+std::int64_t parse_i64(std::string_view field) {
+  std::int64_t v{};
+  auto [p, ec] = std::from_chars(field.begin(), field.end(), v);
+  if (ec != std::errc{} || p != field.end()) fail("int64", field);
+  return v;
+}
+
+std::uint64_t parse_u64(std::string_view field) {
+  std::uint64_t v{};
+  auto [p, ec] = std::from_chars(field.begin(), field.end(), v);
+  if (ec != std::errc{} || p != field.end()) fail("uint64", field);
+  return v;
+}
+
+double parse_double(std::string_view field) {
+  double v{};
+  auto [p, ec] = std::from_chars(field.begin(), field.end(), v);
+  if (ec != std::errc{} || p != field.end()) fail("double", field);
+  return v;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const auto& f = fields[i];
+    if (f.find(sep_) != std::string::npos ||
+        f.find('\n') != std::string::npos) {
+      throw std::invalid_argument("csv: field contains separator/newline: " +
+                                  f);
+    }
+    if (i) os_ << sep_;
+    os_ << f;
+  }
+  os_ << '\n';
+}
+
+}  // namespace ssdk

@@ -1,0 +1,37 @@
+// Minimal CSV reading/writing: enough for MSR-Cambridge block traces and for
+// dumping benchmark series. No quoting support is needed by those formats;
+// fields containing separators are rejected on write.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssdk {
+
+/// Split one CSV line on `sep`. Trims trailing '\r' (CRLF input).
+std::vector<std::string> split_csv_line(std::string_view line, char sep = ',');
+
+/// Parse helpers with explicit error reporting (throws std::invalid_argument
+/// with the offending text on failure).
+std::int64_t parse_i64(std::string_view field);
+std::uint64_t parse_u64(std::string_view field);
+double parse_double(std::string_view field);
+
+/// Row-at-a-time CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os, char sep = ',') : os_(os), sep_(sep) {}
+
+  /// Write one row; throws std::invalid_argument if any field contains the
+  /// separator or a newline.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& os_;
+  char sep_;
+};
+
+}  // namespace ssdk

@@ -1,0 +1,110 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace ssdk {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+void LinearHistogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // FP edge case
+  ++counts_[idx];
+}
+
+double LinearHistogram::bucket_lo(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+LogHistogram::LogHistogram(std::size_t sub_buckets)
+    : sub_buckets_(sub_buckets), counts_(64 * sub_buckets, 0) {
+  assert(sub_buckets > 0);
+}
+
+std::size_t LogHistogram::index_of(std::uint64_t x) const {
+  if (x == 0) return 0;
+  const auto msb = static_cast<std::size_t>(63 - std::countl_zero(x));
+  std::size_t sub = 0;
+  if (msb > 0) {
+    // Fraction below the leading bit selects the sub-bucket.
+    const std::uint64_t below = x & ((1ULL << msb) - 1);
+    sub = static_cast<std::size_t>(
+        (static_cast<__uint128_t>(below) * sub_buckets_) >> msb);
+  }
+  return msb * sub_buckets_ + sub;
+}
+
+std::uint64_t LogHistogram::bucket_mid(std::size_t idx) const {
+  const std::size_t msb = idx / sub_buckets_;
+  const std::size_t sub = idx % sub_buckets_;
+  const std::uint64_t base = msb == 0 ? 0 : (1ULL << msb);
+  const std::uint64_t width =
+      msb == 0 ? 1 : (1ULL << msb) / sub_buckets_;
+  return base + width * sub + width / 2;
+}
+
+void LogHistogram::add(std::uint64_t x) {
+  ++counts_[index_of(x)];
+  ++total_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  assert(sub_buckets_ == other.sub_buckets_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t LogHistogram::percentile(double p) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) return bucket_mid(i);
+  }
+  return bucket_mid(counts_.size() - 1);
+}
+
+std::string LogHistogram::ascii(std::size_t width) const {
+  std::ostringstream os;
+  // Aggregate per power-of-two decade for readability.
+  std::vector<std::uint64_t> decade(64, 0);
+  std::uint64_t peak = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    decade[i / sub_buckets_] += counts_[i];
+  }
+  for (auto c : decade) peak = std::max(peak, c);
+  if (peak == 0) return "(empty)\n";
+  for (std::size_t d = 0; d < 64; ++d) {
+    if (decade[d] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(decade[d]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "2^" << d << (d < 10 ? "  | " : " | ");
+    for (std::size_t i = 0; i < std::max<std::size_t>(bar, 1); ++i) os << '#';
+    os << ' ' << decade[d] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ssdk

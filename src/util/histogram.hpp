@@ -1,0 +1,65 @@
+// Fixed-width and log-scale histograms for latency distributions.
+//
+// The log histogram covers [1ns, ~18s] with configurable sub-bucket
+// resolution, similar in spirit to HdrHistogram but intentionally small.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssdk {
+
+/// Linear histogram over [lo, hi) with `bins` equal-width buckets.
+/// Out-of-range samples land in saturating under/overflow buckets.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+
+  /// Lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Base-2 logarithmic histogram for positive integer samples (nanoseconds).
+/// Each power-of-two range is split into `sub_buckets` linear sub-buckets.
+class LogHistogram {
+ public:
+  explicit LogHistogram(std::size_t sub_buckets = 8);
+
+  void add(std::uint64_t x);
+  void merge(const LogHistogram& other);
+
+  std::uint64_t total() const { return total_; }
+
+  /// Approximate percentile from bucket midpoints, p in [0, 100].
+  /// Returns 0 for an empty histogram.
+  std::uint64_t percentile(double p) const;
+
+  /// Render an ASCII sketch (one row per populated power-of-two decade).
+  std::string ascii(std::size_t width = 48) const;
+
+ private:
+  std::size_t index_of(std::uint64_t x) const;
+  std::uint64_t bucket_mid(std::size_t idx) const;
+
+  std::size_t sub_buckets_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ssdk

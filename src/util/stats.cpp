@@ -1,0 +1,104 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace ssdk {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::merge(const SampleSet& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank =
+      p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+std::string summarize(const SampleSet& s) {
+  std::ostringstream os;
+  if (s.empty()) {
+    os << "n=0";
+    return os.str();
+  }
+  os << "n=" << s.count() << " mean=" << s.mean() << " p50=" << s.median()
+     << " p99=" << s.percentile(99.0) << " max=" << s.max();
+  return os.str();
+}
+
+}  // namespace ssdk

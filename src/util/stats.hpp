@@ -1,0 +1,69 @@
+// Streaming and batch statistics used across the simulator and the
+// benchmark harness: Welford running moments, reservoir-free percentile
+// computation over collected samples, and simple summary containers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssdk {
+
+/// Numerically stable running mean/variance (Welford). Value type; merging
+/// two accumulators is supported so per-thread stats can be combined.
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator into this one (parallel reduction step).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Population variance; 0 if n < 2.
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Collects raw samples and answers percentile queries. Intended for
+/// latency distributions where the full sample set fits in memory.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void merge(const SampleSet& other);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+
+  /// Linear-interpolated percentile, p in [0, 100]. Requires non-empty set.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// One-line human-readable summary: "n=... mean=... p50=... p99=... max=...".
+std::string summarize(const SampleSet& s);
+
+}  // namespace ssdk

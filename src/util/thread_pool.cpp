@@ -1,0 +1,88 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace ssdk {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t chunk) {
+  if (n == 0) return;
+  chunk = std::max<std::size_t>(1, chunk);
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const std::size_t tasks = std::min(pool.size(), (n + chunk - 1) / chunk);
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(pool.submit([&] {
+      for (;;) {
+        const std::size_t begin = next.fetch_add(chunk);
+        if (begin >= n) return;
+        const std::size_t end = std::min(begin + chunk, n);
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            fn(i);
+          } catch (...) {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            return;
+          }
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ssdk

@@ -1,0 +1,29 @@
+// Simulation time primitives.
+//
+// All simulator timestamps and durations are unsigned 64-bit nanosecond
+// counts. A dedicated strong-ish typedef (plain alias, zero overhead) keeps
+// the unit explicit at API boundaries; helper literals avoid magic numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace ssdk {
+
+/// Absolute simulation time in nanoseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Duration in nanoseconds.
+using Duration = std::uint64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Convert a nanosecond duration to fractional microseconds (for reporting).
+constexpr double to_us(Duration ns) { return static_cast<double>(ns) / 1e3; }
+
+/// Convert a nanosecond duration to fractional milliseconds (for reporting).
+constexpr double to_ms(Duration ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace ssdk

@@ -1,0 +1,101 @@
+#include "core/allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/learner.hpp"
+
+namespace ssdk::core {
+namespace {
+
+/// Hand-built allocator whose network always prefers class `winner`.
+ChannelAllocator constant_allocator(const StrategySpace& space,
+                                    std::uint32_t winner) {
+  nn::Matrix w(kFeatureDim, space.size());  // zeros
+  nn::Matrix b(1, space.size());
+  b(0, winner) = 10.0;
+  std::vector<nn::DenseLayer> layers;
+  layers.emplace_back(std::move(w), std::move(b),
+                      nn::Activation::kIdentity);
+  nn::StandardScaler scaler;
+  scaler.set_parameters(std::vector<double>(kFeatureDim, 0.0),
+                        std::vector<double>(kFeatureDim, 1.0));
+  return ChannelAllocator(nn::Mlp(std::move(layers)), std::move(scaler),
+                          space);
+}
+
+TEST(Allocator, PredictsArgmaxStrategy) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 7);
+  MixFeatures f;
+  f.intensity_level = 3;
+  EXPECT_EQ(allocator.predict_index(f), 7u);
+  EXPECT_EQ(allocator.predict(f), space.at(7));
+}
+
+TEST(Allocator, RejectsShapeMismatches) {
+  const auto space = StrategySpace::for_tenants(4);
+  // Wrong output size.
+  nn::Mlp bad_out({kFeatureDim, 8, 10}, nn::Activation::kReLU, 1);
+  EXPECT_THROW(
+      ChannelAllocator(std::move(bad_out), nn::StandardScaler{}, space),
+      std::invalid_argument);
+  // Wrong input size.
+  nn::Mlp bad_in({5, 8, 42}, nn::Activation::kReLU, 1);
+  EXPECT_THROW(
+      ChannelAllocator(std::move(bad_in), nn::StandardScaler{}, space),
+      std::invalid_argument);
+}
+
+TEST(Allocator, OverheadAccountingMatchesPaperFormulas) {
+  const auto space = StrategySpace::for_tenants(4);
+  nn::Mlp model({9, 64, 42}, nn::Activation::kLogistic, 1);
+  nn::StandardScaler scaler;
+  scaler.set_parameters(std::vector<double>(9, 0.0),
+                        std::vector<double>(9, 1.0));
+  const ChannelAllocator allocator(std::move(model), std::move(scaler),
+                                   space);
+  EXPECT_EQ(allocator.multiplications_per_inference(), 9u * 64 + 64u * 42);
+  EXPECT_EQ(allocator.parameter_bytes(),
+            (9u * 64 + 64 + 64u * 42 + 42) * sizeof(double));
+  // "Negligible" overhead claim: well under 1 MB.
+  EXPECT_LT(allocator.parameter_bytes(), 1u << 20);
+}
+
+TEST(Allocator, SaveLoadRoundTripPreservesPredictions) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 13);
+  const std::string path = testing::TempDir() + "/ssdk_allocator_test.txt";
+  allocator.save(path);
+  const auto loaded = ChannelAllocator::load(path, space);
+  MixFeatures f;
+  f.intensity_level = 9;
+  f.proportion = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_EQ(loaded.predict_index(f), allocator.predict_index(f));
+  std::remove(path.c_str());
+}
+
+TEST(Allocator, ScalerAffectsPrediction) {
+  // A network whose output depends on feature 0 sign: scaling matters.
+  const auto space = StrategySpace::for_tenants(2);
+  nn::Matrix w(kFeatureDim, space.size());
+  w(0, 1) = 1.0;  // class 1 score = scaled level
+  nn::Matrix b(1, space.size());
+  std::vector<nn::DenseLayer> layers;
+  layers.emplace_back(std::move(w), std::move(b),
+                      nn::Activation::kIdentity);
+  nn::StandardScaler scaler;
+  std::vector<double> mean(kFeatureDim, 0.0);
+  mean[0] = 10.0;  // levels below 10 scale negative -> class 0
+  scaler.set_parameters(std::move(mean),
+                        std::vector<double>(kFeatureDim, 1.0));
+  const ChannelAllocator allocator(nn::Mlp(std::move(layers)),
+                                   std::move(scaler), space);
+  MixFeatures low, high;
+  low.intensity_level = 2;
+  high.intensity_level = 18;
+  EXPECT_EQ(allocator.predict_index(low), 0u);
+  EXPECT_EQ(allocator.predict_index(high), 1u);
+}
+
+}  // namespace
+}  // namespace ssdk::core

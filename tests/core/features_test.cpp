@@ -1,0 +1,149 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::core {
+namespace {
+
+sim::IoRequest req(sim::TenantId tenant, sim::OpType type, SimTime at) {
+  sim::IoRequest r;
+  r.tenant = tenant;
+  r.type = type;
+  r.arrival = at;
+  r.page_count = 1;
+  return r;
+}
+
+TEST(Features, VectorLayoutIsNineDimensional) {
+  MixFeatures f;
+  f.intensity_level = 5;
+  f.read_dominated = {1, 0, 1, 0};
+  f.proportion = {0.1, 0.2, 0.3, 0.4};
+  const auto v = f.to_vector();
+  ASSERT_EQ(v.size(), kFeatureDim);
+  EXPECT_EQ(v[0], 5.0);
+  EXPECT_EQ(v[1], 1.0);
+  EXPECT_EQ(v[4], 0.0);
+  EXPECT_EQ(v[5], 0.1);
+  EXPECT_EQ(v[8], 0.4);
+}
+
+TEST(Features, DescribeMatchesPaperNotation) {
+  MixFeatures f;
+  f.intensity_level = 5;
+  f.read_dominated = {1, 0, 1, 0};
+  f.proportion = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_EQ(f.describe(), "[5] [1,0,1,0] [0.10,0.20,0.30,0.40]");
+}
+
+TEST(Features, CollectorCountsCharacteristics) {
+  FeaturesCollector collector;
+  // Tenant 0: 3 writes 1 read -> write-dominated.
+  for (int i = 0; i < 3; ++i) {
+    collector.observe(req(0, sim::OpType::kWrite, 0));
+  }
+  collector.observe(req(0, sim::OpType::kRead, 0));
+  // Tenant 1: all reads.
+  for (int i = 0; i < 4; ++i) {
+    collector.observe(req(1, sim::OpType::kRead, 0));
+  }
+  const MixFeatures f = collector.finalize(1.0);
+  EXPECT_EQ(f.read_dominated[0], 0);
+  EXPECT_EQ(f.read_dominated[1], 1);
+  EXPECT_DOUBLE_EQ(f.proportion[0], 0.5);
+  EXPECT_DOUBLE_EQ(f.proportion[1], 0.5);
+  EXPECT_DOUBLE_EQ(f.proportion[2], 0.0);
+}
+
+TEST(Features, ProportionsSumToOne) {
+  FeaturesCollector collector;
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i <= t; ++i) {
+      collector.observe(
+          req(static_cast<sim::TenantId>(t), sim::OpType::kRead, 0));
+    }
+  }
+  const MixFeatures f = collector.finalize(1.0);
+  double sum = 0.0;
+  for (const double p : f.proportion) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Features, IntensityQuantization) {
+  FeatureConfig config;
+  config.max_intensity_rps = 1000.0;
+  config.intensity_levels = 20;
+  FeaturesCollector collector(config);
+  // 100 requests over 1 second = 100 rps = 10% of max -> level 2.
+  for (int i = 0; i < 100; ++i) {
+    collector.observe(req(0, sim::OpType::kRead, 0));
+  }
+  EXPECT_EQ(collector.finalize(1.0).intensity_level, 2u);
+}
+
+TEST(Features, IntensityClampsAtTopLevel) {
+  FeatureConfig config;
+  config.max_intensity_rps = 10.0;
+  FeaturesCollector collector(config);
+  for (int i = 0; i < 1000; ++i) {
+    collector.observe(req(0, sim::OpType::kRead, 0));
+  }
+  EXPECT_EQ(collector.finalize(1.0).intensity_level, 19u);
+}
+
+TEST(Features, WindowFromObservedSpanWhenNotGiven) {
+  FeatureConfig config;
+  config.max_intensity_rps = 2000.0;
+  FeaturesCollector collector(config);
+  // 1000 requests over 1 second of arrivals -> 1000 rps -> level 10.
+  for (int i = 0; i < 1000; ++i) {
+    collector.observe(
+        req(0, sim::OpType::kRead, static_cast<SimTime>(i) * kMillisecond));
+  }
+  EXPECT_EQ(collector.finalize().intensity_level, 10u);
+}
+
+TEST(Features, ResetClears) {
+  FeaturesCollector collector;
+  collector.observe(req(0, sim::OpType::kRead, 0));
+  collector.reset();
+  EXPECT_EQ(collector.observed(), 0u);
+  const MixFeatures f = collector.finalize(1.0);
+  EXPECT_EQ(f.proportion[0], 0.0);
+}
+
+TEST(Features, RejectsOutOfRangeTenant) {
+  FeaturesCollector collector;
+  EXPECT_THROW(collector.observe(req(4, sim::OpType::kRead, 0)),
+               std::invalid_argument);
+}
+
+TEST(Features, ProfilesCarryIntensityAndCharacteristic) {
+  MixFeatures f;
+  f.read_dominated = {0, 1, 0, 1};
+  f.proportion = {0.4, 0.3, 0.2, 0.1};
+  const auto profiles = f.profiles(4);
+  ASSERT_EQ(profiles.size(), 4u);
+  EXPECT_FALSE(profiles[0].read_dominated);
+  EXPECT_TRUE(profiles[3].read_dominated);
+  EXPECT_DOUBLE_EQ(profiles[2].relative_intensity, 0.2);
+}
+
+TEST(Features, TotalWriteProportion) {
+  MixFeatures f;
+  f.read_dominated = {0, 1, 0, 1};
+  f.proportion = {0.4, 0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(f.total_write_proportion(), 0.6);
+}
+
+TEST(Features, BadConfigRejected) {
+  FeatureConfig config;
+  config.max_tenants = 5;
+  EXPECT_THROW(FeaturesCollector{config}, std::invalid_argument);
+  config = {};
+  config.max_intensity_rps = 0.0;
+  EXPECT_THROW(FeaturesCollector{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdk::core

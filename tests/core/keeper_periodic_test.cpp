@@ -1,0 +1,151 @@
+// Periodic re-prediction mode: the keeper adapts when the tenant mix
+// drifts mid-run.
+#include <gtest/gtest.h>
+
+#include "core/keeper.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace ssdk::core {
+namespace {
+
+/// Allocator that answers Shared for read-heavy mixes and 6:2 for
+/// write-heavy ones (decided by the total write proportion feature).
+ChannelAllocator threshold_allocator(const StrategySpace& space) {
+  // Logits: class(Shared) = +w . read proportions, class(6:2) = +w .
+  // write proportions. Identity scaler. Two-layer not needed.
+  nn::Matrix w(kFeatureDim, space.size());
+  const std::size_t six_two = space.index_of("6:2");
+  // Feature layout: [level, char x4, prop x4]. A tenant's proportion
+  // counts toward "write side" when its char bit is 0; approximate with
+  // the char bits themselves: more read-dominated tenants -> Shared.
+  for (std::size_t c = 1; c <= 4; ++c) {
+    w(c, 0) = 4.0;        // read-dominated tenant bits favor Shared
+    w(c, six_two) = -4.0;
+  }
+  nn::Matrix b(1, space.size());
+  b(0, six_two) = 4.0;  // with few read bits set, 6:2 wins
+  std::vector<nn::DenseLayer> layers;
+  layers.emplace_back(std::move(w), std::move(b),
+                      nn::Activation::kIdentity);
+  nn::StandardScaler scaler;
+  scaler.set_parameters(std::vector<double>(kFeatureDim, 0.0),
+                        std::vector<double>(kFeatureDim, 1.0));
+  return ChannelAllocator(nn::Mlp(std::move(layers)), std::move(scaler),
+                          space);
+}
+
+/// Phase 1 (0..0.5s): all four tenants read-heavy. Phase 2 (0.5..1s):
+/// all four write-heavy.
+std::vector<sim::IoRequest> drifting_mix() {
+  std::vector<trace::Workload> workloads(4);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    trace::SyntheticSpec phase1;
+    phase1.write_fraction = 0.05;
+    phase1.request_count = 1200;
+    phase1.intensity_rps = 2400.0;
+    phase1.seed = 10 + t;
+    trace::SyntheticSpec phase2 = phase1;
+    phase2.write_fraction = 0.95;
+    phase2.seed = 20 + t;
+    auto w = trace::generate_synthetic(phase1);
+    auto second = trace::generate_synthetic(phase2);
+    // Phase 2 starts strictly after phase 1's tail (Poisson arrivals can
+    // spill past the nominal 0.5 s boundary).
+    const SimTime offset =
+        std::max<SimTime>(500 * kMillisecond,
+                          w.empty() ? 0 : w.back().arrival + kMillisecond);
+    for (auto& rec : second) {
+      rec.arrival += offset;
+      w.push_back(rec);
+    }
+    workloads[t] = std::move(w);
+  }
+  return trace::mix_workloads(workloads);
+}
+
+TEST(KeeperPeriodic, AdaptsToDriftingMix) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = threshold_allocator(space);
+
+  KeeperConfig config;
+  config.collect_window_ns = 50 * kMillisecond;
+  config.repredict_interval_ns = 100 * kMillisecond;
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(drifting_mix());
+  device.run_to_completion();
+
+  ASSERT_TRUE(keeper.switched());
+  // Phase 1 decisions must be Shared; after the drift, 6:2.
+  const auto& decisions = keeper.decisions();
+  ASSERT_GE(decisions.size(), 4u);
+  EXPECT_EQ(decisions.front().second.name(), "Shared");
+  EXPECT_EQ(decisions.back().second.name(), "6:2");
+  EXPECT_GE(keeper.strategy_changes(), 2u);
+}
+
+TEST(KeeperPeriodic, OneShotNeverRepredicts) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = threshold_allocator(space);
+  KeeperConfig config;
+  config.collect_window_ns = 50 * kMillisecond;
+  config.repredict_interval_ns = 0;  // Algorithm 2 as published
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(drifting_mix());
+  device.run_to_completion();
+  EXPECT_EQ(keeper.decisions().size(), 1u);
+  EXPECT_EQ(keeper.chosen_strategy()->name(), "Shared");
+}
+
+TEST(KeeperPeriodic, StableMixKeepsStrategy) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = threshold_allocator(space);
+  KeeperConfig config;
+  config.collect_window_ns = 40 * kMillisecond;
+  config.repredict_interval_ns = 80 * kMillisecond;
+
+  std::vector<trace::Workload> workloads(4);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    trace::SyntheticSpec spec;
+    spec.write_fraction = 0.05;
+    spec.request_count = 2000;
+    spec.intensity_rps = 4000.0;
+    spec.seed = 30 + t;
+    workloads[t] = trace::generate_synthetic(spec);
+  }
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(trace::mix_workloads(workloads));
+  device.run_to_completion();
+  ASSERT_GE(keeper.decisions().size(), 3u);
+  // Re-predictions confirmed the incumbent: exactly one change (initial).
+  EXPECT_EQ(keeper.strategy_changes(), 1u);
+}
+
+TEST(KeeperPeriodic, DecisionTimesAreMonotone) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = threshold_allocator(space);
+  KeeperConfig config;
+  config.collect_window_ns = 30 * kMillisecond;
+  config.repredict_interval_ns = 60 * kMillisecond;
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(drifting_mix());
+  device.run_to_completion();
+  const auto& decisions = keeper.decisions();
+  for (std::size_t i = 1; i < decisions.size(); ++i) {
+    EXPECT_GT(decisions[i].first, decisions[i - 1].first);
+  }
+}
+
+}  // namespace
+}  // namespace ssdk::core

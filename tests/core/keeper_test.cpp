@@ -1,0 +1,144 @@
+#include "core/keeper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace ssdk::core {
+namespace {
+
+/// Allocator that always answers with the given strategy index.
+ChannelAllocator constant_allocator(const StrategySpace& space,
+                                    std::uint32_t winner) {
+  nn::Matrix w(kFeatureDim, space.size());
+  nn::Matrix b(1, space.size());
+  b(0, winner) = 10.0;
+  std::vector<nn::DenseLayer> layers;
+  layers.emplace_back(std::move(w), std::move(b),
+                      nn::Activation::kIdentity);
+  nn::StandardScaler scaler;
+  scaler.set_parameters(std::vector<double>(kFeatureDim, 0.0),
+                        std::vector<double>(kFeatureDim, 1.0));
+  return ChannelAllocator(nn::Mlp(std::move(layers)), std::move(scaler),
+                          space);
+}
+
+std::vector<sim::IoRequest> four_tenant_mix(std::uint64_t requests_each) {
+  std::vector<trace::Workload> workloads;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    trace::SyntheticSpec spec;
+    spec.write_fraction = t % 2 == 0 ? 0.9 : 0.1;
+    spec.request_count = requests_each;
+    spec.intensity_rps = 5000.0;
+    spec.address_space_pages = 4096;
+    spec.seed = 100 + t;
+    workloads.push_back(trace::generate_synthetic(spec));
+  }
+  return trace::mix_workloads(workloads);
+}
+
+TEST(Keeper, SwitchesAfterCollectionWindow) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, space.index_of("4:2:1:1"));
+  KeeperConfig config;
+  config.collect_window_ns = 50 * kMillisecond;
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(four_tenant_mix(1000));
+  device.run_to_completion();
+
+  ASSERT_TRUE(keeper.switched());
+  EXPECT_EQ(keeper.chosen_strategy()->name(), "4:2:1:1");
+  // The device ends up partitioned 4:2:1:1 across tenants.
+  std::size_t total_channels = 0;
+  for (sim::TenantId t = 0; t < 4; ++t) {
+    total_channels += device.ftl().tenant_channels(t).size();
+  }
+  EXPECT_EQ(total_channels, 8u);
+}
+
+TEST(Keeper, MeasuredFeaturesReflectWindowOnly) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 0);
+  KeeperConfig config;
+  config.collect_window_ns = 100 * kMillisecond;
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(four_tenant_mix(800));
+  device.run_to_completion();
+
+  ASSERT_TRUE(keeper.measured_features().has_value());
+  const MixFeatures& f = *keeper.measured_features();
+  // Tenants 0 and 2 are write-dominated, 1 and 3 read-dominated.
+  EXPECT_EQ(f.read_dominated[0], 0);
+  EXPECT_EQ(f.read_dominated[1], 1);
+  EXPECT_EQ(f.read_dominated[2], 0);
+  EXPECT_EQ(f.read_dominated[3], 1);
+  double sum = 0.0;
+  for (const double p : f.proportion) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Keeper, HybridTogglesPageAllocationModes) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 0);
+  KeeperConfig config;
+  config.collect_window_ns = 50 * kMillisecond;
+  config.hybrid_page_allocation = true;
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(four_tenant_mix(1000));
+  device.run_to_completion();
+
+  EXPECT_EQ(device.ftl().tenant_alloc_mode(0), ftl::AllocMode::kDynamic);
+  EXPECT_EQ(device.ftl().tenant_alloc_mode(1), ftl::AllocMode::kStatic);
+}
+
+TEST(Keeper, RunWithKeeperThrowsWhenWindowNeverElapses) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 0);
+  KeeperConfig config;
+  config.collect_window_ns = 3600 * kSecond;  // longer than the workload
+  EXPECT_THROW(run_with_keeper(four_tenant_mix(200), allocator, config,
+                               ssd::SsdOptions{}),
+               std::runtime_error);
+}
+
+TEST(Keeper, RunWithKeeperReturnsConsistentSummary) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 0);
+  KeeperConfig config;
+  config.collect_window_ns = 50 * kMillisecond;
+  const KeeperRunResult result = run_with_keeper(
+      four_tenant_mix(1000), allocator, config, ssd::SsdOptions{});
+  EXPECT_EQ(result.strategy.name(), "Shared");
+  EXPECT_GT(result.run.total_us, 0.0);
+  EXPECT_EQ(result.run.per_tenant.size(), 4u);
+}
+
+TEST(Keeper, SwitchHappensOnceOnly) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 2);
+  KeeperConfig config;
+  config.collect_window_ns = 10 * kMillisecond;
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(four_tenant_mix(1500));
+  device.run_to_completion();
+  EXPECT_TRUE(keeper.switched());
+  // Manually re-partition; the keeper must not override it afterwards.
+  device.set_tenant_channels(0, {0});
+  EXPECT_EQ(device.ftl().tenant_channels(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ssdk::core

@@ -1,0 +1,98 @@
+#include "core/label_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ssdk::core {
+namespace {
+
+DatasetGenConfig small_config(std::uint64_t workloads = 4) {
+  DatasetGenConfig config;
+  config.workloads = workloads;
+  config.requests_per_workload = 400;
+  config.seed = 11;
+  return config;
+}
+
+TEST(LabelGen, SynthesizeMixRespectsCountAndTenants) {
+  const auto config = small_config();
+  const auto requests = synthesize_mix(config, 0);
+  EXPECT_EQ(requests.size(), config.requests_per_workload);
+  bool tenants_seen[4] = {false, false, false, false};
+  for (const auto& r : requests) {
+    ASSERT_LT(r.tenant, 4u);
+    tenants_seen[r.tenant] = true;
+  }
+  for (const bool seen : tenants_seen) EXPECT_TRUE(seen);
+}
+
+TEST(LabelGen, SynthesizeMixDeterministicPerIndex) {
+  const auto config = small_config();
+  const auto a = synthesize_mix(config, 3);
+  const auto b = synthesize_mix(config, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 13) {
+    ASSERT_EQ(a[i].lpn, b[i].lpn);
+    ASSERT_EQ(a[i].arrival, b[i].arrival);
+  }
+  const auto c = synthesize_mix(config, 4);
+  bool differs = false;
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()) && !differs;
+       ++i) {
+    differs = a[i].lpn != c[i].lpn;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(LabelGen, LabelIsArgminOfStrategyLatencies) {
+  const auto config = small_config();
+  const auto requests = synthesize_mix(config, 1);
+  const auto space = StrategySpace::for_tenants(4);
+  const LabeledSample sample =
+      label_workload(requests, space, config.label, nullptr);
+  ASSERT_EQ(sample.strategy_total_us.size(), space.size());
+  const auto best = std::min_element(sample.strategy_total_us.begin(),
+                                     sample.strategy_total_us.end());
+  EXPECT_EQ(sample.label,
+            static_cast<std::uint32_t>(
+                std::distance(sample.strategy_total_us.begin(), best)));
+  for (const double v : sample.strategy_total_us) EXPECT_GT(v, 0.0);
+}
+
+TEST(LabelGen, ParallelAndSerialAgree) {
+  const auto config = small_config();
+  const auto requests = synthesize_mix(config, 2);
+  const auto space = StrategySpace::for_tenants(4);
+  ThreadPool pool(4);
+  const auto serial = label_workload(requests, space, config.label, nullptr);
+  const auto parallel = label_workload(requests, space, config.label, &pool);
+  EXPECT_EQ(serial.label, parallel.label);
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.strategy_total_us[i],
+                     parallel.strategy_total_us[i]);
+  }
+}
+
+TEST(LabelGen, GenerateDatasetShapes) {
+  const auto config = small_config(6);
+  const auto space = StrategySpace::for_tenants(4);
+  ThreadPool pool(4);
+  const GeneratedDataset out = generate_dataset(space, config, pool);
+  EXPECT_EQ(out.data.size(), 6u);
+  EXPECT_EQ(out.data.feature_dim(), kFeatureDim);
+  EXPECT_EQ(out.samples.size(), 6u);
+  for (const auto label : out.data.labels()) {
+    EXPECT_LT(label, space.size());
+  }
+  // Features in the dataset match the per-sample features.
+  for (std::size_t i = 0; i < out.samples.size(); ++i) {
+    const auto row = out.samples[i].features.to_vector();
+    for (std::size_t c = 0; c < kFeatureDim; ++c) {
+      EXPECT_EQ(out.data.features()(i, c), row[c]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssdk::core

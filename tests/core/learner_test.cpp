@@ -1,0 +1,103 @@
+#include "core/learner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::core {
+namespace {
+
+/// Synthetic dataset whose label is a simple function of the features —
+/// learnable without a simulator in the loop.
+nn::Dataset easy_dataset(std::size_t n, const StrategySpace& space) {
+  Rng rng(3);
+  nn::Matrix x(n, kFeatureDim);
+  std::vector<std::uint32_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double level = rng.uniform_real(0.0, 19.0);
+    x(i, 0) = level;
+    for (std::size_t c = 1; c < 5; ++c) {
+      x(i, c) = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    }
+    double rest = 1.0;
+    for (std::size_t c = 5; c < 8; ++c) {
+      x(i, c) = rng.uniform_real(0.0, rest);
+      rest -= x(i, c);
+    }
+    x(i, 8) = rest;
+    // Label: low intensity -> Shared (0); otherwise pick by the dominant
+    // tenant's characteristic.
+    if (level < 7.0) {
+      y[i] = 0;
+    } else {
+      y[i] = x(i, 1) > 0.5 ? 1u : static_cast<std::uint32_t>(
+                                      space.size() - 1);
+    }
+  }
+  return nn::Dataset(std::move(x), std::move(y));
+}
+
+TEST(Learner, LearnsRuleBasedLabels) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto data = easy_dataset(600, space);
+  LearnerConfig config;
+  config.max_iterations = 80;
+  const LearnedModel learned = train_strategy_learner(data, space, config);
+  EXPECT_GT(learned.history.final_accuracy, 0.9);
+  EXPECT_LT(learned.history.final_loss, 0.5);
+  EXPECT_EQ(learned.history.train_loss.size(), 80u);
+}
+
+TEST(Learner, AllPaperOptimizersTrain) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto data = easy_dataset(300, space);
+  for (const char* opt : {"sgd", "sgd-momentum", "adam"}) {
+    LearnerConfig config;
+    config.optimizer = opt;
+    config.max_iterations = 40;
+    const LearnedModel learned =
+        train_strategy_learner(data, space, config);
+    EXPECT_GT(learned.history.final_accuracy, 0.5) << opt;
+    EXPECT_EQ(learned.history.optimizer_name, opt);
+  }
+}
+
+TEST(Learner, ModelShapeMatchesPaper) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto data = easy_dataset(100, space);
+  LearnerConfig config;
+  config.max_iterations = 2;
+  const LearnedModel learned = train_strategy_learner(data, space, config);
+  EXPECT_EQ(learned.allocator.model().input_size(), 9u);
+  EXPECT_EQ(learned.allocator.model().output_size(), 42u);
+  EXPECT_EQ(learned.allocator.multiplications_per_inference(),
+            9u * 64 + 64u * 42);
+}
+
+TEST(Learner, RejectsBadInputs) {
+  const auto space = StrategySpace::for_tenants(4);
+  EXPECT_THROW(train_strategy_learner(nn::Dataset(), space, LearnerConfig{}),
+               std::invalid_argument);
+  // Label outside the space.
+  nn::Matrix x(1, kFeatureDim);
+  nn::Dataset bad(std::move(x), {99});
+  EXPECT_THROW(train_strategy_learner(bad, space, LearnerConfig{}),
+               std::invalid_argument);
+  // Wrong feature dimension.
+  nn::Dataset wrong_dim(nn::Matrix(1, 5), {0});
+  EXPECT_THROW(
+      train_strategy_learner(wrong_dim, space, LearnerConfig{}),
+      std::invalid_argument);
+}
+
+TEST(Learner, DeterministicGivenSeed) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto data = easy_dataset(200, space);
+  LearnerConfig config;
+  config.max_iterations = 20;
+  const auto a = train_strategy_learner(data, space, config);
+  const auto b = train_strategy_learner(data, space, config);
+  EXPECT_DOUBLE_EQ(a.history.final_loss, b.history.final_loss);
+  EXPECT_DOUBLE_EQ(a.history.final_accuracy, b.history.final_accuracy);
+}
+
+}  // namespace
+}  // namespace ssdk::core

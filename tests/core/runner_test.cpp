@@ -1,0 +1,98 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace ssdk::core {
+namespace {
+
+std::vector<sim::IoRequest> small_mix(std::uint64_t seed = 1) {
+  trace::SyntheticSpec writer;
+  writer.write_fraction = 0.9;
+  writer.request_count = 400;
+  writer.intensity_rps = 8000.0;
+  writer.seed = seed;
+  trace::SyntheticSpec reader;
+  reader.write_fraction = 0.1;
+  reader.request_count = 400;
+  reader.intensity_rps = 8000.0;
+  reader.seed = seed + 1;
+  return trace::mix_workloads(std::vector<trace::Workload>{
+      trace::generate_synthetic(writer), trace::generate_synthetic(reader)});
+}
+
+std::vector<TenantProfile> profiles_of(
+    std::span<const sim::IoRequest> requests) {
+  return features_of(requests).profiles(2);
+}
+
+TEST(Runner, SummaryIsSumOfAverages) {
+  const auto requests = small_mix();
+  const auto profiles = profiles_of(requests);
+  const RunResult r =
+      run_with_strategy(requests, Strategy{}, profiles, RunConfig{});
+  EXPECT_GT(r.avg_read_us, 0.0);
+  EXPECT_GT(r.avg_write_us, r.avg_read_us);  // writes are slower
+  EXPECT_DOUBLE_EQ(r.total_us, r.avg_read_us + r.avg_write_us);
+  // p99 can sit below the mean only under extreme outlier mass; here it
+  // must at least be a positive latency no smaller than the floor.
+  EXPECT_GT(r.p99_read_us, 0.0);
+  EXPECT_GT(r.p99_write_us, r.p99_read_us);
+  EXPECT_EQ(r.per_tenant.size(), 2u);
+  EXPECT_EQ(r.counters.host_reads + r.counters.host_writes,
+            requests.size());
+}
+
+TEST(Runner, ConfigureSsdRestrictsChannels) {
+  ssd::Ssd device{ssd::SsdOptions{}};
+  Strategy s;
+  s.kind = StrategyKind::kTwoPart;
+  s.parts = {6, 2, 0, 0};
+  const std::vector<TenantProfile> profiles{{0, false, 0.5},
+                                            {1, true, 0.5}};
+  configure_ssd(device, s, profiles, /*hybrid=*/true);
+  EXPECT_EQ(device.ftl().tenant_channels(0).size(), 6u);
+  EXPECT_EQ(device.ftl().tenant_channels(1).size(), 2u);
+  // Hybrid: write-dominated tenant 0 -> dynamic; read tenant 1 -> static.
+  EXPECT_EQ(device.ftl().tenant_alloc_mode(0), ftl::AllocMode::kDynamic);
+  EXPECT_EQ(device.ftl().tenant_alloc_mode(1), ftl::AllocMode::kStatic);
+}
+
+TEST(Runner, NoHybridKeepsEverythingStatic) {
+  ssd::Ssd device{ssd::SsdOptions{}};
+  const std::vector<TenantProfile> profiles{{0, false, 0.5},
+                                            {1, true, 0.5}};
+  configure_ssd(device, Strategy{}, profiles, /*hybrid=*/false);
+  EXPECT_EQ(device.ftl().tenant_alloc_mode(0), ftl::AllocMode::kStatic);
+  EXPECT_EQ(device.ftl().tenant_alloc_mode(1), ftl::AllocMode::kStatic);
+}
+
+TEST(Runner, DeterministicAcrossCalls) {
+  const auto requests = small_mix(5);
+  const auto profiles = profiles_of(requests);
+  const RunResult a =
+      run_with_strategy(requests, Strategy{}, profiles, RunConfig{});
+  const RunResult b =
+      run_with_strategy(requests, Strategy{}, profiles, RunConfig{});
+  EXPECT_DOUBLE_EQ(a.total_us, b.total_us);
+  EXPECT_EQ(a.counters.conflicts, b.counters.conflicts);
+}
+
+TEST(Runner, StrategiesActuallyChangeOutcomes) {
+  const auto requests = small_mix(7);
+  const auto profiles = profiles_of(requests);
+  Strategy lopsided;
+  lopsided.kind = StrategyKind::kTwoPart;
+  lopsided.parts = {1, 7, 0, 0};
+  const RunResult shared =
+      run_with_strategy(requests, Strategy{}, profiles, RunConfig{});
+  const RunResult skewed =
+      run_with_strategy(requests, lopsided, profiles, RunConfig{});
+  EXPECT_NE(shared.total_us, skewed.total_us);
+}
+
+}  // namespace
+}  // namespace ssdk::core

@@ -1,0 +1,105 @@
+// Property sweep over the entire 42-strategy space: every strategy must
+// produce a valid, complete, non-overlapping channel assignment for any
+// tenant profile, and its name must round-trip through the space index.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/strategy.hpp"
+#include "util/rng.hpp"
+
+namespace ssdk::core {
+namespace {
+
+class EveryStrategy : public testing::TestWithParam<std::size_t> {
+ protected:
+  static const StrategySpace& space() {
+    static const StrategySpace s = StrategySpace::for_tenants(4);
+    return s;
+  }
+  const Strategy& strategy() const { return space().at(GetParam()); }
+
+  static std::vector<TenantProfile> random_profiles(std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<TenantProfile> profiles(4);
+    double sum = 0.0;
+    for (std::size_t t = 0; t < 4; ++t) {
+      profiles[t].id = static_cast<sim::TenantId>(t);
+      profiles[t].read_dominated = rng.bernoulli(0.5);
+      profiles[t].relative_intensity = rng.exponential(1.0) + 0.01;
+      sum += profiles[t].relative_intensity;
+    }
+    for (auto& p : profiles) p.relative_intensity /= sum;
+    return profiles;
+  }
+};
+
+TEST_P(EveryStrategy, NameRoundTripsThroughIndex) {
+  EXPECT_EQ(space().index_of(strategy().name()), GetParam());
+}
+
+TEST_P(EveryStrategy, AssignmentIsCompleteAndValid) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto profiles = random_profiles(seed);
+    const auto sets = assign_channels(strategy(), profiles, 8);
+    ASSERT_EQ(sets.size(), 4u);
+
+    std::set<std::uint32_t> covered;
+    for (const auto& set : sets) {
+      ASSERT_FALSE(set.empty());  // no tenant is left without channels
+      for (const auto ch : set) {
+        ASSERT_LT(ch, 8u);
+        covered.insert(ch);
+      }
+    }
+    // Every channel is usable by someone.
+    EXPECT_EQ(covered.size(), 8u);
+
+    if (strategy().kind == StrategyKind::kFourPart) {
+      // Four-part assignments are disjoint partitions.
+      std::size_t total = 0;
+      for (const auto& set : sets) total += set.size();
+      EXPECT_EQ(total, 8u);
+    }
+  }
+}
+
+TEST_P(EveryStrategy, FourPartFollowsIntensityOrder) {
+  if (strategy().kind != StrategyKind::kFourPart) {
+    GTEST_SKIP() << "four-part convention only";
+  }
+  const auto profiles = random_profiles(9);
+  const auto sets = assign_channels(strategy(), profiles, 8);
+  // Sort tenants by intensity desc; their set sizes must be non-increasing.
+  std::vector<std::size_t> order(4);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return profiles[a].relative_intensity >
+                            profiles[b].relative_intensity;
+                   });
+  for (std::size_t r = 1; r < 4; ++r) {
+    EXPECT_GE(sets[order[r - 1]].size(), sets[order[r]].size());
+  }
+}
+
+TEST_P(EveryStrategy, AssignmentDeterministic) {
+  const auto profiles = random_profiles(3);
+  EXPECT_EQ(assign_channels(strategy(), profiles, 8),
+            assign_channels(strategy(), profiles, 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All42, EveryStrategy, testing::Range<std::size_t>(0, 42),
+    [](const auto& info) {
+      std::string name =
+          StrategySpace::for_tenants(4).at(info.param).name();
+      for (auto& c : name) {
+        if (c == ':') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ssdk::core

@@ -1,0 +1,56 @@
+#include "ftl/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::ftl {
+namespace {
+
+TEST(Mapping, UnmappedReturnsInvalid) {
+  MappingTable m;
+  EXPECT_EQ(m.lookup(0, 0), sim::kInvalidPpn);
+  EXPECT_EQ(m.lookup(5, 1000), sim::kInvalidPpn);
+}
+
+TEST(Mapping, UpdateAndLookup) {
+  MappingTable m;
+  EXPECT_EQ(m.update(0, 10, 42), sim::kInvalidPpn);
+  EXPECT_EQ(m.lookup(0, 10), 42u);
+  EXPECT_EQ(m.update(0, 10, 43), 42u);  // returns old
+  EXPECT_EQ(m.lookup(0, 10), 43u);
+}
+
+TEST(Mapping, TenantsAreIsolated) {
+  MappingTable m;
+  m.update(0, 7, 100);
+  m.update(1, 7, 200);
+  EXPECT_EQ(m.lookup(0, 7), 100u);
+  EXPECT_EQ(m.lookup(1, 7), 200u);
+}
+
+TEST(Mapping, MappedCountTracksTransitions) {
+  MappingTable m;
+  EXPECT_EQ(m.mapped_count(0), 0u);
+  m.update(0, 1, 10);
+  m.update(0, 2, 20);
+  EXPECT_EQ(m.mapped_count(0), 2u);
+  m.update(0, 1, 11);  // overwrite: count unchanged
+  EXPECT_EQ(m.mapped_count(0), 2u);
+  m.erase(0, 1);
+  EXPECT_EQ(m.mapped_count(0), 1u);
+  EXPECT_EQ(m.lookup(0, 1), sim::kInvalidPpn);
+}
+
+TEST(Mapping, SparseLpnGrowth) {
+  MappingTable m;
+  m.update(0, 1'000'000, 5);
+  EXPECT_EQ(m.lookup(0, 1'000'000), 5u);
+  EXPECT_EQ(m.lookup(0, 999'999), sim::kInvalidPpn);
+}
+
+TEST(Mapping, HugeTenantIdRejected) {
+  MappingTable m;
+  EXPECT_THROW(m.update(100'000, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdk::ftl

@@ -1,0 +1,114 @@
+// Full-pipeline integration: dataset generation -> training -> deployment
+// on the Table-IV mixes, plus the paper's headline sanity properties.
+#include <gtest/gtest.h>
+
+#include "core/keeper.hpp"
+#include "core/label_gen.hpp"
+#include "core/learner.hpp"
+#include "trace/catalog.hpp"
+
+namespace ssdk::core {
+namespace {
+
+class EndToEnd : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Shared across tests: a small but real trained model.
+    space_ = new StrategySpace(StrategySpace::for_tenants(4));
+    ThreadPool pool;
+    DatasetGenConfig gen;
+    gen.workloads = 400;  // 42 classes need broad feature-space coverage
+    gen.workload_duration_s = 0.12;
+    gen.seed = 2024;
+    const auto dataset = generate_dataset(*space_, gen, pool);
+    LearnerConfig learner;
+    learner.max_iterations = 80;
+    model_ = new LearnedModel(
+        train_strategy_learner(dataset.data, *space_, learner));
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete space_;
+    model_ = nullptr;
+    space_ = nullptr;
+  }
+
+  static StrategySpace* space_;
+  static LearnedModel* model_;
+};
+
+StrategySpace* EndToEnd::space_ = nullptr;
+LearnedModel* EndToEnd::model_ = nullptr;
+
+TEST_F(EndToEnd, TrainingConverges) {
+  EXPECT_LT(model_->history.final_loss, model_->history.train_loss.front());
+  EXPECT_GT(model_->history.final_accuracy, 0.4);
+}
+
+TEST_F(EndToEnd, KeeperNeverFarFromBestBaseline) {
+  // SSDKeeper must track min(Shared, Isolated) within a modest factor on
+  // every Table-IV mix (the paper's headline property, Figure 5).
+  KeeperConfig keeper_config;
+  keeper_config.collect_window_ns = 60 * kMillisecond;
+  RunConfig baseline;
+  for (std::uint32_t m = 1; m <= 4; ++m) {
+    const auto requests = trace::build_mix(m, 0.3, 0, /*seed=*/5);
+    const auto features = features_of(requests);
+    const auto profiles = features.profiles(4);
+    const auto shared = run_with_strategy(requests, space_->shared(),
+                                          profiles, baseline);
+    const auto isolated = run_with_strategy(requests, space_->isolated(),
+                                            profiles, baseline);
+    const auto keeper = run_with_keeper(requests, model_->allocator,
+                                        keeper_config, baseline.ssd);
+    const double best_baseline = std::min(shared.total_us, isolated.total_us);
+    EXPECT_LT(keeper.run.total_us, best_baseline * 1.6)
+        << "Mix" << m << " chose " << keeper.strategy.name();
+  }
+}
+
+TEST_F(EndToEnd, IsolatedCatastrophicOnSkewedMix) {
+  // Paper Section V.C: blindly isolating Mix1 (prxy_0-dominated) costs
+  // ~3x versus Shared. Shape check: Isolated must be clearly worse.
+  const auto requests = trace::build_mix(1, 0.3);
+  const auto profiles = features_of(requests).profiles(4);
+  RunConfig baseline;
+  const auto shared =
+      run_with_strategy(requests, space_->shared(), profiles, baseline);
+  const auto isolated =
+      run_with_strategy(requests, space_->isolated(), profiles, baseline);
+  EXPECT_GT(isolated.total_us, shared.total_us * 1.5);
+}
+
+TEST_F(EndToEnd, ModelSurvivesSerializationInDeployment) {
+  const std::string path = testing::TempDir() + "/ssdk_e2e_model.txt";
+  model_->allocator.save(path);
+  const auto loaded = ChannelAllocator::load(path, *space_);
+  const auto requests = trace::build_mix(2, 0.25);
+  const auto features = features_of(requests);
+  EXPECT_EQ(loaded.predict_index(features),
+            model_->allocator.predict_index(features));
+  std::remove(path.c_str());
+}
+
+TEST_F(EndToEnd, HybridPageAllocationHelpsOnAverage) {
+  // Paper Section V.C: hybrid page allocation adds ~2.1% on average.
+  // Shape check: averaged over the four mixes it must not hurt.
+  RunConfig plain, hybrid;
+  hybrid.hybrid_page_allocation = true;
+  double plain_total = 0.0, hybrid_total = 0.0;
+  for (std::uint32_t m = 1; m <= 4; ++m) {
+    const auto requests = trace::build_mix(m, 0.25);
+    const auto profiles = features_of(requests).profiles(4);
+    plain_total +=
+        run_with_strategy(requests, space_->shared(), profiles, plain)
+            .total_us;
+    hybrid_total +=
+        run_with_strategy(requests, space_->shared(), profiles, hybrid)
+            .total_us;
+  }
+  EXPECT_LT(hybrid_total, plain_total * 1.02);
+}
+
+}  // namespace
+}  // namespace ssdk::core

@@ -1,0 +1,94 @@
+#include "nn/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssdk::nn {
+namespace {
+
+TEST(Activation, StringRoundTrip) {
+  for (const auto a : {Activation::kIdentity, Activation::kReLU,
+                       Activation::kLogistic, Activation::kTanh}) {
+    EXPECT_EQ(activation_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW(activation_from_string("swish"), std::invalid_argument);
+}
+
+TEST(Activation, ReLUClampsNegatives) {
+  const Matrix z{{-1.0, 0.0, 2.0}};
+  Matrix y;
+  apply_activation(Activation::kReLU, z, y);
+  EXPECT_EQ(y(0, 0), 0.0);
+  EXPECT_EQ(y(0, 1), 0.0);
+  EXPECT_EQ(y(0, 2), 2.0);
+}
+
+TEST(Activation, LogisticRange) {
+  const Matrix z{{-100.0, 0.0, 100.0}};
+  Matrix y;
+  apply_activation(Activation::kLogistic, z, y);
+  EXPECT_NEAR(y(0, 0), 0.0, 1e-10);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.5);
+  EXPECT_NEAR(y(0, 2), 1.0, 1e-10);
+}
+
+TEST(Activation, TanhMatchesStd) {
+  const Matrix z{{0.7}};
+  Matrix y;
+  apply_activation(Activation::kTanh, z, y);
+  EXPECT_DOUBLE_EQ(y(0, 0), std::tanh(0.7));
+}
+
+TEST(Activation, InPlaceAliasing) {
+  Matrix z{{-3.0, 3.0}};
+  apply_activation(Activation::kReLU, z, z);
+  EXPECT_EQ(z(0, 0), 0.0);
+  EXPECT_EQ(z(0, 1), 3.0);
+}
+
+TEST(ActivationDerivative, FromOutputValues) {
+  // logistic'(z) = y(1-y); at y=0.5 -> 0.25.
+  const Matrix y{{0.5}};
+  Matrix d;
+  activation_derivative_from_output(Activation::kLogistic, y, d);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.25);
+
+  const Matrix yr{{0.0, 1.5}};
+  activation_derivative_from_output(Activation::kReLU, yr, d);
+  EXPECT_EQ(d(0, 0), 0.0);
+  EXPECT_EQ(d(0, 1), 1.0);
+
+  const Matrix yt{{0.5}};
+  activation_derivative_from_output(Activation::kTanh, yt, d);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.75);
+
+  const Matrix yi{{123.0}};
+  activation_derivative_from_output(Activation::kIdentity, yi, d);
+  EXPECT_EQ(d(0, 0), 1.0);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  const Matrix z{{1.0, 2.0, 3.0}, {-5.0, 0.0, 5.0}};
+  Matrix p;
+  softmax_rows(z, p);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += p(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(p(0, 2), p(0, 1));
+  EXPECT_GT(p(0, 1), p(0, 0));
+}
+
+TEST(Softmax, StableUnderLargeLogits) {
+  const Matrix z{{1000.0, 1001.0}};
+  Matrix p;
+  softmax_rows(z, p);
+  EXPECT_FALSE(std::isnan(p(0, 0)));
+  EXPECT_NEAR(p(0, 0) + p(0, 1), 1.0, 1e-12);
+  EXPECT_GT(p(0, 1), p(0, 0));
+}
+
+}  // namespace
+}  // namespace ssdk::nn

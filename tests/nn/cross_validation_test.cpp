@@ -1,0 +1,120 @@
+#include "nn/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::nn {
+namespace {
+
+Dataset blobs(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, 2);
+  std::vector<std::uint32_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool cls = i % 2 == 0;
+    x(i, 0) = rng.normal(cls ? 2.0 : -2.0, 0.6);
+    x(i, 1) = rng.normal(cls ? -2.0 : 2.0, 0.6);
+    y[i] = cls ? 1 : 0;
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+CrossValidationOptions fast_options(std::size_t folds = 4) {
+  CrossValidationOptions options;
+  options.folds = folds;
+  options.train.max_iterations = 20;
+  return options;
+}
+
+TEST(CrossValidation, SeparableProblemScoresHighEveryFold) {
+  const auto result = k_fold_cross_validate(
+      blobs(200, 1), fast_options(),
+      [] { return Mlp({2, 6, 2}, Activation::kReLU, 7); },
+      [] { return make_optimizer("adam"); });
+  ASSERT_EQ(result.fold_accuracy.size(), 4u);
+  for (const double a : result.fold_accuracy) EXPECT_GT(a, 0.9);
+  EXPECT_GT(result.mean_accuracy, 0.9);
+  EXPECT_LT(result.stddev_accuracy, 0.1);
+}
+
+TEST(CrossValidation, MeanMatchesFolds) {
+  const auto result = k_fold_cross_validate(
+      blobs(120, 2), fast_options(3),
+      [] { return Mlp({2, 4, 2}, Activation::kTanh, 3); },
+      [] { return make_optimizer("sgd-momentum"); });
+  double sum = 0.0;
+  for (const double a : result.fold_accuracy) sum += a;
+  EXPECT_NEAR(result.mean_accuracy, sum / 3.0, 1e-12);
+}
+
+TEST(CrossValidation, RejectsBadFoldCounts) {
+  const auto model = [] { return Mlp({2, 4, 2}, Activation::kReLU, 1); };
+  const auto opt = [] { return make_optimizer("adam"); };
+  CrossValidationOptions one_fold;
+  one_fold.folds = 1;
+  EXPECT_THROW(k_fold_cross_validate(blobs(50, 3), one_fold, model, opt),
+               std::invalid_argument);
+  CrossValidationOptions many;
+  many.folds = 100;
+  EXPECT_THROW(k_fold_cross_validate(blobs(50, 3), many, model, opt),
+               std::invalid_argument);
+}
+
+TEST(CrossValidation, DeterministicGivenSeed) {
+  const auto data = blobs(100, 4);
+  const auto run = [&] {
+    return k_fold_cross_validate(
+        data, fast_options(),
+        [] { return Mlp({2, 4, 2}, Activation::kReLU, 11); },
+        [] { return make_optimizer("adam"); });
+  };
+  const auto a = run();
+  const auto b = run();
+  for (std::size_t i = 0; i < a.fold_accuracy.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fold_accuracy[i], b.fold_accuracy[i]);
+  }
+}
+
+TEST(WeightDecay, ShrinksWeights) {
+  // Zero gradients + weight decay = pure shrinkage toward zero.
+  std::vector<DenseLayer> layers;
+  layers.emplace_back(Matrix{{10.0}}, Matrix{{5.0}}, Activation::kIdentity);
+  Mlp model(std::move(layers));
+  Sgd sgd(0.1);
+  sgd.set_weight_decay(0.5);
+  model.zero_grad();
+  sgd.step(model);
+  // grad_W = 0 + 0.5*10 = 5; W -= 0.1*5 -> 9.5. Bias exempt.
+  EXPECT_DOUBLE_EQ(model.layer(0).weights()(0, 0), 9.5);
+  EXPECT_DOUBLE_EQ(model.layer(0).bias()(0, 0), 5.0);
+}
+
+TEST(WeightDecay, RejectsNegative) {
+  Sgd sgd(0.1);
+  EXPECT_THROW(sgd.set_weight_decay(-1.0), std::invalid_argument);
+  sgd.set_weight_decay(0.0);
+  EXPECT_EQ(sgd.weight_decay(), 0.0);
+}
+
+TEST(WeightDecay, ReducesWeightNormDuringTraining) {
+  const auto data = blobs(100, 5);
+  StandardScaler scaler;
+  Dataset scaled(scaler.fit_transform(data.features()),
+                 std::vector<std::uint32_t>(data.labels()));
+  auto run = [&](double decay) {
+    Mlp model({2, 16, 2}, Activation::kReLU, 13);
+    Adam adam(0.02);
+    adam.set_weight_decay(decay);
+    TrainOptions options;
+    options.max_iterations = 40;
+    train_classifier(model, adam, scaled, Dataset(), options);
+    double norm = 0.0;
+    for (std::size_t l = 0; l < model.num_layers(); ++l) {
+      norm += frobenius_norm(model.layer(l).weights());
+    }
+    return norm;
+  };
+  EXPECT_LT(run(0.05), run(0.0));
+}
+
+}  // namespace
+}  // namespace ssdk::nn

@@ -1,0 +1,91 @@
+#include "nn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ssdk::nn {
+namespace {
+
+Dataset make_dataset(std::size_t n) {
+  Matrix x(n, 2);
+  std::vector<std::uint32_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = static_cast<double>(i) * 10.0;
+    y[i] = static_cast<std::uint32_t>(i % 3);
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+TEST(Dataset, SizeMismatchThrows) {
+  EXPECT_THROW(Dataset(Matrix(3, 2), std::vector<std::uint32_t>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(Dataset, AddGrowsRows) {
+  Dataset d;
+  d.add({1.0, 2.0}, 0);
+  d.add({3.0, 4.0}, 1);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.feature_dim(), 2u);
+  EXPECT_EQ(d.features()(1, 1), 4.0);
+  EXPECT_THROW(d.add({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Dataset, NumClassesIsMaxPlusOne) {
+  const Dataset d = make_dataset(7);
+  EXPECT_EQ(d.num_classes(), 3u);
+  EXPECT_EQ(Dataset().num_classes(), 0u);
+}
+
+TEST(Dataset, ShuffleKeepsRowLabelPairsTogether) {
+  Dataset d = make_dataset(30);
+  Rng rng(3);
+  d.shuffle(rng);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    // Row content must still match its label: col0 % 3 == label.
+    const auto v = static_cast<std::uint32_t>(d.features()(i, 0));
+    EXPECT_EQ(v % 3, d.labels()[i]);
+    EXPECT_EQ(d.features()(i, 1), d.features()(i, 0) * 10.0);
+  }
+}
+
+TEST(Dataset, ShuffleIsPermutation) {
+  Dataset d = make_dataset(20);
+  Rng rng(5);
+  d.shuffle(rng);
+  std::set<double> firsts;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    firsts.insert(d.features()(i, 0));
+  }
+  EXPECT_EQ(firsts.size(), 20u);
+}
+
+TEST(Dataset, SplitFractions) {
+  const Dataset d = make_dataset(10);
+  const auto [train, test] = d.split(0.7);
+  EXPECT_EQ(train.size(), 7u);
+  EXPECT_EQ(test.size(), 3u);
+  EXPECT_EQ(train.features()(0, 0), 0.0);
+  EXPECT_EQ(test.features()(0, 0), 7.0);
+}
+
+TEST(Dataset, SplitExtremes) {
+  const Dataset d = make_dataset(5);
+  const auto [all, none] = d.split(1.0);
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Dataset, BatchCopiesRange) {
+  const Dataset d = make_dataset(10);
+  const auto [x, y] = d.batch(2, 5);
+  EXPECT_EQ(x.rows(), 3u);
+  EXPECT_EQ(y.size(), 3u);
+  EXPECT_EQ(x(0, 0), 2.0);
+  EXPECT_EQ(y[2], 4u % 3);
+}
+
+}  // namespace
+}  // namespace ssdk::nn

@@ -1,0 +1,96 @@
+// Numerical gradient check: backprop gradients of the full MLP (softmax +
+// cross-entropy) must match central finite differences for every parameter
+// of every layer and activation.
+#include <gtest/gtest.h>
+
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+
+namespace ssdk::nn {
+namespace {
+
+double loss_of(Mlp& model, const Matrix& x,
+               const std::vector<std::uint32_t>& y) {
+  const Matrix& logits = model.forward(x);
+  return softmax_cross_entropy(logits, y, nullptr);
+}
+
+class GradientCheck : public testing::TestWithParam<Activation> {};
+
+TEST_P(GradientCheck, BackpropMatchesFiniteDifference) {
+  const Activation act = GetParam();
+  Mlp model({4, 6, 3}, act, /*seed=*/1234);
+
+  Matrix x(5, 4);
+  Rng rng(99);
+  for (auto& v : x.raw()) v = rng.normal(0.0, 1.0);
+  const std::vector<std::uint32_t> y{0, 2, 1, 1, 0};
+
+  model.zero_grad();
+  model.train_loss_and_grad(x, y);
+
+  const double eps = 1e-6;
+  for (std::size_t li = 0; li < model.num_layers(); ++li) {
+    DenseLayer& layer = model.mutable_layer(li);
+    // Check a sample of weight entries plus all biases.
+    for (std::size_t i = 0; i < layer.weights().size(); i += 3) {
+      const double saved = layer.mutable_weights().raw()[i];
+      layer.mutable_weights().raw()[i] = saved + eps;
+      const double up = loss_of(model, x, y);
+      layer.mutable_weights().raw()[i] = saved - eps;
+      const double down = loss_of(model, x, y);
+      layer.mutable_weights().raw()[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      ASSERT_NEAR(numeric, layer.grad_weights().raw()[i], 1e-4)
+          << "layer " << li << " weight " << i << " act "
+          << to_string(act);
+    }
+    for (std::size_t i = 0; i < layer.bias().size(); ++i) {
+      const double saved = layer.mutable_bias().raw()[i];
+      layer.mutable_bias().raw()[i] = saved + eps;
+      const double up = loss_of(model, x, y);
+      layer.mutable_bias().raw()[i] = saved - eps;
+      const double down = loss_of(model, x, y);
+      layer.mutable_bias().raw()[i] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      ASSERT_NEAR(numeric, layer.grad_bias().raw()[i], 1e-4)
+          << "layer " << li << " bias " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, GradientCheck,
+                         testing::Values(Activation::kReLU,
+                                         Activation::kLogistic,
+                                         Activation::kTanh,
+                                         Activation::kIdentity),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(GradientCheckDeep, ThreeHiddenLayers) {
+  Mlp model({3, 5, 4, 4, 2}, Activation::kTanh, 777);
+  Matrix x(2, 3);
+  Rng rng(1);
+  for (auto& v : x.raw()) v = rng.normal(0.0, 1.0);
+  const std::vector<std::uint32_t> y{1, 0};
+
+  model.zero_grad();
+  model.train_loss_and_grad(x, y);
+
+  const double eps = 1e-6;
+  DenseLayer& first = model.mutable_layer(0);
+  for (std::size_t i = 0; i < first.weights().size(); ++i) {
+    const double saved = first.mutable_weights().raw()[i];
+    first.mutable_weights().raw()[i] = saved + eps;
+    const double up = loss_of(model, x, y);
+    first.mutable_weights().raw()[i] = saved - eps;
+    const double down = loss_of(model, x, y);
+    first.mutable_weights().raw()[i] = saved;
+    ASSERT_NEAR((up - down) / (2.0 * eps), first.grad_weights().raw()[i],
+                1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace ssdk::nn

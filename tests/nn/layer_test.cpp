@@ -1,0 +1,90 @@
+#include "nn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::nn {
+namespace {
+
+TEST(DenseLayer, ForwardComputesAffine) {
+  Matrix w{{1.0, 0.0}, {0.0, 2.0}};  // 2x2
+  Matrix b{{0.5, -0.5}};
+  DenseLayer layer(std::move(w), std::move(b), Activation::kIdentity);
+  const Matrix x{{3.0, 4.0}};
+  const Matrix& y = layer.forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(y(0, 1), 7.5);
+}
+
+TEST(DenseLayer, ForwardAppliesActivation) {
+  Matrix w{{1.0}, {1.0}};  // 2x1
+  Matrix b{{-10.0}};
+  DenseLayer layer(std::move(w), std::move(b), Activation::kReLU);
+  const Matrix x{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(layer.forward(x)(0, 0), 0.0);  // relu(-7)
+}
+
+TEST(DenseLayer, RandomInitHasReasonableScale) {
+  Rng rng(5);
+  DenseLayer layer(64, 32, Activation::kReLU, rng);
+  double max_abs = 0.0;
+  for (const double v : layer.weights().raw()) {
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  EXPECT_GT(max_abs, 0.0);
+  EXPECT_LT(max_abs, 2.0);
+  for (const double v : layer.bias().raw()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(DenseLayer, BackwardShapes) {
+  Rng rng(7);
+  DenseLayer layer(3, 2, Activation::kTanh, rng);
+  const Matrix x(5, 3, 0.1);
+  layer.forward(x);
+  const Matrix grad_out(5, 2, 1.0);
+  const Matrix& grad_in = layer.backward(grad_out);
+  EXPECT_EQ(grad_in.rows(), 5u);
+  EXPECT_EQ(grad_in.cols(), 3u);
+  EXPECT_EQ(layer.grad_weights().rows(), 3u);
+  EXPECT_EQ(layer.grad_weights().cols(), 2u);
+  EXPECT_EQ(layer.grad_bias().cols(), 2u);
+}
+
+TEST(DenseLayer, BiasGradientIsColumnSum) {
+  Matrix w{{1.0}};
+  Matrix b{{0.0}};
+  DenseLayer layer(std::move(w), std::move(b), Activation::kIdentity);
+  const Matrix x{{1.0}, {2.0}, {3.0}};
+  layer.forward(x);
+  const Matrix grad_out{{1.0}, {1.0}, {1.0}};
+  layer.backward(grad_out);
+  EXPECT_DOUBLE_EQ(layer.grad_bias()(0, 0), 3.0);
+  // dW = x^T grad = 1+2+3.
+  EXPECT_DOUBLE_EQ(layer.grad_weights()(0, 0), 6.0);
+}
+
+TEST(DenseLayer, ZeroGradClears) {
+  Rng rng(9);
+  DenseLayer layer(2, 2, Activation::kIdentity, rng);
+  layer.forward(Matrix(1, 2, 1.0));
+  layer.backward(Matrix(1, 2, 1.0));
+  layer.zero_grad();
+  for (const double v : layer.grad_weights().raw()) EXPECT_EQ(v, 0.0);
+  for (const double v : layer.grad_bias().raw()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(DenseLayer, ParameterCount) {
+  Rng rng(11);
+  DenseLayer layer(9, 64, Activation::kLogistic, rng);
+  EXPECT_EQ(layer.parameter_count(), 9u * 64u + 64u);
+}
+
+TEST(DenseLayer, ShapeMismatchRejectedByConstructor) {
+  Matrix w(2, 3);
+  Matrix bad_bias(1, 2);
+  EXPECT_THROW(DenseLayer(std::move(w), std::move(bad_bias),
+                          Activation::kIdentity),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdk::nn

@@ -1,0 +1,75 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssdk::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogK) {
+  const Matrix logits(4, 3, 0.0);
+  const std::vector<std::uint32_t> labels{0, 1, 2, 0};
+  const double loss = softmax_cross_entropy(logits, labels, nullptr);
+  EXPECT_NEAR(loss, std::log(3.0), 1e-12);
+}
+
+TEST(SoftmaxCrossEntropy, ConfidentCorrectIsNearZero) {
+  Matrix logits(1, 2, 0.0);
+  logits(0, 0) = 50.0;
+  const std::vector<std::uint32_t> labels{0};
+  EXPECT_LT(softmax_cross_entropy(logits, labels, nullptr), 1e-10);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  Matrix logits{{0.3, -0.2, 1.0}, {2.0, 0.0, -1.0}};
+  const std::vector<std::uint32_t> labels{2, 0};
+  Matrix grad;
+  softmax_cross_entropy(logits, labels, &grad);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += grad(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradientMatchesFiniteDifference) {
+  Matrix logits{{0.5, -1.0, 0.25}};
+  const std::vector<std::uint32_t> labels{1};
+  Matrix grad;
+  const double base = softmax_cross_entropy(logits, labels, &grad);
+  const double eps = 1e-6;
+  for (std::size_t c = 0; c < 3; ++c) {
+    Matrix bumped = logits;
+    bumped(0, c) += eps;
+    const double up = softmax_cross_entropy(bumped, labels, nullptr);
+    EXPECT_NEAR((up - base) / eps, grad(0, c), 1e-5);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NoNanWhenConfidentlyWrong) {
+  Matrix logits(1, 2, 0.0);
+  logits(0, 0) = 1000.0;
+  const std::vector<std::uint32_t> labels{1};
+  const double loss = softmax_cross_entropy(logits, labels, nullptr);
+  EXPECT_FALSE(std::isnan(loss));
+  EXPECT_GT(loss, 100.0);
+}
+
+TEST(MeanSquaredError, KnownValueAndGradient) {
+  const Matrix pred{{1.0, 2.0}};
+  const Matrix target{{0.0, 4.0}};
+  Matrix grad;
+  const double loss = mean_squared_error(pred, target, &grad);
+  EXPECT_DOUBLE_EQ(loss, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(grad(0, 0), 1.0);   // 2*(1-0)/2
+  EXPECT_DOUBLE_EQ(grad(0, 1), -2.0);  // 2*(2-4)/2
+}
+
+TEST(MeanSquaredError, ZeroWhenEqual) {
+  const Matrix p{{3.0, 3.0}};
+  EXPECT_DOUBLE_EQ(mean_squared_error(p, p, nullptr), 0.0);
+}
+
+}  // namespace
+}  // namespace ssdk::nn

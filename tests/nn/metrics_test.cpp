@@ -1,0 +1,57 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::nn {
+namespace {
+
+TEST(Accuracy, BasicFractions) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy({5}, {5}), 1.0);
+}
+
+TEST(TopK, TrueClassWithinK) {
+  const Matrix logits{{0.1, 0.5, 0.4}, {0.9, 0.04, 0.06}};
+  const std::vector<std::uint32_t> truth{2, 1};
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, truth, 1), 0.0);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, truth, 2), 0.5);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, truth, 3), 1.0);
+}
+
+TEST(TopK, KLargerThanClassesClamps) {
+  const Matrix logits{{0.1, 0.9}};
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, {0}, 10), 1.0);
+}
+
+TEST(ConfusionMatrix, CountsByTruthRow) {
+  const std::vector<std::uint32_t> pred{0, 1, 1, 2};
+  const std::vector<std::uint32_t> truth{0, 1, 2, 2};
+  const Matrix cm = confusion_matrix(pred, truth, 3);
+  EXPECT_EQ(cm(0, 0), 1.0);
+  EXPECT_EQ(cm(1, 1), 1.0);
+  EXPECT_EQ(cm(2, 1), 1.0);
+  EXPECT_EQ(cm(2, 2), 1.0);
+  EXPECT_EQ(cm(0, 1), 0.0);
+}
+
+TEST(MacroF1, PerfectPredictionIsOne) {
+  const std::vector<std::uint32_t> y{0, 1, 2, 0, 1, 2};
+  EXPECT_DOUBLE_EQ(macro_f1(y, y, 3), 1.0);
+}
+
+TEST(MacroF1, IgnoresAbsentClasses) {
+  // Class 2 never appears in truth; F1 averaged over classes 0 and 1 only.
+  const std::vector<std::uint32_t> pred{0, 1};
+  const std::vector<std::uint32_t> truth{0, 1};
+  EXPECT_DOUBLE_EQ(macro_f1(pred, truth, 3), 1.0);
+}
+
+TEST(MacroF1, AllWrongIsZero) {
+  const std::vector<std::uint32_t> pred{1, 0};
+  const std::vector<std::uint32_t> truth{0, 1};
+  EXPECT_DOUBLE_EQ(macro_f1(pred, truth, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace ssdk::nn

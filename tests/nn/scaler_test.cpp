@@ -1,0 +1,68 @@
+#include "nn/scaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssdk::nn {
+namespace {
+
+TEST(StandardScaler, TransformGivesZeroMeanUnitVariance) {
+  Matrix x(100, 2);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 5.0 + 0.1 * static_cast<double>(i % 10);
+  }
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t r = 0; r < 100; ++r) mean += z(r, c);
+    mean /= 100.0;
+    for (std::size_t r = 0; r < 100; ++r) {
+      var += (z(r, c) - mean) * (z(r, c) - mean);
+    }
+    var /= 100.0;
+    EXPECT_NEAR(mean, 0.0, 1e-10);
+    EXPECT_NEAR(var, 1.0, 1e-10);
+  }
+}
+
+TEST(StandardScaler, ConstantColumnPassesThroughCentered) {
+  Matrix x(5, 1, 3.0);
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  for (std::size_t r = 0; r < 5; ++r) EXPECT_EQ(z(r, 0), 0.0);
+}
+
+TEST(StandardScaler, TransformBeforeFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(Matrix(1, 1)), std::logic_error);
+}
+
+TEST(StandardScaler, EmptyFitThrows) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.fit(Matrix(0, 3)), std::invalid_argument);
+}
+
+TEST(StandardScaler, TransformUsesTrainStatistics) {
+  Matrix train{{0.0}, {10.0}};  // mean 5, std 5
+  StandardScaler scaler;
+  scaler.fit(train);
+  const Matrix z = scaler.transform(Matrix{{15.0}});
+  EXPECT_DOUBLE_EQ(z(0, 0), 2.0);
+}
+
+TEST(StandardScaler, SetParametersRoundTrip) {
+  StandardScaler scaler;
+  scaler.set_parameters({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_TRUE(scaler.fitted());
+  const Matrix z = scaler.transform(Matrix{{4.0, 10.0}});
+  EXPECT_DOUBLE_EQ(z(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(z(0, 1), 2.0);
+  EXPECT_THROW(scaler.set_parameters({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdk::nn

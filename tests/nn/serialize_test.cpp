@@ -1,0 +1,78 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ssdk::nn {
+namespace {
+
+TEST(Serialize, RoundTripPreservesOutputsExactly) {
+  Mlp model({9, 64, 42}, Activation::kLogistic, 99);
+  std::stringstream ss;
+  save_model(ss, model);
+  LoadedModel loaded = load_model(ss);
+  EXPECT_FALSE(loaded.scaler.has_value());
+
+  Matrix x(3, 9);
+  Rng rng(1);
+  for (auto& v : x.raw()) v = rng.normal(0.0, 1.0);
+  const Matrix& y1 = model.forward(x);
+  const Matrix y1_copy = y1;
+  const Matrix& y2 = loaded.model.forward(x);
+  ASSERT_TRUE(y1_copy.same_shape(y2));
+  for (std::size_t i = 0; i < y2.size(); ++i) {
+    EXPECT_EQ(y1_copy.raw()[i], y2.raw()[i]);  // bit-exact via hexfloat
+  }
+}
+
+TEST(Serialize, RoundTripWithScaler) {
+  Mlp model({2, 3, 2}, Activation::kReLU, 7);
+  StandardScaler scaler;
+  scaler.set_parameters({1.5, -2.0}, {0.5, 3.0});
+  std::stringstream ss;
+  save_model(ss, model, &scaler);
+  LoadedModel loaded = load_model(ss);
+  ASSERT_TRUE(loaded.scaler.has_value());
+  EXPECT_EQ(loaded.scaler->mean()[0], 1.5);
+  EXPECT_EQ(loaded.scaler->stddev()[1], 3.0);
+}
+
+TEST(Serialize, PreservesActivations) {
+  Mlp model({2, 4, 4, 2}, Activation::kTanh, 3);
+  std::stringstream ss;
+  save_model(ss, model);
+  const LoadedModel loaded = load_model(ss);
+  ASSERT_EQ(loaded.model.num_layers(), 3u);
+  EXPECT_EQ(loaded.model.layer(0).activation(), Activation::kTanh);
+  EXPECT_EQ(loaded.model.layer(2).activation(), Activation::kIdentity);
+}
+
+TEST(Serialize, BadMagicThrows) {
+  std::stringstream ss("not-a-model\n");
+  EXPECT_THROW(load_model(ss), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedFileThrows) {
+  Mlp model({2, 3, 2}, Activation::kReLU, 7);
+  std::stringstream ss;
+  save_model(ss, model);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_model(truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/ssdk_model_test.txt";
+  Mlp model({3, 4, 2}, Activation::kLogistic, 11);
+  save_model_file(path, model);
+  const LoadedModel loaded = load_model_file(path);
+  EXPECT_EQ(loaded.model.input_size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_model_file("/nonexistent/model.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ssdk::nn

@@ -1,0 +1,107 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.hpp"
+
+namespace ssdk::nn {
+namespace {
+
+/// Two gaussian blobs, linearly separable.
+Dataset make_blobs(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, 2);
+  std::vector<std::uint32_t> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool cls = i % 2 == 0;
+    x(i, 0) = rng.normal(cls ? 2.0 : -2.0, 0.5);
+    x(i, 1) = rng.normal(cls ? -1.0 : 1.0, 0.5);
+    y[i] = cls ? 1 : 0;
+  }
+  return Dataset(std::move(x), std::move(y));
+}
+
+TEST(Trainer, LearnsSeparableProblem) {
+  const Dataset train = make_blobs(200, 1);
+  const Dataset test = make_blobs(60, 2);
+  Mlp model({2, 8, 2}, Activation::kReLU, 5);
+  Adam opt(0.02);
+  TrainOptions options;
+  options.max_iterations = 30;
+  const TrainHistory h = train_classifier(model, opt, train, test, options);
+  EXPECT_GT(h.final_accuracy, 0.95);
+  EXPECT_LT(h.final_loss, 0.3);
+  EXPECT_EQ(h.train_loss.size(), 30u);
+  EXPECT_FALSE(h.test_accuracy.empty());
+  EXPECT_GT(h.wall_time_ms, 0.0);
+  EXPECT_EQ(h.optimizer_name, "adam");
+}
+
+TEST(Trainer, LossSeriesBroadlyDecreases) {
+  const Dataset train = make_blobs(100, 3);
+  Mlp model({2, 6, 2}, Activation::kTanh, 6);
+  SgdMomentum opt(0.2, 0.9);
+  TrainOptions options;
+  options.max_iterations = 40;
+  const TrainHistory h =
+      train_classifier(model, opt, train, Dataset(), options);
+  EXPECT_LT(h.train_loss.back(), h.train_loss.front());
+}
+
+TEST(Trainer, EmptyTrainReturnsEmptyHistory) {
+  Mlp model({2, 4, 2}, Activation::kReLU, 7);
+  Sgd opt(0.1);
+  const TrainHistory h =
+      train_classifier(model, opt, Dataset(), Dataset(), TrainOptions{});
+  EXPECT_TRUE(h.train_loss.empty());
+  EXPECT_EQ(h.final_loss, 0.0);
+}
+
+TEST(Trainer, EvalEveryThinsAccuracySeries) {
+  const Dataset train = make_blobs(50, 8);
+  const Dataset test = make_blobs(20, 9);
+  Mlp model({2, 4, 2}, Activation::kReLU, 10);
+  Adam opt(0.02);
+  TrainOptions options;
+  options.max_iterations = 10;
+  options.eval_every = 5;
+  const TrainHistory h = train_classifier(model, opt, train, test, options);
+  // Epochs 0, 5 and the final epoch.
+  EXPECT_EQ(h.test_accuracy.size(), 3u);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  const Dataset train = make_blobs(80, 11);
+  const Dataset test = make_blobs(20, 12);
+  TrainOptions options;
+  options.max_iterations = 15;
+
+  Mlp m1({2, 6, 2}, Activation::kReLU, 13);
+  Adam o1(0.02);
+  const auto h1 = train_classifier(m1, o1, train, test, options);
+
+  Mlp m2({2, 6, 2}, Activation::kReLU, 13);
+  Adam o2(0.02);
+  const auto h2 = train_classifier(m2, o2, train, test, options);
+
+  ASSERT_EQ(h1.train_loss.size(), h2.train_loss.size());
+  for (std::size_t i = 0; i < h1.train_loss.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h1.train_loss[i], h2.train_loss[i]);
+  }
+  EXPECT_DOUBLE_EQ(h1.final_accuracy, h2.final_accuracy);
+}
+
+TEST(Evaluate, ReturnsLossAndAccuracy) {
+  const Dataset data = make_blobs(40, 14);
+  Mlp model({2, 4, 2}, Activation::kReLU, 15);
+  const auto [loss, acc] = evaluate(model, data);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  const auto [l0, a0] = evaluate(model, Dataset());
+  EXPECT_EQ(l0, 0.0);
+  EXPECT_EQ(a0, 0.0);
+}
+
+}  // namespace
+}  // namespace ssdk::nn

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(30, EventKind::kBusFree, 1);
+  q.push(10, EventKind::kArrival, 2);
+  q.push(20, EventKind::kFlashDone, 3);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.next_time(), 10u);
+  EXPECT_EQ(q.pop().a, 2u);
+  EXPECT_EQ(q.pop().a, 3u);
+  EXPECT_EQ(q.pop().a, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SimultaneousEventsKeepPushOrder) {
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    q.push(5, EventKind::kArrival, i);
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(q.pop().a, i);
+  }
+}
+
+TEST(EventQueue, CarriesPayload) {
+  EventQueue q;
+  q.push(1, EventKind::kFlashDone, 7, 99);
+  const Event e = q.pop();
+  EXPECT_EQ(e.kind, EventKind::kFlashDone);
+  EXPECT_EQ(e.a, 7u);
+  EXPECT_EQ(e.b, 99u);
+  EXPECT_EQ(e.time, 1u);
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue q;
+  q.push(10, EventKind::kArrival, 0);
+  q.push(5, EventKind::kArrival, 1);
+  EXPECT_EQ(q.pop().a, 1u);
+  q.push(7, EventKind::kArrival, 2);
+  EXPECT_EQ(q.pop().a, 2u);
+  EXPECT_EQ(q.pop().a, 0u);
+}
+
+}  // namespace
+}  // namespace ssdk::sim

@@ -1,0 +1,87 @@
+#include "sim/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::sim {
+namespace {
+
+TEST(Geometry, PaperMatchesTableI) {
+  const Geometry g = Geometry::paper();
+  EXPECT_EQ(g.channels, 8u);
+  EXPECT_EQ(g.chips_per_channel, 2u);
+  EXPECT_EQ(g.planes_per_chip, 4u);
+  EXPECT_EQ(g.blocks_per_plane, 4096u);
+  EXPECT_EQ(g.pages_per_block, 128u);
+  EXPECT_EQ(g.page_size_bytes, 16u * 1024);
+  EXPECT_EQ(g.capacity_bytes(), 512ULL * 1024 * 1024 * 1024);
+}
+
+TEST(Geometry, DerivedCounts) {
+  const Geometry g = Geometry::small();
+  EXPECT_EQ(g.total_chips(), 16u);
+  EXPECT_EQ(g.total_planes(), 64u);
+  EXPECT_EQ(g.planes_per_channel(), 8u);
+  EXPECT_EQ(g.pages_per_plane(),
+            static_cast<std::uint64_t>(g.blocks_per_plane) *
+                g.pages_per_block);
+  EXPECT_EQ(g.total_pages(), g.pages_per_plane() * 64);
+}
+
+TEST(Geometry, EncodeDecodeRoundTrip) {
+  const Geometry g = Geometry::small();
+  for (std::uint32_t ch = 0; ch < g.channels; ch += 3) {
+    for (std::uint32_t chip = 0; chip < g.chips_per_channel; ++chip) {
+      for (std::uint32_t plane = 0; plane < g.planes_per_chip; plane += 2) {
+        const PhysAddr a{ch, chip, plane, 17, 42};
+        EXPECT_EQ(g.decode(g.encode(a)), a);
+      }
+    }
+  }
+}
+
+TEST(Geometry, EncodeDecodeExhaustiveOnTiny) {
+  const Geometry g = Geometry::tiny();
+  for (Ppn p = 0; p < g.total_pages(); ++p) {
+    EXPECT_EQ(g.encode(g.decode(p)), p);
+  }
+}
+
+TEST(Geometry, PpnsAreDenseAndUnique) {
+  const Geometry g = Geometry::tiny();
+  std::vector<bool> seen(g.total_pages(), false);
+  for (std::uint32_t ch = 0; ch < g.channels; ++ch) {
+    for (std::uint32_t chip = 0; chip < g.chips_per_channel; ++chip) {
+      for (std::uint32_t pl = 0; pl < g.planes_per_chip; ++pl) {
+        for (std::uint32_t b = 0; b < g.blocks_per_plane; ++b) {
+          for (std::uint32_t pg = 0; pg < g.pages_per_block; ++pg) {
+            const Ppn p = g.encode({ch, chip, pl, b, pg});
+            ASSERT_LT(p, seen.size());
+            ASSERT_FALSE(seen[p]);
+            seen[p] = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Geometry, PlaneAndBlockIds) {
+  const Geometry g = Geometry::small();
+  const PhysAddr a{3, 1, 2, 7, 0};
+  EXPECT_EQ(g.chip_id(3, 1), 7u);
+  EXPECT_EQ(g.plane_id(a), 7u * 4 + 2);
+  EXPECT_EQ(g.block_id(a), (7ULL * 4 + 2) * g.blocks_per_plane + 7);
+}
+
+TEST(Geometry, ValidateRejectsZeroDimension) {
+  Geometry g = Geometry::small();
+  g.channels = 0;
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(Geometry, DescribeMentionsCapacity) {
+  EXPECT_NE(Geometry::paper().describe().find("512"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssdk::sim

@@ -1,0 +1,54 @@
+#include "sim/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::sim {
+namespace {
+
+TEST(Timing, PaperLatencies) {
+  const Timing t = Timing::paper();
+  EXPECT_EQ(t.read_ns, 20u * kMicrosecond);
+  EXPECT_EQ(t.program_ns, 200u * kMicrosecond);
+  EXPECT_EQ(t.erase_ns, 1500u * kMicrosecond);
+}
+
+TEST(Timing, PageTransferScalesWithPageSize) {
+  Timing t = Timing::paper();
+  Geometry g = Geometry::small();
+  const Duration base = t.page_transfer_ns(g);
+  g.page_size_bytes *= 2;
+  const Duration doubled = t.page_transfer_ns(g);
+  EXPECT_GT(doubled, base);
+  // Doubling page size roughly doubles transfer minus the fixed overhead.
+  EXPECT_NEAR(static_cast<double>(doubled - t.cmd_overhead_ns),
+              2.0 * static_cast<double>(base - t.cmd_overhead_ns), 1.0);
+}
+
+TEST(Timing, ServiceTimesCompose) {
+  const Timing t = Timing::paper();
+  const Geometry g = Geometry::small();
+  EXPECT_EQ(t.write_service_ns(g), t.page_transfer_ns(g) + t.program_ns);
+  EXPECT_EQ(t.read_service_ns(g), t.read_ns + t.page_transfer_ns(g));
+}
+
+TEST(Timing, WriteMuchSlowerThanRead) {
+  const Timing t = Timing::paper();
+  const Geometry g = Geometry::small();
+  EXPECT_GT(t.write_service_ns(g), 3 * t.read_service_ns(g));
+}
+
+TEST(Timing, DescribeHasUnits) {
+  const Timing t = Timing::paper();
+  const std::string d = t.describe(Geometry::small());
+  EXPECT_NE(d.find("us"), std::string::npos);
+  EXPECT_NE(d.find("erase"), std::string::npos);
+}
+
+TEST(TimeTypes, Conversions) {
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(2 * kMillisecond), 2.0);
+  EXPECT_EQ(kSecond, 1'000'000'000ULL);
+}
+
+}  // namespace
+}  // namespace ssdk::sim

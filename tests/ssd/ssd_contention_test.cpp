@@ -1,0 +1,149 @@
+// Contention behaviour: read priority, channel isolation, conflicts —
+// the mechanisms behind the paper's Figure 2.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+sim::IoRequest make_req(std::uint64_t id, sim::TenantId tenant,
+                        sim::OpType type, std::uint64_t lpn,
+                        SimTime arrival) {
+  sim::IoRequest r;
+  r.id = id;
+  r.tenant = tenant;
+  r.type = type;
+  r.lpn = lpn;
+  r.page_count = 1;
+  r.arrival = arrival;
+  return r;
+}
+
+/// Heavily loaded interleaved read/write stream from two tenants on the
+/// given device; returns (avg read us, avg write us) for (t1=reader,
+/// t0=writer). Addresses are decorrelated so the two tenants collide
+/// statistically rather than in lockstep.
+std::pair<double, double> run_mixed(Ssd& ssd, std::uint64_t n = 4000,
+                                    Duration gap = 12 * kMicrosecond) {
+  std::uint64_t id = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const SimTime at = i * gap;
+    ssd.submit(make_req(id++, 0, sim::OpType::kWrite, (i * 5) % 512, at));
+    ssd.submit(make_req(id++, 1, sim::OpType::kRead, (i * 7 + 3) % 509, at));
+  }
+  ssd.run_to_completion();
+  return {ssd.metrics().tenant(1).avg_read_us(),
+          ssd.metrics().tenant(0).avg_write_us()};
+}
+
+TEST(Contention, ReadPriorityProtectsReads) {
+  SsdOptions with_priority;
+  with_priority.read_priority = true;
+  SsdOptions no_priority;
+  no_priority.read_priority = false;
+
+  Ssd a(with_priority), b(no_priority);
+  const auto [read_prio, write_prio] = run_mixed(a);
+  const auto [read_fair, write_fair] = run_mixed(b);
+  // Reads must be faster with priority; writes pay for it.
+  EXPECT_LT(read_prio, read_fair);
+  EXPECT_GT(write_prio, write_fair);
+}
+
+TEST(Contention, IsolatedTenantUnaffectedByNeighbor) {
+  // Tenant 1 (reader) isolated on channels 4-7; tenant 0 (writer)
+  // hammers channels 0-3. Reader latency must equal its solo latency.
+  SsdOptions options;
+  Ssd shared_dev(options);
+  Ssd isolated_dev(options);
+  isolated_dev.set_tenant_channels(0, {0, 1, 2, 3});
+  isolated_dev.set_tenant_channels(1, {4, 5, 6, 7});
+
+  // Moderate load so the reader's half fits comfortably on 4 channels.
+  const Duration gap = 40 * kMicrosecond;
+  const auto [read_shared, _w1] = run_mixed(shared_dev, 2000, gap);
+  const auto [read_isolated, _w2] = run_mixed(isolated_dev, 2000, gap);
+
+  Ssd solo_dev(options);
+  solo_dev.set_tenant_channels(1, {4, 5, 6, 7});
+  std::uint64_t id = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    solo_dev.submit(make_req(id++, 1, sim::OpType::kRead, (i * 7 + 3) % 509,
+                             i * gap));
+  }
+  solo_dev.run_to_completion();
+  const double read_solo = solo_dev.metrics().tenant(1).avg_read_us();
+
+  EXPECT_NEAR(read_isolated, read_solo, read_solo * 0.02);
+  // In the shared device the writer interferes at chips.
+  EXPECT_GE(read_shared, read_isolated);
+}
+
+TEST(Contention, ConflictsCountedUnderOverlap) {
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0});
+  // Two simultaneous reads of the same chip: second one must conflict.
+  ssd.submit(make_req(0, 0, sim::OpType::kRead, 0, 0));
+  ssd.submit(make_req(1, 0, sim::OpType::kRead, 0, 0));
+  ssd.run_to_completion();
+  EXPECT_GE(ssd.metrics().counters().conflicts, 1u);
+}
+
+TEST(Contention, NoConflictsWhenSerialized) {
+  Ssd ssd;
+  // Requests spaced far apart never contend.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ssd.submit(make_req(i, 0, sim::OpType::kRead, i,
+                        i * 10 * kMillisecond));
+  }
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.metrics().counters().conflicts, 0u);
+}
+
+TEST(Contention, FewerChannelsMeansHigherLatencyUnderLoad) {
+  auto run_with_channels = [](std::vector<std::uint32_t> channels) {
+    Ssd ssd;
+    ssd.set_tenant_channels(0, std::move(channels));
+    std::uint64_t id = 0;
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      ssd.submit(make_req(id++, 0, sim::OpType::kWrite, i % 1024,
+                          i * 30 * kMicrosecond));
+    }
+    ssd.run_to_completion();
+    return ssd.metrics().tenant(0).avg_write_us();
+  };
+  const double eight = run_with_channels({0, 1, 2, 3, 4, 5, 6, 7});
+  const double two = run_with_channels({0, 1});
+  const double one = run_with_channels({0});
+  EXPECT_LE(eight, two);
+  EXPECT_LT(two, one);
+}
+
+TEST(Contention, WritesDelayReadsOnSameChip) {
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0});
+  ssd.set_tenant_channels(1, {0});
+  // Write arrives first and occupies the chip for ~241 us; a read to the
+  // same chip region right after must wait for the program to finish.
+  ssd.submit(make_req(0, 0, sim::OpType::kWrite, 0, 0));
+  ssd.submit(make_req(1, 1, sim::OpType::kRead, 0, 1000));
+  ssd.run_to_completion();
+  const auto& t = ssd.options().timing;
+  const auto& g = ssd.options().geometry;
+  const double unloaded = to_us(t.read_service_ns(g));
+  EXPECT_GT(ssd.metrics().tenant(1).avg_read_us(), unloaded * 2.0);
+}
+
+TEST(Contention, BusAndChipBusyTimeAccounted) {
+  Ssd ssd;
+  ssd.submit(make_req(0, 0, sim::OpType::kWrite, 0, 0));
+  ssd.submit(make_req(1, 0, sim::OpType::kRead, 1, 0));
+  ssd.run_to_completion();
+  const auto& c = ssd.metrics().counters();
+  EXPECT_GT(c.bus_busy_ns, 0u);
+  EXPECT_GT(c.chip_busy_ns, c.bus_busy_ns);
+}
+
+}  // namespace
+}  // namespace ssdk::ssd

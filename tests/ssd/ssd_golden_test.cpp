@@ -1,0 +1,167 @@
+// Golden-schedule tests: hand-computed event timelines for small
+// scenarios, pinning the device model's exact timing semantics. Default
+// timing: page transfer X = 200 + 16384 * 2.5 = 41,160 ns; program
+// P = 200,000 ns; array read R = 20,000 ns; erase E = 1,500,000 ns.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+constexpr Duration kX = 41'160;   // page transfer
+constexpr Duration kP = 200'000;  // program
+constexpr Duration kR = 20'000;   // array read
+
+sim::IoRequest req(std::uint64_t id, sim::OpType type, std::uint64_t lpn,
+                   SimTime at) {
+  sim::IoRequest r;
+  r.id = id;
+  r.tenant = 0;
+  r.type = type;
+  r.lpn = lpn;
+  r.page_count = 1;
+  r.arrival = at;
+  return r;
+}
+
+std::vector<SimTime> run_and_capture(Ssd& ssd,
+                                     std::span<const sim::IoRequest> rs) {
+  std::vector<SimTime> finish(rs.size(), 0);
+  ssd.set_completion_hook(
+      [&](const sim::Completion& c) { finish[c.request_id] = c.finish; });
+  ssd.submit(rs);
+  ssd.run_to_completion();
+  return finish;
+}
+
+TEST(Golden, TransferConstantMatchesHandComputation) {
+  Ssd ssd;
+  EXPECT_EQ(ssd.options().timing.page_transfer_ns(ssd.options().geometry),
+            kX);
+}
+
+TEST(Golden, TwoWritesSameChannelHeldBusSerializeFully) {
+  // Held-bus mode: W2's transfer cannot start until W1's program ends.
+  Ssd ssd;  // defaults: held bus
+  ssd.set_tenant_channels(0, {0});
+  // LPNs 0 and 2 land on channel 0's two different chips (static stripe
+  // over 1 channel: chip = lpn % 2 after channel fold... lpn/1 % 2).
+  const std::vector<sim::IoRequest> rs{req(0, sim::OpType::kWrite, 0, 0),
+                                       req(1, sim::OpType::kWrite, 1, 0)};
+  const auto finish = run_and_capture(ssd, rs);
+  EXPECT_EQ(finish[0], kX + kP);
+  EXPECT_EQ(finish[1], 2 * (kX + kP));
+}
+
+TEST(Golden, TwoWritesSameChannelPipelinedOverlapPrograms) {
+  SsdOptions options;
+  options.pipelined_writes = true;
+  Ssd ssd(options);
+  ssd.set_tenant_channels(0, {0});
+  const std::vector<sim::IoRequest> rs{req(0, sim::OpType::kWrite, 0, 0),
+                                       req(1, sim::OpType::kWrite, 1, 0)};
+  const auto finish = run_and_capture(ssd, rs);
+  EXPECT_EQ(finish[0], kX + kP);
+  // W2 (different chip) transfers as soon as the bus frees at X.
+  EXPECT_EQ(finish[1], 2 * kX + kP);
+}
+
+TEST(Golden, TwoWritesDifferentChannelsFullyParallel) {
+  Ssd ssd;
+  // LPNs 0 and 1 stripe to channels 0 and 1 under the default 8-channel
+  // set.
+  const std::vector<sim::IoRequest> rs{req(0, sim::OpType::kWrite, 0, 0),
+                                       req(1, sim::OpType::kWrite, 1, 0)};
+  const auto finish = run_and_capture(ssd, rs);
+  EXPECT_EQ(finish[0], kX + kP);
+  EXPECT_EQ(finish[1], kX + kP);
+}
+
+TEST(Golden, TwoReadsSameChipSerializeOnRegister) {
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0});
+  // Same chip (lpn 0 and lpn 2 both hit chip 0 under 1-channel striping:
+  // chip = (lpn / 1) % 2 -> lpn 0 -> chip 0, lpn 2 -> chip 0).
+  const std::vector<sim::IoRequest> rs{req(0, sim::OpType::kRead, 0, 0),
+                                       req(1, sim::OpType::kRead, 2, 0)};
+  const auto finish = run_and_capture(ssd, rs);
+  // R1: array [0, R], transfer [R, R+X]. The chip is held through the
+  // transfer, so R2's array read starts at R+X.
+  EXPECT_EQ(finish[0], kR + kX);
+  EXPECT_EQ(finish[1], (kR + kX) + (kR + kX));
+}
+
+TEST(Golden, TwoReadsSameChannelDifferentChipsPipelineOnBus) {
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0});
+  // lpn 0 -> chip 0, lpn 1 -> chip 1.
+  const std::vector<sim::IoRequest> rs{req(0, sim::OpType::kRead, 0, 0),
+                                       req(1, sim::OpType::kRead, 1, 0)};
+  const auto finish = run_and_capture(ssd, rs);
+  // Both array reads overlap [0, R]; transfers serialize on the bus.
+  EXPECT_EQ(finish[0], kR + kX);
+  EXPECT_EQ(finish[1], kR + 2 * kX);
+}
+
+TEST(Golden, ReadWaitsForProgramOnItsChip) {
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0});
+  const std::vector<sim::IoRequest> rs{
+      req(0, sim::OpType::kWrite, 0, 0),
+      req(1, sim::OpType::kRead, 0, 1000)};  // same lpn -> same chip
+  const auto finish = run_and_capture(ssd, rs);
+  EXPECT_EQ(finish[0], kX + kP);
+  // The read's array phase starts when the program ends.
+  EXPECT_EQ(finish[1], (kX + kP) + kR + kX);
+}
+
+TEST(Golden, ReadPriorityGrantsBusBeforeQueuedWrite) {
+  // W2 is queued for the bus when R1's transfer becomes ready; with read
+  // priority R1 transfers first.
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0});
+  const std::vector<sim::IoRequest> rs{
+      req(0, sim::OpType::kWrite, 0, 0),   // chip 0: bus [0, X+P] held
+      req(1, sim::OpType::kRead, 1, 0),    // chip 1: array [0, R]
+      req(2, sim::OpType::kWrite, 3, 10)};  // chip 1: queued write
+  const auto finish = run_and_capture(ssd, rs);
+  EXPECT_EQ(finish[0], kX + kP);
+  // R1 ready at R; bus frees at X+P; read wins the grant.
+  EXPECT_EQ(finish[1], (kX + kP) + kX);
+  // W2 needs chip 1, which R1 held until its transfer finished.
+  EXPECT_EQ(finish[2], (kX + kP) + kX + (kX + kP));
+}
+
+TEST(Golden, QueueWaitAccounting) {
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0});
+  const std::vector<sim::IoRequest> rs{req(0, sim::OpType::kRead, 0, 0),
+                                       req(1, sim::OpType::kRead, 2, 0)};
+  run_and_capture(ssd, rs);
+  const auto& c = ssd.metrics().counters();
+  EXPECT_EQ(c.read_ops_started, 2u);
+  // R2 waited R+X for the chip; R1 waited 0.
+  EXPECT_EQ(c.read_wait_ns, kR + kX);
+  EXPECT_DOUBLE_EQ(c.avg_read_wait_us(),
+                   static_cast<double>(kR + kX) / 2.0 / 1e3);
+  EXPECT_EQ(c.write_ops_started, 0u);
+  EXPECT_DOUBLE_EQ(c.avg_write_wait_us(), 0.0);
+}
+
+TEST(Golden, MultiplaneSameChipDifferentPlanesOverlap) {
+  SsdOptions options;
+  options.multiplane_program = true;
+  options.pipelined_writes = true;
+  Ssd ssd(options);
+  ssd.set_tenant_channels(0, {0});
+  // 1-channel striping: lpn 0 -> chip0/plane0, lpn 2 -> chip0/plane1.
+  const std::vector<sim::IoRequest> rs{req(0, sim::OpType::kWrite, 0, 0),
+                                       req(1, sim::OpType::kWrite, 2, 0)};
+  const auto finish = run_and_capture(ssd, rs);
+  EXPECT_EQ(finish[0], kX + kP);
+  EXPECT_EQ(finish[1], 2 * kX + kP);  // programs overlap across planes
+}
+
+}  // namespace
+}  // namespace ssdk::ssd

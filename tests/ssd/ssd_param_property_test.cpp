@@ -1,0 +1,137 @@
+// Parameterized property sweeps over device configurations: the core
+// invariants (everything completes once, latencies bounded below,
+// determinism, FTL consistency) must hold for every combination of
+// command-set options, buffer capacities and channel partitions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ssd/ssd.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+// (read_priority, multiplane, pipelined, buffer_pages, restrict_channels)
+using DeviceParam = std::tuple<bool, bool, bool, std::uint32_t, bool>;
+
+class DeviceMatrix : public testing::TestWithParam<DeviceParam> {
+ protected:
+  SsdOptions options_from_param() const {
+    const auto [prio, multiplane, pipelined, buffer, _] = GetParam();
+    SsdOptions options;
+    options.read_priority = prio;
+    options.multiplane_program = multiplane;
+    options.pipelined_writes = pipelined;
+    options.write_buffer.capacity_pages = buffer;
+    return options;
+  }
+
+  void configure_tenants(Ssd& ssd) const {
+    if (std::get<4>(GetParam())) {
+      ssd.set_tenant_channels(0, {0, 1, 2});
+      ssd.set_tenant_channels(1, {3, 4, 5, 6, 7});
+      ssd.set_tenant_alloc_mode(0, ftl::AllocMode::kDynamic);
+    }
+  }
+
+  static std::vector<sim::IoRequest> workload() {
+    trace::SyntheticSpec a;
+    a.write_fraction = 0.7;
+    a.request_count = 600;
+    a.intensity_rps = 12'000.0;
+    a.address_space_pages = 2048;
+    a.seed = 11;
+    trace::SyntheticSpec b;
+    b.write_fraction = 0.2;
+    b.request_count = 600;
+    b.intensity_rps = 15'000.0;
+    b.address_space_pages = 2048;
+    b.seed = 12;
+    return trace::mix_workloads(std::vector<trace::Workload>{
+        trace::generate_synthetic(a), trace::generate_synthetic(b)});
+  }
+};
+
+TEST_P(DeviceMatrix, AllRequestsCompleteOnce) {
+  Ssd ssd(options_from_param());
+  configure_tenants(ssd);
+  const auto requests = workload();
+  std::vector<int> completed(requests.size(), 0);
+  ssd.set_completion_hook(
+      [&](const sim::Completion& c) { ++completed[c.request_id]; });
+  ssd.submit(requests);
+  ssd.run_to_completion();
+  for (const int c : completed) ASSERT_EQ(c, 1);
+}
+
+TEST_P(DeviceMatrix, LatenciesRespectFloors) {
+  Ssd ssd(options_from_param());
+  configure_tenants(ssd);
+  const auto& options = ssd.options();
+  const Duration read_floor =
+      options.write_buffer.capacity_pages > 0
+          ? options.write_buffer.dram_ns
+          : options.timing.read_service_ns(options.geometry);
+  const Duration write_floor =
+      options.write_buffer.capacity_pages > 0
+          ? options.write_buffer.dram_ns
+          : options.timing.write_service_ns(options.geometry);
+  ssd.set_completion_hook([&](const sim::Completion& c) {
+    if (c.type == sim::OpType::kRead) {
+      ASSERT_GE(c.latency(), read_floor);
+    } else if (c.type == sim::OpType::kWrite) {
+      ASSERT_GE(c.latency(), write_floor);
+    }
+  });
+  ssd.submit(workload());
+  ssd.run_to_completion();
+}
+
+TEST_P(DeviceMatrix, DeterministicRerun) {
+  const auto run_once = [&] {
+    Ssd ssd(options_from_param());
+    configure_tenants(ssd);
+    ssd.submit(workload());
+    ssd.run_to_completion();
+    return std::tuple{ssd.now(), ssd.metrics().aggregate().total_us(),
+                      ssd.metrics().counters().conflicts,
+                      ssd.write_buffer_occupancy()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(DeviceMatrix, MappingConsistentAfterDrainAndFlush) {
+  Ssd ssd(options_from_param());
+  configure_tenants(ssd);
+  ssd.submit(workload());
+  ssd.run_to_completion();
+  ssd.flush_write_buffer();
+  ssd.run_to_completion();
+  std::uint64_t mapped = 0;
+  for (sim::TenantId t = 0; t < 2; ++t) {
+    mapped += ssd.ftl().mapping().mapped_count(t);
+  }
+  EXPECT_EQ(ssd.ftl().blocks().total_valid_pages(), mapped);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommandSets, DeviceMatrix,
+    testing::Combine(testing::Bool(),            // read priority
+                     testing::Bool(),            // multiplane
+                     testing::Bool(),            // pipelined writes
+                     testing::Values(0u, 128u),  // write buffer
+                     testing::Bool()),           // partitioned tenants
+    [](const testing::TestParamInfo<DeviceParam>& info) {
+      std::string name;
+      name += std::get<0>(info.param) ? "prio" : "fair";
+      name += std::get<1>(info.param) ? "_multiplane" : "_chipserial";
+      name += std::get<2>(info.param) ? "_pipelined" : "_heldbus";
+      name += std::get<3>(info.param) ? "_buffered" : "_unbuffered";
+      name += std::get<4>(info.param) ? "_partitioned" : "_shared";
+      return name;
+    });
+
+}  // namespace
+}  // namespace ssdk::ssd

@@ -1,0 +1,121 @@
+// Property-based checks over randomized workloads: every request
+// completes, latencies are bounded below by service time, the simulation
+// is bit-deterministic, and FTL invariants (mapping/validity conservation)
+// hold after arbitrary interleavings.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+std::vector<sim::IoRequest> random_mix(std::uint64_t seed,
+                                       std::uint64_t requests) {
+  trace::SyntheticSpec a;
+  a.write_fraction = 0.8;
+  a.request_count = requests / 2;
+  a.intensity_rps = 15'000.0;
+  a.address_space_pages = 4096;
+  a.seed = seed;
+  trace::SyntheticSpec b;
+  b.write_fraction = 0.1;
+  b.request_count = requests - requests / 2;
+  b.intensity_rps = 20'000.0;
+  b.address_space_pages = 4096;
+  b.seed = seed + 1;
+  const std::vector<trace::Workload> workloads{
+      trace::generate_synthetic(a), trace::generate_synthetic(b)};
+  return trace::mix_workloads(workloads);
+}
+
+class SsdProperty : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SsdProperty, EveryRequestCompletesExactlyOnce) {
+  const auto requests = random_mix(GetParam(), 2000);
+  Ssd ssd;
+  std::vector<int> completed(requests.size(), 0);
+  ssd.set_completion_hook([&](const sim::Completion& c) {
+    ASSERT_LT(c.request_id, completed.size());
+    ++completed[c.request_id];
+  });
+  ssd.submit(requests);
+  ssd.run_to_completion();
+  for (const int c : completed) ASSERT_EQ(c, 1);
+  EXPECT_EQ(ssd.metrics().counters().host_reads +
+                ssd.metrics().counters().host_writes,
+            requests.size());
+}
+
+TEST_P(SsdProperty, LatencyNeverBelowServiceTime) {
+  const auto requests = random_mix(GetParam() + 100, 1500);
+  Ssd ssd;
+  const auto& t = ssd.options().timing;
+  const auto& g = ssd.options().geometry;
+  const Duration min_read = t.read_service_ns(g);
+  const Duration min_write = t.write_service_ns(g);
+  ssd.set_completion_hook([&](const sim::Completion& c) {
+    if (c.type == sim::OpType::kRead) {
+      ASSERT_GE(c.latency(), min_read);
+    } else {
+      ASSERT_GE(c.latency(), min_write);
+    }
+  });
+  ssd.submit(requests);
+  ssd.run_to_completion();
+}
+
+TEST_P(SsdProperty, DeterministicAcrossRuns) {
+  const auto requests = random_mix(GetParam() + 200, 1200);
+  auto run = [&] {
+    Ssd ssd;
+    ssd.submit(requests);
+    ssd.run_to_completion();
+    return std::tuple{ssd.now(),
+                      ssd.metrics().aggregate().avg_read_us(),
+                      ssd.metrics().aggregate().avg_write_us(),
+                      ssd.metrics().counters().conflicts};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(SsdProperty, MappingMatchesValidPages) {
+  const auto requests = random_mix(GetParam() + 300, 2500);
+  Ssd ssd;
+  ssd.submit(requests);
+  ssd.run_to_completion();
+  // Every mapped LPN points at a valid page owned by that (tenant, lpn).
+  std::uint64_t mapped_total = 0;
+  for (sim::TenantId tenant = 0; tenant < 2; ++tenant) {
+    mapped_total += ssd.ftl().mapping().mapped_count(tenant);
+    for (std::uint64_t lpn = 0; lpn < 4096; ++lpn) {
+      const sim::Ppn p = ssd.ftl().mapping().lookup(tenant, lpn);
+      if (p == sim::kInvalidPpn) continue;
+      ASSERT_TRUE(ssd.ftl().blocks().is_valid(p));
+      const auto owner = ssd.ftl().blocks().owner(p);
+      ASSERT_EQ(owner.tenant, tenant);
+      ASSERT_EQ(owner.lpn, lpn);
+    }
+  }
+  EXPECT_EQ(ssd.ftl().blocks().total_valid_pages(), mapped_total);
+}
+
+TEST_P(SsdProperty, PartitioningNeverLosesRequests) {
+  const auto requests = random_mix(GetParam() + 400, 1500);
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0, 1, 2});
+  ssd.set_tenant_channels(1, {3, 4, 5, 6, 7});
+  ssd.set_tenant_alloc_mode(0, ftl::AllocMode::kDynamic);
+  std::size_t completions = 0;
+  ssd.set_completion_hook([&](const sim::Completion&) { ++completions; });
+  ssd.submit(requests);
+  ssd.run_to_completion();
+  EXPECT_EQ(completions, requests.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SsdProperty,
+                         testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace ssdk::ssd

@@ -1,0 +1,137 @@
+// TRIM (host discard) behaviour: metadata-only completion, mapping and
+// validity updates, and interaction with GC.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+sim::IoRequest make_req(std::uint64_t id, sim::OpType type,
+                        std::uint64_t lpn, std::uint32_t pages,
+                        SimTime arrival) {
+  sim::IoRequest r;
+  r.id = id;
+  r.tenant = 0;
+  r.type = type;
+  r.lpn = lpn;
+  r.page_count = pages;
+  r.arrival = arrival;
+  return r;
+}
+
+TEST(SsdTrim, DropsMappingAndValidity) {
+  Ssd ssd;
+  ssd.submit(make_req(0, sim::OpType::kWrite, 10, 4, 0));
+  ssd.submit(make_req(1, sim::OpType::kTrim, 10, 4, kMillisecond));
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.ftl().mapping().mapped_count(0), 0u);
+  EXPECT_EQ(ssd.ftl().blocks().total_valid_pages(), 0u);
+  EXPECT_EQ(ssd.metrics().counters().host_trims, 1u);
+}
+
+TEST(SsdTrim, CompletesInstantly) {
+  Ssd ssd;
+  SimTime finish = 0;
+  ssd.set_completion_hook([&](const sim::Completion& c) {
+    if (c.type == sim::OpType::kTrim) finish = c.finish;
+  });
+  ssd.submit(make_req(0, sim::OpType::kTrim, 0, 8, 5000));
+  ssd.run_to_completion();
+  EXPECT_EQ(finish, 5000u);  // no flash work
+}
+
+TEST(SsdTrim, TrimOfUnmappedLpnIsNoop) {
+  Ssd ssd;
+  ssd.submit(make_req(0, sim::OpType::kTrim, 999, 2, 0));
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.metrics().counters().host_trims, 1u);
+  EXPECT_EQ(ssd.ftl().blocks().total_valid_pages(), 0u);
+}
+
+TEST(SsdTrim, ReadAfterTrimRepopulates) {
+  Ssd ssd;
+  ssd.submit(make_req(0, sim::OpType::kWrite, 7, 1, 0));
+  ssd.submit(make_req(1, sim::OpType::kTrim, 7, 1, kMillisecond));
+  ssd.submit(make_req(2, sim::OpType::kRead, 7, 1, 2 * kMillisecond));
+  ssd.run_to_completion();
+  // The read found no mapping and prepopulated a fresh location.
+  EXPECT_EQ(ssd.ftl().mapping().mapped_count(0), 1u);
+  EXPECT_EQ(ssd.metrics().counters().host_reads, 1u);
+}
+
+TEST(SsdTrim, FreesSpaceForGc) {
+  // Fill the tiny device's plane, trim everything, keep writing: GC can
+  // reclaim the fully-invalid blocks without any migration.
+  SsdOptions options;
+  options.geometry = sim::Geometry::tiny();
+  Ssd ssd(options);
+  ssd.set_tenant_channels(0, {0});
+  std::uint64_t id = 0;
+  SimTime t = 0;
+  for (std::uint64_t lpn = 0; lpn < 40; ++lpn) {
+    ssd.submit(make_req(id++, sim::OpType::kWrite, lpn, 1,
+                        t += 300 * kMicrosecond));
+  }
+  for (std::uint64_t lpn = 0; lpn < 40; ++lpn) {
+    ssd.submit(make_req(id++, sim::OpType::kTrim, lpn, 1, t));
+  }
+  for (std::uint64_t lpn = 100; lpn < 140; ++lpn) {
+    ssd.submit(make_req(id++, sim::OpType::kWrite, lpn, 1,
+                        t += 300 * kMicrosecond));
+  }
+  ssd.run_to_completion();
+  EXPECT_GT(ssd.metrics().counters().erases, 0u);
+  EXPECT_EQ(ssd.metrics().counters().gc_migrations, 0u);
+  EXPECT_EQ(ssd.ftl().mapping().mapped_count(0), 40u);
+}
+
+TEST(SsdUtilization, BusyChannelsReportHigherUtilization) {
+  Ssd ssd;
+  ssd.set_tenant_channels(0, {0});
+  std::uint64_t id = 0;
+  for (int i = 0; i < 50; ++i) {
+    ssd.submit(make_req(id++, sim::OpType::kWrite,
+                        static_cast<std::uint64_t>(i), 1,
+                        static_cast<SimTime>(i) * 100 * kMicrosecond));
+  }
+  ssd.run_to_completion();
+  EXPECT_GT(ssd.channel_utilization(0), 0.5);  // held-bus writes
+  EXPECT_EQ(ssd.channel_busy_ns(1), 0u);
+  EXPECT_EQ(ssd.channel_utilization(1), 0.0);
+  // Unit busy time concentrated on channel 0's chips (units 0 and 1).
+  Duration rest = 0;
+  for (std::size_t u = 2; u < ssd.unit_count(); ++u) {
+    rest += ssd.unit_busy_ns(u);
+  }
+  EXPECT_EQ(rest, 0u);
+  EXPECT_GT(ssd.unit_busy_ns(0) + ssd.unit_busy_ns(1), 0u);
+}
+
+TEST(SsdUtilization, SharedSpreadsLoad) {
+  Ssd ssd;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 400; ++i) {
+    ssd.submit(make_req(id++, sim::OpType::kWrite,
+                        static_cast<std::uint64_t>(i), 1,
+                        static_cast<SimTime>(i) * 50 * kMicrosecond));
+  }
+  ssd.run_to_completion();
+  for (std::uint32_t ch = 0; ch < 8; ++ch) {
+    EXPECT_GT(ssd.channel_busy_ns(ch), 0u) << ch;
+  }
+}
+
+TEST(MetricsWarmup, ExcludesEarlyCompletionsFromSamples) {
+  Ssd ssd;
+  ssd.metrics().set_warmup_ns(10 * kMillisecond);
+  ssd.submit(make_req(0, sim::OpType::kRead, 0, 1, 0));       // warmup
+  ssd.submit(make_req(1, sim::OpType::kRead, 1, 1,
+                      20 * kMillisecond));                    // measured
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.metrics().counters().host_reads, 2u);  // both counted
+  EXPECT_EQ(ssd.metrics().tenant(0).read_latency_us.count(), 1u);
+}
+
+}  // namespace
+}  // namespace ssdk::ssd

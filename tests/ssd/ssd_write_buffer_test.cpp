@@ -1,0 +1,161 @@
+// DRAM write buffer: absorption at DRAM latency, read hits, watermark
+// flushing, overwrite coalescing, trim interaction, and the latency win.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+#include "util/rng.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+sim::IoRequest make_req(std::uint64_t id, sim::OpType type,
+                        std::uint64_t lpn, SimTime arrival,
+                        std::uint32_t pages = 1) {
+  sim::IoRequest r;
+  r.id = id;
+  r.tenant = 0;
+  r.type = type;
+  r.lpn = lpn;
+  r.page_count = pages;
+  r.arrival = arrival;
+  return r;
+}
+
+SsdOptions buffered_options(std::uint32_t capacity = 64) {
+  SsdOptions options;
+  options.write_buffer.capacity_pages = capacity;
+  return options;
+}
+
+TEST(WriteBuffer, AbsorbsWritesAtDramLatency) {
+  Ssd ssd(buffered_options());
+  ssd.submit(make_req(0, sim::OpType::kWrite, 5, 0));
+  ssd.run_to_completion();
+  EXPECT_DOUBLE_EQ(ssd.metrics().tenant(0).avg_write_us(),
+                   to_us(ssd.options().write_buffer.dram_ns));
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 1u);
+  // Nothing reached flash yet: mapping empty.
+  EXPECT_EQ(ssd.ftl().mapping().mapped_count(0), 0u);
+}
+
+TEST(WriteBuffer, DisabledByDefault) {
+  Ssd ssd;  // capacity 0
+  ssd.submit(make_req(0, sim::OpType::kWrite, 5, 0));
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 0u);
+  EXPECT_GT(ssd.metrics().tenant(0).avg_write_us(), 200.0);  // flash path
+}
+
+TEST(WriteBuffer, ReadHitServedFromDram) {
+  Ssd ssd(buffered_options());
+  ssd.submit(make_req(0, sim::OpType::kWrite, 9, 0));
+  ssd.submit(make_req(1, sim::OpType::kRead, 9, kMillisecond));
+  ssd.run_to_completion();
+  EXPECT_DOUBLE_EQ(ssd.metrics().tenant(0).avg_read_us(),
+                   to_us(ssd.options().write_buffer.dram_ns));
+  EXPECT_GE(ssd.write_buffer_hits(), 1u);
+}
+
+TEST(WriteBuffer, OverwriteCoalescesInPlace) {
+  Ssd ssd(buffered_options());
+  for (int i = 0; i < 10; ++i) {
+    ssd.submit(make_req(static_cast<std::uint64_t>(i), sim::OpType::kWrite,
+                        7, static_cast<SimTime>(i) * kMillisecond));
+  }
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 1u);
+  EXPECT_EQ(ssd.write_buffer_hits(), 9u);
+}
+
+TEST(WriteBuffer, FlushesAboveHighWatermark) {
+  SsdOptions options = buffered_options(32);
+  options.write_buffer.high_watermark = 0.5;  // flush past 16 pages
+  options.write_buffer.low_watermark = 0.25;
+  Ssd ssd(options);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ssd.submit(make_req(i, sim::OpType::kWrite, i,
+                        i * 10 * kMicrosecond));
+  }
+  ssd.run_to_completion();
+  // Occupancy was pushed back under the low watermark at flush time.
+  EXPECT_LE(ssd.write_buffer_occupancy(), 12u);
+  // The evicted pages reached flash and are mapped.
+  EXPECT_GE(ssd.ftl().mapping().mapped_count(0), 8u);
+}
+
+TEST(WriteBuffer, ExplicitFlushDrainsEverything) {
+  Ssd ssd(buffered_options());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ssd.submit(make_req(i, sim::OpType::kWrite, i, i * kMillisecond));
+  }
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 10u);
+  ssd.flush_write_buffer();
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 0u);
+  EXPECT_EQ(ssd.ftl().mapping().mapped_count(0), 10u);
+  EXPECT_EQ(ssd.ftl().blocks().total_valid_pages(), 10u);
+}
+
+TEST(WriteBuffer, TrimDropsDirtyCopy) {
+  Ssd ssd(buffered_options());
+  ssd.submit(make_req(0, sim::OpType::kWrite, 4, 0));
+  ssd.submit(make_req(1, sim::OpType::kTrim, 4, kMillisecond));
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 0u);
+  ssd.flush_write_buffer();
+  ssd.run_to_completion();
+  // Nothing resurrected.
+  EXPECT_EQ(ssd.ftl().mapping().mapped_count(0), 0u);
+}
+
+TEST(WriteBuffer, FullBufferSpillsToFlash) {
+  SsdOptions options = buffered_options(4);
+  options.write_buffer.high_watermark = 2.0;  // never auto-flush
+  Ssd ssd(options);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ssd.submit(make_req(i, sim::OpType::kWrite, i, i * kMillisecond));
+  }
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 4u);
+  // The other four pages took the flash path.
+  EXPECT_EQ(ssd.ftl().mapping().mapped_count(0), 4u);
+}
+
+TEST(WriteBuffer, ReducesAverageWriteLatencyUnderBurst) {
+  auto avg_write = [](std::uint32_t capacity) {
+    SsdOptions options = buffered_options(capacity);
+    Ssd ssd(options);
+    ssd.set_tenant_channels(0, {0});
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      ssd.submit(make_req(i, sim::OpType::kWrite, i,
+                          i * 20 * kMicrosecond));
+    }
+    ssd.run_to_completion();
+    return ssd.metrics().tenant(0).avg_write_us();
+  };
+  EXPECT_LT(avg_write(256), avg_write(0) / 10.0);
+}
+
+TEST(WriteBuffer, EveryRequestStillCompletesExactlyOnce) {
+  SsdOptions options = buffered_options(16);
+  options.write_buffer.high_watermark = 0.6;
+  options.write_buffer.low_watermark = 0.3;
+  Ssd ssd(options);
+  std::vector<int> completed(300, 0);
+  ssd.set_completion_hook([&](const sim::Completion& c) {
+    ++completed[c.request_id];
+  });
+  ssdk::Rng rng(5);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const bool write = rng.bernoulli(0.6);
+    ssd.submit(make_req(i, write ? sim::OpType::kWrite : sim::OpType::kRead,
+                        rng.next_below(64), i * 30 * kMicrosecond,
+                        1 + static_cast<std::uint32_t>(rng.next_below(3))));
+  }
+  ssd.run_to_completion();
+  for (const int c : completed) ASSERT_EQ(c, 1);
+}
+
+}  // namespace
+}  // namespace ssdk::ssd

@@ -1,0 +1,91 @@
+#include "trace/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/workload_stats.hpp"
+
+namespace ssdk::trace {
+namespace {
+
+TEST(Catalog, HasSixTableIIWorkloads) {
+  const auto& names = catalog_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "mds_0");
+  EXPECT_EQ(names[5], "web_2");
+}
+
+TEST(Catalog, WriteRatiosMatchTableII) {
+  // Table II: mds_0 88%, mds_1 7%, rsrch_0 91%, prxy_0 97%, src_1 5%,
+  // web_2 1%.
+  const std::vector<std::pair<std::string, double>> expected{
+      {"mds_0", 0.88}, {"mds_1", 0.07},  {"rsrch_0", 0.91},
+      {"prxy_0", 0.97}, {"src_1", 0.05}, {"web_2", 0.01},
+  };
+  for (const auto& [name, ratio] : expected) {
+    const auto spec = catalog_spec(name, 1.0);
+    EXPECT_DOUBLE_EQ(spec.write_fraction, ratio) << name;
+    const auto stats = compute_stats(generate_synthetic(spec));
+    EXPECT_NEAR(stats.write_ratio, ratio, 0.02) << name;
+  }
+}
+
+TEST(Catalog, RelativeIntensitiesFollowTableII) {
+  // prxy_0, src_1 and web_2 are the heavy hitters in the paper's Table II
+  // request counts; the catalog preserves that ordering.
+  const double mds = catalog_spec("mds_0", 1.0).intensity_rps;
+  const double prxy = catalog_spec("prxy_0", 1.0).intensity_rps;
+  const double src = catalog_spec("src_1", 1.0).intensity_rps;
+  EXPECT_GT(prxy, 5.0 * mds);
+  EXPECT_GT(src, 2.0 * prxy);
+}
+
+TEST(Catalog, UnknownNameThrows) {
+  EXPECT_THROW(catalog_spec("nope", 1.0), std::invalid_argument);
+  EXPECT_THROW(catalog_spec("mds_0", 0.0), std::invalid_argument);
+}
+
+TEST(Catalog, MixLineupsMatchTableIV) {
+  EXPECT_EQ(mix_workload_names(1),
+            (std::vector<std::string>{"mds_0", "mds_1", "rsrch_0",
+                                      "prxy_0"}));
+  EXPECT_EQ(mix_workload_names(2),
+            (std::vector<std::string>{"prxy_0", "src_1", "rsrch_0",
+                                      "mds_1"}));
+  EXPECT_THROW(mix_workload_names(0), std::invalid_argument);
+  EXPECT_THROW(mix_workload_names(5), std::invalid_argument);
+}
+
+TEST(Catalog, BuildMixProducesFourTenants) {
+  const auto mixed = build_mix(1, 0.2);
+  ASSERT_FALSE(mixed.empty());
+  const auto per = per_tenant_stats(mixed, 4);
+  for (const auto& s : per) EXPECT_GT(s.requests, 0u);
+  // prxy_0 (tenant 3 in Mix1) dominates, as in the paper's Table V.
+  EXPECT_GT(per[3].requests, per[0].requests * 5);
+}
+
+TEST(Catalog, MixTruncationHonored) {
+  const auto mixed = build_mix(2, 0.5, 1000);
+  EXPECT_EQ(mixed.size(), 1000u);
+}
+
+TEST(Catalog, MixDeterministicInSeed) {
+  const auto a = build_mix(3, 0.1, 0, 9);
+  const auto b = build_mix(3, 0.1, 0, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 17) {
+    ASSERT_EQ(a[i].lpn, b[i].lpn);
+    ASSERT_EQ(a[i].arrival, b[i].arrival);
+  }
+  const auto c = build_mix(3, 0.1, 0, 10);
+  ASSERT_EQ(a.size(), c.size());
+}
+
+TEST(Catalog, SeedsDifferAcrossWorkloads) {
+  const auto a = catalog_spec("mds_0", 1.0, 0);
+  const auto b = catalog_spec("mds_1", 1.0, 0);
+  EXPECT_NE(a.seed, b.seed);
+}
+
+}  // namespace
+}  // namespace ssdk::trace

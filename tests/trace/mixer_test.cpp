@@ -1,0 +1,95 @@
+#include "trace/mixer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::trace {
+namespace {
+
+TraceRecord rec(SimTime at, sim::OpType type = sim::OpType::kRead) {
+  TraceRecord r;
+  r.arrival = at;
+  r.type = type;
+  r.lpn = at;  // marker
+  return r;
+}
+
+TEST(Mixer, MergesChronologically) {
+  const std::vector<Workload> workloads{
+      {rec(10), rec(30)},
+      {rec(20), rec(40)},
+  };
+  const auto mixed = mix_workloads(workloads);
+  ASSERT_EQ(mixed.size(), 4u);
+  EXPECT_EQ(mixed[0].arrival, 10u);
+  EXPECT_EQ(mixed[1].arrival, 20u);
+  EXPECT_EQ(mixed[2].arrival, 30u);
+  EXPECT_EQ(mixed[3].arrival, 40u);
+}
+
+TEST(Mixer, AssignsTenantByWorkloadIndex) {
+  const std::vector<Workload> workloads{{rec(5)}, {rec(1)}, {rec(3)}};
+  const auto mixed = mix_workloads(workloads);
+  ASSERT_EQ(mixed.size(), 3u);
+  EXPECT_EQ(mixed[0].tenant, 1u);
+  EXPECT_EQ(mixed[1].tenant, 2u);
+  EXPECT_EQ(mixed[2].tenant, 0u);
+}
+
+TEST(Mixer, IdsAreSequentialInMergedOrder) {
+  const std::vector<Workload> workloads{{rec(2), rec(4)}, {rec(1), rec(3)}};
+  const auto mixed = mix_workloads(workloads);
+  for (std::size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_EQ(mixed[i].id, i);
+  }
+}
+
+TEST(Mixer, TiesBreakByWorkloadIndex) {
+  const std::vector<Workload> workloads{{rec(7)}, {rec(7)}};
+  const auto mixed = mix_workloads(workloads);
+  EXPECT_EQ(mixed[0].tenant, 0u);
+  EXPECT_EQ(mixed[1].tenant, 1u);
+}
+
+TEST(Mixer, TruncatesToMaxRequests) {
+  const std::vector<Workload> workloads{
+      {rec(1), rec(3), rec(5)},
+      {rec(2), rec(4), rec(6)},
+  };
+  const auto mixed = mix_workloads(workloads, 4);
+  ASSERT_EQ(mixed.size(), 4u);
+  EXPECT_EQ(mixed.back().arrival, 4u);  // earliest four kept
+}
+
+TEST(Mixer, EmptyWorkloadsHandled) {
+  const std::vector<Workload> workloads{{}, {rec(1)}, {}};
+  const auto mixed = mix_workloads(workloads);
+  ASSERT_EQ(mixed.size(), 1u);
+  EXPECT_EQ(mixed[0].tenant, 1u);
+  EXPECT_TRUE(mix_workloads(std::vector<Workload>{}).empty());
+}
+
+TEST(Mixer, PreservesRecordPayload) {
+  Workload w{rec(9, sim::OpType::kWrite)};
+  w[0].pages = 7;
+  w[0].lpn = 1234;
+  const auto mixed = mix_workloads(std::vector<Workload>{w});
+  EXPECT_EQ(mixed[0].page_count, 7u);
+  EXPECT_EQ(mixed[0].lpn, 1234u);
+  EXPECT_EQ(mixed[0].type, sim::OpType::kWrite);
+}
+
+TEST(Mixer, OutputArrivalsAreMonotone) {
+  std::vector<Workload> workloads(4);
+  for (std::size_t w = 0; w < 4; ++w) {
+    for (SimTime t = w; t < 1000; t += 3 + w) {
+      workloads[w].push_back(rec(t));
+    }
+  }
+  const auto mixed = mix_workloads(workloads);
+  for (std::size_t i = 1; i < mixed.size(); ++i) {
+    ASSERT_GE(mixed[i].arrival, mixed[i - 1].arrival);
+  }
+}
+
+}  // namespace
+}  // namespace ssdk::trace

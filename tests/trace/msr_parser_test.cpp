@@ -1,0 +1,93 @@
+#include "trace/msr_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ssdk::trace {
+namespace {
+
+constexpr const char* kSample =
+    "128166372003061629,hm,1,Read,383496192,32768,58000\n"
+    "128166372016382155,hm,1,Write,2822144,16384,12000\n"
+    "128166372026382155,hm,1,read,310378496,49152,33000\n";
+
+TEST(MsrParser, ParsesFieldsAndRebasesTime) {
+  std::istringstream in(kSample);
+  const Workload w = parse_msr(in);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].arrival, 0u);
+  // Second record: (16382155 - 3061629) ticks * 100 ns.
+  EXPECT_EQ(w[1].arrival, (16382155ULL - 3061629ULL) * 100ULL);
+  EXPECT_EQ(w[0].type, sim::OpType::kRead);
+  EXPECT_EQ(w[1].type, sim::OpType::kWrite);
+  EXPECT_EQ(w[2].type, sim::OpType::kRead);  // case-insensitive
+}
+
+TEST(MsrParser, ConvertsOffsetsToPages) {
+  std::istringstream in(kSample);
+  MsrParseOptions options;
+  options.page_size_bytes = 16 * 1024;
+  const Workload w = parse_msr(in, options);
+  EXPECT_EQ(w[0].lpn, (383496192ULL / 16384ULL) % options.address_space_pages);
+  EXPECT_EQ(w[0].pages, 2u);  // 32768 / 16384
+  EXPECT_EQ(w[1].pages, 1u);
+  EXPECT_EQ(w[2].pages, 3u);
+}
+
+TEST(MsrParser, TimeScaleCompressesGaps) {
+  std::istringstream in(kSample);
+  MsrParseOptions options;
+  options.time_scale = 0.5;
+  const Workload w = parse_msr(in, options);
+  EXPECT_EQ(w[1].arrival, (16382155ULL - 3061629ULL) * 50ULL);
+}
+
+TEST(MsrParser, MaxRecordsTruncates) {
+  std::istringstream in(kSample);
+  MsrParseOptions options;
+  options.max_records = 2;
+  EXPECT_EQ(parse_msr(in, options).size(), 2u);
+}
+
+TEST(MsrParser, WrapsIntoAddressSpace) {
+  std::istringstream in(kSample);
+  MsrParseOptions options;
+  options.address_space_pages = 128;
+  for (const auto& rec : parse_msr(in, options)) {
+    EXPECT_LE(rec.lpn + rec.pages, 128u);
+  }
+}
+
+TEST(MsrParser, RejectsMalformedLines) {
+  std::istringstream bad_fields("1,hm,1,Read\n");
+  EXPECT_THROW(parse_msr(bad_fields), std::invalid_argument);
+  std::istringstream bad_type("1,hm,1,Trim,0,4096,0\n");
+  EXPECT_THROW(parse_msr(bad_type), std::invalid_argument);
+  std::istringstream bad_num("abc,hm,1,Read,0,4096,0\n");
+  EXPECT_THROW(parse_msr(bad_num), std::invalid_argument);
+}
+
+TEST(MsrParser, SortsNearSortedInput) {
+  std::istringstream in(
+      "2000,hm,0,Read,0,4096,0\n"
+      "1000,hm,0,Write,16384,4096,0\n");
+  const Workload w = parse_msr(in);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_LE(w[0].arrival, w[1].arrival);
+  EXPECT_EQ(w[0].type, sim::OpType::kWrite);
+}
+
+TEST(MsrParser, MissingFileThrows) {
+  EXPECT_THROW(parse_msr_file("/no/such/trace.csv"), std::runtime_error);
+}
+
+TEST(MsrParser, ZeroByteRequestStillOnePage) {
+  std::istringstream in("1,hm,0,Read,0,0,0\n");
+  const Workload w = parse_msr(in);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].pages, 1u);
+}
+
+}  // namespace
+}  // namespace ssdk::trace

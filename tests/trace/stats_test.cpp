@@ -1,0 +1,79 @@
+#include "trace/workload_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace ssdk::trace {
+namespace {
+
+TEST(WorkloadStats, EmptyIsAllZero) {
+  const WorkloadStats s = compute_stats({});
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.write_ratio, 0.0);
+}
+
+TEST(WorkloadStats, CountsAndRatios) {
+  Workload w;
+  for (int i = 0; i < 3; ++i) {
+    TraceRecord r;
+    r.arrival = static_cast<SimTime>(i) * kSecond;
+    r.type = i == 0 ? sim::OpType::kWrite : sim::OpType::kRead;
+    r.pages = 2;
+    w.push_back(r);
+  }
+  const WorkloadStats s = compute_stats(w);
+  EXPECT_EQ(s.requests, 3u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_NEAR(s.write_ratio, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean_pages, 2.0);
+  EXPECT_DOUBLE_EQ(s.duration_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.intensity_rps, 1.5);
+}
+
+TEST(WorkloadStats, DescribeMentionsWriteShare) {
+  Workload w{TraceRecord{}};
+  w[0].type = sim::OpType::kWrite;
+  EXPECT_NE(compute_stats(w).describe().find("write"), std::string::npos);
+}
+
+TEST(PerTenantStats, SplitsByTenant) {
+  std::vector<Workload> workloads(2);
+  for (int i = 0; i < 10; ++i) {
+    TraceRecord r;
+    r.arrival = static_cast<SimTime>(i) * kMillisecond;
+    r.type = sim::OpType::kWrite;
+    workloads[0].push_back(r);
+  }
+  {
+    TraceRecord r;
+    r.arrival = 5 * kMillisecond;
+    r.type = sim::OpType::kRead;
+    workloads[1].push_back(r);
+  }
+  const auto mixed = mix_workloads(workloads);
+  const auto per = per_tenant_stats(mixed, 2);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_EQ(per[0].requests, 10u);
+  EXPECT_EQ(per[0].writes, 10u);
+  EXPECT_EQ(per[1].requests, 1u);
+  EXPECT_EQ(per[1].reads, 1u);
+}
+
+TEST(MixedStats, MatchesManualAggregation) {
+  SyntheticSpec spec;
+  spec.request_count = 2000;
+  spec.write_fraction = 0.4;
+  const auto w = generate_synthetic(spec);
+  const auto mixed = mix_workloads(std::vector<Workload>{w});
+  const WorkloadStats direct = compute_stats(w);
+  const WorkloadStats via_mix = mixed_stats(mixed);
+  EXPECT_EQ(direct.requests, via_mix.requests);
+  EXPECT_EQ(direct.writes, via_mix.writes);
+  EXPECT_DOUBLE_EQ(direct.mean_pages, via_mix.mean_pages);
+}
+
+}  // namespace
+}  // namespace ssdk::trace

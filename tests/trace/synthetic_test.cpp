@@ -1,0 +1,172 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/workload_stats.hpp"
+
+namespace ssdk::trace {
+namespace {
+
+TEST(Synthetic, RespectsRequestCount) {
+  SyntheticSpec spec;
+  spec.request_count = 1234;
+  const Workload w = generate_synthetic(spec);
+  EXPECT_EQ(w.size(), 1234u);
+}
+
+TEST(Synthetic, WriteFractionApproximatelyHonored) {
+  SyntheticSpec spec;
+  spec.write_fraction = 0.7;
+  spec.request_count = 20'000;
+  const WorkloadStats s = compute_stats(generate_synthetic(spec));
+  EXPECT_NEAR(s.write_ratio, 0.7, 0.02);
+}
+
+TEST(Synthetic, PureReadAndPureWrite) {
+  SyntheticSpec spec;
+  spec.request_count = 500;
+  spec.write_fraction = 0.0;
+  EXPECT_EQ(compute_stats(generate_synthetic(spec)).writes, 0u);
+  spec.write_fraction = 1.0;
+  EXPECT_EQ(compute_stats(generate_synthetic(spec)).reads, 0u);
+}
+
+TEST(Synthetic, ArrivalsAreMonotone) {
+  SyntheticSpec spec;
+  spec.request_count = 5000;
+  const Workload w = generate_synthetic(spec);
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    ASSERT_GE(w[i].arrival, w[i - 1].arrival);
+  }
+}
+
+TEST(Synthetic, IntensityMatchesSpec) {
+  SyntheticSpec spec;
+  spec.request_count = 50'000;
+  spec.intensity_rps = 10'000.0;
+  const WorkloadStats s = compute_stats(generate_synthetic(spec));
+  EXPECT_NEAR(s.intensity_rps, 10'000.0, 300.0);
+}
+
+TEST(Synthetic, MeanPagesMatchesSpec) {
+  SyntheticSpec spec;
+  spec.request_count = 50'000;
+  spec.mean_request_pages = 3.0;
+  spec.max_request_pages = 64;
+  const WorkloadStats s = compute_stats(generate_synthetic(spec));
+  EXPECT_NEAR(s.mean_pages, 3.0, 0.1);
+}
+
+TEST(Synthetic, AddressesStayInBounds) {
+  SyntheticSpec spec;
+  spec.request_count = 10'000;
+  spec.address_space_pages = 512;
+  spec.max_request_pages = 32;
+  spec.zipf_theta = 0.5;
+  for (const auto& rec : generate_synthetic(spec)) {
+    ASSERT_LE(rec.lpn + rec.pages, 512u);
+    ASSERT_GE(rec.pages, 1u);
+    ASSERT_LE(rec.pages, 32u);
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticSpec spec;
+  spec.request_count = 1000;
+  spec.seed = 77;
+  const Workload a = generate_synthetic(spec);
+  const Workload b = generate_synthetic(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].arrival, b[i].arrival);
+    ASSERT_EQ(a[i].lpn, b[i].lpn);
+    ASSERT_EQ(a[i].pages, b[i].pages);
+    ASSERT_EQ(a[i].type, b[i].type);
+  }
+  spec.seed = 78;
+  const Workload c = generate_synthetic(spec);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = a[i].lpn != c[i].lpn || a[i].arrival != c[i].arrival;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SequentialityChainsRequests) {
+  SyntheticSpec spec;
+  spec.request_count = 10'000;
+  spec.sequential_fraction = 1.0;
+  spec.zipf_theta = 0.0;
+  const Workload w = generate_synthetic(spec);
+  std::size_t chained = 0;
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    if (w[i].lpn == (w[i - 1].lpn + w[i - 1].pages) %
+                        spec.address_space_pages) {
+      ++chained;
+    }
+  }
+  // All requests follow their predecessor (modulo wrap clamping).
+  EXPECT_GT(static_cast<double>(chained) / static_cast<double>(w.size()),
+            0.95);
+}
+
+TEST(Synthetic, BurstinessPreservesMeanRate) {
+  SyntheticSpec smooth;
+  smooth.request_count = 60'000;
+  smooth.intensity_rps = 10'000.0;
+  SyntheticSpec bursty = smooth;
+  bursty.burstiness = 0.5;
+  const auto s = compute_stats(generate_synthetic(smooth));
+  const auto b = compute_stats(generate_synthetic(bursty));
+  EXPECT_NEAR(b.intensity_rps, s.intensity_rps, s.intensity_rps * 0.03);
+}
+
+TEST(Synthetic, BurstinessRaisesGapVariance) {
+  SyntheticSpec spec;
+  spec.request_count = 30'000;
+  spec.intensity_rps = 10'000.0;
+  const auto gap_variance = [&](double burstiness) {
+    SyntheticSpec s2 = spec;
+    s2.burstiness = burstiness;
+    const auto w = generate_synthetic(s2);
+    double mean = 0.0;
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      mean += static_cast<double>(w[i].arrival - w[i - 1].arrival);
+    }
+    mean /= static_cast<double>(w.size() - 1);
+    double var = 0.0;
+    for (std::size_t i = 1; i < w.size(); ++i) {
+      const double d =
+          static_cast<double>(w[i].arrival - w[i - 1].arrival) - mean;
+      var += d * d;
+    }
+    return var / static_cast<double>(w.size() - 1);
+  };
+  EXPECT_GT(gap_variance(0.6), gap_variance(0.0) * 1.2);
+}
+
+TEST(Synthetic, BurstinessValidated) {
+  SyntheticSpec spec;
+  spec.burstiness = 1.0;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+  spec.burstiness = -0.1;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+}
+
+TEST(Synthetic, ValidationRejectsBadSpecs) {
+  SyntheticSpec spec;
+  spec.write_fraction = 1.5;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+  spec = {};
+  spec.intensity_rps = 0.0;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+  spec = {};
+  spec.mean_request_pages = 0.5;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+  spec = {};
+  spec.zipf_theta = 1.0;
+  EXPECT_THROW(generate_synthetic(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdk::trace

@@ -1,0 +1,81 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ssdk {
+namespace {
+
+TEST(Config, FromArgsParsesPairs) {
+  const char* argv[] = {"prog", "alpha=1", "name=test", "rate=2.5"};
+  const Config cfg = Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("alpha", 0), 1);
+  EXPECT_EQ(cfg.get_string("name", ""), "test");
+  EXPECT_DOUBLE_EQ(cfg.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Config, FromArgsRejectsBareToken) {
+  const char* argv[] = {"prog", "notapair"};
+  EXPECT_THROW(Config::from_args(2, argv), std::invalid_argument);
+}
+
+TEST(Config, FallbacksWhenAbsent) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_EQ(cfg.get_uint("missing", 8u), 8u);
+  EXPECT_EQ(cfg.get_string("missing", "d"), "d");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+}
+
+TEST(Config, BoolParsing) {
+  Config cfg;
+  cfg.set("a", "true");
+  cfg.set("b", "0");
+  cfg.set("c", "ON");
+  cfg.set("d", "maybe");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_THROW(cfg.get_bool("d", false), std::invalid_argument);
+}
+
+TEST(Config, MalformedNumberThrows) {
+  Config cfg;
+  cfg.set("n", "12abc");
+  EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Config, FromFileParsesAndIgnoresComments) {
+  const std::string path = testing::TempDir() + "/ssdk_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "# a comment\n"
+        << "threads = 4\n"
+        << "\n"
+        << "name= hello # trailing comment\n";
+  }
+  const Config cfg = Config::from_file(path);
+  EXPECT_EQ(cfg.get_int("threads", 0), 4);
+  EXPECT_EQ(cfg.get_string("name", ""), "hello");
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromFileMissingThrows) {
+  EXPECT_THROW(Config::from_file("/nonexistent/path.cfg"),
+               std::runtime_error);
+}
+
+TEST(Config, KeysSorted) {
+  Config cfg;
+  cfg.set("b", "1");
+  cfg.set("a", "2");
+  const auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+}  // namespace
+}  // namespace ssdk

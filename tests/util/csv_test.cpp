@@ -1,0 +1,67 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ssdk {
+namespace {
+
+TEST(SplitCsvLine, BasicFields) {
+  const auto f = split_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[1], "b");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(SplitCsvLine, EmptyFieldsPreserved) {
+  const auto f = split_csv_line(",x,");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "x");
+  EXPECT_EQ(f[2], "");
+}
+
+TEST(SplitCsvLine, TrimsCarriageReturn) {
+  const auto f = split_csv_line("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(SplitCsvLine, CustomSeparator) {
+  const auto f = split_csv_line("1|2|3", '|');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[2], "3");
+}
+
+TEST(ParseNumbers, ValidValues) {
+  EXPECT_EQ(parse_i64("-42"), -42);
+  EXPECT_EQ(parse_u64("18446744073709551615"), ~std::uint64_t{0});
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+}
+
+TEST(ParseNumbers, RejectsGarbage) {
+  EXPECT_THROW(parse_i64("12x"), std::invalid_argument);
+  EXPECT_THROW(parse_u64(""), std::invalid_argument);
+  EXPECT_THROW(parse_u64("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_double("abc"), std::invalid_argument);
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b"});
+  w.write_row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, RejectsSeparatorInField) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  EXPECT_THROW(w.write_row({"a,b"}), std::invalid_argument);
+  EXPECT_THROW(w.write_row({"a\nb"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssdk

@@ -1,0 +1,78 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk {
+namespace {
+
+TEST(LinearHistogram, BucketsAndOverflow) {
+  LinearHistogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive -> overflow
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(LinearHistogram, BucketLowerEdges) {
+  LinearHistogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 18.0);
+}
+
+TEST(LogHistogram, TotalAndPercentileOrdering) {
+  LogHistogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) h.add(i * 1000);
+  EXPECT_EQ(h.total(), 1000u);
+  const auto p50 = h.percentile(50.0);
+  const auto p99 = h.percentile(99.0);
+  EXPECT_LE(p50, p99);
+  // Bucketed values are approximate; generous bounds.
+  EXPECT_GT(p50, 100'000u);
+  EXPECT_LT(p50, 1'200'000u);
+}
+
+TEST(LogHistogram, ZeroSample) {
+  LogHistogram h;
+  h.add(0);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.percentile(50.0), 0u);
+}
+
+TEST(LogHistogram, EmptyPercentileIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.percentile(99.0), 0u);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a, b;
+  a.add(100);
+  b.add(100);
+  b.add(1 << 20);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(LogHistogram, AsciiNonEmpty) {
+  LogHistogram h;
+  h.add(5000);
+  const std::string art = h.ascii();
+  EXPECT_NE(art.find('#'), std::string::npos);
+  LogHistogram empty;
+  EXPECT_NE(empty.ascii().find("empty"), std::string::npos);
+}
+
+TEST(LogHistogram, PercentileApproximatesValue) {
+  LogHistogram h(16);
+  for (int i = 0; i < 1000; ++i) h.add(1'000'000);  // ~2^20
+  const auto p = h.percentile(50.0);
+  EXPECT_GT(p, 900'000u);
+  EXPECT_LT(p, 1'200'000u);
+}
+
+}  // namespace
+}  // namespace ssdk

@@ -1,0 +1,69 @@
+#include "util/logger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ssdk {
+namespace {
+
+class LoggerTest : public testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggerTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggerTest, StreamingInterfaceComposes) {
+  // Captures stderr around a log emission.
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  log_info() << "value=" << 42 << " name=" << "x";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("value=42 name=x"), std::string::npos);
+}
+
+TEST_F(LoggerTest, MessagesBelowThresholdDropped) {
+  set_log_level(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  log_debug() << "hidden";
+  log_warn() << "also hidden";
+  log_error() << "visible";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST_F(LoggerTest, ThreadSafeUnderConcurrentEmission) {
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        log_info() << "thread " << t << " line " << i;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const std::string out = testing::internal::GetCapturedStderr();
+  // Every line intact: 200 INFO prefixes, 200 newlines.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find("INFO"); pos != std::string::npos;
+       pos = out.find("INFO", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 200u);
+}
+
+}  // namespace
+}  // namespace ssdk
