@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_mixes.dir/bench_table5_mixes.cpp.o"
+  "CMakeFiles/bench_table5_mixes.dir/bench_table5_mixes.cpp.o.d"
+  "bench_table5_mixes"
+  "bench_table5_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tenants.dir/adaptive_tenants.cpp.o"
+  "CMakeFiles/adaptive_tenants.dir/adaptive_tenants.cpp.o.d"
+  "adaptive_tenants"
+  "adaptive_tenants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tenants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/core/CMakeFiles/ssdk_core.dir/allocator.cpp.o" "gcc" "src/core/CMakeFiles/ssdk_core.dir/allocator.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/ssdk_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/ssdk_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/keeper.cpp" "src/core/CMakeFiles/ssdk_core.dir/keeper.cpp.o" "gcc" "src/core/CMakeFiles/ssdk_core.dir/keeper.cpp.o.d"
+  "/root/repo/src/core/label_gen.cpp" "src/core/CMakeFiles/ssdk_core.dir/label_gen.cpp.o" "gcc" "src/core/CMakeFiles/ssdk_core.dir/label_gen.cpp.o.d"
+  "/root/repo/src/core/learner.cpp" "src/core/CMakeFiles/ssdk_core.dir/learner.cpp.o" "gcc" "src/core/CMakeFiles/ssdk_core.dir/learner.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ssdk_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ssdk_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/ssdk_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/ssdk_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/ssdk_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/ssdk_core.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssd/CMakeFiles/ssdk_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssdk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ssdk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ssdk_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssdk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdk_core.dir/allocator.cpp.o"
+  "CMakeFiles/ssdk_core.dir/allocator.cpp.o.d"
+  "CMakeFiles/ssdk_core.dir/features.cpp.o"
+  "CMakeFiles/ssdk_core.dir/features.cpp.o.d"
+  "CMakeFiles/ssdk_core.dir/keeper.cpp.o"
+  "CMakeFiles/ssdk_core.dir/keeper.cpp.o.d"
+  "CMakeFiles/ssdk_core.dir/label_gen.cpp.o"
+  "CMakeFiles/ssdk_core.dir/label_gen.cpp.o.d"
+  "CMakeFiles/ssdk_core.dir/learner.cpp.o"
+  "CMakeFiles/ssdk_core.dir/learner.cpp.o.d"
+  "CMakeFiles/ssdk_core.dir/report.cpp.o"
+  "CMakeFiles/ssdk_core.dir/report.cpp.o.d"
+  "CMakeFiles/ssdk_core.dir/runner.cpp.o"
+  "CMakeFiles/ssdk_core.dir/runner.cpp.o.d"
+  "CMakeFiles/ssdk_core.dir/strategy.cpp.o"
+  "CMakeFiles/ssdk_core.dir/strategy.cpp.o.d"
+  "libssdk_core.a"
+  "libssdk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

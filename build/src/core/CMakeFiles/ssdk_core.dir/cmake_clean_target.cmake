@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libssdk_core.a"
+)

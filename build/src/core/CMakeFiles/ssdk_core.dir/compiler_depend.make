@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ssdk_core.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdk_ftl.dir/block_manager.cpp.o"
+  "CMakeFiles/ssdk_ftl.dir/block_manager.cpp.o.d"
+  "CMakeFiles/ssdk_ftl.dir/ftl.cpp.o"
+  "CMakeFiles/ssdk_ftl.dir/ftl.cpp.o.d"
+  "CMakeFiles/ssdk_ftl.dir/mapping.cpp.o"
+  "CMakeFiles/ssdk_ftl.dir/mapping.cpp.o.d"
+  "CMakeFiles/ssdk_ftl.dir/page_alloc.cpp.o"
+  "CMakeFiles/ssdk_ftl.dir/page_alloc.cpp.o.d"
+  "libssdk_ftl.a"
+  "libssdk_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdk_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

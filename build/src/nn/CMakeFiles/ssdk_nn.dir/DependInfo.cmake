@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/cross_validation.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/cross_validation.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/knn.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/knn.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/knn.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/metrics.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/metrics.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/metrics.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/naive_bayes.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/naive_bayes.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/scaler.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/scaler.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/scaler.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/ssdk_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/ssdk_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ssdk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdk_nn.dir/activations.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/cross_validation.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/dataset.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/knn.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/knn.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/layer.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/loss.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/metrics.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/metrics.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/mlp.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/naive_bayes.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/scaler.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/scaler.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/tensor.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/tensor.cpp.o.d"
+  "CMakeFiles/ssdk_nn.dir/trainer.cpp.o"
+  "CMakeFiles/ssdk_nn.dir/trainer.cpp.o.d"
+  "libssdk_nn.a"
+  "libssdk_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdk_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

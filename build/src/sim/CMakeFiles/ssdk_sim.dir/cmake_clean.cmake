@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdk_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ssdk_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ssdk_sim.dir/geometry.cpp.o"
+  "CMakeFiles/ssdk_sim.dir/geometry.cpp.o.d"
+  "CMakeFiles/ssdk_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ssdk_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/ssdk_sim.dir/timing.cpp.o"
+  "CMakeFiles/ssdk_sim.dir/timing.cpp.o.d"
+  "libssdk_sim.a"
+  "libssdk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

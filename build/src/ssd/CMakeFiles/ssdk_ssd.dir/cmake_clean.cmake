@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdk_ssd.dir/ssd.cpp.o"
+  "CMakeFiles/ssdk_ssd.dir/ssd.cpp.o.d"
+  "libssdk_ssd.a"
+  "libssdk_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdk_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

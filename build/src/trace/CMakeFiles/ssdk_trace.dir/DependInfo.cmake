@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/catalog.cpp" "src/trace/CMakeFiles/ssdk_trace.dir/catalog.cpp.o" "gcc" "src/trace/CMakeFiles/ssdk_trace.dir/catalog.cpp.o.d"
+  "/root/repo/src/trace/mixer.cpp" "src/trace/CMakeFiles/ssdk_trace.dir/mixer.cpp.o" "gcc" "src/trace/CMakeFiles/ssdk_trace.dir/mixer.cpp.o.d"
+  "/root/repo/src/trace/msr_parser.cpp" "src/trace/CMakeFiles/ssdk_trace.dir/msr_parser.cpp.o" "gcc" "src/trace/CMakeFiles/ssdk_trace.dir/msr_parser.cpp.o.d"
+  "/root/repo/src/trace/msr_writer.cpp" "src/trace/CMakeFiles/ssdk_trace.dir/msr_writer.cpp.o" "gcc" "src/trace/CMakeFiles/ssdk_trace.dir/msr_writer.cpp.o.d"
+  "/root/repo/src/trace/synthetic.cpp" "src/trace/CMakeFiles/ssdk_trace.dir/synthetic.cpp.o" "gcc" "src/trace/CMakeFiles/ssdk_trace.dir/synthetic.cpp.o.d"
+  "/root/repo/src/trace/workload_stats.cpp" "src/trace/CMakeFiles/ssdk_trace.dir/workload_stats.cpp.o" "gcc" "src/trace/CMakeFiles/ssdk_trace.dir/workload_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ssdk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

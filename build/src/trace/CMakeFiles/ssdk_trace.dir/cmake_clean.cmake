@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdk_trace.dir/catalog.cpp.o"
+  "CMakeFiles/ssdk_trace.dir/catalog.cpp.o.d"
+  "CMakeFiles/ssdk_trace.dir/mixer.cpp.o"
+  "CMakeFiles/ssdk_trace.dir/mixer.cpp.o.d"
+  "CMakeFiles/ssdk_trace.dir/msr_parser.cpp.o"
+  "CMakeFiles/ssdk_trace.dir/msr_parser.cpp.o.d"
+  "CMakeFiles/ssdk_trace.dir/msr_writer.cpp.o"
+  "CMakeFiles/ssdk_trace.dir/msr_writer.cpp.o.d"
+  "CMakeFiles/ssdk_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/ssdk_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/ssdk_trace.dir/workload_stats.cpp.o"
+  "CMakeFiles/ssdk_trace.dir/workload_stats.cpp.o.d"
+  "libssdk_trace.a"
+  "libssdk_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdk_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

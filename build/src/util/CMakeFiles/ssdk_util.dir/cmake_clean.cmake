@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssdk_util.dir/config.cpp.o"
+  "CMakeFiles/ssdk_util.dir/config.cpp.o.d"
+  "CMakeFiles/ssdk_util.dir/csv.cpp.o"
+  "CMakeFiles/ssdk_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ssdk_util.dir/histogram.cpp.o"
+  "CMakeFiles/ssdk_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/ssdk_util.dir/logger.cpp.o"
+  "CMakeFiles/ssdk_util.dir/logger.cpp.o.d"
+  "CMakeFiles/ssdk_util.dir/rng.cpp.o"
+  "CMakeFiles/ssdk_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ssdk_util.dir/stats.cpp.o"
+  "CMakeFiles/ssdk_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ssdk_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ssdk_util.dir/thread_pool.cpp.o.d"
+  "libssdk_util.a"
+  "libssdk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssdk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

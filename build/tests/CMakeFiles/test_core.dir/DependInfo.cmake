@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/allocator_test.cpp" "tests/CMakeFiles/test_core.dir/core/allocator_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/allocator_test.cpp.o.d"
+  "/root/repo/tests/core/features_test.cpp" "tests/CMakeFiles/test_core.dir/core/features_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/features_test.cpp.o.d"
+  "/root/repo/tests/core/keeper_periodic_test.cpp" "tests/CMakeFiles/test_core.dir/core/keeper_periodic_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/keeper_periodic_test.cpp.o.d"
+  "/root/repo/tests/core/keeper_test.cpp" "tests/CMakeFiles/test_core.dir/core/keeper_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/keeper_test.cpp.o.d"
+  "/root/repo/tests/core/label_gen_test.cpp" "tests/CMakeFiles/test_core.dir/core/label_gen_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/label_gen_test.cpp.o.d"
+  "/root/repo/tests/core/learner_test.cpp" "tests/CMakeFiles/test_core.dir/core/learner_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/learner_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/runner_test.cpp" "tests/CMakeFiles/test_core.dir/core/runner_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/runner_test.cpp.o.d"
+  "/root/repo/tests/core/strategy_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/strategy_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/strategy_property_test.cpp.o.d"
+  "/root/repo/tests/core/strategy_test.cpp" "tests/CMakeFiles/test_core.dir/core/strategy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/strategy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssdk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ssdk_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ssdk_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssdk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssdk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ssdk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

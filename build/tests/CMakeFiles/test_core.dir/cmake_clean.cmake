@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/allocator_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/allocator_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/features_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/features_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/keeper_periodic_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/keeper_periodic_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/keeper_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/keeper_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/label_gen_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/label_gen_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/learner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/learner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/runner_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/runner_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/strategy_property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/strategy_property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/strategy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/strategy_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activations_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/activations_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/activations_test.cpp.o.d"
+  "/root/repo/tests/nn/cross_validation_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/nn/dataset_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/dataset_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/dataset_test.cpp.o.d"
+  "/root/repo/tests/nn/gradient_check_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/gradient_check_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/gradient_check_test.cpp.o.d"
+  "/root/repo/tests/nn/knn_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/knn_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/knn_test.cpp.o.d"
+  "/root/repo/tests/nn/layer_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/layer_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/layer_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/loss_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/loss_test.cpp.o.d"
+  "/root/repo/tests/nn/metrics_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/metrics_test.cpp.o.d"
+  "/root/repo/tests/nn/mlp_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/mlp_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/mlp_test.cpp.o.d"
+  "/root/repo/tests/nn/naive_bayes_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/naive_bayes_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/naive_bayes_test.cpp.o.d"
+  "/root/repo/tests/nn/optimizer_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/optimizer_test.cpp.o.d"
+  "/root/repo/tests/nn/scaler_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/scaler_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/scaler_test.cpp.o.d"
+  "/root/repo/tests/nn/serialize_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/serialize_test.cpp.o.d"
+  "/root/repo/tests/nn/tensor_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/tensor_test.cpp.o.d"
+  "/root/repo/tests/nn/trainer_test.cpp" "tests/CMakeFiles/test_nn.dir/nn/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/nn/trainer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssdk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ssdk_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ssdk_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssdk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssdk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ssdk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

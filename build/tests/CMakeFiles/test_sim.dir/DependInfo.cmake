@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/geometry_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/geometry_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/geometry_test.cpp.o.d"
+  "/root/repo/tests/sim/metrics_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o.d"
+  "/root/repo/tests/sim/timing_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/timing_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/timing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ssdk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/ssdk_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/ssdk_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ssdk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ssdk_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ssdk_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ssdk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

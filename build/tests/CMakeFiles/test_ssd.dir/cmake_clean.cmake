@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd.dir/ssd/ssd_backlog_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_backlog_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_basic_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_basic_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_contention_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_contention_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_gc_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_gc_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_golden_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_golden_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_param_property_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_param_property_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_property_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_property_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_trim_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_trim_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_wear_leveling_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_wear_leveling_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_write_buffer_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/ssd_write_buffer_test.cpp.o.d"
+  "test_ssd"
+  "test_ssd.pdb"
+  "test_ssd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/catalog_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/catalog_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/mixer_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/mixer_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/msr_parser_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/msr_parser_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/msr_writer_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/msr_writer_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/stats_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/stats_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/synthetic_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/synthetic_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
