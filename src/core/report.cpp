@@ -57,6 +57,30 @@ std::string format_run_markdown(const RunResult& result) {
   return os.str();
 }
 
+std::string format_reliability_markdown(const RunResult& result) {
+  std::ostringstream os;
+  os << "| tenant | read retries | uncorrectable | program retries | "
+        "retry wait (us) |\n"
+     << "|---|---|---|---|---|\n";
+  for (const auto& [tenant, metrics] : result.per_tenant) {
+    os << "| " << tenant << " | " << metrics.read_retries << " | "
+       << metrics.uncorrectable_reads << " | " << metrics.program_retries
+       << " | " << static_cast<double>(metrics.retry_wait_ns) / 1e3
+       << " |\n";
+  }
+  const auto& c = result.counters;
+  os << "\n"
+     << "device: retired_blocks=" << c.retired_blocks
+     << " rescue_migrations=" << c.rescue_migrations
+     << " program_fails=" << c.program_fails
+     << " erase_fails=" << c.erase_fails << " lost_pages=" << c.lost_pages
+     << " failed_requests=" << c.failed_requests << "\n";
+  if (result.device_full) {
+    os << "aborted: " << result.abort_reason << "\n";
+  }
+  return os.str();
+}
+
 std::vector<double> normalize_to_first(const std::vector<double>& values) {
   std::vector<double> out(values.size(), 0.0);
   if (values.empty() || values.front() == 0.0) return out;

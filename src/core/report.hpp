@@ -33,6 +33,13 @@ void write_sweep_csv_file(const std::string& path, const SweepTable& table);
 /// One row per tenant plus an aggregate row, pipe-separated Markdown.
 std::string format_run_markdown(const RunResult& result);
 
+/// Reliability companion table: per-tenant read retries, uncorrectable
+/// reads and retry-induced wait, followed by device-level fault counters
+/// (retired blocks, rescue migrations, program/erase failures, lost
+/// pages). Meaningful only when a FaultModel is enabled; with faults off
+/// every value is zero.
+std::string format_reliability_markdown(const RunResult& result);
+
 /// Normalize a series against its first element (the paper's Figure-2
 /// convention: everything relative to Shared). Zero baseline -> zeros.
 std::vector<double> normalize_to_first(const std::vector<double>& values);

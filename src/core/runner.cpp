@@ -1,5 +1,9 @@
 #include "core/runner.hpp"
 
+#include <sstream>
+
+#include "util/logger.hpp"
+
 namespace ssdk::core {
 
 void configure_ssd(ssd::Ssd& device, const Strategy& strategy,
@@ -31,7 +35,23 @@ RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
                                       static_cast<double>(last - first)));
   }
   device.submit(requests);
-  device.run_to_completion();
+  try {
+    device.run_to_completion();
+  } catch (const ftl::DeviceFullError& e) {
+    // Degrade gracefully: report what completed instead of crashing the
+    // replay. The failed placement is recorded so callers can see which
+    // tenant ran the device out of space.
+    ++device.metrics().counters().failed_requests;
+    std::ostringstream reason;
+    reason << "device full: tenant " << e.tenant() << " lpn " << e.lpn()
+           << " could not be placed";
+    log_warn() << "runner: " << reason.str() << "; replay stopped early";
+    RunResult result = summarize(device);
+    result.device_full = true;
+    result.device_full_tenant = e.tenant();
+    result.abort_reason = reason.str();
+    return result;
+  }
   return summarize(device);
 }
 

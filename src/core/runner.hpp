@@ -37,6 +37,12 @@ struct RunResult {
   double p99_write_us = 0.0;
   std::map<sim::TenantId, sim::TenantMetrics> per_tenant;
   sim::DeviceCounters counters;
+  /// Replay aborted because a write could not be placed anywhere in the
+  /// offending tenant's channel set. The latencies above cover everything
+  /// completed up to that point.
+  bool device_full = false;
+  sim::TenantId device_full_tenant = 0;
+  std::string abort_reason;
 };
 
 /// Configure an already-constructed SSD for (strategy, tenants, hybrid).

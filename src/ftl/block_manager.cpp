@@ -175,6 +175,45 @@ std::vector<sim::Ppn> BlockManager::valid_pages(std::uint64_t plane_id,
   return out;
 }
 
+std::uint32_t BlockManager::record_program_fail(std::uint64_t plane_id,
+                                                std::uint32_t block) {
+  auto& info = blocks_[block_index(plane_id, block)];
+  if (info.program_fails < 0xFF) ++info.program_fails;
+  return info.program_fails;
+}
+
+std::uint32_t BlockManager::record_erase_fail(std::uint64_t plane_id,
+                                             std::uint32_t block) {
+  auto& info = blocks_[block_index(plane_id, block)];
+  if (info.erase_fails < 0xFF) ++info.erase_fails;
+  return info.erase_fails;
+}
+
+void BlockManager::retire_block(std::uint64_t plane_id, std::uint32_t block) {
+  auto& info = blocks_[block_index(plane_id, block)];
+  auto& plane = planes_[plane_id];
+  switch (info.state) {
+    case BlockState::kRetired:
+      throw std::logic_error("block_manager: block already retired");
+    case BlockState::kFree: {
+      auto it = std::find(plane.free_list.begin(), plane.free_list.end(),
+                          block);
+      assert(it != plane.free_list.end());
+      *it = plane.free_list.back();
+      plane.free_list.pop_back();
+      break;
+    }
+    case BlockState::kOpen:
+      assert(plane.open_block == static_cast<std::int64_t>(block));
+      plane.open_block = -1;
+      break;
+    case BlockState::kFull:
+      break;
+  }
+  info.state = BlockState::kRetired;
+  ++retired_;
+}
+
 void BlockManager::erase_block(std::uint64_t plane_id, std::uint32_t block) {
   auto& info = blocks_[block_index(plane_id, block)];
   if (info.state != BlockState::kFull || info.valid != 0) {
@@ -225,13 +264,16 @@ WearStats BlockManager::wear_stats() const {
 }
 
 std::uint64_t BlockManager::plane_wear_gap(std::uint64_t plane_id) const {
+  // Retired blocks are permanently out of rotation — their (frozen) erase
+  // counts would otherwise pin the gap and trigger pointless leveling.
   std::uint64_t lo = std::numeric_limits<std::uint64_t>::max(), hi = 0;
   for (std::uint32_t b = 0; b < geom_.blocks_per_plane; ++b) {
-    const auto e = blocks_[block_index(plane_id, b)].erases;
-    lo = std::min(lo, e);
-    hi = std::max(hi, e);
+    const auto& info = blocks_[block_index(plane_id, b)];
+    if (info.state == BlockState::kRetired) continue;
+    lo = std::min(lo, info.erases);
+    hi = std::max(hi, info.erases);
   }
-  return hi - lo;
+  return hi >= lo ? hi - lo : 0;
 }
 
 std::optional<std::uint32_t> BlockManager::coldest_full_block(

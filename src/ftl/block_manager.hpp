@@ -22,7 +22,10 @@ struct PageOwner {
   std::uint64_t lpn = 0;
 };
 
-enum class BlockState : std::uint8_t { kFree, kOpen, kFull };
+/// kRetired: a grown bad block, permanently out of rotation. Its surviving
+/// valid pages stay readable until rescue migration moves them; the block
+/// is never erased, never re-opened, and never returned to the free list.
+enum class BlockState : std::uint8_t { kFree, kOpen, kFull, kRetired };
 
 struct WearStats {
   std::uint64_t min_erases = 0;
@@ -87,6 +90,25 @@ class BlockManager {
   /// Total valid pages across the device (conservation checks in tests).
   std::uint64_t total_valid_pages() const;
 
+  // --- bad-block management (fault model) --------------------------------
+
+  /// Count one program failure in the block; returns the new total.
+  std::uint32_t record_program_fail(std::uint64_t plane_id,
+                                    std::uint32_t block);
+  /// Count one erase failure in the block; returns the new total.
+  std::uint32_t record_erase_fail(std::uint64_t plane_id,
+                                  std::uint32_t block);
+
+  /// Permanently take a block out of rotation. Legal from any non-retired
+  /// state: a Free block leaves the free list, an Open block stops being
+  /// the plane's append point, a Full block simply changes state. Valid
+  /// pages are untouched (the caller rescues them via the GC migration
+  /// path). Throws std::logic_error if already retired.
+  void retire_block(std::uint64_t plane_id, std::uint32_t block);
+
+  /// Retired blocks across the device.
+  std::uint64_t retired_blocks() const { return retired_; }
+
  private:
   std::uint64_t block_index(std::uint64_t plane_id,
                             std::uint32_t block) const {
@@ -103,6 +125,8 @@ class BlockManager {
     std::uint32_t valid = 0;        ///< valid page count
     std::uint64_t erases = 0;
     BlockState state = BlockState::kFree;
+    std::uint8_t program_fails = 0;  ///< fault model: failures observed
+    std::uint8_t erase_fails = 0;
   };
   struct PlaneInfo {
     std::vector<std::uint32_t> free_list;  ///< free block ids
@@ -111,6 +135,7 @@ class BlockManager {
 
   std::vector<BlockInfo> blocks_;     // indexed by global block id
   std::vector<PlaneInfo> planes_;     // indexed by plane id
+  std::uint64_t retired_ = 0;         // device-wide retired-block count
   // Per-page: validity bit and packed owner (tenant<<40 | lpn).
   std::vector<std::uint8_t> page_valid_;
   std::vector<std::uint64_t> page_owner_;

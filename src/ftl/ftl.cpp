@@ -16,8 +16,14 @@ Ftl::Ftl(const sim::Geometry& geometry, FtlConfig config)
 }
 
 Ftl::TenantPolicy& Ftl::policy_for(sim::TenantId tenant) {
+  if (tenant == sim::kInternalTenant) {
+    // GC/rescue traffic places via allocate_migration / allocate_rescue;
+    // reaching here with the internal tenant would silently grow the
+    // policy table to 2^32 entries (tenant + 1 wraps to 0 in 32 bits).
+    throw std::logic_error("ftl: internal tenant has no placement policy");
+  }
   if (policies_.size() <= tenant) {
-    policies_.resize(tenant + 1);
+    policies_.resize(static_cast<std::size_t>(tenant) + 1);
   }
   auto& p = policies_[tenant];
   if (p.channels.empty()) p.channels = all_channels_;
@@ -104,7 +110,7 @@ sim::Ppn Ftl::translate_read(sim::TenantId tenant, std::uint64_t lpn) {
   const auto& policy = policy_for(tenant);
   const PlaneTarget target = static_place(geom_, policy.channels, lpn);
   const sim::Ppn ppn = allocate_near(target, policy.channels);
-  if (ppn == sim::kInvalidPpn) throw DeviceFullError();
+  if (ppn == sim::kInvalidPpn) throw DeviceFullError(tenant, lpn);
   blocks_.mark_valid(ppn, tenant, lpn);
   map_.update(tenant, lpn, ppn);
   return ppn;
@@ -118,7 +124,7 @@ sim::Ppn Ftl::allocate_write(sim::TenantId tenant, std::uint64_t lpn,
           ? static_place(geom_, policy.channels, lpn)
           : dynamic_place(geom_, policy.channels, load, policy.rr_counter);
   const sim::Ppn ppn = allocate_near(target, policy.channels);
-  if (ppn == sim::kInvalidPpn) throw DeviceFullError();
+  if (ppn == sim::kInvalidPpn) throw DeviceFullError(tenant, lpn);
   blocks_.mark_valid(ppn, tenant, lpn);
   const sim::Ppn old = map_.update(tenant, lpn, ppn);
   if (old != sim::kInvalidPpn) blocks_.invalidate(old);
@@ -169,6 +175,49 @@ bool Ftl::complete_migration(sim::Ppn src, sim::Ppn dst) {
 
 void Ftl::erase_block(std::uint64_t plane_id, std::uint32_t block) {
   blocks_.erase_block(plane_id, block);
+}
+
+sim::Ppn Ftl::allocate_rescue(std::uint64_t plane_id) {
+  if (auto ppn = blocks_.allocate_page(plane_id)) return *ppn;
+  // Sibling planes of the same chip first, then every plane in order.
+  const std::uint64_t chip = plane_id / geom_.planes_per_chip;
+  const std::uint64_t base = chip * geom_.planes_per_chip;
+  for (std::uint32_t pl = 0; pl < geom_.planes_per_chip; ++pl) {
+    if (base + pl == plane_id) continue;
+    if (auto ppn = blocks_.allocate_page(base + pl)) return *ppn;
+  }
+  for (std::uint64_t p = 0; p < geom_.total_planes(); ++p) {
+    if (p / geom_.planes_per_chip == chip) continue;
+    if (auto ppn = blocks_.allocate_page(p)) return *ppn;
+  }
+  return sim::kInvalidPpn;
+}
+
+bool Ftl::discard_failed_program(sim::TenantId tenant, std::uint64_t lpn,
+                                 sim::Ppn failed) {
+  const bool still_current = map_.lookup(tenant, lpn) == failed;
+  blocks_.invalidate(failed);  // no-op when a newer write already did
+  if (still_current) map_.erase(tenant, lpn);
+  return still_current;
+}
+
+sim::Ppn Ftl::rewrite_page(sim::TenantId tenant, std::uint64_t lpn,
+                           const sim::PhysAddr& failed_addr) {
+  const auto& policy = policy_for(tenant);
+  PlaneTarget target{failed_addr.channel, failed_addr.chip,
+                     (failed_addr.plane + 1) % geom_.planes_per_chip};
+  const sim::Ppn ppn = allocate_near(target, policy.channels);
+  if (ppn == sim::kInvalidPpn) throw DeviceFullError(tenant, lpn);
+  blocks_.mark_valid(ppn, tenant, lpn);
+  map_.update(tenant, lpn, ppn);
+  return ppn;
+}
+
+void Ftl::drop_lost_page(sim::Ppn ppn) {
+  if (!blocks_.is_valid(ppn)) return;  // superseded while in flight
+  const PageOwner who = blocks_.owner(ppn);
+  map_.erase(who.tenant, who.lpn);
+  blocks_.invalidate(ppn);
 }
 
 std::optional<std::uint32_t> Ftl::wear_leveling_candidate(

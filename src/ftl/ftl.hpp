@@ -31,10 +31,23 @@ struct FtlConfig {
 };
 
 /// Thrown when a write cannot be placed anywhere in the tenant's allowed
-/// channel set (device full even after GC had its chance).
+/// channel set (device full even after GC had its chance). Carries the
+/// tenant and LPN that could not be placed so callers can degrade
+/// gracefully with a per-tenant report instead of crashing the replay.
 class DeviceFullError : public std::runtime_error {
  public:
-  DeviceFullError() : std::runtime_error("ftl: no free page available") {}
+  explicit DeviceFullError(sim::TenantId tenant = sim::kInternalTenant,
+                           std::uint64_t lpn = 0)
+      : std::runtime_error("ftl: no free page available"),
+        tenant_(tenant),
+        lpn_(lpn) {}
+
+  sim::TenantId tenant() const { return tenant_; }
+  std::uint64_t lpn() const { return lpn_; }
+
+ private:
+  sim::TenantId tenant_;
+  std::uint64_t lpn_;
 };
 
 class Ftl {
@@ -98,6 +111,46 @@ class Ftl {
   /// threshold.
   std::optional<std::uint32_t> wear_leveling_candidate(
       std::uint64_t plane_id) const;
+
+  // --- fault handling (driven by the device model) -------------------------
+
+  std::uint32_t record_program_fail(std::uint64_t plane_id,
+                                    std::uint32_t block) {
+    return blocks_.record_program_fail(plane_id, block);
+  }
+  std::uint32_t record_erase_fail(std::uint64_t plane_id,
+                                  std::uint32_t block) {
+    return blocks_.record_erase_fail(plane_id, block);
+  }
+  void retire_block(std::uint64_t plane_id, std::uint32_t block) {
+    blocks_.retire_block(plane_id, block);
+  }
+
+  /// Migration target for rescuing pages off a retiring block: prefers the
+  /// home plane, then its chip's sibling planes, then the whole device
+  /// (losing data beats plane locality). kInvalidPpn when the device is
+  /// truly full.
+  sim::Ppn allocate_rescue(std::uint64_t plane_id);
+
+  /// Undo the placement of a failed program: invalidate the bad page and,
+  /// when the mapping still pointed at it, drop the mapping (the caller
+  /// immediately re-places via rewrite_page). Returns false when the LPN
+  /// was overwritten while the program was in flight — the data is
+  /// superseded and no rewrite is needed.
+  bool discard_failed_program(sim::TenantId tenant, std::uint64_t lpn,
+                              sim::Ppn failed);
+
+  /// Re-place a failed program's page, preferring a sibling plane on the
+  /// same chip (the failing plane's open block is suspect). Marks valid
+  /// and installs the mapping. Throws DeviceFullError when nothing is
+  /// free.
+  sim::Ppn rewrite_page(sim::TenantId tenant, std::uint64_t lpn,
+                        const sim::PhysAddr& failed_addr);
+
+  /// An uncorrectable GC/rescue read: the page's data is lost. Drops the
+  /// mapping and invalidates the page so the victim block can still be
+  /// erased or retired cleanly.
+  void drop_lost_page(sim::Ppn ppn);
 
   // --- introspection --------------------------------------------------------
 

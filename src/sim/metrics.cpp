@@ -33,11 +33,33 @@ const TenantMetrics& MetricsCollector::tenant(TenantId id) const {
   return it->second;
 }
 
+void MetricsCollector::record_read_retry(TenantId tenant, Duration extra_ns) {
+  ++counters_.read_retries;
+  counters_.retry_wait_ns += extra_ns;
+  auto& t = tenants_[tenant];
+  ++t.read_retries;
+  t.retry_wait_ns += extra_ns;
+}
+
+void MetricsCollector::record_uncorrectable_read(TenantId tenant) {
+  ++counters_.uncorrectable_reads;
+  ++tenants_[tenant].uncorrectable_reads;
+}
+
+void MetricsCollector::record_program_retry(TenantId tenant) {
+  ++counters_.program_fails;
+  ++tenants_[tenant].program_retries;
+}
+
 TenantMetrics MetricsCollector::aggregate() const {
   TenantMetrics agg;
   for (const auto& [_, t] : tenants_) {
     agg.read_latency_us.merge(t.read_latency_us);
     agg.write_latency_us.merge(t.write_latency_us);
+    agg.read_retries += t.read_retries;
+    agg.uncorrectable_reads += t.uncorrectable_reads;
+    agg.program_retries += t.program_retries;
+    agg.retry_wait_ns += t.retry_wait_ns;
   }
   return agg;
 }

@@ -11,10 +11,20 @@
 
 namespace ssdk::sim {
 
-/// Latency statistics for one tenant, split by operation type.
+/// Latency statistics for one tenant, split by operation type, plus the
+/// tenant's share of fault-handling traffic (all zero with the fault model
+/// disabled). Retry time is already inside the latency samples — the
+/// separate counters attribute *how much* of a tenant's latency was
+/// error-handling, which is what the keeper's per-tenant accounting needs.
 struct TenantMetrics {
   SampleSet read_latency_us;
   SampleSet write_latency_us;
+
+  // --- reliability (fault model) ---
+  std::uint64_t read_retries = 0;          ///< retry attempts issued
+  std::uint64_t uncorrectable_reads = 0;   ///< pages failing all retries
+  std::uint64_t program_retries = 0;       ///< failed programs re-placed
+  Duration retry_wait_ns = 0;  ///< extra sensing + re-transfer time
 
   double avg_read_us() const { return read_latency_us.mean(); }
   double avg_write_us() const { return write_latency_us.mean(); }
@@ -42,6 +52,19 @@ struct DeviceCounters {
   Duration write_wait_ns = 0;
   std::uint64_t read_ops_started = 0;
   std::uint64_t write_ops_started = 0;
+  // --- reliability (fault model; all zero when disabled) ---
+  std::uint64_t read_retries = 0;
+  std::uint64_t uncorrectable_reads = 0;  ///< pages failing every retry
+  std::uint64_t program_fails = 0;
+  std::uint64_t erase_fails = 0;
+  std::uint64_t retired_blocks = 0;
+  std::uint64_t rescue_migrations = 0;  ///< pages moved off retiring blocks
+  /// GC/rescue migration reads that were themselves uncorrectable — the
+  /// simulated device's (RAID-less) data-loss count.
+  std::uint64_t lost_pages = 0;
+  Duration retry_wait_ns = 0;  ///< summed retry sensing + re-transfer time
+  /// Host requests aborted because the device ran out of space.
+  std::uint64_t failed_requests = 0;
 
   double avg_read_wait_us() const {
     return read_ops_started
@@ -70,6 +93,15 @@ class MetricsCollector {
   void count_conflict() { ++counters_.conflicts; }
   DeviceCounters& counters() { return counters_; }
   const DeviceCounters& counters() const { return counters_; }
+
+  // --- reliability events (fault model) ----------------------------------
+  /// One read-retry attempt for `tenant`; `extra_ns` is the added sensing
+  /// + re-transfer time the retry will occupy.
+  void record_read_retry(TenantId tenant, Duration extra_ns);
+  /// One page of `tenant` exhausted every retry.
+  void record_uncorrectable_read(TenantId tenant);
+  /// One failed program of `tenant` was re-placed.
+  void record_program_retry(TenantId tenant);
 
   const TenantMetrics& tenant(TenantId id) const;
   bool has_tenant(TenantId id) const { return tenants_.contains(id); }

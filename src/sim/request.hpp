@@ -35,6 +35,11 @@ struct IoRequest {
   SimTime arrival = 0;
 };
 
+/// Final status of a host request. With the fault model enabled, a read
+/// whose page exhausts every retry completes as kUncorrectable instead of
+/// crashing the simulation; the caller decides what data loss means.
+enum class IoStatus : std::uint8_t { kOk, kUncorrectable };
+
 /// Completion record emitted by the device.
 struct Completion {
   std::uint64_t request_id = 0;
@@ -42,6 +47,9 @@ struct Completion {
   OpType type = OpType::kRead;
   SimTime arrival = 0;
   SimTime finish = 0;
+  IoStatus status = IoStatus::kOk;
+  /// Pages of the request that were uncorrectable (reads only).
+  std::uint32_t failed_pages = 0;
 
   Duration latency() const { return finish - arrival; }
 };

@@ -22,8 +22,21 @@ struct Timing {
   double xfer_ns_per_byte = 2.5;
   /// Fixed command/addressing overhead per bus transaction.
   Duration cmd_overhead_ns = 200;
+  /// Read-retry sensing latency (fault model): attempt k re-occupies the
+  /// plane for read_retry_base_ns + (k-1) * read_retry_step_ns before its
+  /// data is shifted out over the bus again. Escalation models the
+  /// progressively wider reference-voltage sweeps real controllers issue.
+  Duration read_retry_base_ns = 35 * kMicrosecond;
+  Duration read_retry_step_ns = 15 * kMicrosecond;
 
   static Timing paper() { return Timing{}; }
+
+  /// Plane occupancy of retry attempt `attempt` (1-based).
+  Duration read_retry_ns(std::uint32_t attempt) const {
+    return read_retry_base_ns +
+           static_cast<Duration>(attempt > 0 ? attempt - 1 : 0) *
+               read_retry_step_ns;
+  }
 
   /// Bus occupancy for moving one page (+ command overhead).
   Duration page_transfer_ns(const Geometry& g) const {

@@ -20,7 +20,10 @@ Ssd::Ssd(SsdOptions options)
       channel_busy_ns_(options_.geometry.channels, 0),
       unit_busy_ns_(units_.size(), 0),
       gc_job_of_plane_(options_.geometry.total_planes(), kNoJob),
-      page_xfer_ns_(options_.timing.page_transfer_ns(options_.geometry)) {
+      page_xfer_ns_(options_.timing.page_transfer_ns(options_.geometry)),
+      fault_rng_(options_.faults.seed),
+      faults_on_(options_.faults.enabled()) {
+  options_.faults.validate();
   load_view_.channel_backlog = [this](std::uint32_t ch) {
     return channel_backlog_ns(ch);
   };
@@ -138,6 +141,7 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
         continue;
       }
       op.kind = OpKind::kHostRead;
+      op.lpn = lpn;
       op.ppn = ftl_.translate_read(rs.req.tenant, lpn);
       op.addr = options_.geometry.decode(op.ppn);
       dispatch_read(op_id);
@@ -150,6 +154,7 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
         continue;
       }
       op.kind = OpKind::kHostWrite;
+      op.lpn = lpn;
       op.ppn = ftl_.allocate_write(rs.req.tenant, lpn, load_view_);
       op.addr = options_.geometry.decode(op.ppn);
       dispatch_write(op_id);
@@ -204,6 +209,7 @@ void Ssd::flush_one(sim::TenantId tenant, std::uint64_t lpn) {
   PageOp& op = ops_[op_id];
   op.kind = OpKind::kFlushWrite;
   op.tenant = tenant;
+  op.lpn = lpn;
   op.ppn = ftl_.allocate_write(tenant, lpn, load_view_);
   op.addr = options_.geometry.decode(op.ppn);
   dispatch_write(op_id);
@@ -412,26 +418,38 @@ void Ssd::handle_flash_done(std::uint64_t unit, std::uint64_t op_id) {
   switch (op.kind) {
     case OpKind::kHostRead:
     case OpKind::kGcRead:
-      // Array read done; data sits in the page register. The unit stays
-      // held until the bus moves the data out.
+      // Array read (or retry re-sense) done; data sits in the page
+      // register. The unit stays held until the bus moves the data out.
       channels_[op.addr.channel].read_q.push_back(op_id);
       arbitrate(op.addr.channel);
       break;
     case OpKind::kHostWrite:
-      units_[unit].busy = false;
-      finish_host_op(op_id);
-      unit_next(unit);
-      break;
     case OpKind::kFlushWrite:
+    case OpKind::kGcWrite: {
       units_[unit].busy = false;
-      free_op(op_id);
+      bool fault = false;
+      bool program_failed = false;
+      if (faults_on_) {
+        program_failed = draw_fault(options_.faults.program_fail);
+        // A successful program into a block that was retired while this
+        // write was in flight must not leave data behind either.
+        fault = program_failed ||
+                ftl_.blocks().block_state(
+                    options_.geometry.plane_id(op.addr), op.addr.block) ==
+                    ftl::BlockState::kRetired;
+      }
+      if (fault) {
+        handle_write_fault(op_id, program_failed);
+      } else if (op.kind == OpKind::kHostWrite) {
+        finish_host_op(op_id);
+      } else if (op.kind == OpKind::kFlushWrite) {
+        free_op(op_id);
+      } else {
+        on_gc_write_done(op_id);
+      }
       unit_next(unit);
       break;
-    case OpKind::kGcWrite:
-      units_[unit].busy = false;
-      on_gc_write_done(op_id);
-      unit_next(unit);
-      break;
+    }
     case OpKind::kErase:
       units_[unit].busy = false;
       on_erase_done(op_id);
@@ -443,18 +461,160 @@ void Ssd::handle_flash_done(std::uint64_t unit, std::uint64_t op_id) {
 void Ssd::handle_bus_free(std::uint32_t channel, std::uint64_t op_id) {
   channels_[channel].bus_busy = false;
   if (op_id != kNoOp) {
-    // A read transfer finished: release the unit and complete the op.
+    // A read transfer finished: release the unit, run the ECC check, and
+    // complete (or retry) the op.
     PageOp& op = ops_[op_id];
     const std::uint64_t unit = unit_of(op.addr);
     units_[unit].busy = false;
-    if (op.kind == OpKind::kHostRead) {
-      finish_host_op(op_id);
+    if (read_ecc_failed(op)) {
+      if (op.attempts < options_.faults.max_read_retries) {
+        start_read_retry(unit, op_id);  // unit is re-occupied
+      } else {
+        handle_uncorrectable_read(op_id);
+        unit_next(unit);
+      }
     } else {
-      on_gc_read_done(op_id);
+      if (op.kind == OpKind::kHostRead) {
+        finish_host_op(op_id);
+      } else {
+        on_gc_read_done(op_id);
+      }
+      unit_next(unit);
     }
-    unit_next(unit);
   }
   arbitrate(channel);
+}
+
+// --- fault injection --------------------------------------------------------
+
+bool Ssd::draw_fault(double p) {
+  if (p <= 0.0) return false;
+  return fault_rng_.bernoulli(p);
+}
+
+bool Ssd::read_ecc_failed(const PageOp& op) {
+  if (!faults_on_) return false;
+  const std::uint64_t plane = options_.geometry.plane_id(op.addr);
+  return draw_fault(options_.faults.read_fail_prob(
+      ftl_.blocks().erase_count(plane, op.addr.block)));
+}
+
+void Ssd::start_read_retry(std::uint64_t unit, std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  ++op.attempts;
+  const Duration sense = options_.timing.read_retry_ns(op.attempts);
+  // The retry will re-occupy the unit for the sense and the bus for
+  // another transfer-out; both are attributed as retry-induced wait.
+  metrics_.record_read_retry(op.tenant, sense + page_xfer_ns_);
+  UnitState& u = units_[unit];
+  assert(!u.busy);
+  u.busy = true;
+  u.busy_until = now_ + sense;
+  metrics_.counters().chip_busy_ns += sense;
+  unit_busy_ns_[unit] += sense;
+  events_.push(u.busy_until, EventKind::kFlashDone, unit, op_id);
+}
+
+void Ssd::handle_uncorrectable_read(std::uint64_t op_id) {
+  PageOp& op = ops_[op_id];
+  metrics_.record_uncorrectable_read(op.tenant);
+  if (op.kind == OpKind::kHostRead) {
+    const std::uint64_t request_index = op.request;
+    free_op(op_id);
+    complete_request_page(request_index, /*failed=*/true);
+    return;
+  }
+  // A migration source that cannot be read is lost data: drop it so the
+  // victim block still drains to zero valid pages.
+  ++metrics_.counters().lost_pages;
+  ftl_.drop_lost_page(op.ppn);
+  const std::uint32_t job_index = op.gc_job;
+  free_op(op_id);
+  gc_settle(job_index);
+}
+
+void Ssd::handle_write_fault(std::uint64_t op_id, bool program_failed) {
+  // retire_and_rescue below spawns rescue ops and can grow the op slab,
+  // invalidating any PageOp reference held across it — copy first.
+  const PageOp snap = ops_[op_id];
+  const std::uint64_t plane = options_.geometry.plane_id(snap.addr);
+  const std::uint32_t block = snap.addr.block;
+
+  // Undo the bad placement first so a retirement rescue below never
+  // snapshots the failed page as rescuable. (GC writes install their
+  // mapping only at complete_migration, so there is nothing to undo.)
+  bool rewrite = true;
+  if (snap.kind != OpKind::kGcWrite) {
+    rewrite = ftl_.discard_failed_program(snap.tenant, snap.lpn, snap.ppn);
+  }
+
+  if (program_failed) {
+    metrics_.record_program_retry(snap.tenant);
+    const auto fails = ftl_.record_program_fail(plane, block);
+    if (fails >= options_.faults.program_fails_to_retire &&
+        ftl_.blocks().block_state(plane, block) !=
+            ftl::BlockState::kRetired) {
+      retire_and_rescue(plane, block);
+    }
+  }
+
+  if (snap.kind == OpKind::kGcWrite) {
+    const sim::Ppn dst = migration_target(gc_jobs_[snap.gc_job]);
+    PageOp& op = ops_[op_id];
+    op.ppn = dst;
+    op.addr = options_.geometry.decode(dst);
+    dispatch_write(op_id);
+    return;
+  }
+  if (!rewrite) {
+    // The LPN was overwritten while this program was in flight; the newer
+    // write carries the data, so the failed op just completes.
+    if (snap.kind == OpKind::kHostWrite) {
+      finish_host_op(op_id);
+    } else {
+      free_op(op_id);
+    }
+    return;
+  }
+  const sim::Ppn ppn = ftl_.rewrite_page(snap.tenant, snap.lpn, snap.addr);
+  PageOp& op = ops_[op_id];
+  op.ppn = ppn;
+  op.addr = options_.geometry.decode(ppn);
+  dispatch_write(op_id);
+  maybe_start_gc(options_.geometry.plane_id(op.addr));
+}
+
+sim::Ppn Ssd::migration_target(const GcJob& job) {
+  sim::Ppn dst = job.rescue ? ftl_.allocate_rescue(job.plane_id)
+                            : ftl_.allocate_migration(job.plane_id);
+  if (dst == sim::kInvalidPpn && !job.rescue && faults_on_) {
+    // Retirement can eat a plane's GC headroom out from under an episode;
+    // losing plane locality beats aborting the replay.
+    dst = ftl_.allocate_rescue(job.plane_id);
+  }
+  if (dst == sim::kInvalidPpn) {
+    if (faults_on_) throw ftl::DeviceFullError();
+    throw std::logic_error(
+        "ssd: GC cannot allocate a migration target; raise "
+        "gc_trigger_free_blocks");
+  }
+  return dst;
+}
+
+void Ssd::retire_and_rescue(std::uint64_t plane_id, std::uint32_t block) {
+  ftl_.retire_block(plane_id, block);
+  ++metrics_.counters().retired_blocks;
+  start_rescue(plane_id, block);
+}
+
+void Ssd::start_rescue(std::uint64_t plane_id, std::uint32_t block) {
+  const std::uint32_t job_index = acquire_gc_job();
+  GcJob& job = gc_jobs_[job_index];
+  job = GcJob{};
+  job.plane_id = plane_id;
+  job.active = true;
+  job.rescue = true;
+  start_round_on_victim(job_index, block);
 }
 
 // --- completions ------------------------------------------------------------------
@@ -465,9 +625,10 @@ void Ssd::finish_host_op(std::uint64_t op_id) {
   complete_request_page(request_index);
 }
 
-void Ssd::complete_request_page(std::uint64_t request_index) {
+void Ssd::complete_request_page(std::uint64_t request_index, bool failed) {
   RequestState& rs = requests_[request_index];
   assert(rs.remaining > 0);
+  if (failed) ++rs.failed;
   if (--rs.remaining == 0) {
     sim::Completion c;
     c.request_id = rs.req.id;
@@ -475,6 +636,8 @@ void Ssd::complete_request_page(std::uint64_t request_index) {
     c.type = rs.req.type;
     c.arrival = rs.req.arrival;
     c.finish = now_;
+    c.status = rs.failed ? sim::IoStatus::kUncorrectable : sim::IoStatus::kOk;
+    c.failed_pages = rs.failed;
     metrics_.record(c);
     if (completion_hook_) completion_hook_(c);
   }
@@ -487,12 +650,7 @@ void Ssd::on_gc_read_done(std::uint64_t op_id) {
   const sim::Ppn src = op.ppn;
   free_op(op_id);
 
-  const sim::Ppn dst = ftl_.allocate_migration(job.plane_id);
-  if (dst == sim::kInvalidPpn) {
-    throw std::logic_error(
-        "ssd: GC cannot allocate a migration target; raise "
-        "gc_trigger_free_blocks");
-  }
+  const sim::Ppn dst = migration_target(job);
   const std::uint64_t write_id = alloc_op();
   PageOp& w = ops_[write_id];
   w.kind = OpKind::kGcWrite;
@@ -501,27 +659,45 @@ void Ssd::on_gc_read_done(std::uint64_t op_id) {
   w.addr = options_.geometry.decode(dst);
   w.gc_src = src;
   w.gc_job = job_index;
-  ++metrics_.counters().gc_migrations;
+  ++(job.rescue ? metrics_.counters().rescue_migrations
+                : metrics_.counters().gc_migrations);
   dispatch_write(write_id);
 }
 
 void Ssd::on_gc_write_done(std::uint64_t op_id) {
   PageOp& op = ops_[op_id];
-  GcJob& job = gc_jobs_[op.gc_job];
   ftl_.complete_migration(op.gc_src, op.ppn);
   const std::uint32_t job_index = op.gc_job;
   free_op(op_id);
+  gc_settle(job_index);
+}
+
+void Ssd::gc_settle(std::uint32_t job_index) {
+  GcJob& job = gc_jobs_[job_index];
   assert(job.outstanding > 0);
-  if (--job.outstanding == 0) {
-    // All survivors moved; the victim is now fully invalid.
-    const std::uint64_t erase_id = alloc_op();
-    PageOp& e = ops_[erase_id];
-    e.kind = OpKind::kErase;
-    e.tenant = sim::kInternalTenant;
-    e.addr = block_addr(job.plane_id, job.victim);
-    e.gc_job = job_index;
-    dispatch_erase(erase_id);
+  if (--job.outstanding > 0) return;
+  if (job.rescue) {
+    // Stragglers (host writes in flight when the block was retired) may
+    // have been redirected after our snapshot; re-scan until the retired
+    // block is truly empty. Rescues never erase their victim.
+    start_round_on_victim(job_index, job.victim);
+    return;
   }
+  if (ftl_.blocks().block_state(job.plane_id, job.victim) ==
+      ftl::BlockState::kRetired) {
+    // A late program failure retired the victim mid-episode (its own
+    // rescue drained it); there is nothing left to erase.
+    finish_gc_episode(job_index);
+    return;
+  }
+  // All survivors moved; the victim is now fully invalid.
+  const std::uint64_t erase_id = alloc_op();
+  PageOp& e = ops_[erase_id];
+  e.kind = OpKind::kErase;
+  e.tenant = sim::kInternalTenant;
+  e.addr = block_addr(job.plane_id, job.victim);
+  e.gc_job = job_index;
+  dispatch_erase(erase_id);
 }
 
 void Ssd::on_erase_done(std::uint64_t op_id) {
@@ -529,10 +705,47 @@ void Ssd::on_erase_done(std::uint64_t op_id) {
   const std::uint32_t job_index = op.gc_job;
   GcJob& job = gc_jobs_[job_index];
   const std::uint64_t plane = job.plane_id;
+
+  if (faults_on_ && ftl_.blocks().block_state(plane, job.victim) ==
+                        ftl::BlockState::kRetired) {
+    // Retired while the erase was queued or in flight; drop the erase.
+    free_op(op_id);
+    finish_gc_episode(job_index);
+    return;
+  }
+
+  if (faults_on_ && draw_fault(options_.faults.erase_fail)) {
+    ++metrics_.counters().erase_fails;
+    const auto fails = ftl_.record_erase_fail(plane, job.victim);
+    if (fails < options_.faults.erase_fails_to_retire) {
+      dispatch_erase(op_id);  // retry the erase in place
+      return;
+    }
+    free_op(op_id);
+    // The victim is fully invalid (survivors already migrated), so
+    // retirement needs no rescue; the block just leaves rotation.
+    ftl_.retire_block(plane, job.victim);
+    ++metrics_.counters().retired_blocks;
+    finish_gc_episode(job_index);
+    return;
+  }
+
   ftl_.erase_block(plane, job.victim);
   ++metrics_.counters().erases;
   free_op(op_id);
+  if (faults_on_ && options_.faults.max_pe_cycles > 0 &&
+      ftl_.blocks().erase_count(plane, job.victim) >=
+          options_.faults.max_pe_cycles) {
+    // Endurance limit reached: the freshly erased (clean) block retires.
+    ftl_.retire_block(plane, job.victim);
+    ++metrics_.counters().retired_blocks;
+  }
+  finish_gc_episode(job_index);
+}
 
+void Ssd::finish_gc_episode(std::uint32_t job_index) {
+  GcJob& job = gc_jobs_[job_index];
+  const std::uint64_t plane = job.plane_id;
   if (!ftl_.gc_satisfied(plane)) {
     start_gc_round(job_index);  // another victim in the same plane
     return;
@@ -556,22 +769,20 @@ void Ssd::on_erase_done(std::uint64_t op_id) {
 
 // --- garbage collection -----------------------------------------------------------
 
+std::uint32_t Ssd::acquire_gc_job() {
+  for (std::uint32_t i = 0; i < gc_jobs_.size(); ++i) {
+    if (!gc_jobs_[i].active) return i;
+  }
+  gc_jobs_.emplace_back();
+  return static_cast<std::uint32_t>(gc_jobs_.size() - 1);
+}
+
 void Ssd::maybe_start_gc(std::uint64_t plane_id) {
   if (!options_.gc_enabled) return;
   if (gc_job_of_plane_[plane_id] != kNoJob) return;
   if (!ftl_.needs_gc(plane_id)) return;
 
-  std::uint32_t job_index = kNoJob;
-  for (std::uint32_t i = 0; i < gc_jobs_.size(); ++i) {
-    if (!gc_jobs_[i].active) {
-      job_index = i;
-      break;
-    }
-  }
-  if (job_index == kNoJob) {
-    job_index = static_cast<std::uint32_t>(gc_jobs_.size());
-    gc_jobs_.emplace_back();
-  }
+  const std::uint32_t job_index = acquire_gc_job();
   GcJob& job = gc_jobs_[job_index];
   job = GcJob{};
   job.plane_id = plane_id;
@@ -599,6 +810,11 @@ void Ssd::start_round_on_victim(std::uint32_t job_index,
   const auto survivors = ftl_.valid_pages(job.plane_id, job.victim);
   job.outstanding = static_cast<std::uint32_t>(survivors.size());
   if (survivors.empty()) {
+    if (job.rescue) {
+      // Retired block fully drained; it stays kRetired forever.
+      job.active = false;
+      return;
+    }
     const std::uint64_t erase_id = alloc_op();
     PageOp& e = ops_[erase_id];
     e.kind = OpKind::kErase;

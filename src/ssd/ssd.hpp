@@ -28,10 +28,12 @@
 
 #include "ftl/ftl.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/geometry.hpp"
 #include "sim/metrics.hpp"
 #include "sim/request.hpp"
 #include "sim/timing.hpp"
+#include "util/rng.hpp"
 
 namespace ssdk::ssd {
 
@@ -73,6 +75,11 @@ struct SsdOptions {
   /// another chip can use the channel while the program completes
   /// (advanced / pipelined mode).
   bool pipelined_writes = false;
+  /// Fault injection (read retries, program/erase failures, bad-block
+  /// retirement). Disabled by default: every probability is zero, no
+  /// random numbers are drawn, and the schedule is bit-identical to the
+  /// fault-free device.
+  sim::FaultModel faults;
 };
 
 class Ssd {
@@ -169,8 +176,10 @@ class Ssd {
     sim::Ppn ppn = sim::kInvalidPpn;
     sim::Ppn gc_src = sim::kInvalidPpn;  ///< migration source (kGcWrite)
     std::uint32_t gc_job = kNoJob;
+    std::uint64_t lpn = 0;  ///< owner LPN (host/flush ops; fault re-place)
     std::uint64_t enq_seq = 0;  ///< dispatch order (FIFO tie-breaks)
     SimTime dispatched_at = 0;  ///< queue-wait accounting
+    std::uint32_t attempts = 0;  ///< read retries issued so far
     bool in_use = false;
   };
 
@@ -193,6 +202,7 @@ class Ssd {
   struct RequestState {
     sim::IoRequest req;
     std::uint32_t remaining = 0;
+    std::uint32_t failed = 0;  ///< pages that were uncorrectable
   };
 
   struct GcJob {
@@ -204,6 +214,10 @@ class Ssd {
     /// most one rotation runs per GC episode so leveling overhead stays
     /// proportional to GC activity.
     bool wl_round = false;
+    /// Rescue job: migrate survivors off a freshly retired block. Not
+    /// registered in gc_job_of_plane_ (plane GC may run concurrently)
+    /// and never erases its victim — the block is dead.
+    bool rescue = false;
   };
 
   static constexpr std::uint64_t kNoRequest = ~std::uint64_t{0};
@@ -249,13 +263,43 @@ class Ssd {
 
   // Completions.
   void finish_host_op(std::uint64_t op_id);
-  void complete_request_page(std::uint64_t request_index);
+  void complete_request_page(std::uint64_t request_index,
+                             bool failed = false);
   void on_gc_read_done(std::uint64_t op_id);
   void on_gc_write_done(std::uint64_t op_id);
   void on_erase_done(std::uint64_t op_id);
 
+  // Fault injection (no-ops while options_.faults is disabled).
+  /// Seeded Bernoulli draw; never consumes randomness when p <= 0.
+  bool draw_fault(double p);
+  /// Did this read attempt fail ECC? (BER scales with the block's wear.)
+  bool read_ecc_failed(const PageOp& op);
+  /// Re-sense the page: the unit is re-occupied with escalating latency,
+  /// then the data is shifted out over the bus again.
+  void start_read_retry(std::uint64_t unit, std::uint64_t op_id);
+  /// Retries exhausted: fail the host page or drop the GC migration.
+  void handle_uncorrectable_read(std::uint64_t op_id);
+  /// A write landed badly: program failure, or the target block was
+  /// retired while the program was in flight. Re-places and re-dispatches.
+  void handle_write_fault(std::uint64_t op_id, bool program_failed);
+  /// Take a block out of rotation and migrate its survivors.
+  void retire_and_rescue(std::uint64_t plane_id, std::uint32_t block);
+  void start_rescue(std::uint64_t plane_id, std::uint32_t block);
+  /// Destination for a job's next migration write. Rescues search the whole
+  /// device; GC stays plane-local but (with faults on) falls back
+  /// device-wide when retirement consumed the plane's headroom. Throws
+  /// when nothing is free anywhere.
+  sim::Ppn migration_target(const GcJob& job);
+
   // GC control.
   void maybe_start_gc(std::uint64_t plane_id);
+  /// Find or grow a free slot in the GC job slab.
+  std::uint32_t acquire_gc_job();
+  /// One migration settled (durable or lost); advance the job when the
+  /// round is drained.
+  void gc_settle(std::uint32_t job_index);
+  /// GC episode tail: next victim, one wear-leveling rotation, or finish.
+  void finish_gc_episode(std::uint32_t job_index);
   void start_gc_round(std::uint32_t job_index);
   /// Run one reclamation round on an explicit victim (GC proper passes the
   /// greedy pick; static wear leveling passes the coldest Full block).
@@ -317,6 +361,11 @@ class Ssd {
   CompletionHook completion_hook_;
 
   Duration page_xfer_ns_ = 0;
+
+  // Fault injection: one seeded per-device stream, consumed in event
+  // order, so a fixed (workload, seed) reproduces the fault sequence.
+  Rng fault_rng_;
+  bool faults_on_ = false;
 };
 
 }  // namespace ssdk::ssd

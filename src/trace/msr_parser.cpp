@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/logger.hpp"
 
 namespace ssdk::trace {
 
@@ -16,9 +17,78 @@ std::string lower(std::string s) {
                  [](unsigned char c) { return std::tolower(c); });
   return s;
 }
+
+/// "msr: line N: <what> in '<line>'" — the line text is truncated so a
+/// corrupt multi-megabyte line cannot blow up the exception message.
+std::string line_error(std::uint64_t line_no, const std::string& what,
+                       const std::string& line) {
+  constexpr std::size_t kMaxEcho = 120;
+  std::string echo = line.substr(0, kMaxEcho);
+  if (line.size() > kMaxEcho) echo += "...";
+  return "msr: line " + std::to_string(line_no) + ": " + what + " in '" +
+         echo + "'";
+}
+
+struct ParsedLine {
+  std::uint64_t ticks = 0;
+  TraceRecord rec;
+};
+
+/// Parse one CSV line fully before the caller commits anything — a
+/// malformed line therefore leaves no partial state behind.
+ParsedLine parse_line(const std::string& line, std::uint64_t line_no,
+                      const MsrParseOptions& options) {
+  const auto fields = split_csv_line(line);
+  if (fields.size() < 6) {
+    throw std::invalid_argument(line_error(
+        line_no,
+        "expected >= 6 fields, got " + std::to_string(fields.size()), line));
+  }
+  ParsedLine parsed;
+  try {
+    parsed.ticks = parse_u64(fields[0]);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(
+        line_error(line_no, std::string("bad timestamp: ") + e.what(), line));
+  }
+
+  const std::string type = lower(fields[3]);
+  if (type == "read") {
+    parsed.rec.type = sim::OpType::kRead;
+  } else if (type == "write") {
+    parsed.rec.type = sim::OpType::kWrite;
+  } else {
+    throw std::invalid_argument(
+        line_error(line_no, "unknown type '" + fields[3] + "'", line));
+  }
+
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  try {
+    offset = parse_u64(fields[4]);
+    size = parse_u64(fields[5]);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(line_error(
+        line_no, std::string("bad offset/size: ") + e.what(), line));
+  }
+  parsed.rec.lpn =
+      (offset / options.page_size_bytes) % options.address_space_pages;
+  parsed.rec.pages = static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(1, (size + options.page_size_bytes - 1) /
+                                     options.page_size_bytes));
+  if (parsed.rec.pages > options.address_space_pages) {
+    throw std::invalid_argument(line_error(
+        line_no, "request larger than the wrapped address space", line));
+  }
+  if (parsed.rec.lpn + parsed.rec.pages > options.address_space_pages) {
+    parsed.rec.lpn = options.address_space_pages - parsed.rec.pages;
+  }
+  return parsed;
+}
 }  // namespace
 
-Workload parse_msr(std::istream& in, const MsrParseOptions& options) {
+Workload parse_msr(std::istream& in, const MsrParseOptions& options,
+                   MsrParseStats* stats) {
   if (options.page_size_bytes == 0 || options.address_space_pages == 0) {
     throw std::invalid_argument("msr: zero page size or address space");
   }
@@ -26,41 +96,37 @@ Workload parse_msr(std::istream& in, const MsrParseOptions& options) {
   std::vector<std::uint64_t> ticks_of;
   std::string line;
   std::uint64_t line_no = 0;
+  std::uint64_t malformed = 0;
+  std::string first_error;
   std::uint64_t min_ticks = ~std::uint64_t{0};
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const auto fields = split_csv_line(line);
-    if (fields.size() < 6) {
-      throw std::invalid_argument("msr: line " + std::to_string(line_no) +
-                                  ": expected >= 6 fields");
+    ParsedLine parsed;
+    try {
+      parsed = parse_line(line, line_no, options);
+    } catch (const std::invalid_argument& e) {
+      if (!options.skip_malformed) throw;
+      ++malformed;
+      if (first_error.empty()) first_error = e.what();
+      continue;
     }
-    TraceRecord rec;
-    const std::uint64_t ticks = parse_u64(fields[0]);
-    min_ticks = std::min(min_ticks, ticks);
-    ticks_of.push_back(ticks);
-
-    const std::string type = lower(fields[3]);
-    if (type == "read") {
-      rec.type = sim::OpType::kRead;
-    } else if (type == "write") {
-      rec.type = sim::OpType::kWrite;
-    } else {
-      throw std::invalid_argument("msr: line " + std::to_string(line_no) +
-                                  ": unknown type '" + fields[3] + "'");
-    }
-
-    const std::uint64_t offset = parse_u64(fields[4]);
-    const std::uint64_t size = parse_u64(fields[5]);
-    rec.lpn = (offset / options.page_size_bytes) % options.address_space_pages;
-    rec.pages = static_cast<std::uint32_t>(
-        std::max<std::uint64_t>(1, (size + options.page_size_bytes - 1) /
-                                       options.page_size_bytes));
-    if (rec.lpn + rec.pages > options.address_space_pages) {
-      rec.lpn = options.address_space_pages - rec.pages;
-    }
-    out.push_back(rec);
+    // Commit the record and its timestamp together — only fully parsed
+    // lines contribute state.
+    min_ticks = std::min(min_ticks, parsed.ticks);
+    ticks_of.push_back(parsed.ticks);
+    out.push_back(parsed.rec);
     if (options.max_records != 0 && out.size() >= options.max_records) break;
+  }
+  if (malformed > 0) {
+    log_warn() << "msr: skipped " << malformed << " malformed line"
+               << (malformed == 1 ? "" : "s") << " (first: " << first_error
+               << ")";
+  }
+  if (stats) {
+    stats->parsed_lines = out.size();
+    stats->malformed_lines = malformed;
+    stats->first_error = std::move(first_error);
   }
   // Rebase to the earliest record (FILETIME ticks are 100 ns) and scale.
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -78,10 +144,11 @@ Workload parse_msr(std::istream& in, const MsrParseOptions& options) {
 }
 
 Workload parse_msr_file(const std::string& path,
-                        const MsrParseOptions& options) {
+                        const MsrParseOptions& options,
+                        MsrParseStats* stats) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("msr: cannot open " + path);
-  return parse_msr(in, options);
+  return parse_msr(in, options, stats);
 }
 
 }  // namespace ssdk::trace

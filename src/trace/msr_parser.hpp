@@ -26,14 +26,30 @@ struct MsrParseOptions {
   double time_scale = 1.0;
   /// Stop after this many records (0 = no limit).
   std::uint64_t max_records = 0;
+  /// Tolerate malformed lines: count and log them (one warning per
+  /// stream) instead of throwing. Real week-long traces contain the odd
+  /// truncated line; a replay should not die on record 40 million.
+  bool skip_malformed = false;
+};
+
+/// Per-parse accounting, filled when a stats pointer is supplied.
+struct MsrParseStats {
+  std::uint64_t parsed_lines = 0;     ///< records successfully parsed
+  std::uint64_t malformed_lines = 0;  ///< lines skipped (skip_malformed)
+  /// First malformed line's error message (empty when none).
+  std::string first_error;
 };
 
 /// Parse an MSR CSV stream. Malformed lines throw std::invalid_argument
-/// with the line number.
-Workload parse_msr(std::istream& in, const MsrParseOptions& options = {});
+/// carrying the line number and the offending text — unless
+/// options.skip_malformed is set, in which case they are counted in
+/// `stats` (optional) and skipped.
+Workload parse_msr(std::istream& in, const MsrParseOptions& options = {},
+                   MsrParseStats* stats = nullptr);
 
 /// Convenience file wrapper; throws std::runtime_error if unreadable.
 Workload parse_msr_file(const std::string& path,
-                        const MsrParseOptions& options = {});
+                        const MsrParseOptions& options = {},
+                        MsrParseStats* stats = nullptr);
 
 }  // namespace ssdk::trace

@@ -70,6 +70,30 @@ TEST(Report, MarkdownIncludesAggregateRow) {
   EXPECT_NE(md.find("**all**"), std::string::npos);
 }
 
+TEST(Report, ReliabilityMarkdownCarriesRetryAndDeviceCounters) {
+  RunResult result;
+  sim::TenantMetrics t;
+  t.read_retries = 7;
+  t.uncorrectable_reads = 2;
+  t.program_retries = 3;
+  t.retry_wait_ns = 5000;
+  result.per_tenant[1] = t;
+  result.counters.retired_blocks = 4;
+  result.counters.rescue_migrations = 9;
+  result.counters.lost_pages = 1;
+  std::string md = format_reliability_markdown(result);
+  EXPECT_NE(md.find("| 1 | 7 | 2 | 3 | 5 |"), std::string::npos);
+  EXPECT_NE(md.find("retired_blocks=4"), std::string::npos);
+  EXPECT_NE(md.find("rescue_migrations=9"), std::string::npos);
+  EXPECT_EQ(md.find("aborted:"), std::string::npos);
+
+  result.device_full = true;
+  result.abort_reason = "device full: tenant 1 lpn 42 could not be placed";
+  md = format_reliability_markdown(result);
+  EXPECT_NE(md.find("aborted: device full: tenant 1 lpn 42"),
+            std::string::npos);
+}
+
 TEST(Report, NormalizeToFirst) {
   const auto n = normalize_to_first({2.0, 4.0, 1.0});
   ASSERT_EQ(n.size(), 3u);

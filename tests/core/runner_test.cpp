@@ -81,6 +81,46 @@ TEST(Runner, DeterministicAcrossCalls) {
   EXPECT_EQ(a.counters.conflicts, b.counters.conflicts);
 }
 
+TEST(Runner, DeviceFullDegradesGracefully) {
+  // GC off on the tiny geometry: the device must run out of pages. The
+  // runner reports a truncated-but-usable result instead of throwing.
+  RunConfig config;
+  config.ssd.geometry = sim::Geometry::tiny();
+  config.ssd.gc_enabled = false;
+  std::vector<sim::IoRequest> requests;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    sim::IoRequest r;
+    r.id = i;
+    r.tenant = 0;
+    r.type = sim::OpType::kWrite;
+    r.lpn = i % 16;
+    r.page_count = 1;
+    r.arrival = i * 200 * kMicrosecond;
+    requests.push_back(r);
+  }
+  const std::vector<TenantProfile> profiles{{0, false, 1.0}};
+  RunResult result;
+  ASSERT_NO_THROW(
+      result = run_with_strategy(requests, Strategy{}, profiles, config));
+  EXPECT_TRUE(result.device_full);
+  EXPECT_EQ(result.device_full_tenant, 0u);
+  EXPECT_NE(result.abort_reason.find("device full"), std::string::npos);
+  EXPECT_EQ(result.counters.failed_requests, 1u);
+  // Everything that completed before the abort is still reported.
+  EXPECT_GT(result.counters.host_writes, 0u);
+  EXPECT_GT(result.avg_write_us, 0.0);
+}
+
+TEST(Runner, HealthyRunReportsNoDeviceFull) {
+  const auto requests = small_mix(3);
+  const auto profiles = profiles_of(requests);
+  const RunResult r =
+      run_with_strategy(requests, Strategy{}, profiles, RunConfig{});
+  EXPECT_FALSE(r.device_full);
+  EXPECT_TRUE(r.abort_reason.empty());
+  EXPECT_EQ(r.counters.failed_requests, 0u);
+}
+
 TEST(Runner, StrategiesActuallyChangeOutcomes) {
   const auto requests = small_mix(7);
   const auto profiles = profiles_of(requests);

@@ -1,0 +1,147 @@
+// Bad-block retirement invariants: a retired block leaves every rotation
+// structure (free list, append point, victim selection) and allocation can
+// never hand out one of its pages again.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ftl/block_manager.hpp"
+#include "ftl/ftl.hpp"
+#include "sim/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace ssdk::ftl {
+namespace {
+
+sim::Geometry tiny() { return sim::Geometry::tiny(); }  // 8 blk x 8 pg / plane
+
+std::uint32_t block_of(const sim::Geometry& geom, sim::Ppn ppn) {
+  return static_cast<std::uint32_t>(ppn / geom.pages_per_block %
+                                    geom.blocks_per_plane);
+}
+
+TEST(BlockRetirement, RetiredFreeBlockLeavesFreeList) {
+  BlockManager bm(tiny());
+  ASSERT_EQ(bm.free_blocks(0), 8u);
+  bm.retire_block(0, 3);
+  EXPECT_EQ(bm.free_blocks(0), 7u);
+  EXPECT_EQ(bm.block_state(0, 3), BlockState::kRetired);
+  EXPECT_EQ(bm.retired_blocks(), 1u);
+}
+
+TEST(BlockRetirement, AllocateNeverReturnsRetiredPages) {
+  // Property: retire a scattering of blocks, then drain the plane; every
+  // page handed out must avoid the retired set, and exhaustion happens at
+  // exactly (blocks - retired) * pages_per_block.
+  BlockManager bm(tiny());
+  const std::set<std::uint32_t> retired{1, 4, 6};
+  for (const auto b : retired) bm.retire_block(0, b);
+  const auto& geom = bm.geometry();
+  std::uint64_t handed_out = 0;
+  while (auto ppn = bm.allocate_page(0)) {
+    EXPECT_FALSE(retired.contains(block_of(geom, *ppn)));
+    ++handed_out;
+  }
+  EXPECT_EQ(handed_out,
+            (geom.blocks_per_plane - retired.size()) * geom.pages_per_block);
+}
+
+TEST(BlockRetirement, RetiredOpenBlockStopsBeingAppendPoint) {
+  BlockManager bm(tiny());
+  const auto first = bm.allocate_page(0);
+  ASSERT_TRUE(first.has_value());
+  const std::uint32_t open = block_of(bm.geometry(), *first);
+  ASSERT_EQ(bm.block_state(0, open), BlockState::kOpen);
+  bm.retire_block(0, open);
+  // The next allocation opens a different block.
+  const auto next = bm.allocate_page(0);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_NE(block_of(bm.geometry(), *next), open);
+}
+
+TEST(BlockRetirement, RetiredFullBlockIsNeverAVictimAndCannotBeErased) {
+  BlockManager bm(tiny());
+  const auto& geom = bm.geometry();
+  // Fill one block completely, leaving some pages invalid so it would be
+  // an attractive GC victim.
+  std::uint32_t full_block = 0;
+  for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+    const auto ppn = bm.allocate_page(0);
+    ASSERT_TRUE(ppn.has_value());
+    full_block = block_of(geom, *ppn);
+    if (p % 2 == 0) {
+      bm.mark_valid(*ppn, 0, p);
+    }
+  }
+  ASSERT_EQ(bm.block_state(0, full_block), BlockState::kFull);
+  bm.retire_block(0, full_block);
+  // Victim selection skips it even though it has reclaimable pages.
+  const auto victim = bm.select_victim(0);
+  if (victim) {
+    EXPECT_NE(*victim, full_block);
+  }
+  // Valid pages survive retirement (rescue reads them before migration).
+  EXPECT_EQ(bm.valid_count(0, full_block), geom.pages_per_block / 2);
+  EXPECT_THROW(bm.erase_block(0, full_block), std::logic_error);
+}
+
+TEST(BlockRetirement, DoubleRetireThrows) {
+  BlockManager bm(tiny());
+  bm.retire_block(0, 0);
+  EXPECT_THROW(bm.retire_block(0, 0), std::logic_error);
+}
+
+TEST(BlockRetirement, FailCountersAccumulate) {
+  BlockManager bm(tiny());
+  EXPECT_EQ(bm.record_program_fail(0, 2), 1u);
+  EXPECT_EQ(bm.record_program_fail(0, 2), 2u);
+  EXPECT_EQ(bm.record_erase_fail(0, 2), 1u);
+  EXPECT_EQ(bm.record_program_fail(0, 5), 1u);  // per-block, not per-plane
+}
+
+TEST(BlockRetirement, WearGapIgnoresRetiredBlocks) {
+  BlockManager bm(tiny());
+  const auto& geom = bm.geometry();
+  // Make every block Full, then erase all but block 0 once: the raw gap is
+  // 1, but once the never-erased block 0 is retired the remaining blocks
+  // are uniform and the gap must read 0.
+  for (std::uint32_t b = 0; b < geom.blocks_per_plane; ++b) {
+    for (std::uint32_t p = 0; p < geom.pages_per_block; ++p) {
+      ASSERT_TRUE(bm.allocate_page(0).has_value());
+    }
+  }
+  for (std::uint32_t b = 1; b < geom.blocks_per_plane; ++b) {
+    bm.erase_block(0, b);
+  }
+  EXPECT_EQ(bm.plane_wear_gap(0), 1u);
+  bm.retire_block(0, 0);
+  EXPECT_EQ(bm.plane_wear_gap(0), 0u);
+}
+
+TEST(BlockRetirement, RescueAllocationSpillsAcrossPlanes) {
+  // Plane 0 fully retired: allocate_rescue must fall back to another
+  // plane instead of reporting the device full.
+  Ftl ftl(tiny());
+  for (std::uint32_t b = 0; b < ftl.geometry().blocks_per_plane; ++b) {
+    ftl.retire_block(0, b);
+  }
+  const sim::Ppn ppn = ftl.allocate_rescue(0);
+  ASSERT_NE(ppn, sim::kInvalidPpn);
+  EXPECT_NE(ppn / ftl.geometry().pages_per_plane(), 0u);
+}
+
+TEST(BlockRetirement, DeviceWideRetirementExhaustsRescue) {
+  Ftl ftl(tiny());
+  const auto& geom = ftl.geometry();
+  for (std::uint64_t pl = 0; pl < geom.total_planes(); ++pl) {
+    for (std::uint32_t b = 0; b < geom.blocks_per_plane; ++b) {
+      ftl.retire_block(pl, b);
+    }
+  }
+  EXPECT_EQ(ftl.allocate_rescue(0), sim::kInvalidPpn);
+  EXPECT_EQ(ftl.blocks().retired_blocks(),
+            geom.total_planes() * geom.blocks_per_plane);
+}
+
+}  // namespace
+}  // namespace ssdk::ftl

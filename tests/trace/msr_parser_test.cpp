@@ -68,6 +68,54 @@ TEST(MsrParser, RejectsMalformedLines) {
   EXPECT_THROW(parse_msr(bad_num), std::invalid_argument);
 }
 
+TEST(MsrParser, ErrorsCarryLineNumberAndOffendingText) {
+  std::istringstream in(
+      "1000,hm,0,Read,0,4096,0\n"
+      "2000,hm,0,Trim,0,4096,0\n");
+  try {
+    parse_msr(in);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Trim"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2000,hm,0,Trim"), std::string::npos) << msg;
+  }
+}
+
+TEST(MsrParser, SkipMalformedCountsAndContinues) {
+  std::istringstream in(
+      "1000,hm,0,Read,0,4096,0\n"
+      "garbage line\n"
+      "oops,hm,0,Write,0,4096,0\n"
+      "3000,hm,0,Write,16384,4096,0\n");
+  MsrParseOptions options;
+  options.skip_malformed = true;
+  MsrParseStats stats;
+  const Workload w = parse_msr(in, options, &stats);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0].type, sim::OpType::kRead);
+  EXPECT_EQ(w[1].type, sim::OpType::kWrite);
+  EXPECT_EQ(stats.parsed_lines, 2u);
+  EXPECT_EQ(stats.malformed_lines, 2u);
+  EXPECT_NE(stats.first_error.find("line 2"), std::string::npos)
+      << stats.first_error;
+  // Rebase still anchors on the earliest *valid* record.
+  EXPECT_EQ(w[0].arrival, 0u);
+  EXPECT_EQ(w[1].arrival, 2000ULL * 100ULL);
+}
+
+TEST(MsrParser, SkipMalformedStillRejectsNothingValid) {
+  std::istringstream in("junk\nmore junk\n");
+  MsrParseOptions options;
+  options.skip_malformed = true;
+  MsrParseStats stats;
+  const Workload w = parse_msr(in, options, &stats);
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(stats.malformed_lines, 2u);
+  EXPECT_EQ(stats.parsed_lines, 0u);
+}
+
 TEST(MsrParser, SortsNearSortedInput) {
   std::istringstream in(
       "2000,hm,0,Read,0,4096,0\n"
