@@ -42,6 +42,16 @@ void SsdKeeper::apply(ssd::Ssd& device, SimTime at) {
     configure_ssd(device, strategy, profiles,
                   config_.hybrid_page_allocation);
   }
+  if (config_.trace_decisions) {
+    if (auto* tracer = device.tracer()) {
+      telemetry::KeeperDecision decision;
+      decision.time = at;
+      decision.strategy = strategy.name();
+      decision.features = features_->describe();
+      decision.changed = changed;
+      tracer->record_decision(std::move(decision));
+    }
+  }
   decisions_.emplace_back(at, strategy);
   collector_.reset();
 }
@@ -69,18 +79,26 @@ void SsdKeeper::on_arrival(ssd::Ssd& device,
 KeeperRunResult run_with_keeper(std::span<const sim::IoRequest> requests,
                                 const ChannelAllocator& allocator,
                                 const KeeperConfig& keeper_config,
-                                const ssd::SsdOptions& ssd_options) {
+                                const ssd::SsdOptions& ssd_options,
+                                telemetry::Tracer* tracer) {
   ssd::Ssd device(ssd_options);
+  if (tracer) device.set_tracer(tracer);
   SsdKeeper keeper(allocator, keeper_config);
   keeper.attach(device);
   device.submit(requests);
-  device.run_to_completion();
+  RunResult run;
+  try {
+    device.run_to_completion();
+    run = summarize(device);
+  } catch (const ftl::DeviceFullError& e) {
+    run = summarize_device_full(device, e, "keeper");
+  }
   if (!keeper.switched()) {
     throw std::runtime_error(
         "keeper: collection window never elapsed; shorten "
         "collect_window_ns or lengthen the workload");
   }
-  return KeeperRunResult{summarize(device), *keeper.measured_features(),
+  return KeeperRunResult{std::move(run), *keeper.measured_features(),
                          *keeper.chosen_strategy(), keeper.decisions()};
 }
 

@@ -38,6 +38,11 @@ struct KeeperConfig {
   /// in rolling windows of this length and re-partitions whenever the
   /// prediction changes.
   Duration repredict_interval_ns = 0;
+  /// Mirror every (window, features, predicted strategy, switch) decision
+  /// into the device's telemetry tracer (when one is attached), so
+  /// strategy switches are visible on the trace timeline next to the
+  /// latency they caused.
+  bool trace_decisions = true;
   FeatureConfig features;
 };
 
@@ -86,9 +91,14 @@ struct KeeperRunResult {
 };
 
 /// Convenience: run a mixed workload end-to-end under SSDKeeper control.
+/// A device-full abort degrades gracefully (logged via util/logger; the
+/// partial result carries device_full + abort_reason) as long as the
+/// initial collection window had elapsed. `tracer` (optional, non-owning)
+/// records the run's lifecycle spans and keeper decisions.
 KeeperRunResult run_with_keeper(std::span<const sim::IoRequest> requests,
                                 const ChannelAllocator& allocator,
                                 const KeeperConfig& keeper_config,
-                                const ssd::SsdOptions& ssd_options);
+                                const ssd::SsdOptions& ssd_options,
+                                telemetry::Tracer* tracer = nullptr);
 
 }  // namespace ssdk::core

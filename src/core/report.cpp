@@ -54,6 +54,10 @@ std::string format_run_markdown(const RunResult& result) {
   }
   os << "| **all** | " << result.avg_read_us << " | " << result.avg_write_us
      << " | " << result.total_us << " |\n";
+  if (result.device_full) {
+    os << "\n**aborted** (tenant " << result.device_full_tenant
+       << "): " << result.abort_reason << "\n";
+  }
   return os.str();
 }
 

@@ -26,6 +26,7 @@ RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
                             std::span<const TenantProfile> profiles,
                             const RunConfig& config) {
   ssd::Ssd device(config.ssd);
+  if (config.tracer) device.set_tracer(config.tracer);
   configure_ssd(device, strategy, profiles, config.hybrid_page_allocation);
   if (config.warmup_fraction > 0.0 && !requests.empty()) {
     const SimTime first = requests.front().arrival;
@@ -38,21 +39,27 @@ RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
   try {
     device.run_to_completion();
   } catch (const ftl::DeviceFullError& e) {
-    // Degrade gracefully: report what completed instead of crashing the
-    // replay. The failed placement is recorded so callers can see which
-    // tenant ran the device out of space.
-    ++device.metrics().counters().failed_requests;
-    std::ostringstream reason;
-    reason << "device full: tenant " << e.tenant() << " lpn " << e.lpn()
-           << " could not be placed";
-    log_warn() << "runner: " << reason.str() << "; replay stopped early";
-    RunResult result = summarize(device);
-    result.device_full = true;
-    result.device_full_tenant = e.tenant();
-    result.abort_reason = reason.str();
-    return result;
+    return summarize_device_full(device, e, "runner");
   }
   return summarize(device);
+}
+
+RunResult summarize_device_full(ssd::Ssd& device,
+                                const ftl::DeviceFullError& error,
+                                std::string_view context) {
+  // Degrade gracefully: report what completed instead of crashing the
+  // replay. The failed placement is recorded so callers can see which
+  // tenant ran the device out of space.
+  ++device.metrics().counters().failed_requests;
+  std::ostringstream reason;
+  reason << "device full: tenant " << error.tenant() << " lpn "
+         << error.lpn() << " could not be placed";
+  log_warn() << context << ": " << reason.str() << "; replay stopped early";
+  RunResult result = summarize(device);
+  result.device_full = true;
+  result.device_full_tenant = error.tenant();
+  result.abort_reason = reason.str();
+  return result;
 }
 
 RunResult summarize(const ssd::Ssd& device) {

@@ -5,6 +5,7 @@
 
 #include <map>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/strategy.hpp"
@@ -24,6 +25,9 @@ struct RunConfig {
   /// requests arriving in that prefix are executed but excluded from the
   /// latency statistics. 0 = measure everything.
   double warmup_fraction = 0.0;
+  /// Optional lifecycle tracer (non-owning; must outlive the run). The
+  /// device records per-request spans into it; nullptr = telemetry off.
+  telemetry::Tracer* tracer = nullptr;
 };
 
 struct RunResult {
@@ -58,5 +62,12 @@ RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
 
 /// Summarize a finished device's metrics.
 RunResult summarize(const ssd::Ssd& device);
+
+/// Degrade a device-full abort gracefully: bump the failure counter, warn
+/// once through util/logger with `context` ("runner", "keeper", ...), and
+/// return the partial result with device_full/abort_reason populated.
+RunResult summarize_device_full(ssd::Ssd& device,
+                                const ftl::DeviceFullError& error,
+                                std::string_view context);
 
 }  // namespace ssdk::core

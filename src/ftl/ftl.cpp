@@ -128,6 +128,13 @@ sim::Ppn Ftl::allocate_write(sim::TenantId tenant, std::uint64_t lpn,
   blocks_.mark_valid(ppn, tenant, lpn);
   const sim::Ppn old = map_.update(tenant, lpn, ppn);
   if (old != sim::kInvalidPpn) blocks_.invalidate(old);
+  if (tracer_ && tracer_->config().ftl_decisions) {
+    const sim::PhysAddr a = geom_.decode(ppn);
+    tracer_->record_point(trace_now(), telemetry::SpanKind::kPageAlloc,
+                          tenant, a.channel,
+                          static_cast<std::uint32_t>(geom_.plane_id(a)),
+                          lpn);
+  }
   return ppn;
 }
 
@@ -148,7 +155,13 @@ bool Ftl::gc_satisfied(std::uint64_t plane_id) const {
 
 std::optional<std::uint32_t> Ftl::select_victim(
     std::uint64_t plane_id) const {
-  return blocks_.select_victim(plane_id);
+  const auto victim = blocks_.select_victim(plane_id);
+  if (victim && tracer_) {
+    tracer_->record_point(trace_now(), telemetry::SpanKind::kGcVictim,
+                          sim::kInternalTenant, plane_channel(plane_id),
+                          static_cast<std::uint32_t>(plane_id), *victim);
+  }
+  return victim;
 }
 
 std::vector<sim::Ppn> Ftl::valid_pages(std::uint64_t plane_id,

@@ -16,6 +16,7 @@
 #include "ftl/page_alloc.hpp"
 #include "sim/geometry.hpp"
 #include "sim/request.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace ssdk::ftl {
 
@@ -124,6 +125,11 @@ class Ftl {
   }
   void retire_block(std::uint64_t plane_id, std::uint32_t block) {
     blocks_.retire_block(plane_id, block);
+    if (tracer_) {
+      tracer_->record_point(trace_now(), telemetry::SpanKind::kBlockRetire,
+                            sim::kInternalTenant, plane_channel(plane_id),
+                            static_cast<std::uint32_t>(plane_id), block);
+    }
   }
 
   /// Migration target for rescuing pages off a retiring block: prefers the
@@ -159,6 +165,16 @@ class Ftl {
   BlockManager& blocks() { return blocks_; }
   const BlockManager& blocks() const { return blocks_; }
 
+  // --- telemetry ------------------------------------------------------------
+
+  /// The FTL is time-free, so the owning device supplies the simulation
+  /// clock alongside the sink. Placement and GC decisions are recorded as
+  /// point events; a null tracer keeps every hook a single branch.
+  void set_tracer(telemetry::Tracer* tracer, const SimTime* now) {
+    tracer_ = tracer;
+    trace_now_ = now;
+  }
+
  private:
   struct TenantPolicy {
     std::vector<std::uint32_t> channels;
@@ -174,12 +190,19 @@ class Ftl {
   sim::Ppn allocate_near(const PlaneTarget& target,
                          const std::vector<std::uint32_t>& channels);
 
+  SimTime trace_now() const { return trace_now_ ? *trace_now_ : 0; }
+  std::uint32_t plane_channel(std::uint64_t plane_id) const {
+    return static_cast<std::uint32_t>(plane_id / geom_.planes_per_channel());
+  }
+
   sim::Geometry geom_;
   FtlConfig config_;
   MappingTable map_;
   BlockManager blocks_;
   std::vector<std::uint32_t> all_channels_;
   mutable std::vector<TenantPolicy> policies_;
+  telemetry::Tracer* tracer_ = nullptr;
+  const SimTime* trace_now_ = nullptr;
 };
 
 }  // namespace ssdk::ftl

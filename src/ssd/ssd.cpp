@@ -56,6 +56,47 @@ void Ssd::free_op(std::uint64_t id) {
   free_ops_.push_back(id);
 }
 
+// --- telemetry --------------------------------------------------------------
+
+telemetry::OpClass Ssd::op_class(const PageOp& op) const {
+  switch (op.kind) {
+    case OpKind::kHostRead: return telemetry::OpClass::kHostRead;
+    case OpKind::kHostWrite: return telemetry::OpClass::kHostWrite;
+    case OpKind::kGcRead: return telemetry::OpClass::kGcRead;
+    case OpKind::kGcWrite: return telemetry::OpClass::kGcWrite;
+    case OpKind::kErase: return telemetry::OpClass::kErase;
+    case OpKind::kFlushWrite: return telemetry::OpClass::kFlushWrite;
+  }
+  return telemetry::OpClass::kNone;
+}
+
+std::uint64_t Ssd::host_request_id(const PageOp& op) const {
+  return op.request == kNoRequest ? telemetry::kNoRequestId
+                                  : requests_[op.request].req.id;
+}
+
+void Ssd::trace_op_span(telemetry::SpanKind kind, SimTime begin, SimTime end,
+                        const PageOp& op, std::uint64_t detail) {
+  telemetry::TraceEvent e;
+  e.begin = begin;
+  e.end = end;
+  e.kind = kind;
+  e.op = op_class(op);
+  e.tenant = op.tenant;
+  e.channel = op.addr.channel;
+  e.unit = static_cast<std::uint32_t>(unit_of(op.addr));
+  e.request_id = host_request_id(op);
+  e.detail = detail;
+  tracer_->record(e);
+}
+
+void Ssd::trace_wait(const PageOp& op) {
+  if (now_ > op.dispatched_at) {
+    trace_op_span(telemetry::SpanKind::kQueueWait, op.dispatched_at, now_,
+                  op);
+  }
+}
+
 // --- ingestion ----------------------------------------------------------------
 
 void Ssd::submit(std::span<const sim::IoRequest> requests) {
@@ -129,6 +170,16 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
         c.arrival = rs.req.arrival;
         c.finish = now_;
         metrics_.record(c);
+        if (tracer_) {
+          telemetry::TraceEvent e;
+          e.begin = rs.req.arrival;
+          e.end = now_;
+          e.kind = telemetry::SpanKind::kRequest;
+          e.op = telemetry::OpClass::kHostTrim;
+          e.tenant = rs.req.tenant;
+          e.request_id = rs.req.id;
+          tracer_->record(e);
+        }
         if (completion_hook_) completion_hook_(c);
       }
     } else if (rs.req.type == sim::OpType::kRead) {
@@ -136,6 +187,17 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
         // Read hit on a dirty buffered page: served from DRAM.
         free_op(op_id);
         ++buffer_hits_;
+        if (tracer_) {
+          telemetry::TraceEvent e;
+          e.begin = now_;
+          e.end = now_ + options_.write_buffer.dram_ns;
+          e.kind = telemetry::SpanKind::kBufferHit;
+          e.op = telemetry::OpClass::kHostRead;
+          e.tenant = rs.req.tenant;
+          e.request_id = rs.req.id;
+          e.detail = lpn;
+          tracer_->record(e);
+        }
         events_.push(now_ + options_.write_buffer.dram_ns,
                      EventKind::kBufferDone, request_index, 1);
         continue;
@@ -148,6 +210,17 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
     } else {
       if (buffer_write(rs.req.tenant, lpn)) {
         free_op(op_id);
+        if (tracer_) {
+          telemetry::TraceEvent e;
+          e.begin = now_;
+          e.end = now_ + options_.write_buffer.dram_ns;
+          e.kind = telemetry::SpanKind::kBufferHit;
+          e.op = telemetry::OpClass::kHostWrite;
+          e.tenant = rs.req.tenant;
+          e.request_id = rs.req.id;
+          e.detail = lpn;
+          tracer_->record(e);
+        }
         events_.push(now_ + options_.write_buffer.dram_ns,
                      EventKind::kBufferDone, request_index, 1);
         maybe_flush_buffer();
@@ -274,6 +347,11 @@ void Ssd::dispatch_erase(std::uint64_t op_id) {
 void Ssd::start_array_read(std::uint64_t unit, std::uint64_t op_id) {
   metrics_.counters().read_wait_ns += now_ - ops_[op_id].dispatched_at;
   ++metrics_.counters().read_ops_started;
+  if (tracer_) {
+    trace_wait(ops_[op_id]);
+    trace_op_span(telemetry::SpanKind::kFlashRead, now_,
+                  now_ + options_.timing.read_ns, ops_[op_id]);
+  }
   UnitState& u = units_[unit];
   assert(!u.busy);
   u.busy = true;
@@ -284,6 +362,11 @@ void Ssd::start_array_read(std::uint64_t unit, std::uint64_t op_id) {
 }
 
 void Ssd::start_erase(std::uint64_t unit, std::uint64_t op_id) {
+  if (tracer_) {
+    trace_op_span(telemetry::SpanKind::kFlashErase, now_,
+                  now_ + options_.timing.erase_ns, ops_[op_id],
+                  ops_[op_id].addr.block);
+  }
   UnitState& u = units_[unit];
   assert(!u.busy);
   u.busy = true;
@@ -352,6 +435,10 @@ void Ssd::grant_read_transfer(std::uint32_t channel) {
   assert(!ch.bus_busy && !ch.read_q.empty());
   const std::uint64_t op_id = ch.read_q.front();
   ch.read_q.pop_front();
+  if (tracer_) {
+    trace_op_span(telemetry::SpanKind::kBusTransfer, now_,
+                  now_ + page_xfer_ns_, ops_[op_id]);
+  }
   ch.bus_busy = true;
   ch.bus_free_at = now_ + page_xfer_ns_;
   metrics_.counters().bus_busy_ns += page_xfer_ns_;
@@ -397,6 +484,13 @@ bool Ssd::try_grant_write(std::uint32_t channel) {
   // pipelined mode releases it after the data transfer.
   const Duration bus_hold =
       options_.pipelined_writes ? page_xfer_ns_ : service;
+  if (tracer_) {
+    trace_wait(ops_[op_id]);
+    trace_op_span(telemetry::SpanKind::kBusTransfer, now_, now_ + bus_hold,
+                  ops_[op_id]);
+    trace_op_span(telemetry::SpanKind::kFlashProgram, now_, now_ + service,
+                  ops_[op_id]);
+  }
   ch.bus_busy = true;
   ch.bus_free_at = now_ + bus_hold;
   metrics_.counters().bus_busy_ns += bus_hold;
@@ -506,6 +600,10 @@ void Ssd::start_read_retry(std::uint64_t unit, std::uint64_t op_id) {
   // The retry will re-occupy the unit for the sense and the bus for
   // another transfer-out; both are attributed as retry-induced wait.
   metrics_.record_read_retry(op.tenant, sense + page_xfer_ns_);
+  if (tracer_) {
+    trace_op_span(telemetry::SpanKind::kRetrySense, now_, now_ + sense, op,
+                  op.attempts);
+  }
   UnitState& u = units_[unit];
   assert(!u.busy);
   u.busy = true;
@@ -639,6 +737,19 @@ void Ssd::complete_request_page(std::uint64_t request_index, bool failed) {
     c.status = rs.failed ? sim::IoStatus::kUncorrectable : sim::IoStatus::kOk;
     c.failed_pages = rs.failed;
     metrics_.record(c);
+    if (tracer_) {
+      telemetry::TraceEvent e;
+      e.begin = rs.req.arrival;
+      e.end = now_;
+      e.kind = telemetry::SpanKind::kRequest;
+      e.op = rs.req.type == sim::OpType::kRead
+                 ? telemetry::OpClass::kHostRead
+                 : telemetry::OpClass::kHostWrite;
+      e.tenant = rs.req.tenant;
+      e.request_id = rs.req.id;
+      e.detail = rs.failed;
+      tracer_->record(e);
+    }
     if (completion_hook_) completion_hook_(c);
   }
 }

@@ -33,6 +33,7 @@
 #include "sim/metrics.hpp"
 #include "sim/request.hpp"
 #include "sim/timing.hpp"
+#include "telemetry/tracer.hpp"
 #include "util/rng.hpp"
 
 namespace ssdk::ssd {
@@ -138,6 +139,17 @@ class Ssd {
     completion_hook_ = std::move(hook);
   }
 
+  // --- telemetry ------------------------------------------------------------
+
+  /// Attach a lifecycle tracer (nullptr detaches). Non-owning; the tracer
+  /// must outlive the device or be detached first. Tracing never changes
+  /// the schedule: a traced run is bit-identical to an untraced one.
+  void set_tracer(telemetry::Tracer* tracer) {
+    tracer_ = tracer;
+    ftl_.set_tracer(tracer, &now_);
+  }
+  telemetry::Tracer* tracer() const { return tracer_; }
+
   // --- load introspection (dynamic page allocation) -------------------------
 
   Duration channel_backlog_ns(std::uint32_t channel) const;
@@ -226,6 +238,16 @@ class Ssd {
   // Op slab management.
   std::uint64_t alloc_op();
   void free_op(std::uint64_t id);
+
+  // Telemetry (no-ops unless a tracer is attached; call sites guard on
+  // tracer_ so a disabled run costs one branch per site).
+  telemetry::OpClass op_class(const PageOp& op) const;
+  std::uint64_t host_request_id(const PageOp& op) const;
+  /// Span tied to one page op (resource ids derived from its address).
+  void trace_op_span(telemetry::SpanKind kind, SimTime begin, SimTime end,
+                     const PageOp& op, std::uint64_t detail = 0);
+  /// Queue-wait span from dispatch to first grant; skipped when zero.
+  void trace_wait(const PageOp& op);
 
   // Event handlers.
   void handle_arrival(std::uint64_t request_index);
@@ -359,6 +381,7 @@ class Ssd {
   sim::MetricsCollector metrics_;
   ArrivalHook arrival_hook_;
   CompletionHook completion_hook_;
+  telemetry::Tracer* tracer_ = nullptr;  ///< null = telemetry off
 
   Duration page_xfer_ns_ = 0;
 

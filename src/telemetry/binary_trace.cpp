@@ -1,0 +1,132 @@
+#include "telemetry/binary_trace.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ssdk::telemetry {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'S', 'D', 'K', 'T', 'R', 'B', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kRecordBytes = 46;
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void write_binary_trace(std::ostream& os, std::span<const TraceEvent> events,
+                        std::uint64_t dropped) {
+  std::string buf;
+  buf.reserve(32 + events.size() * kRecordBytes);
+  buf.append(kMagic, sizeof kMagic);
+  put_u32(buf, kVersion);
+  put_u32(buf, kRecordBytes);
+  put_u64(buf, events.size());
+  put_u64(buf, dropped);
+  for (const auto& e : events) {
+    put_u64(buf, e.begin);
+    put_u64(buf, e.end);
+    put_u64(buf, e.request_id);
+    put_u64(buf, e.detail);
+    put_u32(buf, e.channel);
+    put_u32(buf, e.unit);
+    put_u32(buf, e.tenant);
+    buf.push_back(static_cast<char>(e.kind));
+    buf.push_back(static_cast<char>(e.op));
+  }
+  os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+void write_binary_trace(std::ostream& os, const Tracer& tracer) {
+  const auto events = tracer.events();
+  write_binary_trace(os, events, tracer.dropped());
+}
+
+void write_binary_trace_file(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("telemetry: cannot open " + path);
+  write_binary_trace(out, tracer);
+}
+
+BinaryTrace read_binary_trace(std::istream& in) {
+  std::array<char, 32> header{};
+  if (!in.read(header.data(), header.size())) {
+    throw std::runtime_error("telemetry: truncated trace header");
+  }
+  if (std::memcmp(header.data(), kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("telemetry: bad trace magic");
+  }
+  const auto* h = reinterpret_cast<const unsigned char*>(header.data());
+  const std::uint32_t version = get_u32(h + 8);
+  const std::uint32_t record_bytes = get_u32(h + 12);
+  if (version != kVersion || record_bytes != kRecordBytes) {
+    throw std::runtime_error("telemetry: unsupported trace version");
+  }
+  BinaryTrace out;
+  const std::uint64_t count = get_u64(h + 16);
+  out.dropped = get_u64(h + 24);
+  out.events.reserve(count);
+  std::array<char, kRecordBytes> rec{};
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!in.read(rec.data(), rec.size())) {
+      throw std::runtime_error("telemetry: truncated trace body");
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(rec.data());
+    TraceEvent e;
+    e.begin = get_u64(p);
+    e.end = get_u64(p + 8);
+    e.request_id = get_u64(p + 16);
+    e.detail = get_u64(p + 24);
+    e.channel = get_u32(p + 32);
+    e.unit = get_u32(p + 36);
+    e.tenant = get_u32(p + 40);
+    e.kind = static_cast<SpanKind>(p[44]);
+    e.op = static_cast<OpClass>(p[45]);
+    out.events.push_back(e);
+  }
+  return out;
+}
+
+BinaryTrace read_binary_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("telemetry: cannot open " + path);
+  return read_binary_trace(in);
+}
+
+std::size_t first_divergence(std::span<const TraceEvent> a,
+                             std::span<const TraceEvent> b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(a[i] == b[i])) return i;
+  }
+  return a.size() == b.size() ? kNoDivergence : n;
+}
+
+}  // namespace ssdk::telemetry

@@ -1,0 +1,127 @@
+#include "telemetry/rollup.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace ssdk::telemetry {
+
+namespace {
+struct Cell {
+  SampleSet read_us;
+  SampleSet write_us;
+  std::uint64_t conflicts = 0;
+  Duration wait_ns = 0;
+};
+}  // namespace
+
+std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
+                                    const RollupConfig& config) {
+  if (config.window_ns == 0) {
+    throw std::invalid_argument("rollup: window_ns must be positive");
+  }
+  const Duration w = config.window_ns;
+  // (window index, tenant) -> accumulators; std::map keeps output order
+  // deterministic (by window, then tenant).
+  std::map<std::pair<std::uint64_t, sim::TenantId>, Cell> cells;
+  std::map<std::uint64_t, Duration> bus_busy;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case SpanKind::kRequest: {
+        if (e.op == OpClass::kHostTrim) break;  // metadata-only
+        Cell& c = cells[{e.end / w, e.tenant}];
+        const double us = to_us(e.duration());
+        if (e.op == OpClass::kHostRead) {
+          c.read_us.add(us);
+        } else {
+          c.write_us.add(us);
+        }
+        break;
+      }
+      case SpanKind::kQueueWait: {
+        Cell& c = cells[{e.end / w, e.tenant}];
+        ++c.conflicts;
+        c.wait_ns += e.duration();
+        break;
+      }
+      case SpanKind::kBusTransfer: {
+        if (e.end <= e.begin) break;
+        // A transfer can straddle a window edge; clip it to each window
+        // it overlaps so utilization never exceeds 1.
+        for (std::uint64_t win = e.begin / w; win <= (e.end - 1) / w;
+             ++win) {
+          const SimTime lo = std::max<SimTime>(e.begin, win * w);
+          const SimTime hi = std::min<SimTime>(e.end, (win + 1) * w);
+          if (hi > lo) bus_busy[win] += hi - lo;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::vector<RollupRow> rows;
+  rows.reserve(cells.size());
+  const double denom =
+      static_cast<double>(w) * std::max<std::uint32_t>(config.channels, 1);
+  for (const auto& [key, c] : cells) {
+    RollupRow r;
+    r.window_start = key.first * w;
+    r.tenant = key.second;
+    r.reads = c.read_us.count();
+    r.writes = c.write_us.count();
+    if (!c.read_us.empty()) {
+      r.read_mean_us = c.read_us.mean();
+      r.read_p99_us = c.read_us.percentile(99.0);
+    }
+    if (!c.write_us.empty()) {
+      r.write_mean_us = c.write_us.mean();
+      r.write_p99_us = c.write_us.percentile(99.0);
+    }
+    r.iops = static_cast<double>(r.reads + r.writes) /
+             (static_cast<double>(w) / 1e9);
+    r.conflicts = c.conflicts;
+    r.wait_ns = c.wait_ns;
+    const auto it = bus_busy.find(key.first);
+    if (it != bus_busy.end()) {
+      r.bus_util = static_cast<double>(it->second) / denom;
+    }
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+void write_rollup_csv(std::ostream& os, std::span<const RollupRow> rows) {
+  CsvWriter writer(os);
+  writer.write_row({"window_start_us", "tenant", "reads", "writes",
+                    "read_mean_us", "read_p99_us", "write_mean_us",
+                    "write_p99_us", "iops", "conflicts", "wait_us",
+                    "bus_util"});
+  for (const auto& r : rows) {
+    writer.write_row({std::to_string(to_us(r.window_start)),
+                      std::to_string(r.tenant), std::to_string(r.reads),
+                      std::to_string(r.writes),
+                      std::to_string(r.read_mean_us),
+                      std::to_string(r.read_p99_us),
+                      std::to_string(r.write_mean_us),
+                      std::to_string(r.write_p99_us),
+                      std::to_string(r.iops), std::to_string(r.conflicts),
+                      std::to_string(to_us(r.wait_ns)),
+                      std::to_string(r.bus_util)});
+  }
+}
+
+void write_rollup_csv_file(const std::string& path,
+                           std::span<const RollupRow> rows) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("rollup: cannot open " + path);
+  write_rollup_csv(out, rows);
+}
+
+}  // namespace ssdk::telemetry

@@ -1,0 +1,56 @@
+// Rolling-window rollups over a recorded trace: per-tenant IOPS and
+// latency plus conflict/utilization counters per fixed window, exported as
+// CSV for plotting. This is the "how did conflicts evolve across the run"
+// view Figures 2/5 argue about, computed offline from the span stream so
+// the simulation hot path never touches it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/tracer.hpp"
+
+namespace ssdk::telemetry {
+
+struct RollupConfig {
+  Duration window_ns = 100 * kMillisecond;
+  /// Channel count of the device the trace came from (bus-utilization
+  /// denominator).
+  std::uint32_t channels = 8;
+};
+
+/// One (window, tenant) cell. Requests are bucketed by completion time;
+/// queue waits by grant time; bus busy time is clipped to the window.
+struct RollupRow {
+  SimTime window_start = 0;
+  sim::TenantId tenant = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double read_mean_us = 0.0;
+  double read_p99_us = 0.0;
+  double write_mean_us = 0.0;
+  double write_p99_us = 0.0;
+  /// Completed requests per second of window.
+  double iops = 0.0;
+  /// Page ops of this tenant that waited for a resource (queue-wait spans
+  /// are only emitted when the wait is non-zero — the device's "access
+  /// conflicts" seen per window).
+  std::uint64_t conflicts = 0;
+  Duration wait_ns = 0;  ///< summed queue-wait time
+  /// Device-wide bus-busy fraction of the window (same value on every
+  /// tenant row of one window).
+  double bus_util = 0.0;
+};
+
+std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
+                                    const RollupConfig& config);
+
+/// CSV with a fixed header; one row per (window, tenant).
+void write_rollup_csv(std::ostream& os, std::span<const RollupRow> rows);
+void write_rollup_csv_file(const std::string& path,
+                           std::span<const RollupRow> rows);
+
+}  // namespace ssdk::telemetry

@@ -1,0 +1,80 @@
+// Request-lifecycle span taxonomy.
+//
+// Every phase a page op (or a whole host request) passes through is one
+// TraceEvent: a fixed-width POD so a preallocated ring buffer can hold
+// millions of them without touching the allocator on the hot path. Point
+// events (decisions) use begin == end.
+//
+// Taxonomy (DESIGN.md §10):
+//   kRequest      arrival -> completion of one host request (per tenant)
+//   kQueueWait    dispatch -> first resource grant (recorded only when > 0)
+//   kBusTransfer  channel-bus occupancy of one page transfer
+//   kFlashRead    flash-array read sense on one execution unit
+//   kFlashProgram unit occupancy of one write (transfer + program)
+//   kFlashErase   block erase on one execution unit
+//   kRetrySense   one read-retry re-sense (detail = attempt number)
+//   kBufferHit    DRAM write-buffer absorption / read hit
+//   kGcVictim     point: GC round started (detail = victim block | pages<<32)
+//   kBlockRetire  point: block taken out of rotation (detail = block)
+//   kPageAlloc    point: FTL placed a write (detail = lpn)
+//   kKeeperDecision point: keeper window decision (detail = decision index)
+#pragma once
+
+#include <cstdint>
+
+#include "sim/request.hpp"
+#include "util/time_types.hpp"
+
+namespace ssdk::telemetry {
+
+enum class SpanKind : std::uint8_t {
+  kRequest,
+  kQueueWait,
+  kBusTransfer,
+  kFlashRead,
+  kFlashProgram,
+  kFlashErase,
+  kRetrySense,
+  kBufferHit,
+  kGcVictim,
+  kBlockRetire,
+  kPageAlloc,
+  kKeeperDecision,
+};
+
+/// Traffic class of the op a span belongs to (mirrors the device's op
+/// kinds; kNone for events not tied to one op).
+enum class OpClass : std::uint8_t {
+  kNone,
+  kHostRead,
+  kHostWrite,
+  kHostTrim,
+  kGcRead,
+  kGcWrite,
+  kErase,
+  kFlushWrite,
+};
+
+inline constexpr std::uint64_t kNoRequestId = ~std::uint64_t{0};
+inline constexpr std::uint32_t kNoResource = ~std::uint32_t{0};
+
+struct TraceEvent {
+  SimTime begin = 0;
+  SimTime end = 0;
+  std::uint64_t request_id = kNoRequestId;  ///< host request id, if any
+  std::uint64_t detail = 0;  ///< kind-specific payload (lpn, block, ...)
+  std::uint32_t channel = kNoResource;
+  std::uint32_t unit = kNoResource;  ///< flash execution unit
+  sim::TenantId tenant = 0;
+  SpanKind kind = SpanKind::kRequest;
+  OpClass op = OpClass::kNone;
+
+  Duration duration() const { return end - begin; }
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+const char* span_kind_name(SpanKind kind);
+const char* op_class_name(OpClass op);
+
+}  // namespace ssdk::telemetry

@@ -1,0 +1,90 @@
+#include "telemetry/tracer.hpp"
+
+namespace ssdk::telemetry {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRequest: return "request";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kBusTransfer: return "bus_transfer";
+    case SpanKind::kFlashRead: return "flash_read";
+    case SpanKind::kFlashProgram: return "flash_program";
+    case SpanKind::kFlashErase: return "flash_erase";
+    case SpanKind::kRetrySense: return "retry_sense";
+    case SpanKind::kBufferHit: return "buffer_hit";
+    case SpanKind::kGcVictim: return "gc_victim";
+    case SpanKind::kBlockRetire: return "block_retire";
+    case SpanKind::kPageAlloc: return "page_alloc";
+    case SpanKind::kKeeperDecision: return "keeper_decision";
+  }
+  return "unknown";
+}
+
+const char* op_class_name(OpClass op) {
+  switch (op) {
+    case OpClass::kNone: return "none";
+    case OpClass::kHostRead: return "host_read";
+    case OpClass::kHostWrite: return "host_write";
+    case OpClass::kHostTrim: return "host_trim";
+    case OpClass::kGcRead: return "gc_read";
+    case OpClass::kGcWrite: return "gc_write";
+    case OpClass::kErase: return "erase";
+    case OpClass::kFlushWrite: return "flush_write";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(TelemetryConfig config) : config_(config) {
+  if (config_.capacity_events == 0) config_.capacity_events = 1;
+  ring_.resize(config_.capacity_events);
+}
+
+void Tracer::record(const TraceEvent& event) {
+  ++recorded_;
+  if (size_ < ring_.size()) {
+    ring_[(head_ + size_) % ring_.size()] = event;
+    ++size_;
+    return;
+  }
+  if (!config_.overwrite_oldest) return;  // ring full: drop the newcomer
+  ring_[head_] = event;  // overwrite the oldest; head advances
+  head_ = (head_ + 1) % ring_.size();
+}
+
+void Tracer::record_point(SimTime at, SpanKind kind, sim::TenantId tenant,
+                          std::uint32_t channel, std::uint32_t unit,
+                          std::uint64_t detail) {
+  TraceEvent e;
+  e.begin = at;
+  e.end = at;
+  e.kind = kind;
+  e.tenant = tenant;
+  e.channel = channel;
+  e.unit = unit;
+  e.detail = detail;
+  record(e);
+}
+
+void Tracer::record_decision(KeeperDecision decision) {
+  record_point(decision.time, SpanKind::kKeeperDecision, 0, kNoResource,
+               kNoResource, decisions_.size());
+  decisions_.push_back(std::move(decision));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  decisions_.clear();
+}
+
+}  // namespace ssdk::telemetry

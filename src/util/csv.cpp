@@ -9,13 +9,31 @@ namespace ssdk {
 std::vector<std::string> split_csv_line(std::string_view line, char sep) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   std::vector<std::string> out;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i <= line.size(); ++i) {
-    if (i == line.size() || line[i] == sep) {
-      out.emplace_back(line.substr(start, i - start));
-      start = i + 1;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';  // doubled quote = literal quote
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;  // opening quote only at field start
+    } else if (c == sep) {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
     }
   }
+  out.push_back(std::move(field));
   return out;
 }
 
@@ -51,13 +69,22 @@ double parse_double(std::string_view field) {
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
   for (std::size_t i = 0; i < fields.size(); ++i) {
     const auto& f = fields[i];
-    if (f.find(sep_) != std::string::npos ||
-        f.find('\n') != std::string::npos) {
-      throw std::invalid_argument("csv: field contains separator/newline: " +
-                                  f);
-    }
     if (i) os_ << sep_;
-    os_ << f;
+    const bool needs_quoting =
+        f.find(sep_) != std::string::npos ||
+        f.find('"') != std::string::npos ||
+        f.find('\n') != std::string::npos ||
+        f.find('\r') != std::string::npos;
+    if (needs_quoting) {
+      os_ << '"';
+      for (const char c : f) {
+        if (c == '"') os_ << '"';
+        os_ << c;
+      }
+      os_ << '"';
+    } else {
+      os_ << f;
+    }
   }
   os_ << '\n';
 }

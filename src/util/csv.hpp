@@ -1,6 +1,8 @@
-// Minimal CSV reading/writing: enough for MSR-Cambridge block traces and for
-// dumping benchmark series. No quoting support is needed by those formats;
-// fields containing separators are rejected on write.
+// Minimal CSV reading/writing: enough for MSR-Cambridge block traces, for
+// dumping benchmark series, and for telemetry rollup exports. RFC 4180
+// quoting is supported both ways: fields containing the separator, a quote
+// or a newline are written inside double quotes (embedded quotes doubled),
+// and split_csv_line undoes the same encoding.
 #pragma once
 
 #include <cstddef>
@@ -11,7 +13,10 @@
 
 namespace ssdk {
 
-/// Split one CSV line on `sep`. Trims trailing '\r' (CRLF input).
+/// Split one CSV line on `sep`. Trims trailing '\r' (CRLF input). Fields
+/// may be RFC 4180 quoted: "a ""b"", c" parses to the single field
+/// `a "b", c`. A lone quote mid-field is kept literally (MSR traces are
+/// unquoted; nothing there should start throwing).
 std::vector<std::string> split_csv_line(std::string_view line, char sep = ',');
 
 /// Parse helpers with explicit error reporting (throws std::invalid_argument
@@ -25,8 +30,9 @@ class CsvWriter {
  public:
   explicit CsvWriter(std::ostream& os, char sep = ',') : os_(os), sep_(sep) {}
 
-  /// Write one row; throws std::invalid_argument if any field contains the
-  /// separator or a newline.
+  /// Write one row. Fields containing the separator, a double quote, a
+  /// newline or a carriage return are RFC 4180 quoted so the row always
+  /// round-trips through split_csv_line.
   void write_row(const std::vector<std::string>& fields);
 
  private:

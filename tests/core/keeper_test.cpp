@@ -123,6 +123,25 @@ TEST(Keeper, RunWithKeeperReturnsConsistentSummary) {
   EXPECT_EQ(result.run.per_tenant.size(), 4u);
 }
 
+TEST(Keeper, RunWithKeeperDegradesGracefullyOnDeviceFull) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 0);
+  KeeperConfig config;
+  config.collect_window_ns = 1 * kMillisecond;
+  // Tiny geometry with GC off: the mix must exhaust the device, but only
+  // after the collection window has elapsed and the keeper has switched.
+  ssd::SsdOptions options;
+  options.geometry = sim::Geometry::tiny();
+  options.gc_enabled = false;
+  KeeperRunResult result;
+  ASSERT_NO_THROW(result = run_with_keeper(four_tenant_mix(2000), allocator,
+                                           config, options));
+  EXPECT_TRUE(result.run.device_full);
+  EXPECT_FALSE(result.run.abort_reason.empty());
+  EXPECT_EQ(result.run.counters.failed_requests, 1u);
+  EXPECT_EQ(result.strategy.name(), "Shared");
+}
+
 TEST(Keeper, SwitchHappensOnceOnly) {
   const auto space = StrategySpace::for_tenants(4);
   const auto allocator = constant_allocator(space, 2);

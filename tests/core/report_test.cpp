@@ -68,6 +68,17 @@ TEST(Report, MarkdownIncludesAggregateRow) {
   const std::string md = format_run_markdown(result);
   EXPECT_NE(md.find("| 3 |"), std::string::npos);
   EXPECT_NE(md.find("**all**"), std::string::npos);
+  EXPECT_EQ(md.find("**aborted**"), std::string::npos);
+}
+
+TEST(Report, MarkdownSurfacesAbortReason) {
+  RunResult result;
+  result.device_full = true;
+  result.device_full_tenant = 5;
+  result.abort_reason = "device full: tenant 5 lpn 99 could not be placed";
+  const std::string md = format_run_markdown(result);
+  EXPECT_NE(md.find("**aborted** (tenant 5)"), std::string::npos);
+  EXPECT_NE(md.find("device full: tenant 5 lpn 99"), std::string::npos);
 }
 
 TEST(Report, ReliabilityMarkdownCarriesRetryAndDeviceCounters) {

@@ -1,0 +1,97 @@
+#include "telemetry/binary_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ssdk::telemetry {
+namespace {
+
+std::vector<TraceEvent> sample_events() {
+  std::vector<TraceEvent> events;
+  TraceEvent e;
+  e.begin = 1'000;
+  e.end = 41'160;
+  e.request_id = 7;
+  e.detail = 0xdeadbeefcafe;
+  e.channel = 3;
+  e.unit = 25;
+  e.tenant = 2;
+  e.kind = SpanKind::kFlashRead;
+  e.op = OpClass::kHostRead;
+  events.push_back(e);
+  e.kind = SpanKind::kRequest;
+  e.op = OpClass::kHostWrite;
+  e.request_id = kNoRequestId;
+  e.channel = kNoResource;
+  events.push_back(e);
+  return events;
+}
+
+TEST(BinaryTrace, RoundTripsEventsAndDropCount) {
+  const auto events = sample_events();
+  std::stringstream ss;
+  write_binary_trace(ss, events, /*dropped=*/17);
+  const BinaryTrace back = read_binary_trace(ss);
+  EXPECT_EQ(back.dropped, 17u);
+  ASSERT_EQ(back.events.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back.events[i], events[i]) << "event " << i;
+  }
+}
+
+TEST(BinaryTrace, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_binary_trace(ss, {}, 0);
+  const BinaryTrace back = read_binary_trace(ss);
+  EXPECT_TRUE(back.events.empty());
+  EXPECT_EQ(back.dropped, 0u);
+}
+
+TEST(BinaryTrace, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTATRACEFILE AT ALL, JUST 32+ BYTES OF TEXT";
+  EXPECT_THROW(read_binary_trace(ss), std::runtime_error);
+}
+
+TEST(BinaryTrace, RejectsTruncatedBody) {
+  std::stringstream ss;
+  write_binary_trace(ss, sample_events(), 0);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 10);  // chop mid-record
+  std::stringstream cut(bytes);
+  EXPECT_THROW(read_binary_trace(cut), std::runtime_error);
+}
+
+TEST(BinaryTrace, RejectsTruncatedHeader) {
+  std::stringstream ss;
+  ss << "SSDK";
+  EXPECT_THROW(read_binary_trace(ss), std::runtime_error);
+}
+
+TEST(BinaryTrace, FileRoundTrip) {
+  Tracer tracer;
+  for (const auto& e : sample_events()) tracer.record(e);
+  const std::string path = testing::TempDir() + "/ssdk_trace_test.ssdktrc";
+  write_binary_trace_file(path, tracer);
+  const BinaryTrace back = read_binary_trace_file(path);
+  EXPECT_EQ(back.events, tracer.events());
+  std::remove(path.c_str());
+  EXPECT_THROW(read_binary_trace_file("/no/such/file.ssdktrc"),
+               std::runtime_error);
+}
+
+TEST(FirstDivergence, IdenticalAndDiffering) {
+  const auto a = sample_events();
+  auto b = a;
+  EXPECT_EQ(first_divergence(a, b), kNoDivergence);
+  b[1].end += 1;
+  EXPECT_EQ(first_divergence(a, b), 1u);
+  b = a;
+  b.pop_back();
+  EXPECT_EQ(first_divergence(a, b), 1u);  // common prefix, shorter length
+  EXPECT_EQ(first_divergence({}, {}), kNoDivergence);
+}
+
+}  // namespace
+}  // namespace ssdk::telemetry

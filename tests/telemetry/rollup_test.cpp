@@ -1,0 +1,145 @@
+#include "telemetry/rollup.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace ssdk::telemetry {
+namespace {
+
+TraceEvent request(SimTime begin, SimTime end, sim::TenantId tenant,
+                   OpClass op) {
+  TraceEvent e;
+  e.begin = begin;
+  e.end = end;
+  e.tenant = tenant;
+  e.kind = SpanKind::kRequest;
+  e.op = op;
+  return e;
+}
+
+TraceEvent wait(SimTime begin, SimTime end, sim::TenantId tenant) {
+  TraceEvent e;
+  e.begin = begin;
+  e.end = end;
+  e.tenant = tenant;
+  e.kind = SpanKind::kQueueWait;
+  return e;
+}
+
+TraceEvent bus(SimTime begin, SimTime end, std::uint32_t channel) {
+  TraceEvent e;
+  e.begin = begin;
+  e.end = end;
+  e.channel = channel;
+  e.kind = SpanKind::kBusTransfer;
+  return e;
+}
+
+TEST(Rollup, BucketsByCompletionWindowAndTenant) {
+  RollupConfig config;
+  config.window_ns = 1000;
+  config.channels = 1;
+  const std::vector<TraceEvent> events{
+      request(0, 100, 0, OpClass::kHostRead),
+      request(50, 150, 0, OpClass::kHostRead),
+      request(0, 500, 1, OpClass::kHostWrite),
+      // Completes in window 1 even though it started in window 0.
+      request(900, 1100, 0, OpClass::kHostWrite),
+  };
+  const auto rows = build_rollup(events, config);
+  ASSERT_EQ(rows.size(), 3u);
+  // std::map ordering: (win 0, t0), (win 0, t1), (win 1, t0).
+  EXPECT_EQ(rows[0].window_start, 0u);
+  EXPECT_EQ(rows[0].tenant, 0u);
+  EXPECT_EQ(rows[0].reads, 2u);
+  EXPECT_EQ(rows[0].writes, 0u);
+  EXPECT_DOUBLE_EQ(rows[0].read_mean_us, 0.1);  // (100+100)/2 ns = 0.1 us
+  EXPECT_EQ(rows[1].tenant, 1u);
+  EXPECT_EQ(rows[1].writes, 1u);
+  EXPECT_EQ(rows[2].window_start, 1000u);
+  EXPECT_EQ(rows[2].writes, 1u);
+  // IOPS: 2 requests completed in a 1us window = 2e6 per second.
+  EXPECT_DOUBLE_EQ(rows[0].iops, 2e6);
+}
+
+TEST(Rollup, TrimRequestsExcluded) {
+  RollupConfig config;
+  config.window_ns = 1000;
+  const std::vector<TraceEvent> events{
+      request(0, 10, 0, OpClass::kHostTrim)};
+  EXPECT_TRUE(build_rollup(events, config).empty());
+}
+
+TEST(Rollup, ConflictsAndWaitAccumulate) {
+  RollupConfig config;
+  config.window_ns = 1000;
+  const std::vector<TraceEvent> events{
+      request(0, 100, 0, OpClass::kHostRead),
+      wait(0, 300, 0),
+      wait(400, 500, 0),
+  };
+  const auto rows = build_rollup(events, config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].conflicts, 2u);
+  EXPECT_EQ(rows[0].wait_ns, 400u);
+}
+
+TEST(Rollup, BusUtilClippedAcrossWindowEdge) {
+  RollupConfig config;
+  config.window_ns = 1000;
+  config.channels = 2;
+  // 600ns in window 0 and 400ns in window 1, device has 2 channels.
+  const std::vector<TraceEvent> events{
+      bus(400, 1400, 0),
+      // A tenant row is needed for each window to carry the value.
+      request(0, 100, 0, OpClass::kHostRead),
+      request(1000, 1100, 0, OpClass::kHostRead),
+  };
+  const auto rows = build_rollup(events, config);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].bus_util, 600.0 / 2000.0);
+  EXPECT_DOUBLE_EQ(rows[1].bus_util, 400.0 / 2000.0);
+}
+
+TEST(Rollup, ZeroLengthBusTransferIgnored) {
+  RollupConfig config;
+  config.window_ns = 1000;
+  const std::vector<TraceEvent> events{
+      bus(0, 0, 0), request(0, 100, 0, OpClass::kHostRead)};
+  const auto rows = build_rollup(events, config);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].bus_util, 0.0);
+}
+
+TEST(Rollup, RejectsZeroWindow) {
+  RollupConfig config;
+  config.window_ns = 0;
+  EXPECT_THROW(build_rollup({}, config), std::invalid_argument);
+}
+
+TEST(RollupCsv, HeaderAndRowsParseBack) {
+  RollupConfig config;
+  config.window_ns = 1000 * kMicrosecond;
+  std::vector<TraceEvent> events{
+      request(0, 50 * kMicrosecond, 3, OpClass::kHostWrite)};
+  const auto rows = build_rollup(events, config);
+  std::ostringstream os;
+  write_rollup_csv(os, rows);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(split_csv_line(line).size(), 12u);
+  EXPECT_EQ(line.substr(0, 15), "window_start_us");
+  std::getline(is, line);
+  const auto fields = split_csv_line(line);
+  ASSERT_EQ(fields.size(), 12u);
+  EXPECT_EQ(parse_u64(fields[1]), 3u);          // tenant
+  EXPECT_EQ(parse_u64(fields[3]), 1u);          // writes
+  EXPECT_DOUBLE_EQ(parse_double(fields[6]), 50.0);  // write_mean_us
+}
+
+}  // namespace
+}  // namespace ssdk::telemetry

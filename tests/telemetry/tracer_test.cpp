@@ -1,0 +1,110 @@
+#include "telemetry/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssdk::telemetry {
+namespace {
+
+TraceEvent event_at(SimTime begin, Duration len = 100) {
+  TraceEvent e;
+  e.begin = begin;
+  e.end = begin + len;
+  e.kind = SpanKind::kBusTransfer;
+  e.channel = 2;
+  return e;
+}
+
+TEST(Tracer, RecordsInOrder) {
+  Tracer tracer;
+  tracer.record(event_at(10));
+  tracer.record(event_at(20));
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].begin, 10u);
+  EXPECT_EQ(events[1].begin, 20u);
+  EXPECT_EQ(tracer.recorded(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, OverwriteOldestKeepsTail) {
+  TelemetryConfig config;
+  config.capacity_events = 4;
+  config.overwrite_oldest = true;
+  Tracer tracer(config);
+  for (SimTime t = 0; t < 10; ++t) tracer.record(event_at(t * 100));
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The last four recorded events survive, oldest first.
+  EXPECT_EQ(events[0].begin, 600u);
+  EXPECT_EQ(events[3].begin, 900u);
+}
+
+TEST(Tracer, DropNewKeepsHead) {
+  TelemetryConfig config;
+  config.capacity_events = 3;
+  config.overwrite_oldest = false;
+  Tracer tracer(config);
+  for (SimTime t = 0; t < 8; ++t) tracer.record(event_at(t * 100));
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 5u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].begin, 0u);
+  EXPECT_EQ(events[2].begin, 200u);
+}
+
+TEST(Tracer, RecordPointIsZeroLength) {
+  Tracer tracer;
+  tracer.record_point(500, SpanKind::kGcVictim, sim::kInternalTenant, 1, 9,
+                      42);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].begin, 500u);
+  EXPECT_EQ(events[0].end, 500u);
+  EXPECT_EQ(events[0].kind, SpanKind::kGcVictim);
+  EXPECT_EQ(events[0].channel, 1u);
+  EXPECT_EQ(events[0].unit, 9u);
+  EXPECT_EQ(events[0].detail, 42u);
+}
+
+TEST(Tracer, DecisionsStoredAndMirroredAsEvents) {
+  Tracer tracer;
+  KeeperDecision d;
+  d.time = 1000;
+  d.strategy = "4:2:1:1";
+  d.features = "w=0.7";
+  d.changed = true;
+  tracer.record_decision(d);
+  ASSERT_EQ(tracer.decisions().size(), 1u);
+  EXPECT_EQ(tracer.decisions()[0].strategy, "4:2:1:1");
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, SpanKind::kKeeperDecision);
+  EXPECT_EQ(events[0].detail, 0u);  // index into decisions()
+}
+
+TEST(Tracer, ClearResetsEverything) {
+  Tracer tracer;
+  tracer.record(event_at(1));
+  tracer.record_decision(KeeperDecision{});
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_TRUE(tracer.decisions().empty());
+}
+
+TEST(SpanNames, AllKindsNamed) {
+  for (int k = 0; k <= static_cast<int>(SpanKind::kKeeperDecision); ++k) {
+    const char* name = span_kind_name(static_cast<SpanKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "");
+  }
+  EXPECT_STREQ(op_class_name(OpClass::kHostRead), "host_read");
+}
+
+}  // namespace
+}  // namespace ssdk::telemetry

@@ -46,6 +46,32 @@ TEST(LogHistogram, ZeroSample) {
 TEST(LogHistogram, EmptyPercentileIsZero) {
   LogHistogram h;
   EXPECT_EQ(h.percentile(99.0), 0u);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(100.0), 0u);
+}
+
+TEST(LogHistogram, SingleSampleEveryPercentile) {
+  // Rollup windows frequently hold one request; every percentile must land
+  // in that sample's bucket, not zero or the bucket ceiling.
+  LogHistogram h;
+  h.add(4096);
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    const auto v = h.percentile(p);
+    EXPECT_GE(v, 2048u) << "p" << p;
+    EXPECT_LE(v, 8192u) << "p" << p;
+  }
+}
+
+TEST(LogHistogram, AllEqualSamplesPercentilesAgree) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(50'000);
+  const auto p1 = h.percentile(1.0);
+  const auto p50 = h.percentile(50.0);
+  const auto p99 = h.percentile(99.0);
+  EXPECT_EQ(p1, p50);
+  EXPECT_EQ(p50, p99);
+  EXPECT_GT(p99, 25'000u);
+  EXPECT_LT(p99, 100'000u);
 }
 
 TEST(LogHistogram, MergeAddsCounts) {
