@@ -1,0 +1,112 @@
+// Simulator throughput microbenchmark: replays the canonical 4-tenant
+// catalog mix (Table IV Mix 1) on a fresh device and reports events/sec and
+// requests/sec for the serial hot path, plus the end-to-end wall time of
+// one Algorithm-1 labeling sweep (label_workload = 42 full simulations).
+// Emits machine-readable JSON so CI can archive the trajectory and future
+// PRs can compare against BENCH_sim_throughput.json.
+//
+// Usage: bench_sim_throughput [mix=1] [duration_s=0.4] [max_requests=30000]
+//                             [repeat=3] [label_workloads=1]
+//                             [json=BENCH_sim_throughput.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/label_gen.hpp"
+#include "trace/catalog.hpp"
+#include "util/config.hpp"
+
+using namespace ssdk;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ReplayStats {
+  double best_s = 0.0;       ///< fastest repeat (least scheduler noise)
+  double requests_per_s = 0.0;
+  double events_per_s = 0.0;  ///< page ops (flash + bus grants) per second
+  std::uint64_t requests = 0;
+  std::uint64_t page_ops = 0;
+};
+
+ReplayStats replay_mix(const std::vector<sim::IoRequest>& requests,
+                       const core::RunConfig& config, int repeat) {
+  ReplayStats stats;
+  stats.requests = requests.size();
+  const auto features = core::features_of(requests);
+  const auto profiles = features.profiles(4);
+  for (int i = 0; i < repeat; ++i) {
+    const auto start = Clock::now();
+    const core::RunResult r = core::run_with_strategy(
+        requests, core::Strategy{}, profiles, config);
+    const double elapsed = seconds_since(start);
+    if (i == 0 || elapsed < stats.best_s) {
+      stats.best_s = elapsed;
+      stats.page_ops = r.counters.page_ops;
+    }
+  }
+  stats.requests_per_s = static_cast<double>(stats.requests) / stats.best_s;
+  stats.events_per_s = static_cast<double>(stats.page_ops) / stats.best_s;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto mix = static_cast<std::uint32_t>(cfg.get_uint("mix", 1));
+  const double duration_s = cfg.get_double("duration_s", 0.4);
+  const std::uint64_t max_requests = cfg.get_uint("max_requests", 30'000);
+  const int repeat = static_cast<int>(cfg.get_uint("repeat", 3));
+  const auto label_runs = cfg.get_uint("label_workloads", 1);
+  const std::string json_path =
+      cfg.get_string("json", "BENCH_sim_throughput.json");
+
+  const auto requests = trace::build_mix(mix, duration_s, max_requests);
+  std::printf("mix %u: %zu requests over %.2f s\n", mix, requests.size(),
+              duration_s);
+
+  core::RunConfig config;
+  config.reserve_requests = requests.size();
+  const ReplayStats replay = replay_mix(requests, config, repeat);
+  std::printf("replay: best %.3f s, %.0f requests/s, %.0f page-ops/s\n",
+              replay.best_s, replay.requests_per_s, replay.events_per_s);
+
+  // One Algorithm-1 labeling sweep: every strategy in the 4-tenant space on
+  // the same mix. This is the inner loop that gates dataset generation.
+  const auto space = core::StrategySpace::for_tenants(4);
+  core::LabelGenConfig label;
+  label.run = config;
+  double label_s = 0.0;
+  for (std::uint64_t i = 0; i < label_runs; ++i) {
+    const auto start = Clock::now();
+    core::label_workload(requests, space, label, nullptr);
+    const double elapsed = seconds_since(start);
+    if (i == 0 || elapsed < label_s) label_s = elapsed;
+  }
+  std::printf("label_workload: %.3f s for %zu strategies\n", label_s,
+              space.size());
+
+  std::ofstream os(json_path);
+  os << "{\n"
+     << "  \"bench\": \"sim_throughput\",\n"
+     << "  \"mix\": " << mix << ",\n"
+     << "  \"duration_s\": " << duration_s << ",\n"
+     << "  \"requests\": " << replay.requests << ",\n"
+     << "  \"page_ops\": " << replay.page_ops << ",\n"
+     << "  \"replay_best_s\": " << replay.best_s << ",\n"
+     << "  \"requests_per_s\": " << replay.requests_per_s << ",\n"
+     << "  \"events_per_s\": " << replay.events_per_s << ",\n"
+     << "  \"label_workload_s\": " << label_s << ",\n"
+     << "  \"strategies\": " << space.size() << "\n"
+     << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -27,6 +27,8 @@ RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
                             const RunConfig& config) {
   ssd::Ssd device(config.ssd);
   if (config.tracer) device.set_tracer(config.tracer);
+  device.reserve(config.reserve_requests ? config.reserve_requests
+                                         : requests.size());
   configure_ssd(device, strategy, profiles, config.hybrid_page_allocation);
   if (config.warmup_fraction > 0.0 && !requests.empty()) {
     const SimTime first = requests.front().arrival;

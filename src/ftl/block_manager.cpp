@@ -7,21 +7,10 @@
 
 namespace ssdk::ftl {
 
-namespace {
-constexpr std::uint64_t kLpnMask = (1ULL << 40) - 1;
-constexpr std::uint64_t kNoOwner = ~std::uint64_t{0};
-
-std::uint64_t pack_owner(sim::TenantId tenant, std::uint64_t lpn) {
-  assert(lpn <= kLpnMask);
-  return (static_cast<std::uint64_t>(tenant) << 40) | lpn;
-}
-}  // namespace
-
 BlockManager::BlockManager(const sim::Geometry& geometry) : geom_(geometry) {
   geom_.validate();
   blocks_.resize(geom_.total_blocks());
   planes_.resize(geom_.total_planes());
-  page_valid_.assign(geom_.total_pages(), 0);
   page_owner_.assign(geom_.total_pages(), kNoOwner);
   for (std::uint64_t p = 0; p < planes_.size(); ++p) {
     auto& plane = planes_[p];
@@ -38,12 +27,12 @@ bool BlockManager::open_new_block(std::uint64_t plane_id) {
   // Wear leveling: the least-erased free block; ties break toward the
   // lowest block id so allocation order is deterministic.
   auto best = plane.free_list.begin();
-  for (auto it = plane.free_list.begin(); it != plane.free_list.end(); ++it) {
-    const auto& cand = blocks_[block_index(plane_id, *it)];
-    const auto& cur = blocks_[block_index(plane_id, *best)];
-    if (cand.erases < cur.erases ||
-        (cand.erases == cur.erases && *it < *best)) {
+  std::uint64_t best_erases = blocks_[block_index(plane_id, *best)].erases;
+  for (auto it = best + 1; it != plane.free_list.end(); ++it) {
+    const std::uint64_t erases = blocks_[block_index(plane_id, *it)].erases;
+    if (erases < best_erases || (erases == best_erases && *it < *best)) {
       best = it;
+      best_erases = erases;
     }
   }
   const std::uint32_t chosen = *best;
@@ -59,66 +48,6 @@ bool BlockManager::open_new_block(std::uint64_t plane_id) {
   info.valid = 0;
   plane.open_block = chosen;
   return true;
-}
-
-std::optional<sim::Ppn> BlockManager::allocate_page(std::uint64_t plane_id) {
-  assert(plane_id < planes_.size());
-  auto& plane = planes_[plane_id];
-  if (plane.open_block < 0 && !open_new_block(plane_id)) return std::nullopt;
-
-  auto block = static_cast<std::uint32_t>(plane.open_block);
-  auto* info = &blocks_[block_index(plane_id, block)];
-  if (info->write_ptr >= geom_.pages_per_block) {
-    info->state = BlockState::kFull;
-    plane.open_block = -1;
-    if (!open_new_block(plane_id)) return std::nullopt;
-    block = static_cast<std::uint32_t>(plane.open_block);
-    info = &blocks_[block_index(plane_id, block)];
-  }
-
-  const sim::Ppn ppn =
-      (block_index(plane_id, block)) * geom_.pages_per_block +
-      info->write_ptr;
-  ++info->write_ptr;
-  if (info->write_ptr == geom_.pages_per_block) {
-    info->state = BlockState::kFull;
-    plane.open_block = -1;
-  }
-  return ppn;
-}
-
-void BlockManager::mark_valid(sim::Ppn ppn, sim::TenantId tenant,
-                              std::uint64_t lpn) {
-  assert(ppn < page_valid_.size());
-  assert(page_valid_[ppn] == 0);
-  page_valid_[ppn] = 1;
-  page_owner_[ppn] = pack_owner(tenant, lpn);
-  ++blocks_[ppn / geom_.pages_per_block].valid;
-}
-
-void BlockManager::invalidate(sim::Ppn ppn) {
-  assert(ppn < page_valid_.size());
-  if (page_valid_[ppn] == 0) return;
-  page_valid_[ppn] = 0;
-  page_owner_[ppn] = kNoOwner;
-  auto& info = blocks_[ppn / geom_.pages_per_block];
-  assert(info.valid > 0);
-  --info.valid;
-}
-
-bool BlockManager::is_valid(sim::Ppn ppn) const {
-  assert(ppn < page_valid_.size());
-  return page_valid_[ppn] != 0;
-}
-
-PageOwner BlockManager::owner(sim::Ppn ppn) const {
-  assert(ppn < page_owner_.size());
-  const std::uint64_t packed = page_owner_[ppn];
-  if (packed == kNoOwner) {
-    throw std::logic_error("block_manager: page has no owner");
-  }
-  return PageOwner{static_cast<sim::TenantId>(packed >> 40),
-                   packed & kLpnMask};
 }
 
 std::uint32_t BlockManager::free_blocks(std::uint64_t plane_id) const {
@@ -166,13 +95,20 @@ std::optional<std::uint32_t> BlockManager::select_victim(
 
 std::vector<sim::Ppn> BlockManager::valid_pages(std::uint64_t plane_id,
                                                 std::uint32_t block) const {
+  std::vector<sim::Ppn> out;
+  valid_pages_into(plane_id, block, out);
+  return out;
+}
+
+void BlockManager::valid_pages_into(std::uint64_t plane_id,
+                                    std::uint32_t block,
+                                    std::vector<sim::Ppn>& out) const {
+  out.clear();
   const std::uint64_t base =
       block_index(plane_id, block) * geom_.pages_per_block;
-  std::vector<sim::Ppn> out;
   for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
-    if (page_valid_[base + p]) out.push_back(base + p);
+    if (page_owner_[base + p] != kNoOwner) out.push_back(base + p);
   }
-  return out;
 }
 
 std::uint32_t BlockManager::record_program_fail(std::uint64_t plane_id,
@@ -223,7 +159,6 @@ void BlockManager::erase_block(std::uint64_t plane_id, std::uint32_t block) {
   const std::uint64_t base =
       block_index(plane_id, block) * geom_.pages_per_block;
   for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
-    page_valid_[base + p] = 0;
     page_owner_[base + p] = kNoOwner;
   }
   info.state = BlockState::kFree;

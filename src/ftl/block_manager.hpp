@@ -6,8 +6,10 @@
 // block, the least-erased free block is chosen.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/geometry.hpp"
@@ -42,17 +44,69 @@ class BlockManager {
 
   /// Append one page in the plane's open block; opens a new block when the
   /// current one fills. Returns std::nullopt when the plane has no free
-  /// page left (caller must GC or redirect).
-  std::optional<sim::Ppn> allocate_page(std::uint64_t plane_id);
+  /// page left (caller must GC or redirect). Inline: the steady-state
+  /// path (an open block with room) runs once per page write and is just
+  /// a bump of the block's write pointer.
+  std::optional<sim::Ppn> allocate_page(std::uint64_t plane_id) {
+    assert(plane_id < planes_.size());
+    auto& plane = planes_[plane_id];
+    if (plane.open_block < 0 && !open_new_block(plane_id)) {
+      return std::nullopt;
+    }
+
+    auto block = static_cast<std::uint32_t>(plane.open_block);
+    auto* info = &blocks_[block_index(plane_id, block)];
+    if (info->write_ptr >= geom_.pages_per_block) {
+      info->state = BlockState::kFull;
+      plane.open_block = -1;
+      if (!open_new_block(plane_id)) return std::nullopt;
+      block = static_cast<std::uint32_t>(plane.open_block);
+      info = &blocks_[block_index(plane_id, block)];
+    }
+
+    const sim::Ppn ppn =
+        (block_index(plane_id, block)) * geom_.pages_per_block +
+        info->write_ptr;
+    ++info->write_ptr;
+    if (info->write_ptr == geom_.pages_per_block) {
+      info->state = BlockState::kFull;
+      plane.open_block = -1;
+    }
+    return ppn;
+  }
 
   /// Record ownership of a just-written page and mark it valid.
-  void mark_valid(sim::Ppn ppn, sim::TenantId tenant, std::uint64_t lpn);
+  void mark_valid(sim::Ppn ppn, sim::TenantId tenant, std::uint64_t lpn) {
+    assert(ppn < page_owner_.size());
+    assert(page_owner_[ppn] == kNoOwner);
+    page_owner_[ppn] = pack_owner(tenant, lpn);
+    ++blocks_[ppn / geom_.pages_per_block].valid;
+  }
 
   /// Invalidate a page (its LPN was overwritten or trimmed).
-  void invalidate(sim::Ppn ppn);
+  void invalidate(sim::Ppn ppn) {
+    assert(ppn < page_owner_.size());
+    if (page_owner_[ppn] == kNoOwner) return;
+    page_owner_[ppn] = kNoOwner;
+    auto& info = blocks_[ppn / geom_.pages_per_block];
+    assert(info.valid > 0);
+    --info.valid;
+  }
 
-  bool is_valid(sim::Ppn ppn) const;
-  PageOwner owner(sim::Ppn ppn) const;
+  bool is_valid(sim::Ppn ppn) const {
+    assert(ppn < page_owner_.size());
+    return page_owner_[ppn] != kNoOwner;
+  }
+
+  PageOwner owner(sim::Ppn ppn) const {
+    assert(ppn < page_owner_.size());
+    const std::uint64_t packed = page_owner_[ppn];
+    if (packed == kNoOwner) {
+      throw std::logic_error("block_manager: page has no owner");
+    }
+    return PageOwner{static_cast<sim::TenantId>(packed >> 40),
+                     packed & kLpnMask};
+  }
 
   std::uint32_t free_blocks(std::uint64_t plane_id) const;
   std::uint64_t free_pages(std::uint64_t plane_id) const;
@@ -65,6 +119,12 @@ class BlockManager {
   /// Valid PPNs remaining in a block (the pages GC must migrate).
   std::vector<sim::Ppn> valid_pages(std::uint64_t plane_id,
                                     std::uint32_t block) const;
+
+  /// Allocation-free variant: clears `out` and fills it with the block's
+  /// valid PPNs, reusing its capacity (the device's GC loop calls this
+  /// once per round with a scratch vector).
+  void valid_pages_into(std::uint64_t plane_id, std::uint32_t block,
+                        std::vector<sim::Ppn>& out) const;
 
   /// Erase a Full block with no valid pages: resets it to Free.
   /// Precondition (checked): block is Full and has zero valid pages.
@@ -110,6 +170,17 @@ class BlockManager {
   std::uint64_t retired_blocks() const { return retired_; }
 
  private:
+  static constexpr std::uint64_t kLpnMask = (1ULL << 40) - 1;
+  /// Sentinel doubling as the validity flag: a page is valid exactly when
+  /// it has an owner, so one array serves both queries with one cache
+  /// line touched instead of two.
+  static constexpr std::uint64_t kNoOwner = ~std::uint64_t{0};
+
+  static std::uint64_t pack_owner(sim::TenantId tenant, std::uint64_t lpn) {
+    assert(lpn <= kLpnMask);
+    return (static_cast<std::uint64_t>(tenant) << 40) | lpn;
+  }
+
   std::uint64_t block_index(std::uint64_t plane_id,
                             std::uint32_t block) const {
     return plane_id * geom_.blocks_per_plane + block;
@@ -136,8 +207,7 @@ class BlockManager {
   std::vector<BlockInfo> blocks_;     // indexed by global block id
   std::vector<PlaneInfo> planes_;     // indexed by plane id
   std::uint64_t retired_ = 0;         // device-wide retired-block count
-  // Per-page: validity bit and packed owner (tenant<<40 | lpn).
-  std::vector<std::uint8_t> page_valid_;
+  // Per-page packed owner (tenant<<40 | lpn); kNoOwner = invalid page.
   std::vector<std::uint64_t> page_owner_;
 };
 

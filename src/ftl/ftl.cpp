@@ -169,6 +169,11 @@ std::vector<sim::Ppn> Ftl::valid_pages(std::uint64_t plane_id,
   return blocks_.valid_pages(plane_id, block);
 }
 
+void Ftl::valid_pages_into(std::uint64_t plane_id, std::uint32_t block,
+                           std::vector<sim::Ppn>& out) const {
+  blocks_.valid_pages_into(plane_id, block, out);
+}
+
 sim::Ppn Ftl::allocate_migration(std::uint64_t plane_id) {
   if (auto ppn = blocks_.allocate_page(plane_id)) return *ppn;
   return sim::kInvalidPpn;

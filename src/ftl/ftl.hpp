@@ -94,6 +94,9 @@ class Ftl {
   std::optional<std::uint32_t> select_victim(std::uint64_t plane_id) const;
   std::vector<sim::Ppn> valid_pages(std::uint64_t plane_id,
                                     std::uint32_t block) const;
+  /// Allocation-free variant reusing `out`'s capacity (GC hot loop).
+  void valid_pages_into(std::uint64_t plane_id, std::uint32_t block,
+                        std::vector<sim::Ppn>& out) const;
 
   /// Destination page for migrating `src` (same plane). Returns
   /// kInvalidPpn when the plane has no free page (GC cannot proceed).

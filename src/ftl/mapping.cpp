@@ -20,30 +20,11 @@ std::vector<sim::Ppn>& MappingTable::table_for(sim::TenantId tenant) {
   return tables_[tenant];
 }
 
-const std::vector<sim::Ppn>* MappingTable::table_for(
-    sim::TenantId tenant) const {
-  if (tenant >= tables_.size()) return nullptr;
-  return &tables_[tenant];
-}
-
-sim::Ppn MappingTable::lookup(sim::TenantId tenant, std::uint64_t lpn) const {
-  const auto* table = table_for(tenant);
-  if (table == nullptr || lpn >= table->size()) return sim::kInvalidPpn;
-  return (*table)[lpn];
-}
-
-sim::Ppn MappingTable::update(sim::TenantId tenant, std::uint64_t lpn,
-                              sim::Ppn ppn) {
+sim::Ppn MappingTable::grow_and_update(sim::TenantId tenant,
+                                       std::uint64_t lpn, sim::Ppn ppn) {
   auto& table = table_for(tenant);
   if (lpn >= table.size()) table.resize(lpn + 1, sim::kInvalidPpn);
-  const sim::Ppn old = table[lpn];
-  table[lpn] = ppn;
-  if (old == sim::kInvalidPpn && ppn != sim::kInvalidPpn) {
-    ++mapped_counts_[tenant];
-  } else if (old != sim::kInvalidPpn && ppn == sim::kInvalidPpn) {
-    --mapped_counts_[tenant];
-  }
-  return old;
+  return update(tenant, lpn, ppn);  // re-enters on the fast path
 }
 
 sim::Ppn MappingTable::erase(sim::TenantId tenant, std::uint64_t lpn) {

@@ -15,10 +15,32 @@ namespace ssdk::ftl {
 class MappingTable {
  public:
   /// Current mapping for (tenant, lpn); kInvalidPpn when never written.
-  sim::Ppn lookup(sim::TenantId tenant, std::uint64_t lpn) const;
+  /// Inline: this is one array probe per host page op.
+  sim::Ppn lookup(sim::TenantId tenant, std::uint64_t lpn) const {
+    if (tenant >= tables_.size()) return sim::kInvalidPpn;
+    const auto& table = tables_[tenant];
+    if (lpn >= table.size()) return sim::kInvalidPpn;
+    return table[lpn];
+  }
 
   /// Install a new mapping; returns the previous PPN (kInvalidPpn if none).
-  sim::Ppn update(sim::TenantId tenant, std::uint64_t lpn, sim::Ppn ppn);
+  /// Inline fast path: once the tenant's table already covers the LPN
+  /// (steady state — every page write lands here), this is one array
+  /// store plus mapped-count maintenance.
+  sim::Ppn update(sim::TenantId tenant, std::uint64_t lpn, sim::Ppn ppn) {
+    if (tenant >= tables_.size() || lpn >= tables_[tenant].size()) {
+      return grow_and_update(tenant, lpn, ppn);
+    }
+    sim::Ppn& slot = tables_[tenant][lpn];
+    const sim::Ppn old = slot;
+    slot = ppn;
+    if (old == sim::kInvalidPpn && ppn != sim::kInvalidPpn) {
+      ++mapped_counts_[tenant];
+    } else if (old != sim::kInvalidPpn && ppn == sim::kInvalidPpn) {
+      --mapped_counts_[tenant];
+    }
+    return old;
+  }
 
   /// Remove the mapping (trim); returns the previous PPN.
   sim::Ppn erase(sim::TenantId tenant, std::uint64_t lpn);
@@ -30,7 +52,10 @@ class MappingTable {
 
  private:
   std::vector<sim::Ppn>& table_for(sim::TenantId tenant);
-  const std::vector<sim::Ppn>* table_for(sim::TenantId tenant) const;
+  /// Slow path of update(): validate the tenant id, grow the table to
+  /// cover the LPN, then install the mapping.
+  sim::Ppn grow_and_update(sim::TenantId tenant, std::uint64_t lpn,
+                           sim::Ppn ppn);
 
   // Dense tenant ids index directly; the tables vector grows as needed.
   std::vector<std::vector<sim::Ppn>> tables_;

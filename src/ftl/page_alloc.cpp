@@ -1,22 +1,10 @@
 #include "ftl/page_alloc.hpp"
 
+#include <bit>
 #include <cassert>
 #include <limits>
 
 namespace ssdk::ftl {
-
-PlaneTarget static_place(const sim::Geometry& g,
-                         const std::vector<std::uint32_t>& channels,
-                         std::uint64_t lpn) {
-  assert(!channels.empty());
-  const std::uint64_t n = channels.size();
-  PlaneTarget t;
-  t.channel = channels[lpn % n];
-  t.chip = static_cast<std::uint32_t>((lpn / n) % g.chips_per_channel);
-  t.plane = static_cast<std::uint32_t>(
-      (lpn / (n * g.chips_per_channel)) % g.planes_per_chip);
-  return t;
-}
 
 PlaneTarget dynamic_place(const sim::Geometry& g,
                           const std::vector<std::uint32_t>& channels,

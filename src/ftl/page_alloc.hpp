@@ -5,8 +5,10 @@
 // tenants (writes go to the least-loaded allowed channel/chip).
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/geometry.hpp"
@@ -18,13 +20,47 @@ namespace ssdk::ftl {
 enum class AllocMode : std::uint8_t { kStatic, kDynamic };
 
 /// Live load information the dynamic policy consults; implemented by the
-/// device model (queue depths and busy horizons).
-struct LoadView {
+/// device model (queue depths and busy horizons). A plain virtual
+/// interface rather than std::function members: dynamic placement probes
+/// every allowed channel on every placed page, and type-erased callbacks
+/// put a heap-indirect call on that inner loop. The destructor is
+/// protected — the policy only ever borrows a view, never owns one.
+class LoadView {
+ public:
   /// Estimated ns until the channel bus could take a new transfer.
-  std::function<Duration(std::uint32_t channel)> channel_backlog;
+  virtual Duration channel_backlog(std::uint32_t channel) const = 0;
   /// Estimated ns until the (global) chip could take a new operation.
-  std::function<Duration(std::uint32_t global_chip)> chip_backlog;
+  virtual Duration chip_backlog(std::uint32_t global_chip) const = 0;
+
+ protected:
+  ~LoadView() = default;
 };
+
+/// Adapter wrapping two callables (lambdas in tests and benches) into a
+/// LoadView without type erasure.
+template <typename ChannelFn, typename ChipFn>
+class CallableLoadView final : public LoadView {
+ public:
+  CallableLoadView(ChannelFn channel, ChipFn chip)
+      : channel_(std::move(channel)), chip_(std::move(chip)) {}
+
+  Duration channel_backlog(std::uint32_t channel) const override {
+    return channel_(channel);
+  }
+  Duration chip_backlog(std::uint32_t global_chip) const override {
+    return chip_(global_chip);
+  }
+
+ private:
+  ChannelFn channel_;
+  ChipFn chip_;
+};
+
+template <typename ChannelFn, typename ChipFn>
+CallableLoadView<ChannelFn, ChipFn> make_load_view(ChannelFn channel,
+                                                   ChipFn chip) {
+  return {std::move(channel), std::move(chip)};
+}
 
 /// Target of a placement decision: a plane (block/page are chosen by the
 /// block manager's append point).
@@ -43,9 +79,34 @@ struct PlaneTarget {
 /// Static placement: stripes LPNs channel-first over the tenant's allowed
 /// channel set, then over chips, then planes. Deterministic in (lpn,
 /// channels), which is what gives sequential reads their parallelism.
-PlaneTarget static_place(const sim::Geometry& g,
-                         const std::vector<std::uint32_t>& channels,
-                         std::uint64_t lpn);
+/// Inline: runs once per placed page; keeping it in the header lets the
+/// allocator fold the power-of-two stride math into its own loop.
+inline PlaneTarget static_place(const sim::Geometry& g,
+                                const std::vector<std::uint32_t>& channels,
+                                std::uint64_t lpn) {
+  assert(!channels.empty());
+  const std::uint64_t n = channels.size();
+  const std::uint64_t chips = g.chips_per_channel;
+  const std::uint64_t planes = g.planes_per_chip;
+  PlaneTarget t;
+  if (std::has_single_bit(n) && std::has_single_bit(chips) &&
+      std::has_single_bit(planes)) {
+    // Power-of-two strides (every stock geometry, and channel sets are
+    // sized 1/2/4/8 in the 4-tenant strategy space): pure shift/mask,
+    // no integer division on the per-page-write path.
+    const int n_shift = std::countr_zero(n);
+    const int chip_shift = std::countr_zero(chips);
+    t.channel = channels[lpn & (n - 1)];
+    t.chip = static_cast<std::uint32_t>((lpn >> n_shift) & (chips - 1));
+    t.plane = static_cast<std::uint32_t>(
+        (lpn >> (n_shift + chip_shift)) & (planes - 1));
+  } else {
+    t.channel = channels[lpn % n];
+    t.chip = static_cast<std::uint32_t>((lpn / n) % chips);
+    t.plane = static_cast<std::uint32_t>((lpn / (n * chips)) % planes);
+  }
+  return t;
+}
 
 /// Dynamic placement: least-backlogged allowed channel, then least-
 /// backlogged chip on it; plane chosen round-robin via `rr_counter`

@@ -27,35 +27,6 @@ Geometry Geometry::tiny() {
   return g;
 }
 
-Ppn Geometry::encode(const PhysAddr& a) const {
-  assert(a.channel < channels);
-  assert(a.chip < chips_per_channel);
-  assert(a.plane < planes_per_chip);
-  assert(a.block < blocks_per_plane);
-  assert(a.page < pages_per_block);
-  return (((static_cast<Ppn>(chip_id(a.channel, a.chip)) * planes_per_chip +
-            a.plane) *
-               blocks_per_plane +
-           a.block) *
-              pages_per_block +
-          a.page);
-}
-
-PhysAddr Geometry::decode(Ppn ppn) const {
-  assert(ppn < total_pages());
-  PhysAddr a;
-  a.page = static_cast<std::uint32_t>(ppn % pages_per_block);
-  ppn /= pages_per_block;
-  a.block = static_cast<std::uint32_t>(ppn % blocks_per_plane);
-  ppn /= blocks_per_plane;
-  a.plane = static_cast<std::uint32_t>(ppn % planes_per_chip);
-  ppn /= planes_per_chip;
-  const auto chip = static_cast<std::uint32_t>(ppn);
-  a.channel = chip / chips_per_channel;
-  a.chip = chip % chips_per_channel;
-  return a;
-}
-
 void Geometry::validate() const {
   if (channels == 0 || chips_per_channel == 0 || planes_per_chip == 0 ||
       blocks_per_plane == 0 || pages_per_block == 0 ||

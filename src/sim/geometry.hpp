@@ -6,6 +6,8 @@
 // whole device; PhysAddr is the unpacked form.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -84,8 +86,57 @@ struct Geometry {
     return plane_id(a) * blocks_per_plane + a.block;
   }
 
-  Ppn encode(const PhysAddr& a) const;
-  PhysAddr decode(Ppn ppn) const;
+  Ppn encode(const PhysAddr& a) const {
+    assert(a.channel < channels);
+    assert(a.chip < chips_per_channel);
+    assert(a.plane < planes_per_chip);
+    assert(a.block < blocks_per_plane);
+    assert(a.page < pages_per_block);
+    return (((static_cast<Ppn>(chip_id(a.channel, a.chip)) *
+                  planes_per_chip +
+              a.plane) *
+                 blocks_per_plane +
+             a.block) *
+                pages_per_block +
+            a.page);
+  }
+
+  /// Inline with a shift/mask fast path: every stock geometry (paper,
+  /// small, tiny) has power-of-two dimensions, and decode sits on the
+  /// per-page-op device hot path where four hardware divides are
+  /// measurable. Falls back to the general divide chain for odd shapes.
+  PhysAddr decode(Ppn ppn) const {
+    assert(ppn < total_pages());
+    PhysAddr a;
+    if (std::has_single_bit(pages_per_block) &&
+        std::has_single_bit(blocks_per_plane) &&
+        std::has_single_bit(planes_per_chip) &&
+        std::has_single_bit(chips_per_channel)) {
+      const int page_bits = std::countr_zero(pages_per_block);
+      const int block_bits = std::countr_zero(blocks_per_plane);
+      const int plane_bits = std::countr_zero(planes_per_chip);
+      const int chip_bits = std::countr_zero(chips_per_channel);
+      a.page = static_cast<std::uint32_t>(ppn) & (pages_per_block - 1);
+      ppn >>= page_bits;
+      a.block = static_cast<std::uint32_t>(ppn) & (blocks_per_plane - 1);
+      ppn >>= block_bits;
+      a.plane = static_cast<std::uint32_t>(ppn) & (planes_per_chip - 1);
+      ppn >>= plane_bits;
+      a.chip = static_cast<std::uint32_t>(ppn) & (chips_per_channel - 1);
+      a.channel = static_cast<std::uint32_t>(ppn >> chip_bits);
+      return a;
+    }
+    a.page = static_cast<std::uint32_t>(ppn % pages_per_block);
+    ppn /= pages_per_block;
+    a.block = static_cast<std::uint32_t>(ppn % blocks_per_plane);
+    ppn /= blocks_per_plane;
+    a.plane = static_cast<std::uint32_t>(ppn % planes_per_chip);
+    ppn /= planes_per_chip;
+    const auto chip = static_cast<std::uint32_t>(ppn);
+    a.channel = chip / chips_per_channel;
+    a.chip = chip % chips_per_channel;
+    return a;
+  }
 
   /// Throws std::invalid_argument when any dimension is zero or an address
   /// component would overflow its field.

@@ -5,6 +5,19 @@
 
 namespace ssdk::sim {
 
+TenantMetrics& MetricsCollector::slot(TenantId id) {
+  if (id == kInternalTenant) {
+    internal_present_ = true;
+    return internal_;
+  }
+  if (id >= dense_.size()) {
+    dense_.resize(id + 1);
+    present_.resize(id + 1, 0);
+  }
+  present_[id] = 1;
+  return dense_[id];
+}
+
 void MetricsCollector::record(const Completion& c) {
   if (c.type == OpType::kTrim) {
     ++counters_.host_trims;
@@ -16,7 +29,7 @@ void MetricsCollector::record(const Completion& c) {
     ++counters_.host_writes;
   }
   if (c.arrival < warmup_ns_) return;  // warmup: counted, not sampled
-  auto& t = tenants_[c.tenant];
+  auto& t = slot(c.tenant);
   const double us = to_us(c.latency());
   if (c.type == OpType::kRead) {
     t.read_latency_us.add(us);
@@ -26,41 +39,53 @@ void MetricsCollector::record(const Completion& c) {
 }
 
 const TenantMetrics& MetricsCollector::tenant(TenantId id) const {
-  const auto it = tenants_.find(id);
-  if (it == tenants_.end()) {
+  if (!has_tenant(id)) {
     throw std::out_of_range("metrics: unknown tenant " + std::to_string(id));
   }
-  return it->second;
+  return id == kInternalTenant ? internal_ : dense_[id];
 }
 
 void MetricsCollector::record_read_retry(TenantId tenant, Duration extra_ns) {
   ++counters_.read_retries;
   counters_.retry_wait_ns += extra_ns;
-  auto& t = tenants_[tenant];
+  auto& t = slot(tenant);
   ++t.read_retries;
   t.retry_wait_ns += extra_ns;
 }
 
 void MetricsCollector::record_uncorrectable_read(TenantId tenant) {
   ++counters_.uncorrectable_reads;
-  ++tenants_[tenant].uncorrectable_reads;
+  ++slot(tenant).uncorrectable_reads;
 }
 
 void MetricsCollector::record_program_retry(TenantId tenant) {
   ++counters_.program_fails;
-  ++tenants_[tenant].program_retries;
+  ++slot(tenant).program_retries;
+}
+
+std::map<TenantId, TenantMetrics> MetricsCollector::all_tenants() const {
+  std::map<TenantId, TenantMetrics> out;
+  for (TenantId id = 0; id < dense_.size(); ++id) {
+    if (present_[id]) out.emplace(id, dense_[id]);
+  }
+  if (internal_present_) out.emplace(kInternalTenant, internal_);
+  return out;
 }
 
 TenantMetrics MetricsCollector::aggregate() const {
   TenantMetrics agg;
-  for (const auto& [_, t] : tenants_) {
+  const auto merge = [&agg](const TenantMetrics& t) {
     agg.read_latency_us.merge(t.read_latency_us);
     agg.write_latency_us.merge(t.write_latency_us);
     agg.read_retries += t.read_retries;
     agg.uncorrectable_reads += t.uncorrectable_reads;
     agg.program_retries += t.program_retries;
     agg.retry_wait_ns += t.retry_wait_ns;
+  };
+  for (TenantId id = 0; id < dense_.size(); ++id) {
+    if (present_[id]) merge(dense_[id]);
   }
+  if (internal_present_) merge(internal_);
   return agg;
 }
 
@@ -77,7 +102,7 @@ std::string MetricsCollector::report() const {
      << "writes: " << summarize(agg.write_latency_us) << " us\n"
      << "conflict rate: " << conflict_rate() << ", gc migrations: "
      << counters_.gc_migrations << ", erases: " << counters_.erases << '\n';
-  for (const auto& [id, t] : tenants_) {
+  for (const auto& [id, t] : all_tenants()) {
     os << "  tenant " << id << ": avg read " << t.avg_read_us()
        << " us, avg write " << t.avg_write_us() << " us\n";
   }

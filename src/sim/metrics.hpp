@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/request.hpp"
 #include "util/stats.hpp"
@@ -80,6 +81,12 @@ struct DeviceCounters {
   }
 };
 
+/// Tenant slots are a dense vector indexed by tenant id — `record` runs
+/// once per host completion, and a map lookup there was one of the larger
+/// costs on the simulator hot path. Host tenant ids are small and
+/// contiguous (0..3 in the paper); kInternalTenant (GC traffic touched by
+/// the fault model) gets its own out-of-band slot so the dense array never
+/// grows to 2^32 entries.
 class MetricsCollector {
  public:
   void record(const Completion& c);
@@ -104,10 +111,13 @@ class MetricsCollector {
   void record_program_retry(TenantId tenant);
 
   const TenantMetrics& tenant(TenantId id) const;
-  bool has_tenant(TenantId id) const { return tenants_.contains(id); }
-  const std::map<TenantId, TenantMetrics>& all_tenants() const {
-    return tenants_;
+  bool has_tenant(TenantId id) const {
+    if (id == kInternalTenant) return internal_present_;
+    return id < present_.size() && present_[id] != 0;
   }
+  /// Tenants that recorded at least one sample or reliability event, keyed
+  /// by id (materialized from the dense slots; ordered as before).
+  std::map<TenantId, TenantMetrics> all_tenants() const;
 
   /// Aggregate over every tenant (used when normalizing Figure 2/5 bars).
   TenantMetrics aggregate() const;
@@ -118,7 +128,12 @@ class MetricsCollector {
   std::string report() const;
 
  private:
-  std::map<TenantId, TenantMetrics> tenants_;
+  TenantMetrics& slot(TenantId id);
+
+  std::vector<TenantMetrics> dense_;      ///< indexed by tenant id
+  std::vector<std::uint8_t> present_;     ///< parallel touched flags
+  TenantMetrics internal_;                ///< kInternalTenant slot
+  bool internal_present_ = false;
   DeviceCounters counters_;
   SimTime warmup_ns_ = 0;
 };

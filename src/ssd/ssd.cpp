@@ -1,6 +1,7 @@
 #include "ssd/ssd.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -10,8 +11,20 @@ namespace ssdk::ssd {
 using sim::EventKind;
 using sim::kNoOp;
 
+namespace {
+/// Borrowed top bit of a write-buffer seq value; marks "first FIFO
+/// occurrence already kept" during compaction.
+constexpr std::uint64_t kBufferKeptBit = 1ULL << 63;
+}  // namespace
+
 Ssd::Ssd(SsdOptions options)
     : options_(std::move(options)),
+      units_per_channel_(options_.multiplane_program
+                             ? options_.geometry.planes_per_channel()
+                             : options_.geometry.chips_per_channel),
+      unit_shift_(std::has_single_bit(units_per_channel_)
+                      ? std::countr_zero(units_per_channel_)
+                      : -1),
       ftl_(options_.geometry, options_.ftl),
       channels_(options_.geometry.channels),
       units_(options_.multiplane_program
@@ -24,12 +37,22 @@ Ssd::Ssd(SsdOptions options)
       fault_rng_(options_.faults.seed),
       faults_on_(options_.faults.enabled()) {
   options_.faults.validate();
-  load_view_.channel_backlog = [this](std::uint32_t ch) {
-    return channel_backlog_ns(ch);
-  };
-  load_view_.chip_backlog = [this](std::uint32_t chip) {
-    return chip_backlog_ns(chip);
-  };
+  if (options_.write_buffer.capacity_pages > 0) {
+    buffer_.reserve(options_.write_buffer.capacity_pages);
+    buffer_fifo_.reserve(2 * options_.write_buffer.capacity_pages);
+  }
+}
+
+void Ssd::reserve(std::size_t request_count) {
+  requests_.reserve(requests_.size() + request_count);
+  // The op slab's high-water mark is the maximum number of *in-flight*
+  // page ops, which queueing bounds well below the trace's page count —
+  // cap the hint so a long trace doesn't reserve a slab it never fills.
+  const std::size_t op_hint =
+      std::min<std::size_t>(2 * request_count, std::size_t{1} << 16);
+  ops_.reserve(ops_.size() + op_hint);
+  free_ops_.reserve(free_ops_.size() + op_hint);
+  events_.reserve(std::min<std::size_t>(2 * request_count, 4096));
 }
 
 // --- op slab ----------------------------------------------------------------
@@ -100,6 +123,7 @@ void Ssd::trace_wait(const PageOp& op) {
 // --- ingestion ----------------------------------------------------------------
 
 void Ssd::submit(std::span<const sim::IoRequest> requests) {
+  requests_.reserve(requests_.size() + requests.size());
   for (const auto& r : requests) submit(r);
 }
 
@@ -140,6 +164,11 @@ void Ssd::run_to_completion() {
         case EventKind::kBufferDone:
           handle_buffer_done(e.a, e.b);
           break;
+        case EventKind::kWriteDone:
+          // Exactly the old BusFree(kNoOp)-then-FlashDone pair, back to
+          // back; see try_grant_write.
+          handle_write_done(e.a, e.b);
+          break;
       }
     }
   }
@@ -160,7 +189,10 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
       // Metadata-only: no flash op, completes instantly. A dirty buffered
       // copy must be dropped too, or a later flush would resurrect it.
       free_op(op_id);
-      buffer_.erase(buffer_key(rs.req.tenant, lpn));
+      if (buffer_.erase(buffer_key(rs.req.tenant, lpn)) > 0) {
+        // The key's FIFO entry is now stale; bound the accumulation.
+        maybe_compact_buffer_fifo();
+      }
       ftl_.trim(rs.req.tenant, lpn);
       if (--rs.remaining == 0) {
         sim::Completion c;
@@ -255,8 +287,36 @@ bool Ssd::buffer_write(sim::TenantId tenant, std::uint64_t lpn) {
 }
 
 bool Ssd::buffer_holds(sim::TenantId tenant, std::uint64_t lpn) const {
-  if (options_.write_buffer.capacity_pages == 0) return false;
+  // The emptiness probe covers the buffer-disabled case too, and skips
+  // the key hash on every read of an unbuffered (or drained) device.
+  if (buffer_.empty()) return false;
   return buffer_.contains(buffer_key(tenant, lpn));
+}
+
+void Ssd::maybe_compact_buffer_fifo() {
+  // Every live key has exactly one *consumable* FIFO occurrence, so the
+  // stale surplus is size(fifo) - size(buffer). Compact once stale
+  // entries outnumber live ones (with a floor so tiny buffers never
+  // bother) — amortized O(1) per trim, and the FIFO stays <= 2x occupancy.
+  const std::size_t fifo = buffer_fifo_.size();
+  if (fifo >= 64 && fifo > 2 * buffer_.size()) compact_buffer_fifo();
+}
+
+void Ssd::compact_buffer_fifo() {
+  // Keep only the first occurrence of each live key, in order — exactly
+  // the entries lazy eviction would consume — by cycling the ring once.
+  // The seen-marker lives in the map values (kBufferKeptBit), so
+  // compaction allocates nothing.
+  const std::size_t n = buffer_fifo_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t key = buffer_fifo_.front();
+    buffer_fifo_.pop_front();
+    const auto it = buffer_.find(key);
+    if (it == buffer_.end() || (it->second & kBufferKeptBit) != 0) continue;
+    it->second |= kBufferKeptBit;
+    buffer_fifo_.push_back(key);
+  }
+  for (auto& [key, seq] : buffer_) seq &= ~kBufferKeptBit;
 }
 
 void Ssd::maybe_flush_buffer() {
@@ -328,7 +388,10 @@ void Ssd::dispatch_write(std::uint64_t op_id) {
   if (channels_[op.addr.channel].bus_busy || units_[unit].busy) {
     metrics_.count_conflict();
   }
-  units_[unit].write_q.push_back(op_id);
+  UnitState& u = units_[unit];
+  u.write_q.push_back(op_id);
+  if (u.write_q.size() == 1) u.front_write_seq = op.enq_seq;
+  ++channels_[op.addr.channel].queued_writes;
   arbitrate(op.addr.channel);
 }
 
@@ -376,26 +439,28 @@ void Ssd::start_erase(std::uint64_t unit, std::uint64_t op_id) {
   events_.push(u.busy_until, EventKind::kFlashDone, unit, op_id);
 }
 
-void Ssd::unit_next(std::uint64_t unit) {
+bool Ssd::unit_next(std::uint64_t unit) {
   UnitState& u = units_[unit];
-  if (u.busy) return;
+  if (u.busy) return false;
   if (!u.read_wait.empty()) {
     const std::uint64_t op_id = u.read_wait.front();
     u.read_wait.pop_front();
     start_array_read(unit, op_id);
-    return;
+    return false;
   }
   if (!u.erase_wait.empty()) {
     const std::uint64_t op_id = u.erase_wait.front();
     u.erase_wait.pop_front();
     start_erase(unit, op_id);
-    return;
+    return false;
   }
   // A queued write may now be grantable; let the channel decide.
   arbitrate(channel_of_unit(unit));
+  return true;
 }
 
 bool Ssd::write_grantable(std::uint32_t channel) const {
+  if (channels_[channel].queued_writes == 0) return false;
   const std::uint64_t base = first_unit(channel);
   const std::uint64_t count = units_per_channel();
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -409,13 +474,25 @@ void Ssd::arbitrate(std::uint32_t channel) {
   ChannelState& ch = channels_[channel];
   if (ch.bus_busy) return;
   const bool read_ready = !ch.read_q.empty();
+  if (options_.read_priority) {
+    // Reads preempt writes unconditionally, so the write queues only
+    // matter when no read is ready — and try_grant_write performs that
+    // scan itself (returning false with no side effects when nothing is
+    // grantable). Skipping the write_grantable pre-scan here halves the
+    // arbitration cost on the default configuration.
+    if (read_ready) {
+      grant_read_transfer(channel);
+    } else if (ch.queued_writes != 0) {
+      try_grant_write(channel);
+    }
+    return;
+  }
+
   const bool write_ready = write_grantable(channel);
   if (!read_ready && !write_ready) return;
 
   bool grant_read;
-  if (options_.read_priority) {
-    grant_read = read_ready;
-  } else if (read_ready && write_ready) {
+  if (read_ready && write_ready) {
     // Fair mode: alternate between classes when both are ready.
     grant_read = ch.rr_toggle;
     ch.rr_toggle = !ch.rr_toggle;
@@ -456,18 +533,20 @@ void Ssd::grant_read_transfer(std::uint32_t channel) {
 bool Ssd::try_grant_write(std::uint32_t channel) {
   ChannelState& ch = channels_[channel];
   assert(!ch.bus_busy);
+  if (ch.queued_writes == 0) return false;
   const std::uint64_t base = first_unit(channel);
   const std::uint64_t count = units_per_channel();
 
-  // Oldest queued write among units that are currently free.
+  // Oldest queued write among units that are currently free. The cached
+  // front_write_seq is all-ones for empty queues, so they lose every
+  // comparison without an explicit emptiness test.
   std::uint64_t best_unit = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
   for (std::uint64_t i = 0; i < count; ++i) {
     const UnitState& u = units_[base + i];
-    if (u.busy || u.write_q.empty()) continue;
-    const std::uint64_t seq = ops_[u.write_q.front()].enq_seq;
-    if (seq < best_seq) {
-      best_seq = seq;
+    if (u.busy) continue;
+    if (u.front_write_seq < best_seq) {
+      best_seq = u.front_write_seq;
       best_unit = base + i;
     }
   }
@@ -476,6 +555,10 @@ bool Ssd::try_grant_write(std::uint32_t channel) {
   UnitState& u = units_[best_unit];
   const std::uint64_t op_id = u.write_q.front();
   u.write_q.pop_front();
+  u.front_write_seq = u.write_q.empty()
+                          ? ~std::uint64_t{0}
+                          : ops_[u.write_q.front()].enq_seq;
+  --ch.queued_writes;
   metrics_.counters().write_wait_ns += now_ - ops_[op_id].dispatched_at;
   ++metrics_.counters().write_ops_started;
 
@@ -495,17 +578,34 @@ bool Ssd::try_grant_write(std::uint32_t channel) {
   ch.bus_free_at = now_ + bus_hold;
   metrics_.counters().bus_busy_ns += bus_hold;
   channel_busy_ns_[channel] += bus_hold;
-  events_.push(ch.bus_free_at, EventKind::kBusFree, channel, kNoOp);
+  // Basic command set: bus release and program completion coincide
+  // (bus_hold == service), and the two events would carry adjacent seqs,
+  // so no third event can ever pop between them — fold them into one
+  // kWriteDone and halve this op's heap traffic. Pipelined mode keeps
+  // the separate events (the bus frees mid-program).
+  const bool pipelined = options_.pipelined_writes;
+  if (pipelined) {
+    events_.push(ch.bus_free_at, EventKind::kBusFree, channel, kNoOp);
+  }
 
   u.busy = true;
   u.busy_until = now_ + service;
   metrics_.counters().chip_busy_ns += service;
   unit_busy_ns_[best_unit] += service;
-  events_.push(u.busy_until, EventKind::kFlashDone, best_unit, op_id);
+  events_.push(u.busy_until,
+               pipelined ? EventKind::kFlashDone : EventKind::kWriteDone,
+               best_unit, op_id);
   return true;
 }
 
 // --- event handlers -------------------------------------------------------------
+
+void Ssd::handle_write_done(std::uint64_t unit, std::uint64_t op_id) {
+  const std::uint32_t channel = channel_of_unit(unit);
+  channels_[channel].bus_busy = false;
+  arbitrate(channel);
+  handle_flash_done(unit, op_id);
+}
 
 void Ssd::handle_flash_done(std::uint64_t unit, std::uint64_t op_id) {
   PageOp& op = ops_[op_id];
@@ -560,12 +660,16 @@ void Ssd::handle_bus_free(std::uint32_t channel, std::uint64_t op_id) {
     PageOp& op = ops_[op_id];
     const std::uint64_t unit = unit_of(op.addr);
     units_[unit].busy = false;
+    // The unit lives on `channel`, so when unit_next falls through to
+    // arbitration it already covers this channel — arbitrating again
+    // would re-scan the queues only to no-op.
+    bool arbitrated = false;
     if (read_ecc_failed(op)) {
       if (op.attempts < options_.faults.max_read_retries) {
         start_read_retry(unit, op_id);  // unit is re-occupied
       } else {
         handle_uncorrectable_read(op_id);
-        unit_next(unit);
+        arbitrated = unit_next(unit);
       }
     } else {
       if (op.kind == OpKind::kHostRead) {
@@ -573,8 +677,9 @@ void Ssd::handle_bus_free(std::uint32_t channel, std::uint64_t op_id) {
       } else {
         on_gc_read_done(op_id);
       }
-      unit_next(unit);
+      arbitrated = unit_next(unit);
     }
+    if (arbitrated) return;
   }
   arbitrate(channel);
 }
@@ -918,7 +1023,10 @@ void Ssd::start_round_on_victim(std::uint32_t job_index,
                                 std::uint32_t victim) {
   GcJob& job = gc_jobs_[job_index];
   job.victim = victim;
-  const auto survivors = ftl_.valid_pages(job.plane_id, job.victim);
+  // Reusable scratch: dispatch below never re-enters GC round setup, so
+  // one survivor list serves every round without allocating.
+  std::vector<sim::Ppn>& survivors = gc_scratch_;
+  ftl_.valid_pages_into(job.plane_id, job.victim, survivors);
   job.outstanding = static_cast<std::uint32_t>(survivors.size());
   if (survivors.empty()) {
     if (job.rescue) {

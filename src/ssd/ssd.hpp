@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <span>
 #include <unordered_map>
@@ -34,6 +33,7 @@
 #include "sim/request.hpp"
 #include "sim/timing.hpp"
 #include "telemetry/tracer.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 
 namespace ssdk::ssd {
@@ -102,6 +102,12 @@ class Ssd {
 
   // --- request ingestion ----------------------------------------------------
 
+  /// Pre-size the request table, op slab and event heap for a trace of
+  /// about `request_count` requests, so the replay loop never regrows
+  /// them. Optional — submit() also reserves the request table — and
+  /// additive across calls.
+  void reserve(std::size_t request_count);
+
   /// Append requests (arrival times must be non-decreasing across all
   /// submissions). Call run_to_completion() afterwards.
   void submit(std::span<const sim::IoRequest> requests);
@@ -119,6 +125,11 @@ class Ssd {
   /// Dirty pages currently held in the write buffer.
   std::size_t write_buffer_occupancy() const { return buffer_.size(); }
   std::uint64_t write_buffer_hits() const { return buffer_hits_; }
+  /// FIFO entries (live + stale) backing the buffer's eviction order.
+  /// Compaction keeps this bounded by ~2x occupancy; exposed for tests.
+  std::size_t write_buffer_fifo_entries() const {
+    return buffer_fifo_.size();
+  }
 
   SimTime now() const { return now_; }
   sim::MetricsCollector& metrics() { return metrics_; }
@@ -195,20 +206,34 @@ class Ssd {
     bool in_use = false;
   };
 
+  // Op queues are rings, not deques: after warm-up their capacity is
+  // stable and steady-state queueing allocates nothing.
+  using OpQueue = util::RingBuffer<std::uint64_t>;
+
   struct ChannelState {
     bool bus_busy = false;
     SimTime bus_free_at = 0;
-    std::deque<std::uint64_t> read_q;  ///< ops ready for read-out transfer
-    bool rr_toggle = false;            ///< fairness state when !read_priority
+    OpQueue read_q;          ///< ops ready for read-out transfer
+    bool rr_toggle = false;  ///< fairness state when !read_priority
+    /// Writes queued across this channel's units; lets arbitration skip
+    /// the per-unit scan when no write is waiting at all.
+    std::uint32_t queued_writes = 0;
   };
 
   /// One flash execution unit: a chip (default) or a plane (multiplane).
   struct UnitState {
+    // `busy` and `front_write_seq` lead the struct deliberately: the
+    // write-arbitration scan reads only these two, so keeping them on the
+    // struct's first cache line makes the scan one line per unit.
     bool busy = false;
+    /// enq_seq of write_q.front(), cached at push/pop so the oldest-write
+    /// arbitration scan never touches the op slab. All-ones when empty
+    /// (sorts after every real seq).
+    std::uint64_t front_write_seq = ~std::uint64_t{0};
     SimTime busy_until = 0;
-    std::deque<std::uint64_t> read_wait;   ///< array reads awaiting the unit
-    std::deque<std::uint64_t> erase_wait;  ///< erases awaiting the unit
-    std::deque<std::uint64_t> write_q;     ///< writes awaiting bus + unit
+    OpQueue read_wait;   ///< array reads awaiting the unit
+    OpQueue erase_wait;  ///< erases awaiting the unit
+    OpQueue write_q;     ///< writes awaiting bus + unit
   };
 
   struct RequestState {
@@ -252,6 +277,8 @@ class Ssd {
   // Event handlers.
   void handle_arrival(std::uint64_t request_index);
   void handle_flash_done(std::uint64_t unit, std::uint64_t op_id);
+  /// Merged bus-release + program-completion for non-pipelined writes.
+  void handle_write_done(std::uint64_t unit, std::uint64_t op_id);
   void handle_bus_free(std::uint32_t channel, std::uint64_t op_id);
   void handle_buffer_done(std::uint64_t request_index,
                           std::uint64_t pages);
@@ -268,6 +295,11 @@ class Ssd {
   /// Evict FIFO-oldest dirty pages down to the low watermark.
   void maybe_flush_buffer();
   void flush_one(sim::TenantId tenant, std::uint64_t lpn);
+  /// Drop stale FIFO entries (keys trimmed out of the buffer) when they
+  /// outnumber live ones; keeps the FIFO bounded by ~2x occupancy under
+  /// trim-heavy workloads without changing eviction order.
+  void maybe_compact_buffer_fifo();
+  void compact_buffer_fifo();
 
   // Dispatch / arbitration.
   void dispatch_read(std::uint64_t op_id);
@@ -275,7 +307,10 @@ class Ssd {
   void dispatch_erase(std::uint64_t op_id);
   void start_array_read(std::uint64_t unit, std::uint64_t op_id);
   void start_erase(std::uint64_t unit, std::uint64_t op_id);
-  void unit_next(std::uint64_t unit);
+  /// Returns true when it fell through to arbitrate() for the unit's
+  /// channel (so the caller must not arbitrate the same channel again —
+  /// the duplicate call is always a no-op and just re-scans the queues).
+  bool unit_next(std::uint64_t unit);
   void arbitrate(std::uint32_t channel);
   void grant_read_transfer(std::uint32_t channel);
   /// Grant the oldest queued write on this channel whose unit is free.
@@ -329,28 +364,44 @@ class Ssd {
   sim::PhysAddr block_addr(std::uint64_t plane_id,
                            std::uint32_t block) const;
 
-  /// Execution units per channel under the current granularity.
-  std::uint64_t units_per_channel() const {
-    return options_.multiplane_program
-               ? options_.geometry.planes_per_channel()
-               : options_.geometry.chips_per_channel;
-  }
+  /// Execution units per channel under the current granularity (cached
+  /// at construction; the granularity never changes afterwards).
+  std::uint64_t units_per_channel() const { return units_per_channel_; }
   std::uint64_t unit_of(const sim::PhysAddr& a) const {
     return options_.multiplane_program
                ? options_.geometry.plane_id(a)
                : options_.geometry.chip_id(a.channel, a.chip);
   }
   std::uint32_t channel_of_unit(std::uint64_t unit) const {
-    return static_cast<std::uint32_t>(unit / units_per_channel());
+    // Every stock geometry has a power-of-two unit count per channel, so
+    // this division is almost always a shift.
+    return static_cast<std::uint32_t>(
+        unit_shift_ >= 0 ? unit >> unit_shift_
+                         : unit / units_per_channel_);
   }
   /// First execution unit id on a channel.
   std::uint64_t first_unit(std::uint32_t channel) const {
     return static_cast<std::uint64_t>(channel) * units_per_channel();
   }
 
+  /// Concrete LoadView over this device's live queues — one indirect call
+  /// per backlog probe instead of a type-erased std::function invocation.
+  struct LoadViewImpl final : ftl::LoadView {
+    explicit LoadViewImpl(const Ssd* device) : ssd(device) {}
+    Duration channel_backlog(std::uint32_t channel) const override {
+      return ssd->channel_backlog_ns(channel);
+    }
+    Duration chip_backlog(std::uint32_t global_chip) const override {
+      return ssd->chip_backlog_ns(global_chip);
+    }
+    const Ssd* ssd;
+  };
+
   SsdOptions options_;
+  std::uint64_t units_per_channel_ = 1;  ///< cached from the granularity
+  int unit_shift_ = -1;  ///< log2(units_per_channel_) when pow2, else -1
   ftl::Ftl ftl_;
-  ftl::LoadView load_view_;
+  LoadViewImpl load_view_{this};
   sim::EventQueue events_;
   SimTime now_ = 0;
 
@@ -369,12 +420,15 @@ class Ssd {
 
   std::vector<GcJob> gc_jobs_;
   std::vector<std::uint32_t> gc_job_of_plane_;  // kNoJob when idle
+  std::vector<sim::Ppn> gc_scratch_;  ///< survivor list, reused per round
 
   // Write buffer: dirty (tenant, lpn) keys with FIFO eviction order.
-  // The deque may hold stale keys (overwritten entries); they are skipped
-  // lazily at eviction time.
+  // The FIFO may hold stale keys (trimmed entries); they are skipped
+  // lazily at eviction time and compacted away when they outnumber live
+  // ones. Map values are insertion seqs; compaction borrows their top bit
+  // as a seen-marker (kBufferKeptBit) so it needs no side allocation.
   std::unordered_map<std::uint64_t, std::uint64_t> buffer_;  // key -> seq
-  std::deque<std::uint64_t> buffer_fifo_;
+  OpQueue buffer_fifo_;
   std::uint64_t buffer_seq_ = 0;
   std::uint64_t buffer_hits_ = 0;
 

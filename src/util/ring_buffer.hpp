@@ -1,0 +1,77 @@
+// Grow-on-demand circular FIFO over a power-of-two array.
+//
+// The device model keeps many small op-id queues (per-channel read queues,
+// per-unit read/write/erase waits, the write-buffer eviction FIFO) that
+// std::deque served with chunked heap allocation on every refill. A ring
+// reuses one flat buffer: after warm-up the capacity stops changing and
+// steady-state push/pop performs zero allocations. Only the deque
+// operations the simulator uses are provided (push_back / front /
+// pop_front); elements are assumed cheap to copy (op ids, packed keys).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ssdk::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Ensure capacity for at least `n` elements without regrowing.
+  void reserve(std::size_t n) {
+    if (n > data_.size()) regrow(std::bit_ceil(n));
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return data_.size(); }
+
+  T& front() {
+    assert(count_ > 0);
+    return data_[head_];
+  }
+  const T& front() const {
+    assert(count_ > 0);
+    return data_[head_];
+  }
+
+  void push_back(const T& value) {
+    if (count_ == data_.size()) {
+      regrow(data_.empty() ? kMinCapacity : data_.size() * 2);
+    }
+    data_[(head_ + count_) & (data_.size() - 1)] = value;
+    ++count_;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & (data_.size() - 1);
+    --count_;
+  }
+
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 8;
+
+  void regrow(std::size_t new_capacity) {
+    assert(std::has_single_bit(new_capacity));
+    std::vector<T> next(new_capacity);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = data_[(head_ + i) & (data_.size() - 1)];
+    }
+    data_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> data_;  ///< capacity; always empty or a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ssdk::util

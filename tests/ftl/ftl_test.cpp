@@ -7,11 +7,9 @@
 namespace ssdk::ftl {
 namespace {
 
-LoadView idle_load() {
-  LoadView load;
-  load.channel_backlog = [](std::uint32_t) -> Duration { return 0; };
-  load.chip_backlog = [](std::uint32_t) -> Duration { return 0; };
-  return load;
+auto idle_load() {
+  return make_load_view([](std::uint32_t) -> Duration { return 0; },
+                        [](std::uint32_t) -> Duration { return 0; });
 }
 
 TEST(Ftl, DefaultTenantSeesAllChannels) {
@@ -88,11 +86,9 @@ TEST(Ftl, DynamicModeFollowsLoad) {
   const sim::Geometry g = sim::Geometry::small();
   Ftl ftl(g);
   ftl.set_tenant_alloc_mode(0, AllocMode::kDynamic);
-  LoadView load;
-  load.channel_backlog = [](std::uint32_t ch) -> Duration {
-    return ch == 6 ? 0 : 10'000;
-  };
-  load.chip_backlog = [](std::uint32_t) -> Duration { return 0; };
+  const auto load = make_load_view(
+      [](std::uint32_t ch) -> Duration { return ch == 6 ? 0 : 10'000; },
+      [](std::uint32_t) -> Duration { return 0; });
   for (std::uint64_t lpn = 0; lpn < 16; ++lpn) {
     EXPECT_EQ(g.decode(ftl.allocate_write(0, lpn, load)).channel, 6u);
   }

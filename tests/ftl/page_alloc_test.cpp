@@ -50,11 +50,9 @@ TEST(StaticPlace, PlaneIdMatchesGeometry) {
 
 TEST(DynamicPlace, PicksLeastBackloggedChannel) {
   const std::vector<std::uint32_t> channels{0, 1, 2};
-  LoadView load;
-  load.channel_backlog = [](std::uint32_t ch) -> Duration {
-    return ch == 1 ? 0 : 1000;
-  };
-  load.chip_backlog = [](std::uint32_t) -> Duration { return 0; };
+  const auto load = make_load_view(
+      [](std::uint32_t ch) -> Duration { return ch == 1 ? 0 : 1000; },
+      [](std::uint32_t) -> Duration { return 0; });
   std::uint64_t rr = 0;
   const PlaneTarget t = dynamic_place(g, channels, load, rr);
   EXPECT_EQ(t.channel, 1u);
@@ -62,12 +60,12 @@ TEST(DynamicPlace, PicksLeastBackloggedChannel) {
 
 TEST(DynamicPlace, PicksLeastBackloggedChipOnChannel) {
   const std::vector<std::uint32_t> channels{3};
-  LoadView load;
-  load.channel_backlog = [](std::uint32_t) -> Duration { return 0; };
-  load.chip_backlog = [&](std::uint32_t chip) -> Duration {
-    // Global chips 6 and 7 live on channel 3; make chip 7 idle.
-    return chip == 7 ? 0 : 500;
-  };
+  const auto load = make_load_view(
+      [](std::uint32_t) -> Duration { return 0; },
+      [](std::uint32_t chip) -> Duration {
+        // Global chips 6 and 7 live on channel 3; make chip 7 idle.
+        return chip == 7 ? 0 : 500;
+      });
   std::uint64_t rr = 0;
   const PlaneTarget t = dynamic_place(g, channels, load, rr);
   EXPECT_EQ(t.channel, 3u);
@@ -76,9 +74,9 @@ TEST(DynamicPlace, PicksLeastBackloggedChipOnChannel) {
 
 TEST(DynamicPlace, RotatesPlanes) {
   const std::vector<std::uint32_t> channels{0};
-  LoadView load;
-  load.channel_backlog = [](std::uint32_t) -> Duration { return 0; };
-  load.chip_backlog = [](std::uint32_t) -> Duration { return 0; };
+  const auto load = make_load_view(
+      [](std::uint32_t) -> Duration { return 0; },
+      [](std::uint32_t) -> Duration { return 0; });
   std::uint64_t rr = 0;
   std::set<std::uint32_t> planes;
   for (int i = 0; i < 4; ++i) {
@@ -89,9 +87,9 @@ TEST(DynamicPlace, RotatesPlanes) {
 
 TEST(DynamicPlace, TieBreaksTowardLowerChannel) {
   const std::vector<std::uint32_t> channels{2, 4, 6};
-  LoadView load;
-  load.channel_backlog = [](std::uint32_t) -> Duration { return 7; };
-  load.chip_backlog = [](std::uint32_t) -> Duration { return 7; };
+  const auto load = make_load_view(
+      [](std::uint32_t) -> Duration { return 7; },
+      [](std::uint32_t) -> Duration { return 7; });
   std::uint64_t rr = 0;
   EXPECT_EQ(dynamic_place(g, channels, load, rr).channel, 2u);
 }

@@ -1,0 +1,104 @@
+// Shared recipes for the golden bit-identical schedule check.
+//
+// Each recipe deterministically builds a request stream and a RunConfig,
+// replays it with telemetry on, and hands back the tracer's event stream.
+// The reference binary traces under tests/data/ were produced by running
+// exactly these recipes on the pre-optimization simulator; the golden test
+// replays them on the current build and asserts telemetry::first_divergence
+// finds nothing. Any change to the recipes invalidates the references —
+// regenerate them from a known-good build instead of editing in place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/runner.hpp"
+#include "telemetry/tracer.hpp"
+#include "trace/catalog.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace ssdk::testing {
+
+struct GoldenRecipe {
+  /// Stable identifier; the reference file is tests/data/<name>.ssdktrc.
+  std::string name;
+  std::vector<sim::IoRequest> requests;
+  std::uint32_t tenants = 4;
+  core::RunConfig config;
+};
+
+/// Scenario A: catalog Mix 1 on the default device (static allocation,
+/// read priority, no write buffer). Covers the plain dispatch path.
+inline GoldenRecipe golden_mix1_default() {
+  GoldenRecipe r;
+  r.name = "golden_mix1_default";
+  r.requests = trace::build_mix(1, 0.1, 800);
+  r.tenants = 4;
+  return r;
+}
+
+/// Scenario B: catalog Mix 2 with a write buffer, pipelined writes, no
+/// read priority and hybrid page allocation. Covers the buffered-write
+/// FIFO, dynamic placement (LoadView backlogs) and the fair arbiter.
+inline GoldenRecipe golden_mix2_buffered() {
+  GoldenRecipe r;
+  r.name = "golden_mix2_buffered";
+  r.requests = trace::build_mix(2, 0.1, 800);
+  r.tenants = 4;
+  r.config.ssd.write_buffer.capacity_pages = 256;
+  r.config.ssd.read_priority = false;
+  r.config.ssd.pipelined_writes = true;
+  r.config.hybrid_page_allocation = true;
+  return r;
+}
+
+/// Scenario C: overwrite-heavy synthetic stream on a deliberately tiny
+/// geometry so garbage collection runs many rounds. Covers victim
+/// selection, migration reads/programs and erase scheduling.
+inline GoldenRecipe golden_gc_churn() {
+  GoldenRecipe r;
+  r.name = "golden_gc_churn";
+  trace::SyntheticSpec spec;
+  spec.name = "gc_churn";
+  spec.write_fraction = 0.9;
+  spec.request_count = 1200;
+  spec.intensity_rps = 4'000.0;
+  spec.mean_request_pages = 2.0;
+  spec.max_request_pages = 8;
+  spec.address_space_pages = 128;
+  spec.zipf_theta = 0.3;
+  spec.sequential_fraction = 0.2;
+  spec.seed = 7;
+  const trace::Workload workloads[] = {trace::generate_synthetic(spec)};
+  r.requests = trace::mix_workloads(workloads);
+  r.tenants = 1;
+  r.config.ssd.geometry.channels = 2;
+  r.config.ssd.geometry.chips_per_channel = 1;
+  r.config.ssd.geometry.planes_per_chip = 2;
+  r.config.ssd.geometry.blocks_per_plane = 16;
+  r.config.ssd.geometry.pages_per_block = 16;
+  return r;
+}
+
+inline std::vector<GoldenRecipe> all_golden_recipes() {
+  std::vector<GoldenRecipe> recipes;
+  recipes.push_back(golden_mix1_default());
+  recipes.push_back(golden_mix2_buffered());
+  recipes.push_back(golden_gc_churn());
+  return recipes;
+}
+
+/// Replay a recipe with telemetry on. The tracer must outlive the call.
+inline core::RunResult replay_golden(const GoldenRecipe& recipe,
+                                     telemetry::Tracer& tracer) {
+  const auto features = core::features_of(recipe.requests);
+  const auto profiles = features.profiles(recipe.tenants);
+  core::RunConfig config = recipe.config;
+  config.tracer = &tracer;
+  return core::run_with_strategy(recipe.requests, core::Strategy{}, profiles,
+                                 config);
+}
+
+}  // namespace ssdk::testing

@@ -1,0 +1,107 @@
+// Regression: the write-buffer eviction FIFO used to accumulate one stale
+// entry per trimmed dirty page and never shed them (trim erases the map
+// key but cannot cheaply remove the FIFO occurrence). Under a sustained
+// write-then-trim pattern the FIFO grew without bound even though buffer
+// occupancy stayed tiny. Compaction now drops stale entries once they
+// outnumber live ones, keeping the FIFO within ~2x occupancy while
+// preserving eviction order exactly.
+#include <gtest/gtest.h>
+
+#include "ssd/ssd.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+sim::IoRequest make_req(std::uint64_t id, sim::OpType type,
+                        std::uint64_t lpn, SimTime arrival,
+                        std::uint32_t pages = 1) {
+  sim::IoRequest r;
+  r.id = id;
+  r.tenant = 0;
+  r.type = type;
+  r.lpn = lpn;
+  r.page_count = pages;
+  r.arrival = arrival;
+  return r;
+}
+
+SsdOptions buffered_options(std::uint32_t capacity) {
+  SsdOptions options;
+  options.write_buffer.capacity_pages = capacity;
+  return options;
+}
+
+TEST(WriteBufferCompaction, TrimHeavyWorkloadKeepsFifoBounded) {
+  // 4000 write+trim pairs against a 512-page buffer: occupancy never
+  // exceeds a handful of pages, so without compaction the FIFO would end
+  // at ~4000 entries.
+  Ssd ssd(buffered_options(512));
+  std::uint64_t id = 0;
+  SimTime t = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const std::uint64_t lpn = static_cast<std::uint64_t>(i % 997);
+    ssd.submit(make_req(id++, sim::OpType::kWrite, lpn, t));
+    t += 10 * kMicrosecond;
+    ssd.submit(make_req(id++, sim::OpType::kTrim, lpn, t));
+    t += 10 * kMicrosecond;
+  }
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.metrics().counters().host_trims, 4000u);
+  EXPECT_LE(ssd.write_buffer_occupancy(), 2u);
+  // Compaction fires whenever stale entries outnumber live ones (with a
+  // 64-entry floor), so the FIFO can never drift past
+  // max(64, 2 * occupancy) + 1.
+  EXPECT_LE(ssd.write_buffer_fifo_entries(), 65u);
+}
+
+TEST(WriteBufferCompaction, FifoTracksOccupancyWithoutTrims) {
+  // Distinct-LPN writes with no trims create no stale entries: the FIFO
+  // must stay exactly as large as the buffer.
+  Ssd ssd(buffered_options(512));
+  SimTime t = 0;
+  for (std::uint64_t lpn = 0; lpn < 100; ++lpn) {
+    ssd.submit(make_req(lpn, sim::OpType::kWrite, lpn, t));
+    t += 10 * kMicrosecond;
+  }
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 100u);
+  EXPECT_EQ(ssd.write_buffer_fifo_entries(), 100u);
+}
+
+TEST(WriteBufferCompaction, EvictionOrderSurvivesCompaction) {
+  // Interleave keepers with trim fodder so compaction runs while live
+  // keys are spread through the FIFO, then overflow the watermark and
+  // check the keepers flush oldest-first (flush order == mapping
+  // population order on a single-channel device with in-order writes).
+  SsdOptions options = buffered_options(64);
+  options.geometry = sim::Geometry::tiny();
+  Ssd ssd(options);
+  std::uint64_t id = 0;
+  SimTime t = 0;
+  // 8 keepers at LPNs 1000..1007, separated by trim churn.
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    ssd.submit(make_req(id++, sim::OpType::kWrite, 1000 + k, t));
+    t += 10 * kMicrosecond;
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t lpn = static_cast<std::uint64_t>(i);
+      ssd.submit(make_req(id++, sim::OpType::kWrite, lpn, t));
+      t += 10 * kMicrosecond;
+      ssd.submit(make_req(id++, sim::OpType::kTrim, lpn, t));
+      t += 10 * kMicrosecond;
+    }
+  }
+  ssd.run_to_completion();
+  ASSERT_EQ(ssd.write_buffer_occupancy(), 8u);
+  EXPECT_LE(ssd.write_buffer_fifo_entries(), 65u);
+  // Force eviction of everything and verify all keepers reach flash.
+  ssd.flush_write_buffer();
+  ssd.run_to_completion();
+  EXPECT_EQ(ssd.write_buffer_occupancy(), 0u);
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    EXPECT_NE(ssd.ftl().mapping().lookup(0, 1000 + k), sim::kInvalidPpn)
+        << "keeper lpn " << 1000 + k << " never flushed";
+  }
+}
+
+}  // namespace
+}  // namespace ssdk::ssd

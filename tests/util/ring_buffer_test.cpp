@@ -1,0 +1,109 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+
+#include "util/rng.hpp"
+
+namespace ssdk::util {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb;
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 0u);
+}
+
+TEST(RingBufferTest, FifoOrder) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 100; ++i) rb.push_back(i);
+  EXPECT_EQ(rb.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, WrapsAroundWithoutGrowing) {
+  RingBuffer<int> rb;
+  rb.reserve(8);
+  const std::size_t cap = rb.capacity();
+  // Push/pop far more elements than the capacity; occupancy never exceeds
+  // 4 so the buffer must wrap in place rather than regrow.
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 4; ++i) rb.push_back(next_in++);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(rb.front(), next_out++);
+      rb.pop_front();
+    }
+  }
+  EXPECT_EQ(rb.capacity(), cap);
+}
+
+TEST(RingBufferTest, GrowPreservesFifoOrderMidWrap) {
+  RingBuffer<int> rb;
+  rb.reserve(8);
+  // Advance head past the midpoint, then fill to force a regrow while the
+  // live region straddles the wrap point.
+  for (int i = 0; i < 6; ++i) rb.push_back(i);
+  for (int i = 0; i < 6; ++i) rb.pop_front();
+  for (int i = 0; i < 20; ++i) rb.push_back(100 + i);
+  EXPECT_GT(rb.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(rb.front(), 100 + i);
+    rb.pop_front();
+  }
+}
+
+TEST(RingBufferTest, ReserveRoundsUpToPowerOfTwo) {
+  RingBuffer<int> rb;
+  rb.reserve(100);
+  EXPECT_EQ(rb.capacity(), 128u);
+  rb.reserve(5);  // never shrinks
+  EXPECT_EQ(rb.capacity(), 128u);
+}
+
+TEST(RingBufferTest, ClearKeepsCapacity) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 10; ++i) rb.push_back(i);
+  const std::size_t cap = rb.capacity();
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.capacity(), cap);
+  rb.push_back(42);
+  EXPECT_EQ(rb.front(), 42);
+}
+
+TEST(RingBufferTest, MatchesDequeUnderRandomOps) {
+  RingBuffer<std::uint64_t> rb;
+  std::deque<std::uint64_t> ref;
+  Rng rng(12345);
+  for (int step = 0; step < 20'000; ++step) {
+    const bool push = ref.empty() || rng.next_double() < 0.55;
+    if (push) {
+      const auto v = rng.next_u64();
+      rb.push_back(v);
+      ref.push_back(v);
+    } else {
+      ASSERT_EQ(rb.front(), ref.front());
+      rb.pop_front();
+      ref.pop_front();
+    }
+    ASSERT_EQ(rb.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(rb.front(), ref.front());
+    rb.pop_front();
+    ref.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+}  // namespace
+}  // namespace ssdk::util
