@@ -1,0 +1,139 @@
+// Shared-prefix fork sweep vs cold-start sweep: the wall-clock payoff of
+// the snapshot/fork subsystem on Algorithm-1 label generation.
+//
+// Both sweeps evaluate every strategy in the 4-tenant space on the same
+// synthesized workloads with the candidate taking effect at fork_point.
+// The cold sweep re-simulates the warm-up prefix for all 42 candidates;
+// the fork sweep simulates it once and fork()s the device per candidate.
+// The bench asserts the two produce identical labels and per-strategy
+// latencies (fork correctness), then reports the speedup. Emits
+// BENCH_labelgen_throughput.json so CI archives the trajectory.
+//
+// The defaults trade bench runtime against signal: the fork() deep copy
+// is paid once per candidate, so short suffixes (low fork_point, short
+// workloads) understate the win a long campaign sees.
+//
+// Usage: bench_labelgen_throughput [workloads=4] [duration_s=0.6]
+//          [fork_point=0.7] [repeat=2] [threads=0  (0 = serial sweep)]
+//          [json=BENCH_labelgen_throughput.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "snapshot/campaign.hpp"
+#include "util/config.hpp"
+
+using namespace ssdk;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double sweep_seconds(const std::vector<std::vector<sim::IoRequest>>& mixes,
+                     const core::StrategySpace& space,
+                     const core::LabelGenConfig& config, ThreadPool* pool,
+                     int repeat, std::vector<core::LabeledSample>& out) {
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    std::vector<core::LabeledSample> samples;
+    samples.reserve(mixes.size());
+    const auto start = Clock::now();
+    for (const auto& requests : mixes) {
+      samples.push_back(
+          core::label_workload(requests, space, config, pool));
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (r == 0 || elapsed < best) best = elapsed;
+    out = std::move(samples);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::uint64_t workloads = cfg.get_uint("workloads", 4);
+  const double duration_s = cfg.get_double("duration_s", 0.6);
+  const double fork_point = cfg.get_double("fork_point", 0.7);
+  const int repeat = static_cast<int>(cfg.get_uint("repeat", 2));
+  const std::uint64_t threads = cfg.get_uint("threads", 0);
+  const std::string json_path =
+      cfg.get_string("json", "BENCH_labelgen_throughput.json");
+
+  const auto space = core::StrategySpace::for_tenants(4);
+  core::DatasetGenConfig gen;
+  gen.workloads = workloads;
+  gen.workload_duration_s = duration_s;
+  gen.seed = cfg.get_uint("seed", 2024);
+
+  std::vector<std::vector<sim::IoRequest>> mixes;
+  std::uint64_t total_requests = 0;
+  for (std::uint64_t i = 0; i < workloads; ++i) {
+    mixes.push_back(core::synthesize_mix(gen, i));
+    total_requests += mixes.back().size();
+  }
+  bench::print_header("Label-generation throughput: cold vs fork sweep",
+                      gen.label.run);
+  std::printf("%llu workloads, %llu requests total, %zu strategies, "
+              "fork_point %.2f, %s sweep\n",
+              static_cast<unsigned long long>(workloads),
+              static_cast<unsigned long long>(total_requests), space.size(),
+              fork_point, threads == 0 ? "serial" : "pooled");
+
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+
+  core::LabelGenConfig cold = gen.label;
+  cold.fork_point = fork_point;
+  cold.shared_prefix_fork = false;
+  core::LabelGenConfig fork = cold;
+  fork.shared_prefix_fork = true;
+
+  std::vector<core::LabeledSample> cold_samples;
+  std::vector<core::LabeledSample> fork_samples;
+  const double cold_s =
+      sweep_seconds(mixes, space, cold, pool.get(), repeat, cold_samples);
+  const double fork_s =
+      sweep_seconds(mixes, space, fork, pool.get(), repeat, fork_samples);
+
+  // The fork sweep must be a pure wall-clock optimization: identical
+  // labels and per-strategy latencies, or the speedup is meaningless.
+  bool identical = cold_samples.size() == fork_samples.size();
+  for (std::size_t i = 0; identical && i < cold_samples.size(); ++i) {
+    identical = cold_samples[i].label == fork_samples[i].label &&
+                cold_samples[i].strategy_total_us ==
+                    fork_samples[i].strategy_total_us;
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: fork sweep diverged from the cold sweep\n");
+    return EXIT_FAILURE;
+  }
+
+  const double speedup = cold_s / fork_s;
+  std::printf("cold sweep: %.3f s\nfork sweep: %.3f s\nspeedup: %.2fx "
+              "(labels identical)\n",
+              cold_s, fork_s, speedup);
+
+  std::ofstream os(json_path);
+  os << "{\n"
+     << "  \"bench\": \"labelgen_throughput\",\n"
+     << "  \"workloads\": " << workloads << ",\n"
+     << "  \"requests\": " << total_requests << ",\n"
+     << "  \"strategies\": " << space.size() << ",\n"
+     << "  \"fork_point\": " << fork_point << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"cold_sweep_s\": " << cold_s << ",\n"
+     << "  \"fork_sweep_s\": " << fork_s << ",\n"
+     << "  \"speedup\": " << speedup << ",\n"
+     << "  \"labels_identical\": true\n"
+     << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

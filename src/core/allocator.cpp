@@ -1,5 +1,6 @@
 #include "core/allocator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "nn/serialize.hpp"
@@ -30,6 +31,28 @@ std::uint32_t ChannelAllocator::predict_index(
 
 Strategy ChannelAllocator::predict(const MixFeatures& features) const {
   return space_.at(predict_index(features));
+}
+
+std::vector<std::uint32_t> ChannelAllocator::predict_top_k(
+    const MixFeatures& features, std::size_t k) const {
+  const auto row = features.to_vector();
+  nn::Matrix x(1, kFeatureDim);
+  for (std::size_t c = 0; c < kFeatureDim; ++c) x(0, c) = row[c];
+  const nn::Matrix proba = model_.predict_proba(scaler_.transform(x));
+
+  std::vector<std::uint32_t> order(proba.cols());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  k = std::min(k, order.size());
+  // stable_sort on descending score: equal scores keep index order, so the
+  // ranking is deterministic across platforms.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return proba(0, a) > proba(0, b);
+                   });
+  order.resize(k);
+  return order;
 }
 
 std::size_t ChannelAllocator::parameter_bytes() const {

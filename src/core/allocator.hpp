@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/features.hpp"
 #include "core/strategy.hpp"
@@ -23,6 +24,14 @@ class ChannelAllocator {
   /// Forward-propagate the features; returns the argmax strategy index.
   std::uint32_t predict_index(const MixFeatures& features) const;
   Strategy predict(const MixFeatures& features) const;
+
+  /// The k highest-scoring strategy indices, best first (ties break toward
+  /// the lower index, keeping the result deterministic). k is clamped to
+  /// the space size; predict_top_k(f, 1)[0] == predict_index(f). Feeds the
+  /// keeper's what-if mode, which forks the device to *measure* the top-k
+  /// candidates instead of trusting the argmax.
+  std::vector<std::uint32_t> predict_top_k(const MixFeatures& features,
+                                           std::size_t k) const;
 
   const StrategySpace& space() const { return space_; }
   const nn::Mlp& model() const { return model_; }

@@ -1,5 +1,6 @@
 #include "core/keeper.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace ssdk::core {
@@ -28,13 +29,70 @@ std::size_t SsdKeeper::strategy_changes() const {
   return changes;
 }
 
+std::uint32_t SsdKeeper::measure_best(
+    const ssd::Ssd& device, std::span<const std::uint32_t> candidates,
+    std::span<const TenantProfile> profiles) {
+  what_if_.clear();
+  // Latency accumulated so far; each fork's score is the *suffix* average
+  // (what the candidate strategy can still influence), not the whole-run
+  // average the prefix already fixed.
+  const sim::TenantMetrics before = device.metrics().aggregate();
+  const double read_sum0 = before.read_latency_us.sum();
+  const double write_sum0 = before.write_latency_us.sum();
+  const double read_n0 = static_cast<double>(before.read_latency_us.count());
+  const double write_n0 =
+      static_cast<double>(before.write_latency_us.count());
+
+  std::uint32_t best = candidates.front();
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const std::uint32_t index : candidates) {
+    auto forked = device.fork();
+    configure_ssd(*forked, allocator_.space().at(index), profiles,
+                  config_.hybrid_page_allocation);
+    double score = std::numeric_limits<double>::infinity();
+    try {
+      forked->run_to_completion();
+      const sim::TenantMetrics after = forked->metrics().aggregate();
+      const double reads =
+          static_cast<double>(after.read_latency_us.count()) - read_n0;
+      const double writes =
+          static_cast<double>(after.write_latency_us.count()) - write_n0;
+      const double suffix_read =
+          reads > 0.0 ? (after.read_latency_us.sum() - read_sum0) / reads
+                      : 0.0;
+      const double suffix_write =
+          writes > 0.0
+              ? (after.write_latency_us.sum() - write_sum0) / writes
+              : 0.0;
+      score = suffix_read + suffix_write;
+    } catch (const ftl::DeviceFullError&) {
+      // A candidate that fills the device scores worst; keep infinity.
+    }
+    what_if_.emplace_back(index, score);
+    if (score < best_score) {
+      best_score = score;
+      best = index;
+    }
+  }
+  return best;
+}
+
 void SsdKeeper::apply(ssd::Ssd& device, SimTime at) {
   const double window_s =
       static_cast<double>(initial_done_ ? config_.repredict_interval_ns
                                         : config_.collect_window_ns) /
       1e9;
   features_ = collector_.finalize(window_s);
-  const Strategy strategy = allocator_.predict(*features_);
+  Strategy strategy;
+  if (config_.what_if_top_k >= 2) {
+    const auto candidates =
+        allocator_.predict_top_k(*features_, config_.what_if_top_k);
+    const auto profiles = features_->profiles(allocator_.space().tenants());
+    strategy = allocator_.space().at(
+        measure_best(device, candidates, profiles));
+  } else {
+    strategy = allocator_.predict(*features_);
+  }
   const bool changed =
       decisions_.empty() || !(strategy == decisions_.back().second);
   if (changed) {

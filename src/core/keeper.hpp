@@ -43,6 +43,14 @@ struct KeeperConfig {
   /// strategy switches are visible on the trace timeline next to the
   /// latency they caused.
   bool trace_decisions = true;
+  /// What-if mode: at each decision point, fork() the device per top-k
+  /// predicted strategy, measure each candidate on the remaining submitted
+  /// work, and apply the measured best instead of trusting the argmax.
+  /// 0 or 1 disables (pure Algorithm 2). Note the measurement horizon is
+  /// the rest of the submitted trace and the forks start one request after
+  /// the decision arrival (its page ops are not yet created when the
+  /// arrival hook runs) — a deliberate heuristic, not an oracle.
+  std::uint32_t what_if_top_k = 0;
   FeatureConfig features;
 };
 
@@ -70,9 +78,23 @@ class SsdKeeper {
   /// Number of decisions that changed the allocation.
   std::size_t strategy_changes() const;
 
+  /// What-if measurements of the most recent decision: (strategy index,
+  /// measured suffix latency us) in candidate order. Empty unless
+  /// what_if_top_k >= 2.
+  const std::vector<std::pair<std::uint32_t, double>>& what_if_measurements()
+      const {
+    return what_if_;
+  }
+
  private:
   void on_arrival(ssd::Ssd& device, const sim::IoRequest& request);
   void apply(ssd::Ssd& device, SimTime at);
+  /// Fork the device per candidate, replay the remaining work under it,
+  /// and return the index (into the strategy space) with the lowest
+  /// measured suffix latency. Fills what_if_.
+  std::uint32_t measure_best(const ssd::Ssd& device,
+                             std::span<const std::uint32_t> candidates,
+                             std::span<const TenantProfile> profiles);
 
   const ChannelAllocator& allocator_;
   KeeperConfig config_;
@@ -81,6 +103,7 @@ class SsdKeeper {
   bool initial_done_ = false;
   std::optional<MixFeatures> features_;
   std::vector<std::pair<SimTime, Strategy>> decisions_;
+  std::vector<std::pair<std::uint32_t, double>> what_if_;
 };
 
 struct KeeperRunResult {

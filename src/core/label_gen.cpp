@@ -10,6 +10,17 @@
 
 namespace ssdk::core {
 
+namespace {
+
+/// Request index where the sweep's strategy takes effect.
+std::uint64_t switch_index(std::size_t request_count, double fork_point) {
+  if (fork_point <= 0.0) return 0;
+  return static_cast<std::uint64_t>(std::min(fork_point, 1.0) *
+                                    static_cast<double>(request_count));
+}
+
+}  // namespace
+
 LabeledSample label_workload(std::span<const sim::IoRequest> requests,
                              const StrategySpace& space,
                              const LabelGenConfig& config,
@@ -19,9 +30,48 @@ LabeledSample label_workload(std::span<const sim::IoRequest> requests,
   const auto profiles = sample.features.profiles(space.tenants());
   sample.strategy_total_us.assign(space.size(), 0.0);
 
+  const std::uint64_t switch_at =
+      switch_index(requests.size(), config.fork_point);
+
+  // Shared-prefix fork sweep: simulate [0, switch_at) once under the base
+  // strategy, then fork the device per candidate. Each fork replays the
+  // suffix bit-identically to a cold device that was driven to the same
+  // point, so labels and latencies match the cold sweep exactly.
+  std::unique_ptr<ssd::Ssd> prefix;
+  if (config.shared_prefix_fork) {
+    prefix = make_run_device(requests, config.base_strategy, profiles,
+                             config.run);
+    try {
+      prefix->run_until_arrival(switch_at);
+    } catch (const ftl::DeviceFullError&) {
+      // The device filled up before the switch point; the prefix state is
+      // mid-unwind and not resumable. Fall back to cold per-strategy runs,
+      // which each degrade gracefully via summarize_device_full.
+      prefix.reset();
+    }
+  }
+
   const auto evaluate = [&](std::size_t i) {
+    if (prefix) {
+      auto device = prefix->fork();
+      configure_ssd(*device, space.at(i), profiles,
+                    config.run.hybrid_page_allocation);
+      RunResult r;
+      try {
+        device->run_to_completion();
+        r = summarize(*device);
+      } catch (const ftl::DeviceFullError& e) {
+        r = summarize_device_full(*device, e, "label_gen");
+      }
+      sample.strategy_total_us[i] = r.total_us;
+      return;
+    }
     const RunResult r =
-        run_with_strategy(requests, space.at(i), profiles, config.run);
+        switch_at == 0
+            ? run_with_strategy(requests, space.at(i), profiles, config.run)
+            : run_with_strategy_switch(requests, config.base_strategy,
+                                       space.at(i), switch_at, profiles,
+                                       config.run);
     sample.strategy_total_us[i] = r.total_us;
   };
 

@@ -21,6 +21,18 @@ namespace ssdk::core {
 struct LabelGenConfig {
   RunConfig run;
   FeatureConfig features;
+  /// Fraction of the request stream (by request index) simulated under
+  /// `base_strategy` before each candidate strategy takes effect — the
+  /// fork-at-decision methodology. 0 (default) keeps the legacy cold-start
+  /// semantics where every strategy governs the run from time zero.
+  double fork_point = 0.0;
+  /// Simulate the warm-up prefix once and fork() the device per strategy
+  /// instead of re-simulating the prefix for all 42 candidates. Produces
+  /// the *same* LabeledSample (labels and per-strategy latencies) as the
+  /// cold sweep at the same fork_point; only wall-clock changes.
+  bool shared_prefix_fork = false;
+  /// Strategy governing the shared warm-up prefix (default: Shared).
+  Strategy base_strategy{};
 };
 
 struct LabeledSample {

@@ -21,29 +21,57 @@ void configure_ssd(ssd::Ssd& device, const Strategy& strategy,
   }
 }
 
+std::unique_ptr<ssd::Ssd> make_run_device(
+    std::span<const sim::IoRequest> requests, const Strategy& strategy,
+    std::span<const TenantProfile> profiles, const RunConfig& config) {
+  auto device = std::make_unique<ssd::Ssd>(config.ssd);
+  if (config.tracer) device->set_tracer(config.tracer);
+  device->reserve(config.reserve_requests ? config.reserve_requests
+                                          : requests.size());
+  configure_ssd(*device, strategy, profiles, config.hybrid_page_allocation);
+  if (config.warmup_fraction > 0.0 && !requests.empty()) {
+    const SimTime first = requests.front().arrival;
+    const SimTime last = requests.back().arrival;
+    device->metrics().set_warmup_ns(
+        first + static_cast<Duration>(config.warmup_fraction *
+                                      static_cast<double>(last - first)));
+  }
+  device->submit(requests);
+  return device;
+}
+
 RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
                             const Strategy& strategy,
                             std::span<const TenantProfile> profiles,
                             const RunConfig& config) {
-  ssd::Ssd device(config.ssd);
-  if (config.tracer) device.set_tracer(config.tracer);
-  device.reserve(config.reserve_requests ? config.reserve_requests
-                                         : requests.size());
-  configure_ssd(device, strategy, profiles, config.hybrid_page_allocation);
-  if (config.warmup_fraction > 0.0 && !requests.empty()) {
-    const SimTime first = requests.front().arrival;
-    const SimTime last = requests.back().arrival;
-    device.metrics().set_warmup_ns(
-        first + static_cast<Duration>(config.warmup_fraction *
-                                      static_cast<double>(last - first)));
-  }
-  device.submit(requests);
+  auto device = make_run_device(requests, strategy, profiles, config);
   try {
-    device.run_to_completion();
+    device->run_to_completion();
   } catch (const ftl::DeviceFullError& e) {
-    return summarize_device_full(device, e, "runner");
+    return summarize_device_full(*device, e, "runner");
   }
-  return summarize(device);
+  return summarize(*device);
+}
+
+RunResult run_with_strategy_switch(std::span<const sim::IoRequest> requests,
+                                   const Strategy& base,
+                                   const Strategy& strategy,
+                                   std::uint64_t switch_at,
+                                   std::span<const TenantProfile> profiles,
+                                   const RunConfig& config) {
+  auto device = make_run_device(requests, base, profiles, config);
+  try {
+    device->run_until_arrival(switch_at);
+  } catch (const ftl::DeviceFullError& e) {
+    return summarize_device_full(*device, e, "runner");
+  }
+  configure_ssd(*device, strategy, profiles, config.hybrid_page_allocation);
+  try {
+    device->run_to_completion();
+  } catch (const ftl::DeviceFullError& e) {
+    return summarize_device_full(*device, e, "runner");
+  }
+  return summarize(*device);
 }
 
 RunResult summarize_device_full(ssd::Ssd& device,

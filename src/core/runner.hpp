@@ -4,6 +4,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -63,6 +64,27 @@ RunResult run_with_strategy(std::span<const sim::IoRequest> requests,
                             const Strategy& strategy,
                             std::span<const TenantProfile> profiles,
                             const RunConfig& config);
+
+/// Build a fresh device ready to replay `requests`: constructed from the
+/// config, configured for `strategy`, warmup window set, full stream
+/// submitted — but not yet run. The shared-prefix fork sweep drives the
+/// returned device to the switch point once and fork()s it per strategy;
+/// run_with_strategy_switch uses the same factory so both paths start from
+/// byte-identical devices.
+std::unique_ptr<ssd::Ssd> make_run_device(
+    std::span<const sim::IoRequest> requests, const Strategy& strategy,
+    std::span<const TenantProfile> profiles, const RunConfig& config);
+
+/// Run the stream with `base` governing the first `switch_at` requests and
+/// `strategy` taking over from request index `switch_at` onward (the
+/// fork-at-decision methodology, executed cold). switch_at = 0 degenerates
+/// to run_with_strategy(strategy).
+RunResult run_with_strategy_switch(std::span<const sim::IoRequest> requests,
+                                   const Strategy& base,
+                                   const Strategy& strategy,
+                                   std::uint64_t switch_at,
+                                   std::span<const TenantProfile> profiles,
+                                   const RunConfig& config);
 
 /// Summarize a finished device's metrics.
 RunResult summarize(const ssd::Ssd& device);

@@ -232,4 +232,71 @@ std::uint64_t BlockManager::total_valid_pages() const {
   return total;
 }
 
+void BlockManager::save_state(snapshot::StateWriter& w) const {
+  w.tag("BLKM");
+  w.u64(retired_);
+  w.u64(blocks_.size());
+  for (const BlockInfo& b : blocks_) {
+    w.u32(b.write_ptr);
+    w.u32(b.valid);
+    w.u64(b.erases);
+    w.u8(static_cast<std::uint8_t>(b.state));
+    w.u8(b.program_fails);
+    w.u8(b.erase_fails);
+  }
+  w.u64(planes_.size());
+  for (const PlaneInfo& p : planes_) {
+    // Free-list order is preserved verbatim: open_new_block scans it with
+    // position-dependent iteration and swap-removes, so byte-identical
+    // replay requires the exact ordering, not just the set.
+    w.vec_u32(p.free_list);
+    w.i64(p.open_block);
+  }
+  w.vec_u64(page_owner_);
+}
+
+void BlockManager::load_state(snapshot::StateReader& r) {
+  r.tag("BLKM");
+  retired_ = r.u64();
+  const std::uint64_t nblocks = r.checked_count(4 + 4 + 8 + 1 + 1 + 1);
+  if (nblocks != blocks_.size()) {
+    throw snapshot::SnapshotError(
+        "snapshot: block count mismatch at offset " +
+            std::to_string(r.offset()) + ": expected " +
+            std::to_string(blocks_.size()) + " (from geometry), found " +
+            std::to_string(nblocks),
+        r.offset());
+  }
+  for (BlockInfo& b : blocks_) {
+    b.write_ptr = r.u32();
+    b.valid = r.u32();
+    b.erases = r.u64();
+    b.state = static_cast<BlockState>(r.u8());
+    b.program_fails = r.u8();
+    b.erase_fails = r.u8();
+  }
+  const std::uint64_t nplanes = r.checked_count(8);
+  if (nplanes != planes_.size()) {
+    throw snapshot::SnapshotError(
+        "snapshot: plane count mismatch at offset " +
+            std::to_string(r.offset()) + ": expected " +
+            std::to_string(planes_.size()) + " (from geometry), found " +
+            std::to_string(nplanes),
+        r.offset());
+  }
+  for (PlaneInfo& p : planes_) {
+    p.free_list = r.vec_u32();
+    p.open_block = r.i64();
+  }
+  page_owner_ = r.vec_u64();
+  if (page_owner_.size() != blocks_.size() * geom_.pages_per_block) {
+    throw snapshot::SnapshotError(
+        "snapshot: page-owner table size mismatch at offset " +
+            std::to_string(r.offset()) + ": expected " +
+            std::to_string(blocks_.size() * geom_.pages_per_block) +
+            ", found " + std::to_string(page_owner_.size()),
+        r.offset());
+  }
+}
+
 }  // namespace ssdk::ftl

@@ -14,6 +14,7 @@
 
 #include "sim/geometry.hpp"
 #include "sim/request.hpp"
+#include "snapshot/archive.hpp"
 
 namespace ssdk::ftl {
 
@@ -168,6 +169,11 @@ class BlockManager {
 
   /// Retired blocks across the device.
   std::uint64_t retired_blocks() const { return retired_; }
+
+  /// Serialize everything but the geometry (fixed at construction; the
+  /// snapshot layer round-trips it as part of the device options).
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   static constexpr std::uint64_t kLpnMask = (1ULL << 40) - 1;

@@ -247,4 +247,29 @@ std::optional<std::uint32_t> Ftl::wear_leveling_candidate(
   return blocks_.coldest_full_block(plane_id);
 }
 
+void Ftl::save_state(snapshot::StateWriter& w) const {
+  w.tag("FTL_");
+  map_.save_state(w);
+  blocks_.save_state(w);
+  w.u64(policies_.size());
+  for (const TenantPolicy& p : policies_) {
+    w.vec_u32(p.channels);
+    w.u8(static_cast<std::uint8_t>(p.mode));
+    w.u64(p.rr_counter);
+  }
+}
+
+void Ftl::load_state(snapshot::StateReader& r) {
+  r.tag("FTL_");
+  map_.load_state(r);
+  blocks_.load_state(r);
+  const std::uint64_t n = r.checked_count(8 + 1 + 8);
+  policies_.assign(n, TenantPolicy{});
+  for (TenantPolicy& p : policies_) {
+    p.channels = r.vec_u32();
+    p.mode = static_cast<AllocMode>(r.u8());
+    p.rr_counter = r.u64();
+  }
+}
+
 }  // namespace ssdk::ftl

@@ -178,6 +178,14 @@ class Ftl {
     trace_now_ = now;
   }
 
+  // --- snapshot -------------------------------------------------------------
+
+  /// Serialize mapping, block manager, and per-tenant policies. Geometry
+  /// and config are reconstructed from the device options by the snapshot
+  /// layer; the tracer is a non-owning observer and is not captured.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
  private:
   struct TenantPolicy {
     std::vector<std::uint32_t> channels;

@@ -36,4 +36,30 @@ std::uint64_t MappingTable::mapped_count(sim::TenantId tenant) const {
   return mapped_counts_[tenant];
 }
 
+void MappingTable::save_state(snapshot::StateWriter& w) const {
+  w.tag("L2PM");
+  w.u64(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    w.vec_u64(tables_[t]);
+    w.u64(mapped_counts_[t]);
+  }
+}
+
+void MappingTable::load_state(snapshot::StateReader& r) {
+  r.tag("L2PM");
+  const std::uint64_t n = r.checked_count(8);
+  if (n > kMaxTenants) {
+    throw snapshot::SnapshotError(
+        "snapshot: mapping table tenant count " + std::to_string(n) +
+            " exceeds limit " + std::to_string(kMaxTenants),
+        r.offset());
+  }
+  tables_.assign(n, {});
+  mapped_counts_.assign(n, 0);
+  for (std::uint64_t t = 0; t < n; ++t) {
+    tables_[t] = r.vec_u64();
+    mapped_counts_[t] = r.u64();
+  }
+}
+
 }  // namespace ssdk::ftl

@@ -9,6 +9,7 @@
 
 #include "sim/geometry.hpp"
 #include "sim/request.hpp"
+#include "snapshot/archive.hpp"
 
 namespace ssdk::ftl {
 
@@ -49,6 +50,9 @@ class MappingTable {
   std::uint64_t mapped_count(sim::TenantId tenant) const;
 
   std::size_t tenant_table_count() const { return tables_.size(); }
+
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   std::vector<sim::Ppn>& table_for(sim::TenantId tenant);

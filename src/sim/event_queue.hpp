@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "snapshot/archive.hpp"
 #include "util/time_types.hpp"
 
 namespace ssdk::sim {
@@ -71,6 +72,40 @@ class EventQueue {
     heap_.pop_back();
     if (!heap_.empty()) sift_down(displaced);
     return top;
+  }
+
+  /// Serialize the heap array verbatim (field-wise — Event has padding).
+  /// (time, seq) is a unique total order, so the pop sequence does not
+  /// depend on heap layout; preserving the layout anyway makes a restored
+  /// queue byte-identical to the original, not merely behaviorally equal.
+  void save_state(snapshot::StateWriter& w) const {
+    w.tag("EVTQ");
+    w.u64(next_seq_);
+    w.u64(heap_.size());
+    for (const Event& e : heap_) {
+      w.u64(e.time);
+      w.u64(e.seq);
+      w.u8(static_cast<std::uint8_t>(e.kind));
+      w.u64(e.a);
+      w.u64(e.b);
+    }
+  }
+
+  void load_state(snapshot::StateReader& r) {
+    r.tag("EVTQ");
+    next_seq_ = r.u64();
+    const std::uint64_t n = r.checked_count(8 + 8 + 1 + 8 + 8);
+    heap_.clear();
+    heap_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Event e;
+      e.time = r.u64();
+      e.seq = r.u64();
+      e.kind = static_cast<EventKind>(r.u8());
+      e.a = r.u64();
+      e.b = r.u64();
+      heap_.push_back(e);
+    }
   }
 
  private:

@@ -95,6 +95,107 @@ double MetricsCollector::conflict_rate() const {
          static_cast<double>(counters_.page_ops);
 }
 
+namespace {
+
+void save_tenant(snapshot::StateWriter& w, const TenantMetrics& t) {
+  w.vec_f64(t.read_latency_us.samples());
+  w.vec_f64(t.write_latency_us.samples());
+  w.u64(t.read_retries);
+  w.u64(t.uncorrectable_reads);
+  w.u64(t.program_retries);
+  w.u64(t.retry_wait_ns);
+}
+
+void load_tenant(snapshot::StateReader& r, TenantMetrics& t) {
+  t.read_latency_us.restore(r.vec_f64());
+  t.write_latency_us.restore(r.vec_f64());
+  t.read_retries = r.u64();
+  t.uncorrectable_reads = r.u64();
+  t.program_retries = r.u64();
+  t.retry_wait_ns = r.u64();
+}
+
+void save_counters(snapshot::StateWriter& w, const DeviceCounters& c) {
+  w.u64(c.host_reads);
+  w.u64(c.host_writes);
+  w.u64(c.host_trims);
+  w.u64(c.gc_migrations);
+  w.u64(c.erases);
+  w.u64(c.conflicts);
+  w.u64(c.page_ops);
+  w.u64(c.bus_busy_ns);
+  w.u64(c.chip_busy_ns);
+  w.u64(c.read_wait_ns);
+  w.u64(c.write_wait_ns);
+  w.u64(c.read_ops_started);
+  w.u64(c.write_ops_started);
+  w.u64(c.read_retries);
+  w.u64(c.uncorrectable_reads);
+  w.u64(c.program_fails);
+  w.u64(c.erase_fails);
+  w.u64(c.retired_blocks);
+  w.u64(c.rescue_migrations);
+  w.u64(c.lost_pages);
+  w.u64(c.retry_wait_ns);
+  w.u64(c.failed_requests);
+}
+
+void load_counters(snapshot::StateReader& r, DeviceCounters& c) {
+  c.host_reads = r.u64();
+  c.host_writes = r.u64();
+  c.host_trims = r.u64();
+  c.gc_migrations = r.u64();
+  c.erases = r.u64();
+  c.conflicts = r.u64();
+  c.page_ops = r.u64();
+  c.bus_busy_ns = r.u64();
+  c.chip_busy_ns = r.u64();
+  c.read_wait_ns = r.u64();
+  c.write_wait_ns = r.u64();
+  c.read_ops_started = r.u64();
+  c.write_ops_started = r.u64();
+  c.read_retries = r.u64();
+  c.uncorrectable_reads = r.u64();
+  c.program_fails = r.u64();
+  c.erase_fails = r.u64();
+  c.retired_blocks = r.u64();
+  c.rescue_migrations = r.u64();
+  c.lost_pages = r.u64();
+  c.retry_wait_ns = r.u64();
+  c.failed_requests = r.u64();
+}
+
+}  // namespace
+
+void MetricsCollector::save_state(snapshot::StateWriter& w) const {
+  w.tag("METR");
+  w.u64(warmup_ns_);
+  save_counters(w, counters_);
+  w.u64(dense_.size());
+  for (std::size_t id = 0; id < dense_.size(); ++id) {
+    w.u8(present_[id]);
+    save_tenant(w, dense_[id]);
+  }
+  w.boolean(internal_present_);
+  save_tenant(w, internal_);
+}
+
+void MetricsCollector::load_state(snapshot::StateReader& r) {
+  r.tag("METR");
+  warmup_ns_ = r.u64();
+  load_counters(r, counters_);
+  const std::uint64_t n = r.checked_count(1);
+  dense_.assign(n, TenantMetrics{});
+  present_.assign(n, 0);
+  for (std::uint64_t id = 0; id < n; ++id) {
+    present_[id] = r.u8();
+    load_tenant(r, dense_[id]);
+  }
+  internal_present_ = r.boolean();
+  internal_ = TenantMetrics{};
+  load_tenant(r, internal_);
+}
+
 std::string MetricsCollector::report() const {
   std::ostringstream os;
   const TenantMetrics agg = aggregate();

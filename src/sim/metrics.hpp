@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/request.hpp"
+#include "snapshot/archive.hpp"
 #include "util/stats.hpp"
 
 namespace ssdk::sim {
@@ -126,6 +127,9 @@ class MetricsCollector {
   double conflict_rate() const;
 
   std::string report() const;
+
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
 
  private:
   TenantMetrics& slot(TenantId id);

@@ -1,0 +1,145 @@
+#include "snapshot/archive.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace ssdk::snapshot {
+
+std::string StateReader::printable(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c >= 0x20 && c < 0x7F) {
+      out.push_back(c);
+    } else {
+      static const char hex[] = "0123456789abcdef";
+      out += "\\x";
+      out.push_back(hex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+      out.push_back(hex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::span<const char> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+// Container header fields after the magic, encoded via StateWriter so the
+// endianness rules match the payload's.
+constexpr std::uint64_t kHeaderSize =
+    sizeof(kSnapshotMagic) + 4 + 4 + 8 + 8;  // magic, version, kind, size, checksum
+
+const char* kind_name(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kDevice:
+      return "device";
+    case PayloadKind::kCampaign:
+      return "campaign";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void write_container(std::ostream& os, PayloadKind kind,
+                     std::span<const char> payload) {
+  StateWriter header;
+  header.bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.u32(kSnapshotVersion);
+  header.u32(static_cast<std::uint32_t>(kind));
+  header.u64(payload.size());
+  header.u64(fnv1a(payload));
+  os.write(header.buffer().data(),
+           static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+void write_container_file(const std::string& path, PayloadKind kind,
+                          std::span<const char> payload) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    throw SnapshotError("snapshot: cannot open '" + path + "' for writing", 0);
+  }
+  write_container(os, kind, payload);
+  os.flush();
+  if (!os) {
+    throw SnapshotError("snapshot: write to '" + path + "' failed", 0);
+  }
+}
+
+std::vector<char> read_container(std::istream& in, PayloadKind expected) {
+  std::vector<char> header(kHeaderSize);
+  in.read(header.data(), static_cast<std::streamsize>(header.size()));
+  const std::uint64_t header_got = static_cast<std::uint64_t>(in.gcount());
+  if (header_got < kHeaderSize) {
+    throw SnapshotError("snapshot: truncated header: expected " +
+                            std::to_string(kHeaderSize) + " bytes, found " +
+                            std::to_string(header_got),
+                        header_got);
+  }
+
+  StateReader r(header);
+  char magic[sizeof(kSnapshotMagic)];
+  r.bytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    throw SnapshotError(
+        "snapshot: bad magic at offset 0: expected 'SSDKSNP1', found '" +
+            StateReader::printable(std::string(magic, sizeof(magic))) + "'",
+        0);
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("snapshot: unsupported version at offset 8: expected " +
+                            std::to_string(kSnapshotVersion) + ", found " +
+                            std::to_string(version),
+                        8);
+  }
+  const std::uint32_t kind = r.u32();
+  if (kind != static_cast<std::uint32_t>(expected)) {
+    throw SnapshotError(
+        "snapshot: payload kind mismatch at offset 12: expected " +
+            std::to_string(static_cast<std::uint32_t>(expected)) + " (" +
+            kind_name(expected) + "), found " + std::to_string(kind),
+        12);
+  }
+  const std::uint64_t payload_size = r.u64();
+  const std::uint64_t checksum = r.u64();
+
+  std::vector<char> payload(payload_size);
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const std::uint64_t got = static_cast<std::uint64_t>(in.gcount());
+  if (got < payload_size) {
+    throw SnapshotError("snapshot: truncated payload at offset " +
+                            std::to_string(kHeaderSize + got) + ": expected " +
+                            std::to_string(payload_size) + " bytes, found " +
+                            std::to_string(got),
+                        kHeaderSize + got);
+  }
+  const std::uint64_t actual = fnv1a(payload);
+  if (actual != checksum) {
+    throw SnapshotError(
+        "snapshot: checksum mismatch over payload at offset " +
+            std::to_string(kHeaderSize) + ": expected " +
+            std::to_string(checksum) + ", found " + std::to_string(actual),
+        kHeaderSize);
+  }
+  return payload;
+}
+
+std::vector<char> read_container_file(const std::string& path,
+                                      PayloadKind expected) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError("snapshot: cannot open '" + path + "' for reading", 0);
+  }
+  return read_container(in, expected);
+}
+
+}  // namespace ssdk::snapshot

@@ -1,0 +1,175 @@
+#include "snapshot/campaign.hpp"
+
+#include <cassert>
+#include <filesystem>
+
+#include "snapshot/device_snapshot.hpp"
+
+namespace ssdk::snapshot {
+
+namespace {
+
+void save_label_config(StateWriter& w, const core::LabelGenConfig& c) {
+  save_options(w, c.run.ssd);
+  w.boolean(c.run.hybrid_page_allocation);
+  w.f64(c.run.warmup_fraction);
+  w.u64(c.run.reserve_requests);
+  w.u32(c.features.max_tenants);
+  w.u32(c.features.intensity_levels);
+  w.f64(c.features.max_intensity_rps);
+  w.f64(c.fork_point);
+  w.boolean(c.shared_prefix_fork);
+  w.u8(static_cast<std::uint8_t>(c.base_strategy.kind));
+  for (const std::uint32_t p : c.base_strategy.parts) w.u32(p);
+}
+
+void save_gen_config(StateWriter& w, const core::DatasetGenConfig& c) {
+  w.u32(c.tenants);
+  w.u64(c.workloads);
+  w.f64(c.workload_duration_s);
+  w.u64(c.requests_per_workload);
+  w.f64(c.min_rate_rps);
+  w.f64(c.max_rate_rps);
+  w.f64(c.read_band_lo);
+  w.f64(c.read_band_hi);
+  w.f64(c.write_band_lo);
+  w.f64(c.write_band_hi);
+  w.u64(c.address_space_pages);
+  w.f64(c.mean_pages_lo);
+  w.f64(c.mean_pages_hi);
+  w.f64(c.seq_lo);
+  w.f64(c.seq_hi);
+  w.f64(c.zipf_lo);
+  w.f64(c.zipf_hi);
+  w.u64(c.seed);
+  save_label_config(w, c.label);
+}
+
+void save_sample(StateWriter& w, const core::LabeledSample& s) {
+  w.u32(s.features.intensity_level);
+  for (const std::uint8_t d : s.features.read_dominated) w.u8(d);
+  for (const double p : s.features.proportion) w.f64(p);
+  w.u32(s.label);
+  w.vec_f64(s.strategy_total_us);
+}
+
+core::LabeledSample load_sample(StateReader& r) {
+  core::LabeledSample s;
+  s.features.intensity_level = r.u32();
+  for (std::uint8_t& d : s.features.read_dominated) d = r.u8();
+  for (double& p : s.features.proportion) p = r.f64();
+  s.label = r.u32();
+  s.strategy_total_us = r.vec_f64();
+  return s;
+}
+
+/// Shared tail of generate_dataset_resumable and core::generate_dataset:
+/// pack samples into the nn::Dataset.
+core::GeneratedDataset pack_dataset(std::vector<core::LabeledSample> samples) {
+  core::GeneratedDataset out;
+  out.samples = std::move(samples);
+  nn::Matrix features(out.samples.size(), core::kFeatureDim);
+  std::vector<std::uint32_t> labels(out.samples.size());
+  for (std::size_t i = 0; i < out.samples.size(); ++i) {
+    const auto row = out.samples[i].features.to_vector();
+    assert(row.size() == core::kFeatureDim);
+    for (std::size_t c = 0; c < core::kFeatureDim; ++c) {
+      features(i, c) = row[c];
+    }
+    labels[i] = out.samples[i].label;
+  }
+  out.data = nn::Dataset(std::move(features), std::move(labels));
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(const core::DatasetGenConfig& config) {
+  StateWriter w;
+  save_gen_config(w, config);
+  return fnv1a(w.buffer());
+}
+
+void save_campaign_file(const std::string& path,
+                        const core::DatasetGenConfig& config,
+                        std::span<const core::LabeledSample> samples) {
+  StateWriter payload;
+  payload.tag("CAMP");
+  payload.u64(campaign_fingerprint(config));
+  payload.u64(config.workloads);
+  payload.u64(samples.size());
+  for (const core::LabeledSample& s : samples) save_sample(payload, s);
+  write_container_file(path, PayloadKind::kCampaign, payload.buffer());
+}
+
+std::vector<core::LabeledSample> load_campaign_file(
+    const std::string& path, const core::DatasetGenConfig& config) {
+  const std::vector<char> payload =
+      read_container_file(path, PayloadKind::kCampaign);
+  StateReader r(payload);
+  r.tag("CAMP");
+  const std::uint64_t fingerprint = r.u64();
+  const std::uint64_t expected = campaign_fingerprint(config);
+  if (fingerprint != expected) {
+    throw SnapshotError(
+        "snapshot: campaign fingerprint mismatch at offset 4: expected " +
+            std::to_string(expected) + ", found " +
+            std::to_string(fingerprint) +
+            " — checkpoint was produced by a different generation config",
+        4);
+  }
+  const std::uint64_t total = r.u64();
+  const std::uint64_t completed = r.checked_count(1);
+  if (completed > total || total != config.workloads) {
+    throw SnapshotError(
+        "snapshot: campaign progress out of range: " +
+            std::to_string(completed) + " of " + std::to_string(total) +
+            " workloads (config expects " +
+            std::to_string(config.workloads) + ")",
+        r.offset());
+  }
+  std::vector<core::LabeledSample> samples;
+  samples.reserve(completed);
+  for (std::uint64_t i = 0; i < completed; ++i) {
+    samples.push_back(load_sample(r));
+  }
+  return samples;
+}
+
+core::GeneratedDataset generate_dataset_resumable(
+    const core::StrategySpace& space, const core::DatasetGenConfig& config,
+    ThreadPool& pool, const CampaignOptions& options) {
+  std::vector<core::LabeledSample> samples;
+  if (options.resume && !options.checkpoint_path.empty() &&
+      std::filesystem::exists(options.checkpoint_path)) {
+    samples = load_campaign_file(options.checkpoint_path, config);
+  }
+
+  const std::uint64_t batch =
+      options.checkpoint_every > 0 ? options.checkpoint_every
+                                   : config.workloads;
+  while (samples.size() < config.workloads) {
+    const std::uint64_t start = samples.size();
+    const std::uint64_t count =
+        std::min<std::uint64_t>(batch, config.workloads - start);
+    samples.resize(start + count);
+    // Same per-workload task shape as core::generate_dataset: the
+    // synthesized stream is a pure function of (seed, index), so a
+    // resumed batch picks up exactly where the checkpoint left off.
+    parallel_for(pool, count, [&](std::size_t i) {
+      const auto requests = core::synthesize_mix(config, start + i);
+      samples[start + i] =
+          core::label_workload(requests, space, config.label, nullptr);
+    });
+    if (!options.checkpoint_path.empty()) {
+      save_campaign_file(options.checkpoint_path, config, samples);
+    }
+    if (options.on_progress) {
+      options.on_progress(samples.size(), config.workloads);
+    }
+  }
+
+  return pack_dataset(std::move(samples));
+}
+
+}  // namespace ssdk::snapshot

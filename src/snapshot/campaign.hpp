@@ -1,0 +1,62 @@
+// Resumable dataset-generation campaigns.
+//
+// Generating the training set means labeling hundreds of synthesized
+// workloads, each via a 42-strategy sweep — hours of simulation at paper
+// scale. A campaign checkpoint captures everything needed to pick the work
+// back up after a crash: a fingerprint of the generation config (a resume
+// against different parameters must be refused, not silently blended), the
+// count of completed workloads, and their LabeledSamples. Workload
+// synthesis is deterministic in (config.seed, index), so the remaining
+// indices regenerate their inputs from the config alone — the checkpoint
+// never stores raw request streams.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/label_gen.hpp"
+#include "core/strategy.hpp"
+#include "snapshot/archive.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ssdk::snapshot {
+
+/// Order-independent-input hash of every generation parameter (device
+/// options, feature config, sweep mode, synthesis knobs, seed). Two
+/// configs with equal fingerprints synthesize and label identically.
+std::uint64_t campaign_fingerprint(const core::DatasetGenConfig& config);
+
+/// Write campaign progress to `path` (SSDKSNP1, kCampaign payload):
+/// fingerprint + the first `samples.size()` workloads' labeled results.
+void save_campaign_file(const std::string& path,
+                        const core::DatasetGenConfig& config,
+                        std::span<const core::LabeledSample> samples);
+
+/// Read campaign progress back. Throws SnapshotError on malformed input
+/// or when the stored fingerprint does not match `config` (a checkpoint
+/// from a different campaign must not seed this one).
+std::vector<core::LabeledSample> load_campaign_file(
+    const std::string& path, const core::DatasetGenConfig& config);
+
+struct CampaignOptions {
+  /// Checkpoint file. Empty disables both checkpointing and resume.
+  std::string checkpoint_path;
+  /// Workloads labeled between checkpoint writes.
+  std::uint64_t checkpoint_every = 64;
+  /// Load checkpoint_path (when it exists) and skip completed workloads.
+  bool resume = false;
+  /// Progress callback after each batch: (completed, total).
+  std::function<void(std::uint64_t, std::uint64_t)> on_progress;
+};
+
+/// generate_dataset with batch-wise checkpointing. Produces the identical
+/// GeneratedDataset as core::generate_dataset for the same config — the
+/// batching only bounds how much work a crash can lose.
+core::GeneratedDataset generate_dataset_resumable(
+    const core::StrategySpace& space, const core::DatasetGenConfig& config,
+    ThreadPool& pool, const CampaignOptions& options);
+
+}  // namespace ssdk::snapshot

@@ -1,0 +1,143 @@
+#include "snapshot/device_snapshot.hpp"
+
+#include <sstream>
+
+namespace ssdk::snapshot {
+
+void save_options(StateWriter& w, const ssd::SsdOptions& o) {
+  w.tag("OPTS");
+  // Geometry.
+  w.u32(o.geometry.channels);
+  w.u32(o.geometry.chips_per_channel);
+  w.u32(o.geometry.planes_per_chip);
+  w.u32(o.geometry.blocks_per_plane);
+  w.u32(o.geometry.pages_per_block);
+  w.u32(o.geometry.page_size_bytes);
+  // Timing.
+  w.u64(o.timing.read_ns);
+  w.u64(o.timing.program_ns);
+  w.u64(o.timing.erase_ns);
+  w.f64(o.timing.xfer_ns_per_byte);
+  w.u64(o.timing.cmd_overhead_ns);
+  w.u64(o.timing.read_retry_base_ns);
+  w.u64(o.timing.read_retry_step_ns);
+  // FTL config.
+  w.u32(o.ftl.gc_trigger_free_blocks);
+  w.u32(o.ftl.gc_target_free_blocks);
+  w.u64(o.ftl.wear_gap_threshold);
+  // Write buffer.
+  w.u32(o.write_buffer.capacity_pages);
+  w.u64(o.write_buffer.dram_ns);
+  w.f64(o.write_buffer.high_watermark);
+  w.f64(o.write_buffer.low_watermark);
+  // Mode flags.
+  w.boolean(o.read_priority);
+  w.boolean(o.gc_enabled);
+  w.boolean(o.multiplane_program);
+  w.boolean(o.pipelined_writes);
+  // Fault model.
+  w.f64(o.faults.read_ber);
+  w.f64(o.faults.read_ber_per_pe);
+  w.f64(o.faults.program_fail);
+  w.f64(o.faults.erase_fail);
+  w.u32(o.faults.max_read_retries);
+  w.u32(o.faults.program_fails_to_retire);
+  w.u32(o.faults.erase_fails_to_retire);
+  w.u64(o.faults.max_pe_cycles);
+  w.u64(o.faults.seed);
+}
+
+ssd::SsdOptions load_options(StateReader& r) {
+  r.tag("OPTS");
+  ssd::SsdOptions o;
+  o.geometry.channels = r.u32();
+  o.geometry.chips_per_channel = r.u32();
+  o.geometry.planes_per_chip = r.u32();
+  o.geometry.blocks_per_plane = r.u32();
+  o.geometry.pages_per_block = r.u32();
+  o.geometry.page_size_bytes = r.u32();
+  o.timing.read_ns = r.u64();
+  o.timing.program_ns = r.u64();
+  o.timing.erase_ns = r.u64();
+  o.timing.xfer_ns_per_byte = r.f64();
+  o.timing.cmd_overhead_ns = r.u64();
+  o.timing.read_retry_base_ns = r.u64();
+  o.timing.read_retry_step_ns = r.u64();
+  o.ftl.gc_trigger_free_blocks = r.u32();
+  o.ftl.gc_target_free_blocks = r.u32();
+  o.ftl.wear_gap_threshold = r.u64();
+  o.write_buffer.capacity_pages = r.u32();
+  o.write_buffer.dram_ns = r.u64();
+  o.write_buffer.high_watermark = r.f64();
+  o.write_buffer.low_watermark = r.f64();
+  o.read_priority = r.boolean();
+  o.gc_enabled = r.boolean();
+  o.multiplane_program = r.boolean();
+  o.pipelined_writes = r.boolean();
+  o.faults.read_ber = r.f64();
+  o.faults.read_ber_per_pe = r.f64();
+  o.faults.program_fail = r.f64();
+  o.faults.erase_fail = r.f64();
+  o.faults.max_read_retries = r.u32();
+  o.faults.program_fails_to_retire = r.u32();
+  o.faults.erase_fails_to_retire = r.u32();
+  o.faults.max_pe_cycles = r.u64();
+  o.faults.seed = r.u64();
+  return o;
+}
+
+std::vector<char> save_device(const ssd::Ssd& device) {
+  StateWriter payload;
+  save_options(payload, device.options());
+  device.save_state(payload);
+
+  std::ostringstream os(std::ios::binary);
+  write_container(os, PayloadKind::kDevice, payload.buffer());
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+std::unique_ptr<ssd::Ssd> load_device(std::span<const char> buffer) {
+  std::istringstream in(std::string(buffer.begin(), buffer.end()),
+                        std::ios::binary);
+  const std::vector<char> payload =
+      read_container(in, PayloadKind::kDevice);
+  StateReader r(payload);
+  auto device = std::make_unique<ssd::Ssd>(load_options(r));
+  device->load_state(r);
+  if (!r.exhausted()) {
+    throw SnapshotError("snapshot: trailing garbage after device state at "
+                        "offset " +
+                            std::to_string(r.offset()) + ": " +
+                            std::to_string(r.remaining()) +
+                            " unread bytes",
+                        r.offset());
+  }
+  return device;
+}
+
+void save_device_file(const std::string& path, const ssd::Ssd& device) {
+  StateWriter payload;
+  save_options(payload, device.options());
+  device.save_state(payload);
+  write_container_file(path, PayloadKind::kDevice, payload.buffer());
+}
+
+std::unique_ptr<ssd::Ssd> load_device_file(const std::string& path) {
+  const std::vector<char> payload =
+      read_container_file(path, PayloadKind::kDevice);
+  StateReader r(payload);
+  auto device = std::make_unique<ssd::Ssd>(load_options(r));
+  device->load_state(r);
+  if (!r.exhausted()) {
+    throw SnapshotError("snapshot: trailing garbage after device state at "
+                        "offset " +
+                            std::to_string(r.offset()) + ": " +
+                            std::to_string(r.remaining()) +
+                            " unread bytes",
+                        r.offset());
+  }
+  return device;
+}
+
+}  // namespace ssdk::snapshot

@@ -1,0 +1,41 @@
+// Whole-device checkpoints in the SSDKSNP1 container format.
+//
+// A device snapshot is self-describing: the payload carries the full
+// SsdOptions (geometry, timing, FTL config, write buffer, mode flags,
+// fault model) followed by the complete mutable device state, so
+// load_device() reconstructs a device from the file alone. A restored
+// device replays the remainder of its submitted trace bit-identically to
+// the original (the determinism-verification protocol in DESIGN.md §12).
+//
+// Observers (hooks, tracer) are never part of a snapshot — callers attach
+// fresh ones after restore.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "snapshot/archive.hpp"
+#include "ssd/ssd.hpp"
+
+namespace ssdk::snapshot {
+
+/// Serialize the construction-time options (everything Ssd derives its
+/// fixed structure from). Exposed for campaign checkpoints, which embed
+/// options fingerprints.
+void save_options(StateWriter& w, const ssd::SsdOptions& options);
+ssd::SsdOptions load_options(StateReader& r);
+
+/// Full device checkpoint as an SSDKSNP1 byte buffer.
+std::vector<char> save_device(const ssd::Ssd& device);
+
+/// Reconstruct a device from save_device() output. Throws SnapshotError
+/// (offset + expected/found) on any malformed input.
+std::unique_ptr<ssd::Ssd> load_device(std::span<const char> buffer);
+
+/// File variants (container written/validated via the SSDKSNP1 header).
+void save_device_file(const std::string& path, const ssd::Ssd& device);
+std::unique_ptr<ssd::Ssd> load_device_file(const std::string& path);
+
+}  // namespace ssdk::snapshot

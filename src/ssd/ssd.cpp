@@ -138,7 +138,9 @@ void Ssd::submit(const sim::IoRequest& request) {
   requests_.push_back(RequestState{request, request.page_count});
 }
 
-void Ssd::run_to_completion() {
+void Ssd::run_to_completion() { run_until_arrival(kNoRequest); }
+
+void Ssd::run_until_arrival(std::uint64_t request_index) {
   while (arrival_cursor_ < requests_.size() || !events_.empty()) {
     const bool have_arrival = arrival_cursor_ < requests_.size();
     const bool take_arrival =
@@ -146,6 +148,10 @@ void Ssd::run_to_completion() {
         (events_.empty() ||
          requests_[arrival_cursor_].req.arrival <= events_.next_time());
     if (take_arrival) {
+      // Stop *before* the target arrival is handled (and before now_
+      // advances to it): everything ordered ahead of it has run, nothing
+      // at or after it has — the exact cut a fork or snapshot wants.
+      if (arrival_cursor_ >= request_index) return;
       now_ = std::max(now_, requests_[arrival_cursor_].req.arrival);
       handle_arrival(arrival_cursor_++);
     } else {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -119,6 +120,15 @@ class Ssd {
   /// them to flash.
   void run_to_completion();
 
+  /// Run the event loop, but stop just before `handle_arrival(request_index)`
+  /// — i.e. every event and arrival strictly preceding that request in the
+  /// deterministic (time, seq) order is processed, and the device is left
+  /// exactly in the state an uninterrupted run would have at that point.
+  /// Resuming with run_to_completion() (on this device, a fork, or a
+  /// snapshot-restored copy) replays the remainder bit-identically.
+  /// Passing an index >= the submitted request count drains everything.
+  void run_until_arrival(std::uint64_t request_index);
+
   /// Schedule flash writes for every dirty buffered page.
   void flush_write_buffer();
 
@@ -181,7 +191,29 @@ class Ssd {
   }
   std::size_t unit_count() const { return units_.size(); }
 
+  // --- snapshot / fork ------------------------------------------------------
+
+  /// Deep-copy the complete device mid-simulation. The fork shares nothing
+  /// with the parent and replays the remaining submitted work bit-identically
+  /// to it. Non-owning observers (arrival/completion hooks, tracer) are
+  /// deliberately NOT carried over — a fork starts unobserved and callers
+  /// attach their own.
+  std::unique_ptr<Ssd> fork() const;
+
+  /// Serialize the complete mutable device state (everything except the
+  /// construction-time options, which the snapshot container stores
+  /// separately, and non-owning observers). load_state requires a device
+  /// constructed with the identical SsdOptions; geometry-derived sizes are
+  /// validated against the payload.
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
  private:
+  /// Memberwise copy for fork(); the public fork() fixes up the self
+  /// pointers (load_view_, FTL trace clock) that a plain copy would leave
+  /// aimed at the parent.
+  Ssd(const Ssd&) = default;
+
   enum class OpKind : std::uint8_t {
     kHostRead,
     kHostWrite,

@@ -56,6 +56,15 @@ class RingBuffer {
     count_ = 0;
   }
 
+  /// Element at logical position `i` from the front (0 == front()).
+  /// Lets a snapshot serialize the queue in FIFO order — the physical
+  /// head position is an implementation detail that need not survive a
+  /// save/restore round trip.
+  const T& at(std::size_t i) const {
+    assert(i < count_);
+    return data_[(head_ + i) & (data_.size() - 1)];
+  }
+
  private:
   static constexpr std::size_t kMinCapacity = 8;
 

@@ -27,6 +27,13 @@ Rng::Rng(std::uint64_t seed) {
   if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& s) {
+  s_ = s;
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) {
+    s_ = Rng{}.s_;
+  }
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -56,6 +56,16 @@ class Rng {
   /// Fisher–Yates shuffle of an index vector (used by the NN trainer).
   void shuffle(std::vector<std::size_t>& v);
 
+  /// Full 256-bit generator state, for checkpoint/restore. Unlike
+  /// re-seeding, round-tripping through state()/set_state() resumes the
+  /// stream exactly where it left off.
+  std::array<std::uint64_t, 4> state() const { return s_; }
+
+  /// Restore state captured by state(). An all-zero state is invalid for
+  /// xoshiro256** (the stream would be stuck at zero) and is replaced by
+  /// the default-seed state, mirroring the constructor's guard.
+  void set_state(const std::array<std::uint64_t, 4>& s);
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };

@@ -56,6 +56,14 @@ class SampleSet {
 
   const std::vector<double>& samples() const { return samples_; }
 
+  /// Replace the sample set wholesale (snapshot restore). The samples are
+  /// taken in the given order; re-sorting for percentile queries is lazy
+  /// and idempotent, so restoring an already-sorted set is harmless.
+  void restore(std::vector<double> samples) {
+    samples_ = std::move(samples);
+    sorted_ = false;
+  }
+
  private:
   void ensure_sorted() const;
 

@@ -142,6 +142,55 @@ TEST(Keeper, RunWithKeeperDegradesGracefullyOnDeviceFull) {
   EXPECT_EQ(result.strategy.name(), "Shared");
 }
 
+TEST(Keeper, WhatIfMeasuresTopKAndAppliesMeasuredBest) {
+  const auto space = StrategySpace::for_tenants(4);
+  // The constant allocator biases one strategy; the remaining top-k slots
+  // fall to the lowest indices via the deterministic tie-break.
+  const auto allocator = constant_allocator(space, space.index_of("4:2:1:1"));
+  KeeperConfig config;
+  config.collect_window_ns = 50 * kMillisecond;
+  config.what_if_top_k = 3;
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(four_tenant_mix(1000));
+  device.run_to_completion();
+
+  ASSERT_TRUE(keeper.switched());
+  const auto& measured = keeper.what_if_measurements();
+  ASSERT_EQ(measured.size(), 3u);
+  // The model's argmax leads the candidate list.
+  EXPECT_EQ(measured.front().first, space.index_of("4:2:1:1"));
+  // The applied strategy is the measured minimum, not necessarily the
+  // model's argmax.
+  std::uint32_t best = measured.front().first;
+  double best_score = measured.front().second;
+  for (const auto& [index, score] : measured) {
+    EXPECT_GT(score, 0.0);
+    if (score < best_score) {
+      best = index;
+      best_score = score;
+    }
+  }
+  EXPECT_EQ(keeper.chosen_strategy()->name(), space.at(best).name());
+}
+
+TEST(Keeper, WhatIfDisabledLeavesMeasurementsEmpty) {
+  const auto space = StrategySpace::for_tenants(4);
+  const auto allocator = constant_allocator(space, 0);
+  KeeperConfig config;
+  config.collect_window_ns = 50 * kMillisecond;
+
+  ssd::Ssd device{ssd::SsdOptions{}};
+  SsdKeeper keeper(allocator, config);
+  keeper.attach(device);
+  device.submit(four_tenant_mix(600));
+  device.run_to_completion();
+  ASSERT_TRUE(keeper.switched());
+  EXPECT_TRUE(keeper.what_if_measurements().empty());
+}
+
 TEST(Keeper, SwitchHappensOnceOnly) {
   const auto space = StrategySpace::for_tenants(4);
   const auto allocator = constant_allocator(space, 2);

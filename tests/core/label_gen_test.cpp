@@ -74,6 +74,48 @@ TEST(LabelGen, ParallelAndSerialAgree) {
   }
 }
 
+/// The shared-prefix fork sweep is a pure wall-clock optimization: at any
+/// fork point it must yield the exact LabeledSample of the cold sweep that
+/// re-simulates the prefix per candidate.
+TEST(LabelGen, ForkSweepMatchesColdSweep) {
+  const auto config = small_config();
+  const auto space = StrategySpace::for_tenants(4);
+  for (const double fork_point : {0.0, 0.4, 0.9}) {
+    const auto requests = synthesize_mix(config, 1);
+    LabelGenConfig cold = config.label;
+    cold.fork_point = fork_point;
+    cold.shared_prefix_fork = false;
+    LabelGenConfig fork = cold;
+    fork.shared_prefix_fork = true;
+
+    const LabeledSample a = label_workload(requests, space, cold, nullptr);
+    const LabeledSample b = label_workload(requests, space, fork, nullptr);
+    EXPECT_EQ(a.label, b.label) << "fork_point " << fork_point;
+    ASSERT_EQ(a.strategy_total_us.size(), b.strategy_total_us.size());
+    for (std::size_t i = 0; i < a.strategy_total_us.size(); ++i) {
+      EXPECT_EQ(a.strategy_total_us[i], b.strategy_total_us[i])
+          << "fork_point " << fork_point << ", strategy " << i;
+    }
+  }
+}
+
+/// Forked sweeps dispatched on a pool agree with the serial fork sweep —
+/// each fork is an independent device, so the parallel_for order cannot
+/// leak into results.
+TEST(LabelGen, ForkSweepParallelAndSerialAgree) {
+  const auto config = small_config();
+  const auto requests = synthesize_mix(config, 2);
+  const auto space = StrategySpace::for_tenants(4);
+  LabelGenConfig fork = config.label;
+  fork.fork_point = 0.5;
+  fork.shared_prefix_fork = true;
+  ThreadPool pool(4);
+  const auto serial = label_workload(requests, space, fork, nullptr);
+  const auto parallel = label_workload(requests, space, fork, &pool);
+  EXPECT_EQ(serial.label, parallel.label);
+  EXPECT_EQ(serial.strategy_total_us, parallel.strategy_total_us);
+}
+
 TEST(LabelGen, GenerateDatasetShapes) {
   const auto config = small_config(6);
   const auto space = StrategySpace::for_tenants(4);
