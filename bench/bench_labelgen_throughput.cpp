@@ -15,7 +15,13 @@
 //
 // Usage: bench_labelgen_throughput [workloads=4] [duration_s=0.6]
 //          [fork_point=0.7] [repeat=2] [threads=0  (0 = serial sweep)]
-//          [json=BENCH_labelgen_throughput.json]
+//          [json=BENCH_labelgen_throughput.json] [audit=0]
+//
+// audit=N (N > 0) runs the device invariant auditor every N arrivals on
+// every device both sweeps create (including the per-candidate forks).
+// Auditing is schedule-neutral but not free, so the reported speedup is
+// only meaningful at audit=0; use the flag to soak-test fork()/snapshot
+// changes under the full sweep, not to measure them.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
   core::LabelGenConfig cold = gen.label;
   cold.fork_point = fork_point;
   cold.shared_prefix_fork = false;
+  cold.run.audit_interval = cfg.get_uint("audit", 0);
   core::LabelGenConfig fork = cold;
   fork.shared_prefix_fork = true;
 

@@ -6,7 +6,12 @@
 // keeper's what-if mode.
 //
 // Usage: snapshot_fork [requests=20000] [rate=12000] [cut=0.5] [seed=1]
-//                      [snapshot=/tmp/snapshot_fork.ssdksnp]
+//                      [snapshot=/tmp/snapshot_fork.ssdksnp] [audit=0]
+//
+// audit=N (N > 0) runs the device invariant auditor every N arrivals and
+// re-audits each device right after restore and after every fork — a
+// self-checking mode for exercising snapshot changes. The audit throws
+// ssdk::util::InvariantViolation on the first inconsistency it finds.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -52,10 +57,12 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = cfg.get_uint("seed", 1);
   const std::string path =
       cfg.get_string("snapshot", "/tmp/snapshot_fork.ssdksnp");
+  const std::uint64_t audit = cfg.get_uint("audit", 0);
 
   const auto mixed = two_tenant_mix(requests, rate, seed);
   const auto space = core::StrategySpace::for_tenants(2);
   core::RunConfig run;
+  run.audit_interval = audit;
   const auto features = core::features_of(mixed);
   const auto profiles = features.profiles(2);
 
@@ -77,6 +84,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(mixed.size()), path.c_str());
 
   auto restored = snapshot::load_device_file(path);
+  if (audit > 0) {
+    // The audit interval is not part of the snapshot; re-arm it and vet
+    // the restored state before trusting it with the rest of the trace.
+    restored->check_invariants();
+    restored->set_audit_interval(audit);
+  }
   restored->run_to_completion();
   const auto resumed = core::summarize(*restored);
   std::printf("restored+resumed: %.1f us total (%s baseline)\n\n",
@@ -92,6 +105,7 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < space.size(); ++i) {
     auto fork = device->fork();
     core::configure_ssd(*fork, space.at(i), profiles, false);
+    if (audit > 0) fork->check_invariants();
     fork->run_to_completion();
     std::printf("%-10s %12.1f\n", space.at(i).name().c_str(),
                 core::summarize(*fork).total_us);

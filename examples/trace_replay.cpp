@@ -4,8 +4,8 @@
 // latencies, device counters and wear statistics.
 //
 // Usage:
-//   trace_replay trace0=/path/mds_0.csv trace1=/path/web_2.csv \
-//                [strategy=Shared] [hybrid=1] [max_requests=200000] \
+//   trace_replay trace0=/path/mds_0.csv trace1=/path/web_2.csv
+//                [strategy=Shared] [hybrid=1] [max_requests=200000]
 //                [time_scale=0.01] [page_kb=16]
 //   trace_replay mix=3 [duration=0.5] [strategy=4:4]
 //

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "util/check.hpp"
 #include "util/logger.hpp"
 
 namespace ssdk::core {
@@ -26,12 +27,22 @@ std::unique_ptr<ssd::Ssd> make_run_device(
     std::span<const TenantProfile> profiles, const RunConfig& config) {
   auto device = std::make_unique<ssd::Ssd>(config.ssd);
   if (config.tracer) device->set_tracer(config.tracer);
+  if (config.audit_interval > 0) {
+    device->set_audit_interval(config.audit_interval);
+  } else if (util::kCheckedBuild) {
+    // Cheap enough to leave on for whole test suites, frequent enough to
+    // localize a corruption to a few thousand events.
+    device->set_audit_interval(4096);
+  }
   device->reserve(config.reserve_requests ? config.reserve_requests
                                           : requests.size());
   configure_ssd(*device, strategy, profiles, config.hybrid_page_allocation);
   if (config.warmup_fraction > 0.0 && !requests.empty()) {
     const SimTime first = requests.front().arrival;
     const SimTime last = requests.back().arrival;
+    // ssdk-lint: allow(float-time): one-shot config-time conversion of a
+    // user-facing fraction into a metrics cutoff; it gates statistics
+    // only and never feeds the event schedule.
     device->metrics().set_warmup_ns(
         first + static_cast<Duration>(config.warmup_fraction *
                                       static_cast<double>(last - first)));

@@ -33,6 +33,11 @@ struct RunConfig {
   /// 0 = derive from the submitted span's size (the common case); set
   /// explicitly when submitting incrementally or replaying a prefix.
   std::size_t reserve_requests = 0;
+  /// Audit the device invariants every N handled arrivals (see
+  /// Ssd::set_audit_interval). 0 keeps the build's default: disabled in
+  /// normal builds, every 4096 arrivals under SSDK_CHECKED. Audits never
+  /// change the schedule — a violation throws instead.
+  std::uint64_t audit_interval = 0;
 };
 
 struct RunResult {

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace ssdk::ftl {
 
 BlockManager::BlockManager(const sim::Geometry& geometry) : geom_(geometry) {
@@ -230,6 +232,104 @@ std::uint64_t BlockManager::total_valid_pages() const {
   std::uint64_t total = 0;
   for (const auto& info : blocks_) total += info.valid;
   return total;
+}
+
+void BlockManager::check_invariants() const {
+  auto block_label = [](std::uint64_t plane, std::uint32_t block) {
+    return "plane " + std::to_string(plane) + " block " +
+           std::to_string(block);
+  };
+
+  std::uint64_t retired_seen = 0;
+  for (std::uint64_t plane = 0; plane < planes_.size(); ++plane) {
+    const PlaneInfo& pinfo = planes_[plane];
+
+    // Free list: every entry names a distinct in-range block whose state
+    // is kFree, and every kFree block of the plane is listed.
+    std::vector<bool> listed(geom_.blocks_per_plane, false);
+    for (const std::uint32_t b : pinfo.free_list) {
+      SSDK_CHECK_MSG(b < geom_.blocks_per_plane,
+                     "free list of plane " + std::to_string(plane) +
+                         " holds out-of-range block " + std::to_string(b));
+      SSDK_CHECK_MSG(!listed[b], "free list of plane " +
+                                     std::to_string(plane) +
+                                     " holds duplicate block " +
+                                     std::to_string(b));
+      listed[b] = true;
+      SSDK_CHECK_MSG(
+          blocks_[block_index(plane, b)].state == BlockState::kFree,
+          block_label(plane, b) + " is on the free list but not Free");
+    }
+
+    // Open block: registered, in range, and in state kOpen; conversely no
+    // unregistered block of the plane may be kOpen.
+    if (pinfo.open_block >= 0) {
+      SSDK_CHECK_MSG(
+          pinfo.open_block < geom_.blocks_per_plane,
+          "plane " + std::to_string(plane) + " open block out of range");
+      SSDK_CHECK_MSG(
+          blocks_[block_index(plane, static_cast<std::uint32_t>(
+                                         pinfo.open_block))]
+                  .state == BlockState::kOpen,
+          "plane " + std::to_string(plane) +
+              " registers an append point that is not Open");
+    }
+
+    for (std::uint32_t b = 0; b < geom_.blocks_per_plane; ++b) {
+      const BlockInfo& info = blocks_[block_index(plane, b)];
+      SSDK_CHECK_MSG(info.write_ptr <= geom_.pages_per_block,
+                     block_label(plane, b) + " write pointer overruns");
+      SSDK_CHECK_MSG(info.valid <= info.write_ptr,
+                     block_label(plane, b) +
+                         " counts more valid pages than were written");
+
+      // Valid counter vs. the per-page owner table (count conservation).
+      const std::uint64_t base =
+          block_index(plane, b) * geom_.pages_per_block;
+      std::uint32_t owned = 0;
+      for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+        if (page_owner_[base + p] != kNoOwner) ++owned;
+      }
+      SSDK_CHECK_MSG(owned == info.valid,
+                     block_label(plane, b) + " valid counter " +
+                         std::to_string(info.valid) + " != owned pages " +
+                         std::to_string(owned));
+
+      switch (info.state) {
+        case BlockState::kFree:
+          SSDK_CHECK_MSG(info.write_ptr == 0 && info.valid == 0,
+                         block_label(plane, b) + " is Free but not blank");
+          SSDK_CHECK_MSG(listed[b], block_label(plane, b) +
+                                        " is Free but missing from the "
+                                        "free list");
+          break;
+        case BlockState::kOpen:
+          SSDK_CHECK_MSG(pinfo.open_block ==
+                             static_cast<std::int64_t>(b),
+                         block_label(plane, b) +
+                             " is Open but not the plane's append point");
+          SSDK_CHECK_MSG(info.write_ptr < geom_.pages_per_block,
+                         block_label(plane, b) + " is Open but full");
+          break;
+        case BlockState::kFull:
+          SSDK_CHECK_MSG(info.write_ptr == geom_.pages_per_block,
+                         block_label(plane, b) +
+                             " is Full below its write capacity");
+          break;
+        case BlockState::kRetired:
+          ++retired_seen;
+          break;
+      }
+      if (info.state != BlockState::kFree) {
+        SSDK_CHECK_MSG(!listed[b], block_label(plane, b) +
+                                       " is on the free list but not Free");
+      }
+    }
+  }
+  SSDK_CHECK_MSG(retired_seen == retired_,
+                 "retired-block counter " + std::to_string(retired_) +
+                     " != blocks in state kRetired " +
+                     std::to_string(retired_seen));
 }
 
 void BlockManager::save_state(snapshot::StateWriter& w) const {

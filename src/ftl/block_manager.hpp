@@ -151,6 +151,13 @@ class BlockManager {
   /// Total valid pages across the device (conservation checks in tests).
   std::uint64_t total_valid_pages() const;
 
+  /// Audit the block-level bookkeeping: per-block write-pointer/valid/state
+  /// consistency, valid counters vs. actual page owners, plane free-list
+  /// integrity (membership, uniqueness, state agreement), open-block
+  /// registration, and the retired-block counter. Throws
+  /// util::InvariantViolation on the first breach.
+  void check_invariants() const;
+
   // --- bad-block management (fault model) --------------------------------
 
   /// Count one program failure in the block; returns the new total.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/check.hpp"
+
 namespace ssdk::ftl {
 
 Ftl::Ftl(const sim::Geometry& geometry, FtlConfig config)
@@ -245,6 +247,50 @@ std::optional<std::uint32_t> Ftl::wear_leveling_candidate(
     return std::nullopt;
   }
   return blocks_.coldest_full_block(plane_id);
+}
+
+void Ftl::check_invariants() const {
+  map_.check_invariants();
+  blocks_.check_invariants();
+
+  // Forward direction: every mapped LPN points at an in-range, valid page
+  // whose recorded owner is exactly that (tenant, LPN).
+  const std::uint64_t total_pages = geom_.total_pages();
+  for (sim::TenantId t = 0;
+       t < static_cast<sim::TenantId>(map_.tenant_table_count()); ++t) {
+    const std::uint64_t span = map_.table_span(t);
+    for (std::uint64_t lpn = 0; lpn < span; ++lpn) {
+      const sim::Ppn ppn = map_.lookup(t, lpn);
+      if (ppn == sim::kInvalidPpn) continue;
+      SSDK_CHECK_MSG(ppn < total_pages,
+                     "l2p: tenant " + std::to_string(t) + " lpn " +
+                         std::to_string(lpn) + " maps out of range");
+      SSDK_CHECK_MSG(blocks_.is_valid(ppn),
+                     "l2p: tenant " + std::to_string(t) + " lpn " +
+                         std::to_string(lpn) + " maps to invalid ppn " +
+                         std::to_string(ppn));
+      const PageOwner who = blocks_.owner(ppn);
+      SSDK_CHECK_MSG(who.tenant == t && who.lpn == lpn,
+                     "l2p: ppn " + std::to_string(ppn) + " owned by (" +
+                         std::to_string(who.tenant) + ", " +
+                         std::to_string(who.lpn) + ") but mapped from (" +
+                         std::to_string(t) + ", " + std::to_string(lpn) +
+                         ")");
+    }
+  }
+
+  // Reverse direction: every valid physical page is reachable through its
+  // owner's mapping — together with the forward pass this makes the
+  // mapping a bijection between mapped LPNs and valid pages.
+  for (sim::Ppn ppn = 0; ppn < total_pages; ++ppn) {
+    if (!blocks_.is_valid(ppn)) continue;
+    const PageOwner who = blocks_.owner(ppn);
+    SSDK_CHECK_MSG(map_.lookup(who.tenant, who.lpn) == ppn,
+                   "l2p: valid ppn " + std::to_string(ppn) +
+                       " owned by (" + std::to_string(who.tenant) + ", " +
+                       std::to_string(who.lpn) +
+                       ") is not reachable through the mapping");
+  }
 }
 
 void Ftl::save_state(snapshot::StateWriter& w) const {

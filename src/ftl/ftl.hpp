@@ -163,6 +163,14 @@ class Ftl {
 
   // --- introspection --------------------------------------------------------
 
+  /// Full FTL audit: mapping-count consistency, block bookkeeping, and the
+  /// L2P bijection in both directions — every mapped LPN points at a valid
+  /// page whose recorded owner is that (tenant, LPN), and every valid
+  /// physical page is reachable through its owner's mapping. Throws
+  /// util::InvariantViolation on the first breach. O(total pages); meant
+  /// for checked-build audits, not the hot path.
+  void check_invariants() const;
+
   MappingTable& mapping() { return map_; }
   const MappingTable& mapping() const { return map_; }
   BlockManager& blocks() { return blocks_; }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace ssdk::ftl {
 
 namespace {
@@ -34,6 +36,22 @@ sim::Ppn MappingTable::erase(sim::TenantId tenant, std::uint64_t lpn) {
 std::uint64_t MappingTable::mapped_count(sim::TenantId tenant) const {
   if (tenant >= mapped_counts_.size()) return 0;
   return mapped_counts_[tenant];
+}
+
+void MappingTable::check_invariants() const {
+  SSDK_CHECK_MSG(tables_.size() == mapped_counts_.size(),
+                 "mapping: table/count vectors out of step");
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    std::uint64_t mapped = 0;
+    for (const sim::Ppn ppn : tables_[t]) {
+      if (ppn != sim::kInvalidPpn) ++mapped;
+    }
+    SSDK_CHECK_MSG(mapped == mapped_counts_[t],
+                   "mapping: tenant " + std::to_string(t) +
+                       " cached mapped count " +
+                       std::to_string(mapped_counts_[t]) + " != actual " +
+                       std::to_string(mapped));
+  }
 }
 
 void MappingTable::save_state(snapshot::StateWriter& w) const {

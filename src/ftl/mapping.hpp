@@ -51,6 +51,16 @@ class MappingTable {
 
   std::size_t tenant_table_count() const { return tables_.size(); }
 
+  /// Logical span of one tenant's table (highest touched LPN + 1); lets
+  /// audits enumerate mapped LPNs without exposing the backing vectors.
+  std::uint64_t table_span(sim::TenantId tenant) const {
+    return tenant < tables_.size() ? tables_[tenant].size() : 0;
+  }
+
+  /// Audit: every cached mapped-count equals the number of non-invalid
+  /// entries in its table. Throws util::InvariantViolation on mismatch.
+  void check_invariants() const;
+
   void save_state(snapshot::StateWriter& w) const;
   void load_state(snapshot::StateReader& r);
 

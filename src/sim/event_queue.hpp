@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "snapshot/archive.hpp"
+#include "util/check.hpp"
 #include "util/time_types.hpp"
 
 namespace ssdk::sim {
@@ -72,6 +73,39 @@ class EventQueue {
     heap_.pop_back();
     if (!heap_.empty()) sift_down(displaced);
     return top;
+  }
+
+  /// Audit the queue against the simulation clock: the 4-ary heap order
+  /// holds at every parent/child edge, no pending event is scheduled
+  /// before `now` (time only moves forward), and sequence numbers are
+  /// unique and below the allocation cursor — the properties the unique
+  /// (time, seq) total order and bit-reproducibility rest on. Throws
+  /// util::InvariantViolation on the first breach.
+  void check_invariants(SimTime now) const {
+    std::vector<std::uint64_t> seqs;
+    seqs.reserve(heap_.size());
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      const Event& e = heap_[i];
+      SSDK_CHECK_MSG(e.time >= now,
+                     "event_queue: event at heap slot " + std::to_string(i) +
+                         " scheduled at " + std::to_string(e.time) +
+                         " which is before now " + std::to_string(now));
+      SSDK_CHECK_MSG(e.seq < next_seq_,
+                     "event_queue: heap slot " + std::to_string(i) +
+                         " carries seq " + std::to_string(e.seq) +
+                         " >= next_seq " + std::to_string(next_seq_));
+      if (i > 0) {
+        const std::size_t parent = (i - 1) >> 2;
+        SSDK_CHECK_MSG(!earlier(e, heap_[parent]),
+                       "event_queue: heap order violated between slot " +
+                           std::to_string(i) + " and parent slot " +
+                           std::to_string(parent));
+      }
+      seqs.push_back(e.seq);
+    }
+    std::sort(seqs.begin(), seqs.end());
+    SSDK_CHECK_MSG(std::adjacent_find(seqs.begin(), seqs.end()) == seqs.end(),
+                   "event_queue: duplicate event sequence number");
   }
 
   /// Serialize the heap array verbatim (field-wise — Event has padding).

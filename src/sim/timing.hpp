@@ -40,6 +40,9 @@ struct Timing {
 
   /// Bus occupancy for moving one page (+ command overhead).
   Duration page_transfer_ns(const Geometry& g) const {
+    // ssdk-lint: allow(float-time): pure function of fixed configuration
+    // (rate x page size); every call yields the same integer, so nothing
+    // accumulates and no schedule drift is possible.
     return cmd_overhead_ns +
            static_cast<Duration>(xfer_ns_per_byte *
                                  static_cast<double>(g.page_size_bytes));

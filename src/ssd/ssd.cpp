@@ -154,12 +154,14 @@ void Ssd::run_until_arrival(std::uint64_t request_index) {
       if (arrival_cursor_ >= request_index) return;
       now_ = std::max(now_, requests_[arrival_cursor_].req.arrival);
       handle_arrival(arrival_cursor_++);
+      maybe_audit();
     } else {
       const sim::Event e = events_.pop();
       now_ = e.time;
       switch (e.kind) {
         case EventKind::kArrival:
           handle_arrival(e.a);
+          maybe_audit();
           break;
         case EventKind::kFlashDone:
           handle_flash_done(e.a, e.b);
@@ -322,6 +324,8 @@ void Ssd::compact_buffer_fifo() {
     it->second |= kBufferKeptBit;
     buffer_fifo_.push_back(key);
   }
+  // ssdk-lint: allow(unordered-iter): clears one bit in every value;
+  // per-entry and idempotent, so hash order cannot affect the outcome.
   for (auto& [key, seq] : buffer_) seq &= ~kBufferKeptBit;
 }
 

@@ -208,6 +208,26 @@ class Ssd {
   void save_state(snapshot::StateWriter& w) const;
   void load_state(snapshot::StateReader& r);
 
+  // --- checked-build audit --------------------------------------------------
+
+  /// Audit the full device against its structural invariants: L2P
+  /// bijection and block bookkeeping (via the FTL), event-queue order and
+  /// time monotonicity, op-slab free-list integrity, op-queue membership,
+  /// per-channel queued-write counters, cached front-write seqs, busy
+  /// deadlines vs. the clock, write-buffer key/FIFO consistency, and GC
+  /// job registration. Throws util::InvariantViolation on the first
+  /// breach. O(device state); call at event boundaries only.
+  void check_invariants() const;
+
+  /// Run check_invariants() automatically every `interval` handled
+  /// arrivals (0, the default, disables). The `checked` build preset and
+  /// the runner turn this on; any build may enable it explicitly.
+  void set_audit_interval(std::uint64_t interval) {
+    audit_interval_ = interval;
+    arrivals_since_audit_ = 0;
+  }
+  std::uint64_t audit_interval() const { return audit_interval_; }
+
  private:
   /// Memberwise copy for fork(); the public fork() fixes up the self
   /// pointers (load_view_, FTL trace clock) that a plain copy would leave
@@ -295,6 +315,15 @@ class Ssd {
   // Op slab management.
   std::uint64_t alloc_op();
   void free_op(std::uint64_t id);
+
+  /// Periodic-audit tick, called once per handled arrival.
+  void maybe_audit() {
+    if (audit_interval_ == 0) return;
+    if (++arrivals_since_audit_ >= audit_interval_) {
+      arrivals_since_audit_ = 0;
+      check_invariants();
+    }
+  }
 
   // Telemetry (no-ops unless a tracer is attached; call sites guard on
   // tracer_ so a disabled run costs one branch per site).
@@ -475,6 +504,11 @@ class Ssd {
   // order, so a fixed (workload, seed) reproduces the fault sequence.
   Rng fault_rng_;
   bool faults_on_ = false;
+
+  // Periodic self-audit cadence (runtime config, like the hooks: not
+  // serialized, copied by fork's memberwise copy).
+  std::uint64_t audit_interval_ = 0;
+  std::uint64_t arrivals_since_audit_ = 0;
 };
 
 }  // namespace ssdk::ssd

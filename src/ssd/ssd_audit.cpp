@@ -1,0 +1,239 @@
+// Whole-device invariant audit (see util/check.hpp for the policy).
+//
+// Everything here is read-only and runs only when a caller asks for an
+// audit — explicitly, after a snapshot load / fork in checked builds, or
+// on the periodic cadence set via set_audit_interval(). The checks target
+// the redundant state the hot path maintains for speed (cached counters,
+// cached front seqs, free lists, FIFO mirrors): exactly the bookkeeping a
+// subtle scheduling bug corrupts first.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ssd/ssd.hpp"
+#include "util/check.hpp"
+
+namespace ssdk::ssd {
+
+namespace {
+
+/// Mirrors the compaction seen-marker in ssd.cpp: outside
+/// compact_buffer_fifo the bit must never be set in a stored seq.
+constexpr std::uint64_t kBufferKeptBit = 1ULL << 63;
+
+std::string op_str(std::uint64_t op_id) {
+  return "op " + std::to_string(op_id);
+}
+
+}  // namespace
+
+void Ssd::check_invariants() const {
+  // Delegated audits first: FTL (mapping bijection + block bookkeeping)
+  // and the event kernel (heap order, time floor, seq uniqueness).
+  ftl_.check_invariants();
+  events_.check_invariants(now_);
+
+  const auto& geom = options_.geometry;
+
+  // --- structural sizes ----------------------------------------------------
+  SSDK_CHECK_MSG(channels_.size() == geom.channels,
+                 "ssd: channel state count " +
+                     std::to_string(channels_.size()) +
+                     " != geometry channels " + std::to_string(geom.channels));
+  SSDK_CHECK_MSG(units_.size() == geom.channels * units_per_channel_,
+                 "ssd: unit state count " + std::to_string(units_.size()) +
+                     " != channels * units_per_channel");
+  SSDK_CHECK_MSG(channel_busy_ns_.size() == channels_.size() &&
+                     unit_busy_ns_.size() == units_.size(),
+                 "ssd: utilization accumulator sizes out of step");
+  SSDK_CHECK_MSG(arrival_cursor_ <= requests_.size(),
+                 "ssd: arrival cursor " + std::to_string(arrival_cursor_) +
+                     " past request table size " +
+                     std::to_string(requests_.size()));
+  SSDK_CHECK_MSG(gc_job_of_plane_.size() == geom.total_planes(),
+                 "ssd: gc plane registry size != plane count");
+
+  // --- op slab: every op is either in use or on the free list, once -------
+  std::vector<std::uint8_t> on_free_list(ops_.size(), 0);
+  for (const std::uint64_t id : free_ops_) {
+    SSDK_CHECK_MSG(id < ops_.size(),
+                   "ssd: free list holds out-of-range " + op_str(id));
+    SSDK_CHECK_MSG(!on_free_list[id],
+                   "ssd: free list holds " + op_str(id) + " twice");
+    on_free_list[id] = 1;
+    SSDK_CHECK_MSG(!ops_[id].in_use,
+                   "ssd: " + op_str(id) + " is in use but on the free list");
+  }
+  std::size_t in_use = 0;
+  for (std::size_t id = 0; id < ops_.size(); ++id) {
+    if (ops_[id].in_use) {
+      ++in_use;
+    } else {
+      SSDK_CHECK_MSG(on_free_list[id],
+                     "ssd: " + op_str(id) +
+                         " is neither in use nor on the free list (leak)");
+    }
+  }
+  SSDK_CHECK_MSG(in_use + free_ops_.size() == ops_.size(),
+                 "ssd: op slab accounting broken: " + std::to_string(in_use) +
+                     " in use + " + std::to_string(free_ops_.size()) +
+                     " free != " + std::to_string(ops_.size()));
+
+  // --- in-use op fields reference live structures --------------------------
+  for (std::size_t id = 0; id < ops_.size(); ++id) {
+    const PageOp& op = ops_[id];
+    if (!op.in_use) continue;
+    if (op.request != kNoRequest) {
+      SSDK_CHECK_MSG(op.request < requests_.size(),
+                     "ssd: " + op_str(id) + " references request " +
+                         std::to_string(op.request) + " out of range");
+      SSDK_CHECK_MSG(requests_[op.request].remaining > 0,
+                     "ssd: " + op_str(id) +
+                         " outstanding for already-completed request " +
+                         std::to_string(op.request));
+    }
+    if (op.gc_job != kNoJob) {
+      SSDK_CHECK_MSG(op.gc_job < gc_jobs_.size() && gc_jobs_[op.gc_job].active,
+                     "ssd: " + op_str(id) + " references inactive gc job " +
+                         std::to_string(op.gc_job));
+    }
+    SSDK_CHECK_MSG(op.enq_seq < next_enq_seq_,
+                   "ssd: " + op_str(id) + " carries enq_seq " +
+                       std::to_string(op.enq_seq) + " >= next_enq_seq");
+  }
+
+  // --- op queues: members are live and queued at most once -----------------
+  std::vector<std::uint8_t> queued(ops_.size(), 0);
+  const auto check_queue = [&](const OpQueue& q, const char* where,
+                               std::uint64_t index) {
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const std::uint64_t id = q.at(i);
+      SSDK_CHECK_MSG(id < ops_.size() && ops_[id].in_use,
+                     "ssd: " + std::string(where) + " " +
+                         std::to_string(index) + " queues dead " + op_str(id));
+      SSDK_CHECK_MSG(!queued[id],
+                     "ssd: " + op_str(id) + " sits in two op queues (seen "
+                         "again in " + std::string(where) + " " +
+                         std::to_string(index) + ")");
+      queued[id] = 1;
+    }
+  };
+
+  // Units whose array read finished but whose data still sits in the page
+  // register: they stay busy while the op waits in the channel read_q for
+  // the bus, and their busy_until (the sense completion) is already in
+  // the past. Collect them so the staleness check below can except them.
+  std::vector<std::uint8_t> holds_parked_read(units_.size(), 0);
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    check_queue(channels_[c].read_q, "channel read_q", c);
+    const OpQueue& rq = channels_[c].read_q;
+    for (std::size_t i = 0; i < rq.size(); ++i) {
+      holds_parked_read[unit_of(ops_[rq.at(i)].addr)] = 1;
+    }
+  }
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    check_queue(units_[u].read_wait, "unit read_wait", u);
+    check_queue(units_[u].erase_wait, "unit erase_wait", u);
+    check_queue(units_[u].write_q, "unit write_q", u);
+  }
+
+  // --- cached arbitration state vs. the queues it mirrors ------------------
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    const ChannelState& ch = channels_[c];
+    std::uint64_t writes = 0;
+    for (std::uint64_t u = first_unit(static_cast<std::uint32_t>(c));
+         u < first_unit(static_cast<std::uint32_t>(c)) + units_per_channel_;
+         ++u) {
+      writes += units_[u].write_q.size();
+    }
+    SSDK_CHECK_MSG(ch.queued_writes == writes,
+                   "ssd: channel " + std::to_string(c) +
+                       " queued_writes cache " +
+                       std::to_string(ch.queued_writes) + " != actual " +
+                       std::to_string(writes));
+    SSDK_CHECK_MSG(!ch.bus_busy || ch.bus_free_at >= now_,
+                   "ssd: channel " + std::to_string(c) +
+                       " bus busy with release time " +
+                       std::to_string(ch.bus_free_at) + " in the past (now " +
+                       std::to_string(now_) + ")");
+  }
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    const UnitState& unit = units_[u];
+    const std::uint64_t expect =
+        unit.write_q.empty() ? ~std::uint64_t{0}
+                             : ops_[unit.write_q.front()].enq_seq;
+    SSDK_CHECK_MSG(unit.front_write_seq == expect,
+                   "ssd: unit " + std::to_string(u) +
+                       " front_write_seq cache " +
+                       std::to_string(unit.front_write_seq) + " != actual " +
+                       std::to_string(expect));
+    // A past busy_until is legal only while the unit's read op is parked
+    // in the channel read_q (page register held, waiting for the bus).
+    SSDK_CHECK_MSG(!unit.busy || unit.busy_until >= now_ ||
+                       holds_parked_read[u],
+                   "ssd: unit " + std::to_string(u) +
+                       " busy with completion time " +
+                       std::to_string(unit.busy_until) + " in the past (now " +
+                       std::to_string(now_) + ") and no read parked on the "
+                       "channel bus");
+  }
+
+  // --- write buffer: key map vs. FIFO mirror -------------------------------
+  if (options_.write_buffer.capacity_pages > 0) {
+    SSDK_CHECK_MSG(buffer_.size() <= options_.write_buffer.capacity_pages,
+                   "ssd: write buffer holds " + std::to_string(buffer_.size()) +
+                       " pages over capacity " +
+                       std::to_string(options_.write_buffer.capacity_pages));
+  } else {
+    SSDK_CHECK_MSG(buffer_.empty() && buffer_fifo_.empty(),
+                   "ssd: write buffer disabled but not empty");
+  }
+  std::vector<std::uint64_t> fifo_keys;
+  fifo_keys.reserve(buffer_fifo_.size());
+  for (std::size_t i = 0; i < buffer_fifo_.size(); ++i) {
+    fifo_keys.push_back(buffer_fifo_.at(i));
+  }
+  std::sort(fifo_keys.begin(), fifo_keys.end());
+  // ssdk-lint: allow(unordered-iter): membership audit; per-key checks are
+  // independent, so visit order cannot affect the outcome.
+  for (const auto& [key, seq] : buffer_) {
+    SSDK_CHECK_MSG((seq & kBufferKeptBit) == 0,
+                   "ssd: buffer key " + std::to_string(key) +
+                       " left with the compaction marker set");
+    SSDK_CHECK_MSG(seq < buffer_seq_,
+                   "ssd: buffer key " + std::to_string(key) +
+                       " carries seq " + std::to_string(seq) +
+                       " >= next buffer seq");
+    SSDK_CHECK_MSG(std::binary_search(fifo_keys.begin(), fifo_keys.end(), key),
+                   "ssd: dirty buffer key " + std::to_string(key) +
+                       " missing from the eviction FIFO");
+  }
+  SSDK_CHECK_MSG(buffer_fifo_.size() >= buffer_.size(),
+                 "ssd: eviction FIFO smaller than the live buffer");
+
+  // --- GC job registry <-> job slab ----------------------------------------
+  for (std::size_t p = 0; p < gc_job_of_plane_.size(); ++p) {
+    const std::uint32_t idx = gc_job_of_plane_[p];
+    if (idx == kNoJob) continue;
+    SSDK_CHECK_MSG(idx < gc_jobs_.size(),
+                   "ssd: plane " + std::to_string(p) +
+                       " registers out-of-range gc job " + std::to_string(idx));
+    const GcJob& job = gc_jobs_[idx];
+    SSDK_CHECK_MSG(job.active && !job.rescue && job.plane_id == p,
+                   "ssd: plane " + std::to_string(p) + " registers gc job " +
+                       std::to_string(idx) +
+                       " that is inactive, a rescue, or on another plane");
+  }
+  for (std::size_t j = 0; j < gc_jobs_.size(); ++j) {
+    const GcJob& job = gc_jobs_[j];
+    if (!job.active || job.rescue) continue;
+    SSDK_CHECK_MSG(job.plane_id < gc_job_of_plane_.size() &&
+                       gc_job_of_plane_[job.plane_id] == j,
+                   "ssd: active gc job " + std::to_string(j) +
+                       " not registered at its plane " +
+                       std::to_string(job.plane_id));
+  }
+}
+
+}  // namespace ssdk::ssd

@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace ssdk::ssd {
 
 std::unique_ptr<Ssd> Ssd::fork() const {
@@ -24,6 +26,7 @@ std::unique_ptr<Ssd> Ssd::fork() const {
   copy->completion_hook_ = nullptr;
   copy->tracer_ = nullptr;
   copy->ftl_.set_tracer(nullptr, &copy->now_);
+  if (util::kCheckedBuild) copy->check_invariants();
   return copy;
 }
 
@@ -138,6 +141,8 @@ void Ssd::save_state(snapshot::StateWriter& w) const {
   // serialized sorted by key so save(load(save(d))) is byte-identical: a
   // reloaded unordered_map need not iterate in the order it was filled.
   w.tag("WBUF");
+  // ssdk-lint: allow(unordered-iter): copies the whole map and sorts by
+  // key immediately below — the serialized order is hash-independent.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> entries(
       buffer_.begin(), buffer_.end());
   std::sort(entries.begin(), entries.end());
@@ -294,6 +299,10 @@ void Ssd::load_state(snapshot::StateReader& r) {
   completion_hook_ = nullptr;
   tracer_ = nullptr;
   ftl_.set_tracer(nullptr, &now_);
+
+  // A snapshot is external input: in checked builds, prove the loaded
+  // state is structurally sound before the event loop touches it.
+  if (util::kCheckedBuild) check_invariants();
 }
 
 }  // namespace ssdk::ssd

@@ -1,0 +1,17 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace ssdk::util {
+
+void raise_invariant_violation(const char* file, int line,
+                               const char* condition,
+                               const std::string& message) {
+  std::ostringstream os;
+  os << "invariant violation at " << file << ":" << line << ": "
+     << condition;
+  if (!message.empty()) os << " — " << message;
+  throw InvariantViolation(os.str());
+}
+
+}  // namespace ssdk::util

@@ -1,0 +1,74 @@
+// Checked-build invariant assertions.
+//
+// Two tiers, by cost and audience:
+//
+//   * SSDK_ASSERT / SSDK_ASSERT_MSG — hot-path assertions, compiled to
+//     nothing (condition not even evaluated) unless the build defines
+//     SSDK_CHECKED. Use them where a plain assert() would vanish in
+//     Release builds but the property is cheap enough to keep in the
+//     `checked` preset (Release + SSDK_CHECKED), which runs the full test
+//     suite with them armed.
+//
+//   * SSDK_CHECK_MSG — always compiled, used inside the explicit audit
+//     walks (Ssd::check_invariants and friends). Those run only when a
+//     caller asks for an audit, so they pay for themselves in any build;
+//     tests can therefore corrupt a device and prove an invariant fires
+//     without needing a special configuration.
+//
+// Failures throw InvariantViolation (a std::logic_error) rather than
+// aborting: a violated invariant is a simulator bug, but tests need to
+// observe it, and campaign drivers prefer a catchable diagnosis over a
+// core dump mid-sweep.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ssdk::util {
+
+/// A checked-build audit found simulator state that breaks a structural
+/// invariant (L2P bijection, count conservation, queue consistency, ...).
+/// The message carries file:line, the failed condition, and a description.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// Build-time flag mirror, usable in ordinary `if` conditions so callers
+/// can gate periodic audits without preprocessor blocks at every site.
+#if defined(SSDK_CHECKED)
+inline constexpr bool kCheckedBuild = true;
+#else
+inline constexpr bool kCheckedBuild = false;
+#endif
+
+/// Compose the diagnostic and throw InvariantViolation. Out of line so the
+/// failure path adds one call per assertion site, not a string build.
+[[noreturn]] void raise_invariant_violation(const char* file, int line,
+                                            const char* condition,
+                                            const std::string& message);
+
+}  // namespace ssdk::util
+
+/// Always-on invariant check for explicit audit code paths.
+#define SSDK_CHECK_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ssdk::util::raise_invariant_violation(__FILE__, __LINE__, #cond, \
+                                              (msg));                   \
+    }                                                                   \
+  } while (0)
+
+#if defined(SSDK_CHECKED)
+#define SSDK_ASSERT(cond) SSDK_CHECK_MSG(cond, std::string{})
+#define SSDK_ASSERT_MSG(cond, msg) SSDK_CHECK_MSG(cond, (msg))
+#else
+// Zero-cost when off: the condition is not evaluated. sizeof in an
+// unevaluated context still type-checks the expression, so a checked
+// build cannot be the first to discover the assertion does not compile.
+#define SSDK_ASSERT(cond) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#define SSDK_ASSERT_MSG(cond, msg) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#endif

@@ -40,7 +40,8 @@ std::vector<sim::IoRequest> four_tenant_mix(std::uint64_t requests_each) {
 
 TEST(Keeper, SwitchesAfterCollectionWindow) {
   const auto space = StrategySpace::for_tenants(4);
-  const auto allocator = constant_allocator(space, space.index_of("4:2:1:1"));
+  const auto allocator = constant_allocator(
+      space, static_cast<std::uint32_t>(space.index_of("4:2:1:1")));
   KeeperConfig config;
   config.collect_window_ns = 50 * kMillisecond;
 
@@ -146,7 +147,8 @@ TEST(Keeper, WhatIfMeasuresTopKAndAppliesMeasuredBest) {
   const auto space = StrategySpace::for_tenants(4);
   // The constant allocator biases one strategy; the remaining top-k slots
   // fall to the lowest indices via the deterministic tie-break.
-  const auto allocator = constant_allocator(space, space.index_of("4:2:1:1"));
+  const auto allocator = constant_allocator(
+      space, static_cast<std::uint32_t>(space.index_of("4:2:1:1")));
   KeeperConfig config;
   config.collect_window_ns = 50 * kMillisecond;
   config.what_if_top_k = 3;

@@ -92,9 +92,9 @@ TEST_P(EveryStrategy, AssignmentDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(
     All42, EveryStrategy, testing::Range<std::size_t>(0, 42),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name =
-          StrategySpace::for_tenants(4).at(info.param).name();
+          StrategySpace::for_tenants(4).at(param_info.param).name();
       for (auto& c : name) {
         if (c == ':') c = '_';
       }

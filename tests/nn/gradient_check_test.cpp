@@ -64,8 +64,8 @@ INSTANTIATE_TEST_SUITE_P(AllActivations, GradientCheck,
                                          Activation::kLogistic,
                                          Activation::kTanh,
                                          Activation::kIdentity),
-                         [](const auto& info) {
-                           return to_string(info.param);
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
                          });
 
 TEST(GradientCheckDeep, ThreeHiddenLayers) {

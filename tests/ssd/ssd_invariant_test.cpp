@@ -1,0 +1,351 @@
+// Corruption-seeding tests for the checked-build invariant audit.
+//
+// Each test takes a healthy mid-simulation device, breaks exactly one
+// structural invariant — through the FTL's public mutators or by byte
+// surgery on a raw save_state() payload — and proves check_invariants()
+// (or the audit that runs automatically after load_state) detects it.
+// The healthy-path tests pin the other direction: a clean device, its
+// fork, and a save/load round trip must all audit clean, so the audit can
+// run inside full replays without false alarms.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snapshot/archive.hpp"
+#include "ssd/ssd.hpp"
+#include "util/check.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+sim::IoRequest make_req(std::uint64_t id, sim::TenantId tenant,
+                        sim::OpType type, std::uint64_t lpn,
+                        std::uint32_t pages, SimTime arrival) {
+  sim::IoRequest r;
+  r.id = id;
+  r.tenant = tenant;
+  r.type = type;
+  r.lpn = lpn;
+  r.page_count = pages;
+  r.arrival = arrival;
+  return r;
+}
+
+SsdOptions tiny_options() {
+  SsdOptions options;
+  options.geometry = sim::Geometry::tiny();
+  return options;
+}
+
+/// A tiny device paused mid-workload: mapped pages, pending events,
+/// in-flight ops — every structure the audit walks is populated.
+std::unique_ptr<Ssd> busy_device(std::uint64_t pause_at = 48) {
+  auto device = std::make_unique<Ssd>(tiny_options());
+  std::vector<sim::IoRequest> reqs;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto type = (i % 3 == 2) ? sim::OpType::kRead : sim::OpType::kWrite;
+    reqs.push_back(make_req(i, 0, type, i % 24, 1, 50 * i));
+  }
+  device->submit(reqs);
+  device->run_until_arrival(pause_at);
+  return device;
+}
+
+// --- byte-surgery helpers ----------------------------------------------------
+
+std::size_t find_tag(const std::vector<char>& buf, const char* tag) {
+  for (std::size_t i = 0; i + 4 <= buf.size(); ++i) {
+    if (std::memcmp(buf.data() + i, tag, 4) == 0) return i;
+  }
+  ADD_FAILURE() << "tag " << tag << " not found in snapshot payload";
+  return 0;
+}
+
+std::uint64_t read_u64(const std::vector<char>& buf, std::size_t pos) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, buf.data() + pos, sizeof(v));
+  return v;
+}
+
+void write_u64(std::vector<char>& buf, std::size_t pos, std::uint64_t v) {
+  std::memcpy(buf.data() + pos, &v, sizeof(v));
+}
+
+void write_u32(std::vector<char>& buf, std::size_t pos, std::uint32_t v) {
+  std::memcpy(buf.data() + pos, &v, sizeof(v));
+}
+
+/// Serialize `device`, let `corrupt` patch the raw payload, and load the
+/// result into a second identically-constructed device. The checked-build
+/// audit runs inside load_state; in normal builds the explicit audit
+/// afterwards does the same walk.
+void expect_corruption_detected(
+    const Ssd& device, const std::function<void(std::vector<char>&)>& corrupt,
+    const char* label) {
+  snapshot::StateWriter w;
+  device.save_state(w);
+  std::vector<char> bytes = w.take();
+  corrupt(bytes);
+
+  Ssd reloaded(tiny_options());
+  try {
+    snapshot::StateReader r(bytes);
+    reloaded.load_state(r);
+    reloaded.check_invariants();
+    FAIL() << label << ": corruption was not detected";
+  } catch (const util::InvariantViolation&) {
+    SUCCEED();
+  }
+}
+
+// --- healthy paths must audit clean ------------------------------------------
+
+TEST(SsdInvariants, CleanDeviceAuditsClean) {
+  auto device = busy_device();
+  EXPECT_NO_THROW(device->check_invariants());
+  device->run_to_completion();
+  EXPECT_NO_THROW(device->check_invariants());
+}
+
+TEST(SsdInvariants, ForkAuditsClean) {
+  auto device = busy_device();
+  auto copy = device->fork();
+  EXPECT_NO_THROW(copy->check_invariants());
+}
+
+TEST(SsdInvariants, SaveLoadRoundTripAuditsClean) {
+  auto device = busy_device();
+  snapshot::StateWriter w;
+  device->save_state(w);
+  const std::vector<char> bytes = w.take();
+  Ssd reloaded(tiny_options());
+  snapshot::StateReader r(bytes);
+  reloaded.load_state(r);
+  EXPECT_NO_THROW(reloaded.check_invariants());
+}
+
+TEST(SsdInvariants, DefaultGeometryWorkloadAuditsClean) {
+  Ssd device;  // paper-shaped small() geometry
+  std::vector<sim::IoRequest> reqs;
+  for (std::uint64_t i = 0; i < 128; ++i) {
+    reqs.push_back(make_req(i, i % 2, sim::OpType::kWrite, i, 2, 20 * i));
+  }
+  device.submit(reqs);
+  device.run_to_completion();
+  EXPECT_NO_THROW(device.check_invariants());
+}
+
+// --- L2P bijection ------------------------------------------------------------
+
+TEST(SsdInvariants, DetectsMappingToInvalidPage) {
+  auto device = busy_device();
+  // Repoint a mapped LPN at a page nothing ever wrote: the forward L2P
+  // walk must see a mapping whose target is not valid.
+  ASSERT_NE(device->ftl().mapping().lookup(0, 0), sim::kInvalidPpn);
+  const sim::Ppn bogus = device->ftl().geometry().total_pages() - 1;
+  ASSERT_FALSE(device->ftl().blocks().is_valid(bogus));
+  device->ftl().mapping().update(0, 0, bogus);
+  EXPECT_THROW(device->check_invariants(), util::InvariantViolation);
+}
+
+TEST(SsdInvariants, DetectsCrossMappedPages) {
+  auto device = busy_device();
+  // Point LPN 0 at LPN 1's physical page: both pages stay valid, counts
+  // stay conserved, but the owner recorded in the block manager no longer
+  // matches the mapping that reaches it.
+  const sim::Ppn other = device->ftl().mapping().lookup(0, 1);
+  ASSERT_NE(other, sim::kInvalidPpn);
+  device->ftl().mapping().update(0, 0, other);
+  EXPECT_THROW(device->check_invariants(), util::InvariantViolation);
+}
+
+TEST(SsdInvariants, DetectsOrphanValidPage) {
+  auto device = busy_device();
+  // Resurrect an invalidated page under an owner that maps nowhere: the
+  // reverse walk must find a valid page unreachable through the mapping.
+  const sim::Ppn old_home = device->ftl().mapping().lookup(0, 0);
+  ASSERT_NE(old_home, sim::kInvalidPpn);
+  // Arrivals must be non-decreasing device-wide, so the overwrite lands
+  // after the whole original stream.
+  device->submit(make_req(1000, 0, sim::OpType::kWrite, 0, 1, 50 * 64));
+  device->run_to_completion();
+  ASSERT_FALSE(device->ftl().blocks().is_valid(old_home))
+      << "overwrite should have invalidated the old page";
+  device->ftl().blocks().mark_valid(old_home, 0, 999'999);
+  EXPECT_THROW(device->check_invariants(), util::InvariantViolation);
+}
+
+TEST(SsdInvariants, DetectsMappedCountDrift) {
+  auto device = busy_device();
+  // Clearing a mapping through the raw table (table_span/update keep the
+  // cache honest, so go through a trim of a mapped LPN... then restore it
+  // behind the cache's back via update to the same value twice).
+  // Simplest honest corruption: erase a mapping and re-install it — the
+  // cache survives that — so instead corrupt via update() to kInvalidPpn
+  // followed by a direct re-update: count drops then rises, staying
+  // consistent. The cache can only be desynced through serialized state:
+  // patch the count in a snapshot payload.
+  snapshot::StateWriter w;
+  device->save_state(w);
+  std::vector<char> bytes = w.take();
+  const std::size_t l2pm = find_tag(bytes, "L2PM");
+  // Layout: tag, u64 tenant_count, then per tenant: vec_u64 table
+  // (u64 size + entries), u64 mapped_count.
+  const std::size_t table_size_pos = l2pm + 4 + 8;
+  const std::uint64_t entries = read_u64(bytes, table_size_pos);
+  ASSERT_GT(entries, 0u);
+  const std::size_t count_pos = table_size_pos + 8 + entries * 8;
+  write_u64(bytes, count_pos, read_u64(bytes, count_pos) + 3);
+
+  Ssd reloaded(tiny_options());
+  snapshot::StateReader r(bytes);
+  try {
+    reloaded.load_state(r);
+    reloaded.check_invariants();
+    FAIL() << "mapped-count drift was not detected";
+  } catch (const util::InvariantViolation&) {
+    SUCCEED();
+  }
+}
+
+// --- block manager ------------------------------------------------------------
+
+TEST(SsdInvariants, DetectsValidCounterCorruption) {
+  auto device = busy_device();
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        // BLKM: tag, u64 retired, u64 nblocks, then 19-byte records
+        // (u32 write_ptr, u32 valid, u64 erases, u8 state, u8, u8).
+        const std::size_t blkm = find_tag(bytes, "BLKM");
+        const std::size_t valid_pos = blkm + 4 + 8 + 8 + 4;
+        write_u32(bytes, valid_pos, 7'777);
+      },
+      "block valid counter");
+}
+
+TEST(SsdInvariants, DetectsFreeListDuplicate) {
+  auto device = busy_device();
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        // Plane free lists follow the block records: u64 plane count,
+        // then per plane vec_u32 free_list + i64 open_block. Duplicate
+        // the first plane's first free block into its second slot.
+        const std::size_t blkm = find_tag(bytes, "BLKM");
+        const std::uint64_t nblocks = read_u64(bytes, blkm + 12);
+        const std::size_t planes_pos = blkm + 20 + nblocks * 19;
+        const std::size_t list_size_pos = planes_pos + 8;
+        const std::uint64_t list_len = read_u64(bytes, list_size_pos);
+        ASSERT_GE(list_len, 2u) << "need two free blocks to duplicate";
+        std::uint32_t first = 0;
+        std::memcpy(&first, bytes.data() + list_size_pos + 8, 4);
+        write_u32(bytes, list_size_pos + 8 + 4, first);
+      },
+      "free-list duplicate");
+}
+
+// --- event queue --------------------------------------------------------------
+
+TEST(SsdInvariants, DetectsEventBeforeNow) {
+  auto device = busy_device();
+  ASSERT_GT(device->now(), 0u);
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        // EVTQ: tag, u64 next_seq, u64 count, then 33-byte events whose
+        // first field is the timestamp. Schedule the first one at 0,
+        // before the restored clock.
+        const std::size_t evtq = find_tag(bytes, "EVTQ");
+        ASSERT_GT(read_u64(bytes, evtq + 12), 0u) << "no pending events";
+        write_u64(bytes, evtq + 20, 0);
+      },
+      "stale event timestamp");
+}
+
+TEST(SsdInvariants, DetectsDuplicateEventSeq) {
+  auto device = busy_device();
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        const std::size_t evtq = find_tag(bytes, "EVTQ");
+        ASSERT_GE(read_u64(bytes, evtq + 12), 2u) << "need two events";
+        // Copy event 0's seq over event 1's: the unique total order dies.
+        const std::uint64_t seq0 = read_u64(bytes, evtq + 20 + 8);
+        write_u64(bytes, evtq + 20 + 33 + 8, seq0);
+      },
+      "duplicate event seq");
+}
+
+// --- op slab and arbitration caches -------------------------------------------
+
+TEST(SsdInvariants, DetectsOpSlabCorruption) {
+  auto device = busy_device();
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        // OPSL: tag, u64 count, then 82-byte op records ending in the
+        // in_use byte. Flipping op 0's flag either leaks it (in use,
+        // vanished from the free list) or double-frees it (free-listed
+        // and in use); the slab accounting catches both.
+        const std::size_t opsl = find_tag(bytes, "OPSL");
+        ASSERT_GT(read_u64(bytes, opsl + 4), 0u);
+        const std::size_t flag_pos = opsl + 12 + 81;
+        bytes[flag_pos] = bytes[flag_pos] ? '\0' : '\1';
+      },
+      "op slab in_use flag");
+}
+
+TEST(SsdInvariants, DetectsQueuedWriteCacheDrift) {
+  auto device = busy_device();
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        // CHNL: tag, u64 count, then per channel: bool bus_busy,
+        // u64 bus_free_at, ring (u64 size + entries), bool rr_toggle,
+        // u32 queued_writes. Desync channel 0's cached counter.
+        const std::size_t chnl = find_tag(bytes, "CHNL");
+        const std::size_t ring_size_pos = chnl + 12 + 1 + 8;
+        const std::uint64_t ring_len = read_u64(bytes, ring_size_pos);
+        const std::size_t queued_pos = ring_size_pos + 8 + ring_len * 8 + 1;
+        write_u32(bytes, queued_pos, 0xDEAD);
+      },
+      "queued_writes cache");
+}
+
+// --- periodic audit hook ------------------------------------------------------
+
+TEST(SsdInvariants, PeriodicAuditCatchesCorruptionMidRun) {
+  auto device = busy_device();
+  device->set_audit_interval(1);  // audit after every handled arrival
+  const sim::Ppn bogus = device->ftl().geometry().total_pages() - 1;
+  ASSERT_FALSE(device->ftl().blocks().is_valid(bogus));
+  device->ftl().mapping().update(0, 0, bogus);
+  EXPECT_THROW(device->run_to_completion(), util::InvariantViolation);
+}
+
+TEST(SsdInvariants, PeriodicAuditIsScheduleNeutral) {
+  // Audits observe, never mutate: the same workload with and without the
+  // per-arrival audit must produce identical metrics and final clocks.
+  auto plain = busy_device(~std::uint64_t{0});
+  auto audited = std::make_unique<Ssd>(tiny_options());
+  audited->set_audit_interval(1);
+  std::vector<sim::IoRequest> reqs;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const auto type = (i % 3 == 2) ? sim::OpType::kRead : sim::OpType::kWrite;
+    reqs.push_back(make_req(i, 0, type, i % 24, 1, 50 * i));
+  }
+  audited->submit(reqs);
+  audited->run_to_completion();
+  EXPECT_EQ(plain->now(), audited->now());
+  EXPECT_EQ(plain->metrics().tenant(0).avg_write_us(),
+            audited->metrics().tenant(0).avg_write_us());
+}
+
+}  // namespace
+}  // namespace ssdk::ssd

@@ -123,13 +123,13 @@ INSTANTIATE_TEST_SUITE_P(
                      testing::Bool(),            // pipelined writes
                      testing::Values(0u, 128u),  // write buffer
                      testing::Bool()),           // partitioned tenants
-    [](const testing::TestParamInfo<DeviceParam>& info) {
+    [](const testing::TestParamInfo<DeviceParam>& param_info) {
       std::string name;
-      name += std::get<0>(info.param) ? "prio" : "fair";
-      name += std::get<1>(info.param) ? "_multiplane" : "_chipserial";
-      name += std::get<2>(info.param) ? "_pipelined" : "_heldbus";
-      name += std::get<3>(info.param) ? "_buffered" : "_unbuffered";
-      name += std::get<4>(info.param) ? "_partitioned" : "_shared";
+      name += std::get<0>(param_info.param) ? "prio" : "fair";
+      name += std::get<1>(param_info.param) ? "_multiplane" : "_chipserial";
+      name += std::get<2>(param_info.param) ? "_pipelined" : "_heldbus";
+      name += std::get<3>(param_info.param) ? "_buffered" : "_unbuffered";
+      name += std::get<4>(param_info.param) ? "_partitioned" : "_shared";
       return name;
     });
 

@@ -51,8 +51,8 @@ TEST_P(GoldenScheduleTest, BitIdenticalToPreOptimizationTrace) {
 INSTANTIATE_TEST_SUITE_P(
     AllRecipes, GoldenScheduleTest,
     ::testing::ValuesIn(testing::all_golden_recipes()),
-    [](const ::testing::TestParamInfo<testing::GoldenRecipe>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<testing::GoldenRecipe>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

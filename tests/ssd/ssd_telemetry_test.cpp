@@ -116,7 +116,7 @@ TEST(SsdTelemetry, KeeperDecisionsLandInTrace) {
   // Linear model biased hard toward one strategy index.
   nn::Matrix w(core::kFeatureDim, space.size());
   nn::Matrix b(1, space.size());
-  const std::uint32_t winner = space.index_of("6:2");
+  const auto winner = static_cast<std::uint32_t>(space.index_of("6:2"));
   b(0, winner) = 10.0;
   std::vector<nn::DenseLayer> layers;
   layers.emplace_back(std::move(w), std::move(b), nn::Activation::kIdentity);

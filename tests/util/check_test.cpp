@@ -1,0 +1,55 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ssdk::util {
+namespace {
+
+TEST(Check, CheckMsgPassesQuietly) {
+  EXPECT_NO_THROW(SSDK_CHECK_MSG(1 + 1 == 2, "arithmetic"));
+}
+
+TEST(Check, CheckMsgThrowsWithLocationAndMessage) {
+  try {
+    SSDK_CHECK_MSG(2 + 2 == 5, "the counter drifted");
+    FAIL() << "SSDK_CHECK_MSG did not throw";
+  } catch (const InvariantViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("the counter drifted"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, InvariantViolationIsLogicError) {
+  // Campaign drivers catch std::logic_error; the violation must be one.
+  EXPECT_THROW(SSDK_CHECK_MSG(false, "x"), std::logic_error);
+}
+
+TEST(Check, AssertEvaluatesConditionOnlyInCheckedBuilds) {
+  // The off-state must not evaluate its argument (zero cost on the hot
+  // path); the on-state must. kCheckedBuild tells us which build this is,
+  // so one test validates both configurations.
+  int evaluations = 0;
+  auto touch = [&]() {
+    ++evaluations;
+    return true;
+  };
+  SSDK_ASSERT(touch());
+  EXPECT_EQ(evaluations, kCheckedBuild ? 1 : 0);
+}
+
+TEST(Check, AssertThrowsOnlyInCheckedBuilds) {
+  if (kCheckedBuild) {
+    EXPECT_THROW(SSDK_ASSERT(false), InvariantViolation);
+    EXPECT_THROW(SSDK_ASSERT_MSG(false, "armed"), InvariantViolation);
+  } else {
+    EXPECT_NO_THROW(SSDK_ASSERT(false));
+    EXPECT_NO_THROW(SSDK_ASSERT_MSG(false, "disarmed"));
+  }
+}
+
+}  // namespace
+}  // namespace ssdk::util

@@ -1,0 +1,18 @@
+// Fixture: schedule-safe code — sorted containers, seeded RNG via an
+// explicit state, integer time. Must lint clean.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+using SimTime = std::uint64_t;
+
+std::map<std::uint64_t, std::uint64_t> ordered_;
+
+SimTime fine(SimTime now) {
+  SimTime total = now + 125;  // integer nanoseconds only
+  for (const auto& [key, value] : ordered_) {
+    total += value;  // std::map iterates in key order: deterministic
+  }
+  std::vector<int> v{3, 1, 2};
+  return total + static_cast<SimTime>(v.size());
+}

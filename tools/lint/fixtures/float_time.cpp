@@ -1,0 +1,10 @@
+// Fixture: floating-point math accumulated into a simulation timestamp.
+#include <cstdint>
+
+using SimTime = std::uint64_t;
+using Duration = std::uint64_t;
+
+SimTime bad_schedule(SimTime now, double rate) {
+  SimTime next = now + static_cast<Duration>(rate * 1.5);
+  return next + static_cast<SimTime>(static_cast<double>(now) * 0.25);
+}

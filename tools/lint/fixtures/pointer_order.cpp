@@ -1,0 +1,18 @@
+// Fixture: ordering by pointer value (ASLR makes this run-dependent).
+#include <cstdint>
+#include <functional>
+#include <map>
+
+struct Op {
+  int x = 0;
+};
+
+std::map<Op*, int, std::less<Op*>> by_address;
+
+bool bad_compare(const Op& a, const Op& b) {
+  return &a < &b;
+}
+
+std::uintptr_t bad_key(const Op* op) {
+  return reinterpret_cast<std::uintptr_t>(op);
+}

@@ -1,0 +1,14 @@
+// Fixture: an allow() with no justification is itself a finding.
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> counters_;
+
+std::uint64_t lazy_sum() {
+  std::uint64_t total = 0;
+  // ssdk-lint: allow(unordered-iter)
+  for (const auto& [key, value] : counters_) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,16 @@
+// Fixture: a justified suppression silences the finding — this file must
+// lint clean.
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> counters_;
+
+std::uint64_t ok_sum() {
+  std::uint64_t total = 0;
+  // ssdk-lint: allow(unordered-iter): summation is commutative, so visit
+  // order cannot affect the result.
+  for (const auto& [key, value] : counters_) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,16 @@
+// Fixture: iterating an unordered container without a suppression.
+#include <cstdint>
+#include <unordered_map>
+
+std::unordered_map<std::uint64_t, std::uint64_t> table_;
+
+std::uint64_t bad_sum() {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : table_) {
+    total += key + value;
+  }
+  for (auto it = table_.begin(); it != table_.end(); ++it) {
+    total += it->second;
+  }
+  return total;
+}

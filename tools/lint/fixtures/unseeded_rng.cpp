@@ -1,0 +1,9 @@
+// Fixture: every line here must trip the unseeded-rng rule.
+#include <cstdlib>
+#include <random>
+
+int bad_random() {
+  std::random_device rd;
+  srand(42);
+  return std::rand() + static_cast<int>(rd());
+}

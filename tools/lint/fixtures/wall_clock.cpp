@@ -1,0 +1,10 @@
+// Fixture: every line here must trip the wall-clock rule.
+#include <chrono>
+#include <ctime>
+
+long bad_now() {
+  auto t = std::chrono::system_clock::now().time_since_epoch().count();
+  auto s = std::chrono::steady_clock::now().time_since_epoch().count();
+  long c = time(nullptr);
+  return t + s + c;
+}

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# clang-tidy driver: run the committed .clang-tidy check set over every
+# first-party translation unit, using the compile database the default
+# CMake preset exports.
+#
+# Usage:
+#   tools/lint/run_tidy.sh [--strict] [--build-dir DIR] [paths...]
+#
+#   --strict       Fail (exit 127) when clang-tidy is not installed.
+#                  Default is to skip with a notice so developer machines
+#                  without LLVM do not break; CI passes --strict (or sets
+#                  SSDK_TIDY_STRICT=1) after installing the tool.
+#   --build-dir    Build tree holding compile_commands.json (default:
+#                  <repo>/build; configured on the fly when missing).
+#   paths          Restrict the run to these files/directories under src/.
+#
+# Exit status: 0 clean (or tool skipped in non-strict mode), 1 findings,
+# 127 tool missing in strict mode.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+build_dir="${repo_root}/build"
+strict="${SSDK_TIDY_STRICT:-0}"
+paths=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --strict) strict=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    -h|--help) sed -n '2,19p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    *) paths+=("$1"); shift ;;
+  esac
+done
+
+tidy=""
+for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+                 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "${candidate}" >/dev/null 2>&1; then
+    tidy="${candidate}"
+    break
+  fi
+done
+
+if [[ -z "${tidy}" ]]; then
+  if [[ "${strict}" == "1" ]]; then
+    echo "run_tidy: clang-tidy not found and --strict given" >&2
+    exit 127
+  fi
+  echo "run_tidy: clang-tidy not installed; skipping (pass --strict to" \
+       "make this an error)"
+  exit 0
+fi
+
+# clang-tidy needs a compile database; configure one if the build tree
+# does not have it yet (CMAKE_EXPORT_COMPILE_COMMANDS is on by default in
+# the top-level CMakeLists).
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_tidy: configuring ${build_dir} to export compile_commands.json"
+  cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
+fi
+
+if [[ ${#paths[@]} -eq 0 ]]; then
+  paths=("${repo_root}/src")
+fi
+
+files=()
+for p in "${paths[@]}"; do
+  if [[ -d "${p}" ]]; then
+    while IFS= read -r f; do files+=("${f}"); done \
+      < <(find "${p}" -name '*.cpp' | sort)
+  else
+    files+=("${p}")
+  fi
+done
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "run_tidy: no translation units found under: ${paths[*]}" >&2
+  exit 2
+fi
+
+echo "run_tidy: ${tidy} over ${#files[@]} translation unit(s)"
+status=0
+"${tidy}" -p "${build_dir}" --quiet "${files[@]}" || status=1
+
+if [[ ${status} -ne 0 ]]; then
+  echo "run_tidy: findings reported (see above)" >&2
+  exit 1
+fi
+echo "run_tidy: clean"
