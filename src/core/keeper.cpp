@@ -13,6 +13,10 @@ void SsdKeeper::attach(ssd::Ssd& device) {
   device.set_arrival_hook([this, &device](const sim::IoRequest& request) {
     on_arrival(device, request);
   });
+  device.set_completion_hook([this, &device](const sim::Completion& c) {
+    on_completion(device, c);
+  });
+  device.set_power_hook([this, &device]() { on_power_up(device); });
 }
 
 std::optional<Strategy> SsdKeeper::chosen_strategy() const {
@@ -83,22 +87,31 @@ void SsdKeeper::apply(ssd::Ssd& device, SimTime at) {
                                         : config_.collect_window_ns) /
       1e9;
   features_ = collector_.finalize(window_s);
+  const auto profiles = features_->profiles(allocator_.space().tenants());
+  last_profiles_ = profiles;
   Strategy strategy;
   if (config_.what_if_top_k >= 2) {
     const auto candidates =
         allocator_.predict_top_k(*features_, config_.what_if_top_k);
-    const auto profiles = features_->profiles(allocator_.space().tenants());
     strategy = allocator_.space().at(
         measure_best(device, candidates, profiles));
   } else {
     strategy = allocator_.predict(*features_);
   }
+  const Strategy incumbent = decisions_.empty() ? allocator_.space().shared()
+                                                : decisions_.back().second;
+  if (vetoed_ && strategy == *vetoed_) {
+    // The watchdog rolled this strategy back last window; keep the
+    // incumbent for one more window instead of re-applying it.
+    strategy = incumbent;
+    vetoed_.reset();
+  }
   const bool changed =
       decisions_.empty() || !(strategy == decisions_.back().second);
   if (changed) {
-    const auto profiles = features_->profiles(allocator_.space().tenants());
     configure_ssd(device, strategy, profiles,
                   config_.hybrid_page_allocation);
+    if (config_.watchdog_window_ns > 0) start_watch(at, incumbent, strategy);
   }
   if (config_.trace_decisions) {
     if (auto* tracer = device.tracer()) {
@@ -112,6 +125,109 @@ void SsdKeeper::apply(ssd::Ssd& device, SimTime at) {
   }
   decisions_.emplace_back(at, strategy);
   collector_.reset();
+}
+
+void SsdKeeper::prune_recent(SimTime now) {
+  const Duration window = config_.watchdog_window_ns;
+  while (!recent_lat_.empty() && recent_lat_.front().first + window < now) {
+    recent_lat_.pop_front();
+  }
+}
+
+void SsdKeeper::start_watch(SimTime at, const Strategy& incumbent,
+                            const Strategy& candidate) {
+  prune_recent(at);
+  SampleSet baseline;
+  for (const auto& [finish, us] : recent_lat_) baseline.add(us);
+  watch_prev_ = incumbent;
+  watch_next_ = candidate;
+  watch_baseline_count_ = baseline.count();
+  watch_baseline_p99_ = baseline.empty() ? 0.0 : baseline.percentile(99.0);
+  watch_post_ = SampleSet{};
+  watch_until_ = at + config_.watchdog_window_ns;
+  watching_ = true;
+}
+
+void SsdKeeper::on_completion(ssd::Ssd& device,
+                              const sim::Completion& c) {
+  if (config_.watchdog_window_ns == 0) return;
+  if (c.type != sim::OpType::kRead && c.type != sim::OpType::kWrite) return;
+  const double us = to_us(c.latency());
+  prune_recent(c.finish);
+  recent_lat_.emplace_back(c.finish, us);
+  if (!watching_) return;
+  if (c.finish < watch_until_) {
+    watch_post_.add(us);
+    return;
+  }
+  // The watch window just closed; judge the switch on what it collected.
+  watching_ = false;
+  if (watch_post_.count() < config_.watchdog_min_samples ||
+      watch_baseline_count_ < config_.watchdog_min_samples ||
+      watch_baseline_p99_ <= 0.0) {
+    return;  // not enough evidence either way — keep the new strategy
+  }
+  const double post_p99 = watch_post_.percentile(99.0);
+  if (post_p99 <= config_.rollback_p99_ratio * watch_baseline_p99_) return;
+
+  // Regression confirmed: restore the incumbent and veto the regressor so
+  // the next re-prediction cannot immediately re-apply it.
+  configure_ssd(device, watch_prev_, recovery_profiles(),
+                config_.hybrid_page_allocation);
+  vetoed_ = watch_next_;
+  ++rollbacks_;
+  if (config_.trace_decisions) {
+    if (auto* tracer = device.tracer()) {
+      telemetry::KeeperDecision decision;
+      decision.time = c.finish;
+      decision.strategy = watch_prev_.name();
+      decision.features = "watchdog rollback of " + watch_next_.name() +
+                          ": p99 " + std::to_string(post_p99) +
+                          "us vs baseline " +
+                          std::to_string(watch_baseline_p99_) + "us";
+      decision.changed = true;
+      tracer->record_decision(std::move(decision));
+    }
+  }
+  decisions_.emplace_back(c.finish, watch_prev_);
+}
+
+std::vector<TenantProfile> SsdKeeper::recovery_profiles() const {
+  if (!last_profiles_.empty()) return last_profiles_;
+  std::vector<TenantProfile> profiles(allocator_.space().tenants());
+  for (std::size_t t = 0; t < profiles.size(); ++t) {
+    profiles[t].id = static_cast<sim::TenantId>(t);
+    profiles[t].relative_intensity =
+        1.0 / static_cast<double>(profiles.size());
+  }
+  return profiles;
+}
+
+void SsdKeeper::on_power_up(ssd::Ssd& device) {
+  // The pre-crash partition was tuned to a mix the crash may have ended,
+  // and any in-progress collection window died with the queues. Re-enter
+  // Algorithm 2 from the top: safe Shared allocation with the default
+  // (static) page placement and a fresh window from the recovered clock.
+  const Strategy shared = allocator_.space().shared();
+  configure_ssd(device, shared, recovery_profiles(), false);
+  collector_.reset();
+  initial_done_ = false;
+  window_end_ = device.now() + config_.collect_window_ns;
+  watching_ = false;
+  recent_lat_.clear();
+  vetoed_.reset();
+  ++power_recoveries_;
+  if (config_.trace_decisions) {
+    if (auto* tracer = device.tracer()) {
+      telemetry::KeeperDecision decision;
+      decision.time = device.now();
+      decision.strategy = shared.name();
+      decision.features = "power-loss recovery: re-entering collection";
+      decision.changed = true;
+      tracer->record_decision(std::move(decision));
+    }
+  }
+  decisions_.emplace_back(device.now(), shared);
 }
 
 void SsdKeeper::on_arrival(ssd::Ssd& device,

@@ -13,9 +13,22 @@
 // initial switch in rolling windows and re-applies the predicted strategy
 // at each window boundary — adapting when the tenant mix drifts (the
 // paper's "self-adapting" goal taken online).
+//
+// Two robustness additions (DESIGN.md §14):
+//   * Power-loss recovery: attach() also installs the device's power hook.
+//     After a power cut + recovery scan the keeper re-enters Algorithm 2
+//     from the top — safe Shared allocation with default page placement,
+//     fresh collection window from the recovered clock — because the
+//     pre-crash partition was tuned to a mix the crash may have ended.
+//   * p99 regression watchdog (`watchdog_window_ns` > 0): after every
+//     re-partition the keeper compares the p99 completion latency of the
+//     next window against the window before the switch; a regression
+//     beyond `rollback_p99_ratio` reverts to the previous strategy and
+//     vetoes the regressing one at the next re-prediction.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <span>
 #include <utility>
@@ -25,6 +38,7 @@
 #include "core/features.hpp"
 #include "core/runner.hpp"
 #include "ssd/ssd.hpp"
+#include "util/stats.hpp"
 #include "util/time_types.hpp"
 
 namespace ssdk::core {
@@ -51,6 +65,16 @@ struct KeeperConfig {
   /// the decision arrival (its page ops are not yet created when the
   /// arrival hook runs) — a deliberate heuristic, not an oracle.
   std::uint32_t what_if_top_k = 0;
+  /// p99 regression watchdog. 0 disables. Otherwise, after every strategy
+  /// *change*, read/write completions over the next `watchdog_window_ns`
+  /// form a post-switch latency sample; if its p99 exceeds
+  /// `rollback_p99_ratio` times the p99 of the same-length window before
+  /// the switch (both sides holding at least `watchdog_min_samples`
+  /// completions), the keeper reverts to the previous strategy and vetoes
+  /// the regressing one at the next re-prediction.
+  Duration watchdog_window_ns = 0;
+  double rollback_p99_ratio = 1.25;
+  std::uint32_t watchdog_min_samples = 32;
   FeatureConfig features;
 };
 
@@ -58,9 +82,11 @@ class SsdKeeper {
  public:
   SsdKeeper(const ChannelAllocator& allocator, KeeperConfig config);
 
-  /// Install the keeper's arrival hook on a device. The device must be
-  /// driven (submit + run_to_completion) by the caller. Replaces any
-  /// existing arrival hook.
+  /// Install the keeper's hooks on a device: the arrival hook (feature
+  /// collection + decisions), the completion hook (watchdog latency
+  /// samples) and the power hook (post-recovery re-entry). The device must
+  /// be driven (submit + run_to_completion) by the caller. Replaces any
+  /// existing hooks of those kinds.
   void attach(ssd::Ssd& device);
 
   bool switched() const { return !decisions_.empty(); }
@@ -86,9 +112,25 @@ class SsdKeeper {
     return what_if_;
   }
 
+  /// Re-partitions the watchdog reverted because they made p99 worse.
+  std::size_t rollbacks() const { return rollbacks_; }
+  /// Power-loss recoveries the keeper re-entered collection after.
+  std::size_t power_recoveries() const { return power_recoveries_; }
+
  private:
   void on_arrival(ssd::Ssd& device, const sim::IoRequest& request);
+  void on_completion(ssd::Ssd& device, const sim::Completion& completion);
+  void on_power_up(ssd::Ssd& device);
   void apply(ssd::Ssd& device, SimTime at);
+  /// Open a watchdog window over the just-applied switch.
+  void start_watch(SimTime at, const Strategy& incumbent,
+                   const Strategy& candidate);
+  /// Drop latency samples older than one watchdog window before `now`.
+  void prune_recent(SimTime now);
+  /// Profiles to re-apply a strategy outside a decision point (rollback,
+  /// power recovery): the last decision's profiles, or a uniform default
+  /// before any decision exists.
+  std::vector<TenantProfile> recovery_profiles() const;
   /// Fork the device per candidate, replay the remaining work under it,
   /// and return the index (into the strategy space) with the lowest
   /// measured suffix latency. Fills what_if_.
@@ -104,6 +146,20 @@ class SsdKeeper {
   std::optional<MixFeatures> features_;
   std::vector<std::pair<SimTime, Strategy>> decisions_;
   std::vector<std::pair<std::uint32_t, double>> what_if_;
+  std::vector<TenantProfile> last_profiles_;
+
+  // p99 regression watchdog state (active when watchdog_window_ns > 0).
+  std::deque<std::pair<SimTime, double>> recent_lat_;  ///< (finish, us)
+  bool watching_ = false;
+  SimTime watch_until_ = 0;
+  double watch_baseline_p99_ = 0.0;
+  std::uint64_t watch_baseline_count_ = 0;
+  Strategy watch_prev_;  ///< incumbent restored on rollback
+  Strategy watch_next_;  ///< candidate under watch, vetoed on rollback
+  SampleSet watch_post_;
+  std::optional<Strategy> vetoed_;
+  std::size_t rollbacks_ = 0;
+  std::size_t power_recoveries_ = 0;
 };
 
 struct KeeperRunResult {

@@ -12,11 +12,15 @@
 #include <stdexcept>
 #include <vector>
 
+#include "ftl/recovery.hpp"
 #include "sim/geometry.hpp"
 #include "sim/request.hpp"
 #include "snapshot/archive.hpp"
 
 namespace ssdk::ftl {
+
+class MappingTable;
+class OobStore;
 
 /// Packed owner of a physical page: tenant in the top 24 bits, LPN in the
 /// low 40 (a tenant logical space of up to ~10^12 pages).
@@ -176,6 +180,18 @@ class BlockManager {
 
   /// Retired blocks across the device.
   std::uint64_t retired_blocks() const { return retired_; }
+
+  // --- power-loss recovery (driven by Ftl::recover_after_power_loss) ------
+
+  /// Rebuild every piece of volatile block bookkeeping from the OOB scan:
+  /// re-derive per-block state (unknown blocks re-erased, any block with a
+  /// programmed page sealed Full, untouched blocks Free), reset per-page
+  /// owners/valid counts to the scan's winning versions, rebuild the free
+  /// lists, and install the winners into `map`. Only the bad-block table
+  /// (retired flags) and erase counters are treated as durable. Defined in
+  /// recovery.cpp.
+  void recover_from_oob(OobStore& oob, MappingTable& map,
+                        RecoveryReport& report);
 
   /// Serialize everything but the geometry (fixed at construction; the
   /// snapshot layer round-trips it as part of the device options).

@@ -115,6 +115,11 @@ sim::Ppn Ftl::translate_read(sim::TenantId tenant, std::uint64_t lpn) {
   if (ppn == sim::kInvalidPpn) throw DeviceFullError(tenant, lpn);
   blocks_.mark_valid(ppn, tenant, lpn);
   map_.update(tenant, lpn, ppn);
+  // Prepopulated data "was written before the simulation": its OOB is
+  // already on flash, so it survives power loss like any other page.
+  if (oob_.enabled()) {
+    oob_.record_program(ppn, tenant, lpn, oob_.fresh_seq());
+  }
   return ppn;
 }
 
@@ -195,6 +200,11 @@ bool Ftl::complete_migration(sim::Ppn src, sim::Ppn dst) {
 
 void Ftl::erase_block(std::uint64_t plane_id, std::uint32_t block) {
   blocks_.erase_block(plane_id, block);
+  if (oob_.enabled()) {
+    const std::uint64_t first =
+        (plane_id * geom_.blocks_per_plane + block) * geom_.pages_per_block;
+    oob_.erase_range(first, geom_.pages_per_block);
+  }
 }
 
 sim::Ppn Ftl::allocate_rescue(std::uint64_t plane_id) {
@@ -238,6 +248,9 @@ void Ftl::drop_lost_page(sim::Ppn ppn) {
   const PageOwner who = blocks_.owner(ppn);
   map_.erase(who.tenant, who.lpn);
   blocks_.invalidate(ppn);
+  // The media ate the page: its OOB must not resurrect the dead data on
+  // the next recovery scan.
+  if (oob_.enabled()) oob_.record_failed(ppn);
 }
 
 std::optional<std::uint32_t> Ftl::wear_leveling_candidate(
@@ -291,6 +304,28 @@ void Ftl::check_invariants() const {
                        std::to_string(who.lpn) +
                        ") is not reachable through the mapping");
   }
+
+  // OOB metadata vs. block bookkeeping. A valid page with an erased OOB is
+  // legal (program still in flight — validity is claimed at allocation,
+  // OOB written at completion); a torn or failed page must never be valid,
+  // and a readable OOB on a valid page must agree with the owner table.
+  oob_.check_invariants();
+  if (oob_.enabled()) {
+    for (sim::Ppn ppn = 0; ppn < total_pages; ++ppn) {
+      const OobState s = oob_.state(ppn);
+      if (s == OobState::kTorn || s == OobState::kFailed) {
+        SSDK_CHECK_MSG(!blocks_.is_valid(ppn),
+                       "oob: unreadable ppn " + std::to_string(ppn) +
+                           " is still marked valid");
+      } else if (s == OobState::kData && blocks_.is_valid(ppn)) {
+        const PageOwner who = blocks_.owner(ppn);
+        SSDK_CHECK_MSG(
+            oob_.owner(ppn) == OobStore::pack_owner(who.tenant, who.lpn),
+            "oob: ppn " + std::to_string(ppn) +
+                " OOB owner disagrees with the block manager's owner");
+      }
+    }
+  }
 }
 
 void Ftl::save_state(snapshot::StateWriter& w) const {
@@ -303,6 +338,7 @@ void Ftl::save_state(snapshot::StateWriter& w) const {
     w.u8(static_cast<std::uint8_t>(p.mode));
     w.u64(p.rr_counter);
   }
+  oob_.save_state(w);
 }
 
 void Ftl::load_state(snapshot::StateReader& r) {
@@ -316,6 +352,7 @@ void Ftl::load_state(snapshot::StateReader& r) {
     p.mode = static_cast<AllocMode>(r.u8());
     p.rr_counter = r.u64();
   }
+  oob_.load_state(r, geom_);
 }
 
 }  // namespace ssdk::ftl

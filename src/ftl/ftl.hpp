@@ -13,7 +13,9 @@
 
 #include "ftl/block_manager.hpp"
 #include "ftl/mapping.hpp"
+#include "ftl/oob.hpp"
 #include "ftl/page_alloc.hpp"
+#include "ftl/recovery.hpp"
 #include "sim/geometry.hpp"
 #include "sim/request.hpp"
 #include "telemetry/tracer.hpp"
@@ -161,6 +163,20 @@ class Ftl {
   /// erased or retired cleanly.
   void drop_lost_page(sim::Ppn ppn);
 
+  // --- OOB metadata + power-loss recovery ----------------------------------
+
+  /// Materialize the per-page OOB store (power model armed). Idempotent.
+  void enable_oob() { oob_.enable(geom_); }
+  OobStore& oob() { return oob_; }
+  const OobStore& oob() const { return oob_; }
+
+  /// Power-up mount: full-device OOB scan rebuilding the L2P map (highest
+  /// sequence number wins, lowest PPN breaks ties), block states, free
+  /// lists and valid counts; unknown blocks are re-erased; torn/failed
+  /// pages discarded. The device model charges the report's scan reads and
+  /// re-erases as mount time. Requires enable_oob().
+  RecoveryReport recover_after_power_loss();
+
   // --- introspection --------------------------------------------------------
 
   /// Full FTL audit: mapping-count consistency, block bookkeeping, and the
@@ -218,6 +234,7 @@ class Ftl {
   FtlConfig config_;
   MappingTable map_;
   BlockManager blocks_;
+  OobStore oob_;
   std::vector<std::uint32_t> all_channels_;
   mutable std::vector<TenantPolicy> policies_;
   telemetry::Tracer* tracer_ = nullptr;

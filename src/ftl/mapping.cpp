@@ -1,5 +1,6 @@
 #include "ftl/mapping.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/check.hpp"
@@ -31,6 +32,13 @@ sim::Ppn MappingTable::grow_and_update(sim::TenantId tenant,
 
 sim::Ppn MappingTable::erase(sim::TenantId tenant, std::uint64_t lpn) {
   return update(tenant, lpn, sim::kInvalidPpn);
+}
+
+void MappingTable::clear() {
+  for (auto& table : tables_) {
+    std::fill(table.begin(), table.end(), sim::kInvalidPpn);
+  }
+  std::fill(mapped_counts_.begin(), mapped_counts_.end(), 0);
 }
 
 std::uint64_t MappingTable::mapped_count(sim::TenantId tenant) const {

@@ -46,6 +46,11 @@ class MappingTable {
   /// Remove the mapping (trim); returns the previous PPN.
   sim::Ppn erase(sim::TenantId tenant, std::uint64_t lpn);
 
+  /// Drop every mapping while keeping the tenant tables (and their spans)
+  /// allocated — the recovery scan rebuilds the map in place and recovered
+  /// LPNs are always a subset of previously touched ones.
+  void clear();
+
   /// Number of mapped (valid) logical pages for a tenant.
   std::uint64_t mapped_count(sim::TenantId tenant) const;
 

@@ -1,0 +1,27 @@
+// Result of a full-device OOB recovery scan (power-up mount).
+//
+// The algorithm itself lives in recovery.cpp as BlockManager/Ftl members;
+// this header only carries the report both layers and the device's
+// mount-time model consume.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ssdk::ftl {
+
+struct RecoveryReport {
+  std::uint64_t scanned_pages = 0;    ///< every page read during the scan
+  std::uint64_t recovered_pages = 0;  ///< winners installed in the L2P map
+  std::uint64_t stale_pages = 0;      ///< readable pages an overwrite beat
+  std::uint64_t torn_pages = 0;       ///< in-flight programs discarded
+  std::uint64_t unknown_blocks = 0;   ///< in-flight erases redone at mount
+  /// Mount-time model input: blocks re-erased per plane (unknown blocks).
+  std::vector<std::uint32_t> reerases_per_plane;
+  /// Retired blocks still holding valid pages after the rebuild —
+  /// (plane_id, block) pairs whose rescue migration must be restarted.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> rescue_blocks;
+};
+
+}  // namespace ssdk::ftl

@@ -59,6 +59,11 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
+  /// Drop every pending event (power loss: in-flight work vanishes). The
+  /// sequence counter is preserved so post-recovery events keep the unique
+  /// total order with anything already recorded.
+  void clear() { heap_.clear(); }
+
   /// Earliest event time; queue must be non-empty.
   SimTime next_time() const {
     assert(!heap_.empty());

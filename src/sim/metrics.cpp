@@ -23,6 +23,10 @@ void MetricsCollector::record(const Completion& c) {
     ++counters_.host_trims;
     return;
   }
+  if (c.type == OpType::kFlush) {
+    ++counters_.host_flushes;
+    return;
+  }
   if (c.type == OpType::kRead) {
     ++counters_.host_reads;
   } else {
@@ -63,6 +67,12 @@ void MetricsCollector::record_program_retry(TenantId tenant) {
   ++slot(tenant).program_retries;
 }
 
+void MetricsCollector::record_volatile_loss(TenantId tenant,
+                                            std::uint64_t pages) {
+  counters_.volatile_pages_lost += pages;
+  slot(tenant).acked_volatile_lost += pages;
+}
+
 std::map<TenantId, TenantMetrics> MetricsCollector::all_tenants() const {
   std::map<TenantId, TenantMetrics> out;
   for (TenantId id = 0; id < dense_.size(); ++id) {
@@ -81,6 +91,7 @@ TenantMetrics MetricsCollector::aggregate() const {
     agg.uncorrectable_reads += t.uncorrectable_reads;
     agg.program_retries += t.program_retries;
     agg.retry_wait_ns += t.retry_wait_ns;
+    agg.acked_volatile_lost += t.acked_volatile_lost;
   };
   for (TenantId id = 0; id < dense_.size(); ++id) {
     if (present_[id]) merge(dense_[id]);
@@ -104,6 +115,7 @@ void save_tenant(snapshot::StateWriter& w, const TenantMetrics& t) {
   w.u64(t.uncorrectable_reads);
   w.u64(t.program_retries);
   w.u64(t.retry_wait_ns);
+  w.u64(t.acked_volatile_lost);
 }
 
 void load_tenant(snapshot::StateReader& r, TenantMetrics& t) {
@@ -113,6 +125,7 @@ void load_tenant(snapshot::StateReader& r, TenantMetrics& t) {
   t.uncorrectable_reads = r.u64();
   t.program_retries = r.u64();
   t.retry_wait_ns = r.u64();
+  t.acked_volatile_lost = r.u64();
 }
 
 void save_counters(snapshot::StateWriter& w, const DeviceCounters& c) {
@@ -138,6 +151,14 @@ void save_counters(snapshot::StateWriter& w, const DeviceCounters& c) {
   w.u64(c.lost_pages);
   w.u64(c.retry_wait_ns);
   w.u64(c.failed_requests);
+  w.u64(c.host_flushes);
+  w.u64(c.power_cycles);
+  w.u64(c.mount_time_ns);
+  w.u64(c.mount_scan_reads);
+  w.u64(c.torn_pages_discarded);
+  w.u64(c.unknown_blocks_recovered);
+  w.u64(c.interrupted_requests);
+  w.u64(c.volatile_pages_lost);
 }
 
 void load_counters(snapshot::StateReader& r, DeviceCounters& c) {
@@ -163,6 +184,14 @@ void load_counters(snapshot::StateReader& r, DeviceCounters& c) {
   c.lost_pages = r.u64();
   c.retry_wait_ns = r.u64();
   c.failed_requests = r.u64();
+  c.host_flushes = r.u64();
+  c.power_cycles = r.u64();
+  c.mount_time_ns = r.u64();
+  c.mount_scan_reads = r.u64();
+  c.torn_pages_discarded = r.u64();
+  c.unknown_blocks_recovered = r.u64();
+  c.interrupted_requests = r.u64();
+  c.volatile_pages_lost = r.u64();
 }
 
 }  // namespace

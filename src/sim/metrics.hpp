@@ -27,6 +27,9 @@ struct TenantMetrics {
   std::uint64_t uncorrectable_reads = 0;   ///< pages failing all retries
   std::uint64_t program_retries = 0;       ///< failed programs re-placed
   Duration retry_wait_ns = 0;  ///< extra sensing + re-transfer time
+  /// Acked-volatile pages this tenant lost to power cuts: dirty write-buffer
+  /// residents at the instant of a power_off() (zero without a power model).
+  std::uint64_t acked_volatile_lost = 0;
 
   double avg_read_us() const { return read_latency_us.mean(); }
   double avg_write_us() const { return write_latency_us.mean(); }
@@ -67,6 +70,15 @@ struct DeviceCounters {
   Duration retry_wait_ns = 0;  ///< summed retry sensing + re-transfer time
   /// Host requests aborted because the device ran out of space.
   std::uint64_t failed_requests = 0;
+  // --- power loss and recovery (all zero without a power model) ---
+  std::uint64_t host_flushes = 0;    ///< completed flush/barrier requests
+  std::uint64_t power_cycles = 0;    ///< power_off()/power_on() cycles
+  Duration mount_time_ns = 0;        ///< summed modeled mount (scan) time
+  std::uint64_t mount_scan_reads = 0;      ///< OOB scan page reads at mount
+  std::uint64_t torn_pages_discarded = 0;  ///< in-flight programs discarded
+  std::uint64_t unknown_blocks_recovered = 0;  ///< in-flight erases redone
+  std::uint64_t interrupted_requests = 0;  ///< in-flight host requests cut
+  std::uint64_t volatile_pages_lost = 0;   ///< buffered pages lost at cuts
 
   double avg_read_wait_us() const {
     return read_ops_started
@@ -110,6 +122,8 @@ class MetricsCollector {
   void record_uncorrectable_read(TenantId tenant);
   /// One failed program of `tenant` was re-placed.
   void record_program_retry(TenantId tenant);
+  /// `pages` acked-volatile buffered pages of `tenant` lost to a power cut.
+  void record_volatile_loss(TenantId tenant, std::uint64_t pages);
 
   const TenantMetrics& tenant(TenantId id) const;
   bool has_tenant(TenantId id) const {

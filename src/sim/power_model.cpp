@@ -1,0 +1,39 @@
+#include "sim/power_model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ssdk::sim {
+
+void PowerModel::validate() const {
+  if (!enabled) {
+    if (cut_at_time > 0 || cut_at_arrival != ~std::uint64_t{0} ||
+        auto_recover) {
+      throw std::invalid_argument(
+          "power_model: a scheduled cut or auto_recover requires enabled");
+    }
+    return;
+  }
+  if (cut_at_time > 0 && cut_at_arrival != ~std::uint64_t{0}) {
+    throw std::invalid_argument(
+        "power_model: set cut_at_time or cut_at_arrival, not both");
+  }
+  if (auto_recover && !cut_scheduled()) {
+    throw std::invalid_argument(
+        "power_model: auto_recover needs a scheduled cut");
+  }
+}
+
+std::string PowerModel::describe() const {
+  if (!enabled) return "disabled";
+  std::ostringstream os;
+  os << "enabled";
+  if (cut_at_time > 0) os << ", cut at t=" << cut_at_time << "ns";
+  if (cut_at_arrival != ~std::uint64_t{0}) {
+    os << ", cut at arrival " << cut_at_arrival;
+  }
+  if (auto_recover) os << ", auto-recover";
+  return os.str();
+}
+
+}  // namespace ssdk::sim

@@ -22,6 +22,10 @@ enum class OpType : std::uint8_t {
   /// Host discard: the LPN range's mapping is dropped and its pages
   /// invalidated. Metadata-only — completes immediately, no flash work.
   kTrim,
+  /// Durability barrier: drains the volatile write buffer to flash and
+  /// completes only once every flush-triggered program (issued before the
+  /// barrier) has finished. With no write buffer it completes immediately.
+  kFlush,
 };
 
 /// A host I/O request: `page_count` logical pages starting at `lpn` in the
@@ -50,8 +54,15 @@ struct Completion {
   IoStatus status = IoStatus::kOk;
   /// Pages of the request that were uncorrectable (reads only).
   std::uint32_t failed_pages = 0;
+  /// Pages of a write that were absorbed by the DRAM write buffer — acked
+  /// volatile, not yet on flash. 0 for every other request type.
+  std::uint32_t volatile_pages = 0;
 
   Duration latency() const { return finish - arrival; }
+  /// A write is acked-durable when every page reached flash before the
+  /// completion; buffered pages make the ack volatile (lost on power cut
+  /// unless flushed first).
+  bool durable() const { return volatile_pages == 0; }
 };
 
 }  // namespace ssdk::sim

@@ -37,6 +37,10 @@ Ssd::Ssd(SsdOptions options)
       fault_rng_(options_.faults.seed),
       faults_on_(options_.faults.enabled()) {
   options_.faults.validate();
+  options_.power.validate();
+  // OOB metadata must record from the first program; recovery cannot
+  // reconstruct pages written before the store was armed.
+  if (options_.power.enabled) ftl_.enable_oob();
   if (options_.write_buffer.capacity_pages > 0) {
     buffer_.reserve(options_.write_buffer.capacity_pages);
     buffer_fifo_.reserve(2 * options_.write_buffer.capacity_pages);
@@ -141,7 +145,18 @@ void Ssd::submit(const sim::IoRequest& request) {
 void Ssd::run_to_completion() { run_until_arrival(kNoRequest); }
 
 void Ssd::run_until_arrival(std::uint64_t request_index) {
+  if (powered_off_) {
+    throw std::logic_error(
+        "ssd: device is powered off; call power_on() before running");
+  }
+  const bool cut_armed = options_.power.cut_scheduled();
   while (arrival_cursor_ < requests_.size() || !events_.empty()) {
+    if (cut_armed && !cut_fired_ && maybe_fire_power_cut()) {
+      // auto_recover resumed service already; otherwise the run stops
+      // dead at the cut and the caller drives power_on().
+      if (powered_off_) return;
+      continue;
+    }
     const bool have_arrival = arrival_cursor_ < requests_.size();
     const bool take_arrival =
         have_arrival &&
@@ -187,6 +202,11 @@ void Ssd::run_until_arrival(std::uint64_t request_index) {
 void Ssd::handle_arrival(std::uint64_t request_index) {
   RequestState& rs = requests_[request_index];
   if (arrival_hook_) arrival_hook_(rs.req);
+  if (rs.req.type == sim::OpType::kFlush) {
+    // Whole-request durability barrier, not a per-page op.
+    handle_flush(request_index);
+    return;
+  }
   for (std::uint32_t i = 0; i < rs.req.page_count; ++i) {
     const std::uint64_t lpn = rs.req.lpn + i;
     const std::uint64_t op_id = alloc_op();
@@ -250,6 +270,10 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
     } else {
       if (buffer_write(rs.req.tenant, lpn)) {
         free_op(op_id);
+        // Acked at DRAM latency without touching flash: the completion
+        // will be volatile, and a power cut before the eviction lands
+        // loses this page (counted per tenant at power_off).
+        ++rs.volatile_pages;
         if (tracer_) {
           telemetry::TraceEvent e;
           e.begin = now_;
@@ -270,6 +294,10 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
       op.lpn = lpn;
       op.ppn = ftl_.allocate_write(rs.req.tenant, lpn, load_view_);
       op.addr = options_.geometry.decode(op.ppn);
+      // The OOB seq is drawn in L2P-update order (here, at placement) but
+      // recorded on flash only when the program completes — the window in
+      // between is exactly what a power cut tears.
+      if (ftl_.oob().enabled()) op.oob_seq = ftl_.oob().fresh_seq();
       dispatch_write(op_id);
       maybe_start_gc(options_.geometry.plane_id(op.addr));
     }
@@ -355,6 +383,7 @@ void Ssd::flush_one(sim::TenantId tenant, std::uint64_t lpn) {
   op.lpn = lpn;
   op.ppn = ftl_.allocate_write(tenant, lpn, load_view_);
   op.addr = options_.geometry.decode(op.ppn);
+  if (ftl_.oob().enabled()) op.oob_seq = ftl_.oob().fresh_seq();
   dispatch_write(op_id);
   maybe_start_gc(options_.geometry.plane_id(op.addr));
 }
@@ -367,6 +396,45 @@ void Ssd::flush_write_buffer() {
     buffer_.erase(key);
     flush_one(static_cast<sim::TenantId>(key >> 40),
               key & ((1ULL << 40) - 1));
+  }
+}
+
+void Ssd::handle_flush(std::uint64_t request_index) {
+  // Durability barrier: evict every dirty buffered page to flash, then
+  // hold the request until every flush-triggered program enqueued before
+  // the fence — including evictions already in flight from watermark
+  // flushing — has settled. Host writes racing past the barrier are NOT
+  // waited on (fsync semantics: only previously acked data is fenced).
+  flush_write_buffer();
+  const std::uint64_t threshold = next_enq_seq_;
+  std::uint32_t remaining = 0;
+  for (const PageOp& op : ops_) {
+    if (op.in_use && op.kind == OpKind::kFlushWrite &&
+        op.enq_seq < threshold) {
+      ++remaining;
+    }
+  }
+  if (remaining == 0) {
+    // Nothing volatile and nothing in flight: completes instantly, like a
+    // no-op trim.
+    complete_request_page(request_index);
+    return;
+  }
+  flush_barriers_.push_back(FlushBarrier{request_index, threshold, remaining});
+}
+
+void Ssd::settle_flush_barriers(std::uint64_t enq_seq) {
+  if (flush_barriers_.empty()) return;
+  for (std::size_t i = 0; i < flush_barriers_.size();) {
+    FlushBarrier& fb = flush_barriers_[i];
+    if (enq_seq < fb.threshold && --fb.remaining == 0) {
+      const std::uint64_t request_index = fb.request;
+      flush_barriers_.erase(flush_barriers_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      complete_request_page(request_index);
+    } else {
+      ++i;
+    }
   }
 }
 
@@ -642,12 +710,17 @@ void Ssd::handle_flash_done(std::uint64_t unit, std::uint64_t op_id) {
                     options_.geometry.plane_id(op.addr), op.addr.block) ==
                     ftl::BlockState::kRetired;
       }
+      // The physical program finished (well or badly): its OOB is now
+      // determined, even when the logical outcome below is a re-place.
+      if (ftl_.oob().enabled()) record_program_oob(op, program_failed);
       if (fault) {
         handle_write_fault(op_id, program_failed);
       } else if (op.kind == OpKind::kHostWrite) {
         finish_host_op(op_id);
       } else if (op.kind == OpKind::kFlushWrite) {
+        const std::uint64_t enq_seq = op.enq_seq;
         free_op(op_id);
+        settle_flush_barriers(enq_seq);
       } else {
         on_gc_write_done(op_id);
       }
@@ -692,6 +765,53 @@ void Ssd::handle_bus_free(std::uint32_t channel, std::uint64_t op_id) {
     if (arbitrated) return;
   }
   arbitrate(channel);
+}
+
+// --- OOB metadata (power model) ---------------------------------------------
+
+void Ssd::record_program_oob(const PageOp& op, bool program_failed) {
+  ftl::OobStore& oob = ftl_.oob();
+  if (program_failed) {
+    // The program corrupted the page; nothing readable landed.
+    oob.record_failed(op.ppn);
+  } else if (op.kind == OpKind::kGcWrite) {
+    if (oob.state(op.gc_src) == ftl::OobState::kData) {
+      // A migrated page is the same logical version: copy src OOB verbatim
+      // (same seq — recovery breaks the tie toward the lower PPN, so a
+      // crash between copy and erase neither loses nor double-counts it).
+      oob.record_migration(op.gc_src, op.ppn);
+    } else {
+      record_resolved_migration_oob(op);
+    }
+  } else {
+    oob.record_program(op.ppn, op.tenant, op.lpn, op.oob_seq);
+  }
+}
+
+void Ssd::record_resolved_migration_oob(const PageOp& op) {
+  // Rare: the migration source's own program is still in flight — a full
+  // (or freshly retired) victim can hold allocated-but-unprogrammed pages,
+  // and the copy can land first. The copied version is still well-defined,
+  // so take its identity from the pending program itself; marking the copy
+  // unreadable instead would lose an acked write whose source copy gets
+  // erased with the victim before a cut.
+  ftl::OobStore& oob = ftl_.oob();
+  for (const PageOp& other : ops_) {
+    if (!other.in_use || other.ppn != op.gc_src) continue;
+    if (other.kind == OpKind::kHostWrite ||
+        other.kind == OpKind::kFlushWrite) {
+      oob.record_program(op.ppn, other.tenant, other.lpn, other.oob_seq);
+      return;
+    }
+    if (other.kind == OpKind::kGcWrite &&
+        oob.state(other.gc_src) == ftl::OobState::kData) {
+      oob.record_migration(other.gc_src, op.ppn);
+      return;
+    }
+  }
+  // No pending program resolves the version (torn or failed source): the
+  // copy carried garbage — consumed, no readable OOB.
+  oob.record_failed(op.ppn);
 }
 
 // --- fault injection --------------------------------------------------------
@@ -740,6 +860,13 @@ void Ssd::handle_uncorrectable_read(std::uint64_t op_id) {
   // A migration source that cannot be read is lost data: drop it so the
   // victim block still drains to zero valid pages.
   ++metrics_.counters().lost_pages;
+  if (ftl_.oob().enabled() && ftl_.blocks().is_valid(op.ppn)) {
+    // The crash-fuzz oracle must not blame recovery for data the media
+    // itself destroyed — remember which durable key just died.
+    const ftl::PageOwner owner = ftl_.blocks().owner(op.ppn);
+    media_lost_keys_.push_back(
+        ftl::OobStore::pack_owner(owner.tenant, owner.lpn));
+  }
   ftl_.drop_lost_page(op.ppn);
   const std::uint32_t job_index = op.gc_job;
   free_op(op_id);
@@ -786,6 +913,7 @@ void Ssd::handle_write_fault(std::uint64_t op_id, bool program_failed) {
       finish_host_op(op_id);
     } else {
       free_op(op_id);
+      settle_flush_barriers(snap.enq_seq);
     }
     return;
   }
@@ -793,6 +921,9 @@ void Ssd::handle_write_fault(std::uint64_t op_id, bool program_failed) {
   PageOp& op = ops_[op_id];
   op.ppn = ppn;
   op.addr = options_.geometry.decode(ppn);
+  // The re-place re-installed the mapping: a newer version as far as the
+  // OOB is concerned, so it gets a fresh sequence number.
+  if (ftl_.oob().enabled()) op.oob_seq = ftl_.oob().fresh_seq();
   dispatch_write(op_id);
   maybe_start_gc(options_.geometry.plane_id(op.addr));
 }
@@ -851,6 +982,7 @@ void Ssd::complete_request_page(std::uint64_t request_index, bool failed) {
     c.finish = now_;
     c.status = rs.failed ? sim::IoStatus::kUncorrectable : sim::IoStatus::kOk;
     c.failed_pages = rs.failed;
+    c.volatile_pages = rs.volatile_pages;
     metrics_.record(c);
     if (tracer_) {
       telemetry::TraceEvent e;
@@ -859,7 +991,9 @@ void Ssd::complete_request_page(std::uint64_t request_index, bool failed) {
       e.kind = telemetry::SpanKind::kRequest;
       e.op = rs.req.type == sim::OpType::kRead
                  ? telemetry::OpClass::kHostRead
-                 : telemetry::OpClass::kHostWrite;
+                 : rs.req.type == sim::OpType::kFlush
+                       ? telemetry::OpClass::kHostFlush
+                       : telemetry::OpClass::kHostWrite;
       e.tenant = rs.req.tenant;
       e.request_id = rs.req.id;
       e.detail = rs.failed;

@@ -31,6 +31,7 @@
 #include "sim/fault_model.hpp"
 #include "sim/geometry.hpp"
 #include "sim/metrics.hpp"
+#include "sim/power_model.hpp"
 #include "sim/request.hpp"
 #include "sim/timing.hpp"
 #include "telemetry/tracer.hpp"
@@ -82,6 +83,22 @@ struct SsdOptions {
   /// random numbers are drawn, and the schedule is bit-identical to the
   /// fault-free device.
   sim::FaultModel faults;
+  /// Power-loss injection. Disabled by default: no OOB metadata is
+  /// materialized and the schedule is bit-identical to the power-unaware
+  /// device. Enabled: every program also records per-page OOB metadata so
+  /// a power_off()/power_on() cycle can rebuild the FTL from flash alone.
+  sim::PowerModel power;
+};
+
+/// What a power cut destroyed, returned by Ssd::power_off() so tests can
+/// classify the cut point (e.g. "caught a GC migration mid-flight").
+struct PowerLossReport {
+  std::uint64_t torn_pages = 0;         ///< in-flight programs, all kinds
+  std::uint64_t torn_gc_pages = 0;      ///< subset: GC migration writes
+  std::uint64_t torn_rescue_pages = 0;  ///< subset: bad-block rescues
+  std::uint64_t unknown_blocks = 0;     ///< in-flight erases
+  std::uint64_t lost_buffered_pages = 0;  ///< acked-volatile DRAM loss
+  std::uint64_t interrupted_requests = 0;  ///< arrived, never completed
 };
 
 class Ssd {
@@ -144,6 +161,43 @@ class Ssd {
   SimTime now() const { return now_; }
   sim::MetricsCollector& metrics() { return metrics_; }
   const sim::MetricsCollector& metrics() const { return metrics_; }
+
+  // --- power loss + recovery (ssd_power.cpp) -------------------------------
+
+  /// Sudden power-off, right now. In-flight programs tear their pages,
+  /// in-flight erases leave unknown blocks, the DRAM write buffer and all
+  /// queued work vanish; only flash + OOB and the bad-block table survive.
+  /// Requires options().power.enabled (the OOB store must have been
+  /// recording since construction). The device refuses further work until
+  /// power_on().
+  PowerLossReport power_off();
+
+  /// Power-up mount: run the FTL's OOB recovery scan, charge the modeled
+  /// mount time (full-device scan reads + re-erases of unknown blocks)
+  /// to the simulation clock and metrics, restart rescue migrations for
+  /// retired blocks still holding data, then resume service.
+  void power_on();
+
+  bool powered_off() const { return powered_off_; }
+
+  /// Durability contract audit, meaningful right after power_on(): the L2P
+  /// map must equal an independent recomputation of the OOB scan's winners
+  /// (highest seq, lowest PPN on ties), no torn/failed page may be mapped,
+  /// and the mapped-page count must match. Throws util::InvariantViolation.
+  void verify_recovery() const;
+
+  /// (tenant, LPN) keys whose only durable copy died on media (an
+  /// uncorrectable GC/rescue read) — recorded only while OOB is enabled.
+  /// The crash-fuzz oracle excludes these from acked-durable checks.
+  const std::vector<std::uint64_t>& media_lost_keys() const {
+    return media_lost_keys_;
+  }
+
+  /// Called at the end of every power_on(). The online keeper uses this to
+  /// re-enter feature collection on a safe allocation after a crash. Like
+  /// the other hooks: non-owning, not forked, not serialized.
+  using PowerHook = std::function<void()>;
+  void set_power_hook(PowerHook hook) { power_hook_ = std::move(hook); }
 
   // --- hooks (used by the online SSDKeeper) --------------------------------
 
@@ -252,6 +306,9 @@ class Ssd {
     sim::Ppn gc_src = sim::kInvalidPpn;  ///< migration source (kGcWrite)
     std::uint32_t gc_job = kNoJob;
     std::uint64_t lpn = 0;  ///< owner LPN (host/flush ops; fault re-place)
+    /// OOB write sequence number, drawn at placement (host/flush writes
+    /// with the power model on; 0 otherwise — GC writes copy src OOB).
+    std::uint64_t oob_seq = 0;
     std::uint64_t enq_seq = 0;  ///< dispatch order (FIFO tie-breaks)
     SimTime dispatched_at = 0;  ///< queue-wait accounting
     std::uint32_t attempts = 0;  ///< read retries issued so far
@@ -292,6 +349,17 @@ class Ssd {
     sim::IoRequest req;
     std::uint32_t remaining = 0;
     std::uint32_t failed = 0;  ///< pages that were uncorrectable
+    /// Pages of this write absorbed by the volatile DRAM buffer; the
+    /// completion is acked-durable only when this is zero.
+    std::uint32_t volatile_pages = 0;
+  };
+
+  /// One outstanding host flush: the request completes once every
+  /// write-buffer flush program enqueued before `threshold` has settled.
+  struct FlushBarrier {
+    std::uint64_t request = kNoRequest;
+    std::uint64_t threshold = 0;  ///< enq_seq fence (exclusive)
+    std::uint32_t remaining = 0;  ///< kFlushWrite ops still in flight
   };
 
   struct GcJob {
@@ -334,6 +402,23 @@ class Ssd {
                      const PageOp& op, std::uint64_t detail = 0);
   /// Queue-wait span from dispatch to first grant; skipped when zero.
   void trace_wait(const PageOp& op);
+
+  // Power-loss internals (ssd_power.cpp).
+  /// Fires a scheduled cut when the run loop's next step is at/past the
+  /// trigger; returns true when the cut fired (the loop re-evaluates).
+  bool maybe_fire_power_cut();
+  Duration modeled_mount_ns(const ftl::RecoveryReport& rec) const;
+
+  // Host flush (write barrier).
+  void handle_flush(std::uint64_t request_index);
+  /// A kFlushWrite with this enq_seq reached a terminal state; release
+  /// every barrier it was holding up.
+  void settle_flush_barriers(std::uint64_t enq_seq);
+  /// Record a completed program's OOB metadata (power model on).
+  void record_program_oob(const PageOp& op, bool program_failed);
+  /// Migration completed before its source's own program did: resolve the
+  /// copied version from the pending op instead of the (unwritten) src OOB.
+  void record_resolved_migration_oob(const PageOp& op);
 
   // Event handlers.
   void handle_arrival(std::uint64_t request_index);
@@ -493,9 +578,18 @@ class Ssd {
   std::uint64_t buffer_seq_ = 0;
   std::uint64_t buffer_hits_ = 0;
 
+  // Power-loss state. flush_barriers_, powered_off_, cut_fired_ and
+  // media_lost_keys_ are serialized (PWRS section); the hook is an
+  // observer like the others.
+  std::vector<FlushBarrier> flush_barriers_;
+  bool powered_off_ = false;
+  bool cut_fired_ = false;  ///< the scheduled cut fires at most once
+  std::vector<std::uint64_t> media_lost_keys_;
+
   sim::MetricsCollector metrics_;
   ArrivalHook arrival_hook_;
   CompletionHook completion_hook_;
+  PowerHook power_hook_;
   telemetry::Tracer* tracer_ = nullptr;  ///< null = telemetry off
 
   Duration page_xfer_ns_ = 0;

@@ -101,6 +101,13 @@ void Ssd::check_invariants() const {
     SSDK_CHECK_MSG(op.enq_seq < next_enq_seq_,
                    "ssd: " + op_str(id) + " carries enq_seq " +
                        std::to_string(op.enq_seq) + " >= next_enq_seq");
+    if (ftl_.oob().enabled() &&
+        (op.kind == OpKind::kHostWrite || op.kind == OpKind::kFlushWrite)) {
+      SSDK_CHECK_MSG(op.oob_seq > 0 && op.oob_seq < ftl_.oob().next_seq(),
+                     "ssd: " + op_str(id) + " carries oob_seq " +
+                         std::to_string(op.oob_seq) +
+                         " outside (0, next_seq)");
+    }
   }
 
   // --- op queues: members are live and queued at most once -----------------
@@ -211,6 +218,46 @@ void Ssd::check_invariants() const {
   }
   SSDK_CHECK_MSG(buffer_fifo_.size() >= buffer_.size(),
                  "ssd: eviction FIFO smaller than the live buffer");
+
+  // --- requests: volatile-page accounting ----------------------------------
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    SSDK_CHECK_MSG(requests_[i].volatile_pages <= requests_[i].req.page_count,
+                   "ssd: request " + std::to_string(i) + " absorbed " +
+                       std::to_string(requests_[i].volatile_pages) +
+                       " buffered pages > its page count " +
+                       std::to_string(requests_[i].req.page_count));
+  }
+
+  // --- flush barriers mirror the in-flight kFlushWrite population ----------
+  for (const FlushBarrier& fb : flush_barriers_) {
+    SSDK_CHECK_MSG(fb.request < requests_.size() &&
+                       requests_[fb.request].remaining > 0,
+                   "ssd: flush barrier for dead request " +
+                       std::to_string(fb.request));
+    SSDK_CHECK_MSG(fb.threshold <= next_enq_seq_,
+                   "ssd: flush barrier threshold " +
+                       std::to_string(fb.threshold) + " > next_enq_seq");
+    std::uint32_t actual = 0;
+    for (const PageOp& op : ops_) {
+      if (op.in_use && op.kind == OpKind::kFlushWrite &&
+          op.enq_seq < fb.threshold) {
+        ++actual;
+      }
+    }
+    SSDK_CHECK_MSG(fb.remaining > 0 && fb.remaining == actual,
+                   "ssd: flush barrier for request " +
+                       std::to_string(fb.request) + " counts " +
+                       std::to_string(fb.remaining) +
+                       " outstanding flush writes, actual " +
+                       std::to_string(actual));
+  }
+
+  // --- powered-off devices hold no volatile work ---------------------------
+  if (powered_off_) {
+    SSDK_CHECK_MSG(events_.empty() && ops_.empty() && buffer_.empty() &&
+                       flush_barriers_.empty(),
+                   "ssd: powered-off device still holds in-flight state");
+  }
 
   // --- GC job registry <-> job slab ----------------------------------------
   for (std::size_t p = 0; p < gc_job_of_plane_.size(); ++p) {

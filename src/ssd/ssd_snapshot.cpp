@@ -24,6 +24,7 @@ std::unique_ptr<Ssd> Ssd::fork() const {
   copy->load_view_.ssd = copy.get();
   copy->arrival_hook_ = nullptr;
   copy->completion_hook_ = nullptr;
+  copy->power_hook_ = nullptr;
   copy->tracer_ = nullptr;
   copy->ftl_.set_tracer(nullptr, &copy->now_);
   if (util::kCheckedBuild) copy->check_invariants();
@@ -93,6 +94,7 @@ void Ssd::save_state(snapshot::StateWriter& w) const {
     w.u64(rs.req.arrival);
     w.u32(rs.remaining);
     w.u32(rs.failed);
+    w.u32(rs.volatile_pages);
   }
   w.u64(arrival_cursor_);
   w.u64(last_submitted_arrival_);
@@ -114,6 +116,7 @@ void Ssd::save_state(snapshot::StateWriter& w) const {
     w.u64(op.gc_src);
     w.u32(op.gc_job);
     w.u64(op.lpn);
+    w.u64(op.oob_seq);
     w.u64(op.enq_seq);
     w.u64(op.dispatched_at);
     w.u32(op.attempts);
@@ -160,6 +163,18 @@ void Ssd::save_state(snapshot::StateWriter& w) const {
   w.tag("FRNG");
   const auto rng_state = fault_rng_.state();
   for (const std::uint64_t word : rng_state) w.u64(word);
+
+  // Power-loss state: flush barriers, power flags, media-loss ledger.
+  w.tag("PWRS");
+  w.boolean(powered_off_);
+  w.boolean(cut_fired_);
+  w.u64(flush_barriers_.size());
+  for (const FlushBarrier& fb : flush_barriers_) {
+    w.u64(fb.request);
+    w.u64(fb.threshold);
+    w.u32(fb.remaining);
+  }
+  w.vec_u64(media_lost_keys_);
 
   w.tag("DONE");
 }
@@ -211,7 +226,8 @@ void Ssd::load_state(snapshot::StateReader& r) {
   unit_busy_ns_ = r.vec_u64();
 
   r.tag("REQS");
-  const std::uint64_t nreq = r.checked_count(8 + 4 + 1 + 8 + 4 + 8 + 4 + 4);
+  const std::uint64_t nreq =
+      r.checked_count(8 + 4 + 1 + 8 + 4 + 8 + 4 + 4 + 4);
   requests_.assign(nreq, RequestState{});
   for (RequestState& rs : requests_) {
     rs.req.id = r.u64();
@@ -222,13 +238,14 @@ void Ssd::load_state(snapshot::StateReader& r) {
     rs.req.arrival = r.u64();
     rs.remaining = r.u32();
     rs.failed = r.u32();
+    rs.volatile_pages = r.u32();
   }
   arrival_cursor_ = r.u64();
   last_submitted_arrival_ = r.u64();
 
   r.tag("OPSL");
   const std::uint64_t nops = r.checked_count(8 + 4 + 1 + 5 * 4 + 8 + 8 + 4 +
-                                             8 + 8 + 8 + 4 + 1);
+                                             8 + 8 + 8 + 8 + 4 + 1);
   ops_.assign(nops, PageOp{});
   for (PageOp& op : ops_) {
     op.request = r.u64();
@@ -243,6 +260,7 @@ void Ssd::load_state(snapshot::StateReader& r) {
     op.gc_src = r.u64();
     op.gc_job = r.u32();
     op.lpn = r.u64();
+    op.oob_seq = r.u64();
     op.enq_seq = r.u64();
     op.dispatched_at = r.u64();
     op.attempts = r.u32();
@@ -292,11 +310,24 @@ void Ssd::load_state(snapshot::StateReader& r) {
   for (std::uint64_t& word : rng_state) word = r.u64();
   fault_rng_.set_state(rng_state);
 
+  r.tag("PWRS");
+  powered_off_ = r.boolean();
+  cut_fired_ = r.boolean();
+  const std::uint64_t nbarriers = r.checked_count(8 + 8 + 4);
+  flush_barriers_.assign(nbarriers, FlushBarrier{});
+  for (FlushBarrier& fb : flush_barriers_) {
+    fb.request = r.u64();
+    fb.threshold = r.u64();
+    fb.remaining = r.u32();
+  }
+  media_lost_keys_ = r.vec_u64();
+
   r.tag("DONE");
 
   // Observers never survive a restore.
   arrival_hook_ = nullptr;
   completion_hook_ = nullptr;
+  power_hook_ = nullptr;
   tracer_ = nullptr;
   ftl_.set_tracer(nullptr, &now_);
 

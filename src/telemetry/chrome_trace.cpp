@@ -150,8 +150,15 @@ void write_chrome_trace(std::ostream& os,
       case SpanKind::kGcVictim:
       case SpanKind::kBlockRetire:
       case SpanKind::kPageAlloc:
+      case SpanKind::kRecovery:
+      case SpanKind::kPowerLoss:
+      case SpanKind::kVolatileLoss:
         instant_event(os, e, kPidUnits,
                       e.unit == kNoResource ? 0 : e.unit);
+        break;
+      case SpanKind::kMountScan:
+        complete_event(os, e, kPidUnits,
+                       e.unit == kNoResource ? 0 : e.unit);
         break;
       case SpanKind::kRequest:
       case SpanKind::kQueueWait:

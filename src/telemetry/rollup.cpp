@@ -17,6 +17,7 @@ struct Cell {
   SampleSet write_us;
   std::uint64_t conflicts = 0;
   Duration wait_ns = 0;
+  std::uint64_t volatile_lost = 0;
 };
 }  // namespace
 
@@ -61,6 +62,11 @@ std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
         }
         break;
       }
+      case SpanKind::kVolatileLoss: {
+        Cell& c = cells[{e.end / w, e.tenant}];
+        c.volatile_lost += e.detail;
+        break;
+      }
       default:
         break;
     }
@@ -88,6 +94,7 @@ std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
              (static_cast<double>(w) / 1e9);
     r.conflicts = c.conflicts;
     r.wait_ns = c.wait_ns;
+    r.volatile_lost = c.volatile_lost;
     const auto it = bus_busy.find(key.first);
     if (it != bus_busy.end()) {
       r.bus_util = static_cast<double>(it->second) / denom;
@@ -102,7 +109,7 @@ void write_rollup_csv(std::ostream& os, std::span<const RollupRow> rows) {
   writer.write_row({"window_start_us", "tenant", "reads", "writes",
                     "read_mean_us", "read_p99_us", "write_mean_us",
                     "write_p99_us", "iops", "conflicts", "wait_us",
-                    "bus_util"});
+                    "bus_util", "volatile_lost"});
   for (const auto& r : rows) {
     writer.write_row({std::to_string(to_us(r.window_start)),
                       std::to_string(r.tenant), std::to_string(r.reads),
@@ -113,7 +120,8 @@ void write_rollup_csv(std::ostream& os, std::span<const RollupRow> rows) {
                       std::to_string(r.write_p99_us),
                       std::to_string(r.iops), std::to_string(r.conflicts),
                       std::to_string(to_us(r.wait_ns)),
-                      std::to_string(r.bus_util)});
+                      std::to_string(r.bus_util),
+                      std::to_string(r.volatile_lost)});
   }
 }
 

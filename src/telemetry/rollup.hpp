@@ -43,6 +43,9 @@ struct RollupRow {
   /// Device-wide bus-busy fraction of the window (same value on every
   /// tenant row of one window).
   double bus_util = 0.0;
+  /// Acked-volatile pages this tenant lost to power cuts in this window
+  /// (kVolatileLoss point events, bucketed by cut time).
+  std::uint64_t volatile_lost = 0;
 };
 
 std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,

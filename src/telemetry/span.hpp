@@ -18,6 +18,11 @@
 //   kBlockRetire  point: block taken out of rotation (detail = block)
 //   kPageAlloc    point: FTL placed a write (detail = lpn)
 //   kKeeperDecision point: keeper window decision (detail = decision index)
+//   kMountScan    power-up OOB recovery scan (detail = pages scanned)
+//   kRecovery     point: recovery finished (detail = pages recovered)
+//   kPowerLoss    point: sudden power cut (detail = torn pages)
+//   kVolatileLoss point: per-tenant acked-volatile pages lost at a cut
+//                 (detail = page count)
 #pragma once
 
 #include <cstdint>
@@ -40,6 +45,10 @@ enum class SpanKind : std::uint8_t {
   kBlockRetire,
   kPageAlloc,
   kKeeperDecision,
+  kMountScan,
+  kRecovery,
+  kPowerLoss,
+  kVolatileLoss,
 };
 
 /// Traffic class of the op a span belongs to (mirrors the device's op
@@ -53,6 +62,7 @@ enum class OpClass : std::uint8_t {
   kGcWrite,
   kErase,
   kFlushWrite,
+  kHostFlush,  ///< host durability barrier (fsync-style)
 };
 
 inline constexpr std::uint64_t kNoRequestId = ~std::uint64_t{0};

@@ -16,6 +16,10 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kBlockRetire: return "block_retire";
     case SpanKind::kPageAlloc: return "page_alloc";
     case SpanKind::kKeeperDecision: return "keeper_decision";
+    case SpanKind::kMountScan: return "mount_scan";
+    case SpanKind::kRecovery: return "recovery";
+    case SpanKind::kPowerLoss: return "power_loss";
+    case SpanKind::kVolatileLoss: return "volatile_loss";
   }
   return "unknown";
 }
@@ -30,6 +34,7 @@ const char* op_class_name(OpClass op) {
     case OpClass::kGcWrite: return "gc_write";
     case OpClass::kErase: return "erase";
     case OpClass::kFlushWrite: return "flush_write";
+    case OpClass::kHostFlush: return "host_flush";
   }
   return "unknown";
 }

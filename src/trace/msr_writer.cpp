@@ -12,8 +12,9 @@ void write_msr(std::ostream& os, const Workload& workload,
     throw std::invalid_argument("msr writer: zero page size");
   }
   for (const auto& rec : workload) {
-    if (rec.type == sim::OpType::kTrim) {
-      // The MSR format predates TRIM; skip such records.
+    if (rec.type == sim::OpType::kTrim ||
+        rec.type == sim::OpType::kFlush) {
+      // The MSR format predates TRIM and has no flush barriers; skip.
       continue;
     }
     const std::uint64_t ticks = options.base_ticks + rec.arrival / 100;

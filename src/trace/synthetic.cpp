@@ -28,6 +28,9 @@ void SyntheticSpec::validate() const {
   if (burstiness < 0.0 || burstiness >= 1.0) {
     throw std::invalid_argument("synthetic: burstiness out of [0,1)");
   }
+  if (flush_fraction < 0.0 || flush_fraction >= 1.0) {
+    throw std::invalid_argument("synthetic: flush_fraction out of [0,1)");
+  }
 }
 
 Workload generate_synthetic(const SyntheticSpec& spec) {
@@ -59,6 +62,15 @@ Workload generate_synthetic(const SyntheticSpec& spec) {
     }
     clock_ns += gap;
     rec.arrival = static_cast<SimTime>(clock_ns);
+    // The flush draw is gated so flush_fraction = 0 consumes no randomness
+    // and reproduces pre-flush streams bit for bit.
+    if (spec.flush_fraction > 0.0 && rng.bernoulli(spec.flush_fraction)) {
+      rec.type = sim::OpType::kFlush;
+      rec.pages = 1;
+      rec.lpn = prev_end;
+      out.push_back(rec);
+      continue;
+    }
     rec.type = rng.bernoulli(spec.write_fraction) ? sim::OpType::kWrite
                                                   : sim::OpType::kRead;
     std::uint32_t pages = 1;

@@ -29,6 +29,10 @@ struct SyntheticSpec {
   /// gap is compressed 5x (and the remaining gaps stretched so the mean
   /// rate is preserved exactly). 0 = plain Poisson.
   double burstiness = 0.0;
+  /// Probability a request is a flush barrier (drawn before the read/write
+  /// split; flushes are single-page metadata requests). 0 keeps the RNG
+  /// stream — and therefore every existing golden trace — untouched.
+  double flush_fraction = 0.0;
   std::uint64_t seed = 1;
 
   /// Throws std::invalid_argument when a field is out of range.

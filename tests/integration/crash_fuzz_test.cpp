@@ -1,0 +1,346 @@
+// Crash-consistency fuzzing harness (DESIGN.md §14).
+//
+// A "trunk" device replays a mixed 4-tenant workload (flush barriers, GC
+// pressure, fault injection, volatile write buffer). At hundreds of cut
+// points the harness forks the trunk, yanks power on the fork, recovers,
+// and checks the durability contract from two independent angles:
+//
+//   * verify_recovery(): the rebuilt L2P map must equal an independent
+//     recomputation of the OOB scan's winners — a bijection, so no torn or
+//     stale page is ever served.
+//   * an acked-durable oracle maintained host-side through the arrival and
+//     completion hooks: every write acked durable (no buffered pages) whose
+//     key was not disturbed by a newer in-flight write, trimmed, or lost on
+//     media must still be mapped after recovery.
+//
+// The recovered fork then drains the rest of the workload and re-audits,
+// proving post-crash service is structurally sound too. Separate pinned
+// tests drive cuts into the two hardest windows: mid-GC-migration and
+// mid-bad-block-rescue.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ftl/oob.hpp"
+#include "ssd/ssd.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+namespace ssdk::ssd {
+namespace {
+
+sim::Geometry fuzz_geometry() {
+  sim::Geometry g;
+  g.channels = 4;
+  g.chips_per_channel = 1;
+  g.planes_per_chip = 2;
+  g.blocks_per_plane = 64;
+  g.pages_per_block = 16;
+  return g;
+}
+
+/// Mixed 4-tenant workload: writes dominate two tenants, reads the other
+/// two, every tenant issues flush barriers, and the footprint is small
+/// enough that overwrites keep GC busy for the whole run.
+std::vector<sim::IoRequest> fuzz_workload(std::uint64_t requests_each) {
+  std::vector<trace::Workload> workloads;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    trace::SyntheticSpec spec;
+    spec.write_fraction = t % 2 == 0 ? 0.85 : 0.25;
+    spec.request_count = requests_each;
+    spec.intensity_rps = 6000.0;
+    spec.mean_request_pages = 2.0;
+    spec.max_request_pages = 8;
+    spec.address_space_pages = 700;
+    spec.flush_fraction = 0.05;
+    spec.zipf_theta = 0.3;
+    spec.seed = 4200 + t;
+    workloads.push_back(trace::generate_synthetic(spec));
+  }
+  return trace::mix_workloads(workloads);
+}
+
+SsdOptions fuzz_options() {
+  SsdOptions options;
+  options.geometry = fuzz_geometry();
+  options.power.enabled = true;
+  options.write_buffer.capacity_pages = 32;
+  options.faults.read_ber = 1e-4;
+  options.faults.program_fail = 1e-3;
+  options.faults.erase_fail = 1e-3;
+  return options;
+}
+
+/// Host-side durability ledger, maintained through the device hooks.
+struct DurabilityOracle {
+  struct KeyState {
+    std::uint64_t ack = 0;      ///< seq of the last completed op on the key
+    std::uint32_t inflight = 0;  ///< arrived-but-uncompleted writes/trims
+    bool durable = false;        ///< last ack reached flash before the ack
+  };
+
+  std::unordered_map<std::uint64_t, KeyState> keys;
+  /// Completions carry only the request id; remember each write/trim's
+  /// page range from its arrival.
+  std::unordered_map<std::uint64_t, sim::IoRequest> inflight_reqs;
+  /// Volatile keys snapshotted when a flush barrier arrived, promoted to
+  /// durable when that barrier completes (unless re-acked in between).
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      pending_flushes;
+  std::uint64_t next_ack = 0;
+
+  void attach(Ssd& device) {
+    device.set_arrival_hook(
+        [this](const sim::IoRequest& r) { on_arrival(r); });
+    device.set_completion_hook(
+        [this](const sim::Completion& c) { on_completion(c); });
+  }
+
+  void on_arrival(const sim::IoRequest& r) {
+    if (r.type == sim::OpType::kWrite || r.type == sim::OpType::kTrim) {
+      inflight_reqs.emplace(r.id, r);
+      for (std::uint32_t p = 0; p < r.page_count; ++p) {
+        ++keys[ftl::OobStore::pack_owner(r.tenant, r.lpn + p)].inflight;
+      }
+      return;
+    }
+    if (r.type == sim::OpType::kFlush) {
+      // The device drains its write buffer the moment the flush is
+      // handled (right after this hook), so "volatile now" is exactly the
+      // set the barrier fences.
+      auto& snapshot = pending_flushes[r.id];
+      for (const auto& [key, s] : keys) {
+        if (!s.durable && s.inflight == 0 && s.ack > 0) {
+          snapshot.emplace_back(key, s.ack);
+        }
+      }
+    }
+  }
+
+  void on_completion(const sim::Completion& c) {
+    if (c.type == sim::OpType::kWrite || c.type == sim::OpType::kTrim) {
+      const auto it = inflight_reqs.find(c.request_id);
+      ASSERT_NE(it, inflight_reqs.end());
+      const sim::IoRequest& r = it->second;
+      for (std::uint32_t p = 0; p < r.page_count; ++p) {
+        KeyState& s = keys[ftl::OobStore::pack_owner(r.tenant, r.lpn + p)];
+        --s.inflight;
+        s.ack = ++next_ack;
+        // A trim drops the mapping, so the key has nothing durable to
+        // assert; a partially buffered write is conservatively treated as
+        // fully volatile.
+        s.durable = c.type == sim::OpType::kWrite && c.durable();
+      }
+      inflight_reqs.erase(it);
+      return;
+    }
+    if (c.type == sim::OpType::kFlush) {
+      const auto it = pending_flushes.find(c.request_id);
+      if (it == pending_flushes.end()) return;
+      for (const auto& [key, ack] : it->second) {
+        KeyState& s = keys[key];
+        if (s.ack == ack) s.durable = true;  // not re-acked since the fence
+      }
+      pending_flushes.erase(it);
+    }
+  }
+
+  /// Assert that every undisturbed acked-durable key survived recovery.
+  void check_recovered(const Ssd& device) const {
+    const ftl::MappingTable& map = device.ftl().mapping();
+    const std::unordered_set<std::uint64_t> media_lost(
+        device.media_lost_keys().begin(), device.media_lost_keys().end());
+    for (const auto& [key, s] : keys) {
+      if (!s.durable || s.inflight > 0 || media_lost.count(key) > 0) {
+        continue;
+      }
+      const sim::TenantId tenant = ftl::OobStore::owner_tenant(key);
+      const std::uint64_t lpn = ftl::OobStore::owner_lpn(key);
+      ASSERT_NE(map.lookup(tenant, lpn), sim::kInvalidPpn)
+          << "acked-durable write lost by recovery: tenant " << tenant
+          << " lpn " << lpn;
+    }
+  }
+};
+
+std::uint64_t cut_count_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv("SSDK_CRASH_FUZZ_CUTS");
+  if (env == nullptr) return fallback;
+  const long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<std::uint64_t>(parsed) : fallback;
+}
+
+TEST(CrashFuzz, RecoveryHoldsAcrossHundredsOfCutPoints) {
+  const auto requests = fuzz_workload(900);
+  const std::uint64_t cuts = cut_count_from_env(200);
+
+  Ssd trunk(fuzz_options());
+  DurabilityOracle oracle;
+  oracle.attach(trunk);
+  trunk.submit(requests);
+
+  // Evenly spaced distinct cut arrivals across the whole trace, starting
+  // after a short warm-up so early cuts still see in-flight work.
+  const std::uint64_t first = 8;
+  const std::uint64_t span = requests.size() - first;
+  std::uint64_t tested = 0;
+  std::uint64_t prev_cut = 0;
+  std::uint64_t torn_seen = 0;
+  std::uint64_t buffered_seen = 0;
+  for (std::uint64_t i = 0; i < cuts; ++i) {
+    const std::uint64_t cut = first + (i * span) / cuts;
+    if (cut == prev_cut) continue;
+    prev_cut = cut;
+    trunk.run_until_arrival(cut);
+
+    auto fork = trunk.fork();
+    const PowerLossReport report = fork->power_off();
+    torn_seen += report.torn_pages;
+    buffered_seen += report.lost_buffered_pages;
+    fork->power_on();
+    fork->check_invariants();
+    fork->verify_recovery();
+    oracle.check_recovered(*fork);
+
+    // Post-crash service: the fork drains the rest of the trace and the
+    // device is still structurally sound afterwards.
+    fork->run_to_completion();
+    fork->check_invariants();
+    ++tested;
+  }
+  EXPECT_GE(tested, cuts * 9 / 10) << "cut points collapsed together";
+  // The workload must actually exercise the hard windows, or the harness
+  // is fuzzing nothing.
+  EXPECT_GT(torn_seen, 0u);
+  EXPECT_GT(buffered_seen, 0u);
+
+  trunk.run_to_completion();
+  trunk.check_invariants();
+}
+
+/// Pinned regression: a cut that tears a GC migration write must neither
+/// lose the migrating page's data nor double-count it. The OOB copy rule
+/// (migrations inherit the source's sequence number; ties resolve to the
+/// lower PPN) makes either surviving copy the unique winner, which
+/// verify_recovery()'s bijection check pins down.
+TEST(CrashFuzz, CutMidGcMigrationNeitherLosesNorDoubleCounts) {
+  SsdOptions options = fuzz_options();
+  // Shrink the device so overwrites keep GC running for the whole trace.
+  options.geometry.blocks_per_plane = 16;
+  options.write_buffer.capacity_pages = 0;  // all writes straight to flash
+  options.faults = sim::FaultModel::none();
+
+  std::vector<trace::Workload> workloads;
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    trace::SyntheticSpec spec;
+    spec.write_fraction = 0.95;
+    spec.request_count = 1800;
+    spec.intensity_rps = 2500.0;
+    spec.address_space_pages = 400;
+    spec.seed = 77 + t;
+    workloads.push_back(trace::generate_synthetic(spec));
+  }
+  const auto requests = trace::mix_workloads(workloads);
+
+  Ssd trunk(options);
+  DurabilityOracle oracle;
+  oracle.attach(trunk);
+  trunk.submit(requests);
+
+  bool found = false;
+  for (std::uint64_t cut = 40; cut < requests.size(); ++cut) {
+    trunk.run_until_arrival(cut);
+    auto fork = trunk.fork();
+    const PowerLossReport report = fork->power_off();
+    if (report.torn_gc_pages == 0) continue;
+    found = true;
+    fork->power_on();
+    fork->check_invariants();
+    fork->verify_recovery();
+    oracle.check_recovered(*fork);
+    fork->run_to_completion();
+    fork->check_invariants();
+    break;
+  }
+  EXPECT_TRUE(found) << "no cut point caught a GC migration in flight";
+}
+
+/// Pinned regression: a cut that tears a bad-block rescue migration. The
+/// rescued page's only healthy copy may be the in-flight one; recovery
+/// must fall back to the retired block's surviving copy (stale-looking but
+/// same version) and restart the rescue at mount.
+TEST(CrashFuzz, CutMidBadBlockRescueRecovers) {
+  SsdOptions options = fuzz_options();
+  options.write_buffer.capacity_pages = 0;
+  options.faults = sim::FaultModel::none();
+  options.faults.program_fail = 0.03;  // retire blocks fast
+  options.faults.program_fails_to_retire = 2;
+
+  std::vector<trace::Workload> workloads;
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    trace::SyntheticSpec spec;
+    spec.write_fraction = 0.95;
+    spec.request_count = 1800;
+    spec.intensity_rps = 2500.0;
+    spec.address_space_pages = 600;
+    spec.seed = 977 + t;
+    workloads.push_back(trace::generate_synthetic(spec));
+  }
+  const auto requests = trace::mix_workloads(workloads);
+
+  Ssd trunk(options);
+  trunk.submit(requests);
+
+  bool found = false;
+  for (std::uint64_t cut = 40; cut < requests.size(); ++cut) {
+    trunk.run_until_arrival(cut);
+    auto fork = trunk.fork();
+    const PowerLossReport report = fork->power_off();
+    if (report.torn_rescue_pages == 0) continue;
+    found = true;
+    fork->power_on();
+    fork->check_invariants();
+    fork->verify_recovery();
+    fork->run_to_completion();
+    fork->check_invariants();
+    break;
+  }
+  EXPECT_TRUE(found) << "no cut point caught a bad-block rescue in flight";
+}
+
+/// Scheduled cuts through the run loop: a time-triggered cut with
+/// auto_recover drains the remaining workload after the crash, and an
+/// arrival-triggered cut without auto_recover stops the loop dead until
+/// the caller powers the device back on.
+TEST(CrashFuzz, ScheduledCutsFireThroughTheRunLoop) {
+  const auto requests = fuzz_workload(300);
+
+  SsdOptions auto_opts = fuzz_options();
+  auto_opts.power.cut_at_time = requests[requests.size() / 2].arrival;
+  auto_opts.power.auto_recover = true;
+  Ssd survivor(auto_opts);
+  survivor.submit(requests);
+  survivor.run_to_completion();
+  EXPECT_FALSE(survivor.powered_off());
+  EXPECT_EQ(survivor.metrics().counters().power_cycles, 1u);
+  EXPECT_GT(survivor.metrics().counters().mount_time_ns, 0u);
+
+  SsdOptions manual_opts = fuzz_options();
+  manual_opts.power.cut_at_arrival = requests.size() / 2;
+  Ssd stopped(manual_opts);
+  stopped.submit(requests);
+  stopped.run_to_completion();
+  EXPECT_TRUE(stopped.powered_off());
+  EXPECT_THROW(stopped.run_to_completion(), std::logic_error);
+  stopped.power_on();
+  stopped.verify_recovery();
+  stopped.run_to_completion();
+  EXPECT_FALSE(stopped.powered_off());
+}
+
+}  // namespace
+}  // namespace ssdk::ssd

@@ -42,6 +42,16 @@ SsdOptions tiny_options() {
   return options;
 }
 
+/// tiny_options() plus the power-loss machinery: OOB metadata is
+/// materialized, and a small write buffer plus periodic flushes keep
+/// volatile pages and flush barriers live mid-run.
+SsdOptions powered_options() {
+  SsdOptions options = tiny_options();
+  options.power.enabled = true;
+  options.write_buffer.capacity_pages = 4;
+  return options;
+}
+
 /// A tiny device paused mid-workload: mapped pages, pending events,
 /// in-flight ops — every structure the audit walks is populated.
 std::unique_ptr<Ssd> busy_device(std::uint64_t pause_at = 48) {
@@ -49,6 +59,26 @@ std::unique_ptr<Ssd> busy_device(std::uint64_t pause_at = 48) {
   std::vector<sim::IoRequest> reqs;
   for (std::uint64_t i = 0; i < 64; ++i) {
     const auto type = (i % 3 == 2) ? sim::OpType::kRead : sim::OpType::kWrite;
+    reqs.push_back(make_req(i, 0, type, i % 24, 1, 50 * i));
+  }
+  device->submit(reqs);
+  device->run_until_arrival(pause_at);
+  return device;
+}
+
+/// busy_device() on powered_options(): every eighth request is a flush
+/// barrier, so OOB metadata, buffered volatile pages, and flush barriers
+/// are all populated at the pause point.
+std::unique_ptr<Ssd> busy_powered_device(std::uint64_t pause_at = 48) {
+  auto device = std::make_unique<Ssd>(powered_options());
+  std::vector<sim::IoRequest> reqs;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    auto type = sim::OpType::kWrite;
+    if (i % 8 == 7) {
+      type = sim::OpType::kFlush;
+    } else if (i % 3 == 2) {
+      type = sim::OpType::kRead;
+    }
     reqs.push_back(make_req(i, 0, type, i % 24, 1, 50 * i));
   }
   device->submit(reqs);
@@ -86,13 +116,13 @@ void write_u32(std::vector<char>& buf, std::size_t pos, std::uint32_t v) {
 /// afterwards does the same walk.
 void expect_corruption_detected(
     const Ssd& device, const std::function<void(std::vector<char>&)>& corrupt,
-    const char* label) {
+    const char* label, const SsdOptions& options = tiny_options()) {
   snapshot::StateWriter w;
   device.save_state(w);
   std::vector<char> bytes = w.take();
   corrupt(bytes);
 
-  Ssd reloaded(tiny_options());
+  Ssd reloaded(options);
   try {
     snapshot::StateReader r(bytes);
     reloaded.load_state(r);
@@ -289,13 +319,13 @@ TEST(SsdInvariants, DetectsOpSlabCorruption) {
   expect_corruption_detected(
       *device,
       [](std::vector<char>& bytes) {
-        // OPSL: tag, u64 count, then 82-byte op records ending in the
+        // OPSL: tag, u64 count, then 90-byte op records ending in the
         // in_use byte. Flipping op 0's flag either leaks it (in use,
         // vanished from the free list) or double-frees it (free-listed
         // and in use); the slab accounting catches both.
         const std::size_t opsl = find_tag(bytes, "OPSL");
         ASSERT_GT(read_u64(bytes, opsl + 4), 0u);
-        const std::size_t flag_pos = opsl + 12 + 81;
+        const std::size_t flag_pos = opsl + 12 + 89;
         bytes[flag_pos] = bytes[flag_pos] ? '\0' : '\1';
       },
       "op slab in_use flag");
@@ -316,6 +346,142 @@ TEST(SsdInvariants, DetectsQueuedWriteCacheDrift) {
         write_u32(bytes, queued_pos, 0xDEAD);
       },
       "queued_writes cache");
+}
+
+// --- power-loss & OOB serialized state ----------------------------------------
+//
+// Every field the power/OOB work added to the snapshot format gets a
+// seeded corruption here: OPSL oob_seq, the OOB_ owner/seq arrays, REQS
+// volatile_pages, and the PWRS power flag and flush-barrier records.
+
+TEST(SsdInvariants, DetectsOpOobSeqCorruption) {
+  auto device = busy_powered_device();
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        // OPSL records: kind byte at +12, oob_seq u64 at +61, in_use at
+        // +89. Give every in-flight write an oob_seq far beyond the OOB
+        // store's next_seq; the op-slab audit range-checks it.
+        const std::size_t opsl = find_tag(bytes, "OPSL");
+        const std::uint64_t nops = read_u64(bytes, opsl + 4);
+        std::size_t patched = 0;
+        for (std::uint64_t i = 0; i < nops; ++i) {
+          const std::size_t rec = opsl + 12 + i * 90;
+          // Wire values of the (private) OpKind enum: 1 = kHostWrite,
+          // 5 = kFlushWrite — the two kinds the audit range-checks.
+          const auto kind = static_cast<std::uint8_t>(bytes[rec + 12]);
+          const bool is_write = kind == 1 || kind == 5;
+          if (bytes[rec + 89] && is_write) {
+            write_u64(bytes, rec + 61, 0xFFFF'FFFF'FFFFULL);
+            ++patched;
+          }
+        }
+        ASSERT_GT(patched, 0u) << "no in-flight write op to corrupt";
+      },
+      "op oob_seq", powered_options());
+}
+
+/// First physical page that is both valid and carries readable OOB data
+/// (its program completed), or kInvalidPpn when none exists.
+sim::Ppn first_data_page(const Ssd& device) {
+  const auto& ftl = device.ftl();
+  for (sim::Ppn p = 0; p < ftl.geometry().total_pages(); ++p) {
+    if (ftl.blocks().is_valid(p) && ftl.oob().state(p) == ftl::OobState::kData) {
+      return p;
+    }
+  }
+  return sim::kInvalidPpn;
+}
+
+TEST(SsdInvariants, DetectsOobOwnerCorruption) {
+  auto device = busy_powered_device();
+  const sim::Ppn target = first_data_page(*device);
+  ASSERT_NE(target, sim::kInvalidPpn) << "no programmed page to corrupt";
+  expect_corruption_detected(
+      *device,
+      [target](std::vector<char>& bytes) {
+        // OOB_: tag, bool enabled, u64 next_seq, vec_u64 owner (u64 size
+        // + entries), vec_u64 seq, ... Flip the low (LPN) bit of the
+        // target's packed owner: the OOB now disagrees with the block
+        // manager's owner table for a valid page.
+        const std::size_t oob = find_tag(bytes, "OOB_");
+        const std::size_t owner_pos = oob + 21 + target * 8;
+        write_u64(bytes, owner_pos, read_u64(bytes, owner_pos) ^ 1);
+      },
+      "OOB owner array", powered_options());
+}
+
+TEST(SsdInvariants, DetectsOobSeqCorruption) {
+  auto device = busy_powered_device();
+  const sim::Ppn target = first_data_page(*device);
+  ASSERT_NE(target, sim::kInvalidPpn) << "no programmed page to corrupt";
+  const std::uint64_t npages = device->ftl().geometry().total_pages();
+  expect_corruption_detected(
+      *device,
+      [target, npages](std::vector<char>& bytes) {
+        // The seq array follows the owner array; zero the target's write
+        // seq. A data page must carry a seq in (0, next_seq).
+        const std::size_t oob = find_tag(bytes, "OOB_");
+        const std::size_t seq_pos = oob + 29 + npages * 8 + target * 8;
+        write_u64(bytes, seq_pos, 0);
+      },
+      "OOB seq array", powered_options());
+}
+
+TEST(SsdInvariants, DetectsVolatilePageOverCount) {
+  auto device = busy_powered_device();
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        // REQS: tag, u64 count, then 45-byte records with volatile_pages
+        // (u32) at +41. Claim request 0 absorbed more buffered pages
+        // than it has pages.
+        const std::size_t reqs = find_tag(bytes, "REQS");
+        ASSERT_GT(read_u64(bytes, reqs + 4), 0u);
+        write_u32(bytes, reqs + 12 + 41, 0xDEAD);
+      },
+      "request volatile_pages", powered_options());
+}
+
+TEST(SsdInvariants, DetectsPoweredOffFlagFlip) {
+  auto device = busy_device();
+  expect_corruption_detected(
+      *device,
+      [](std::vector<char>& bytes) {
+        // PWRS: tag, bool powered_off, bool cut_fired, barriers, lost
+        // keys. Claiming the device is off while events and ops are
+        // still in flight violates the powered-off quiescence invariant.
+        const std::size_t pwrs = find_tag(bytes, "PWRS");
+        bytes[pwrs + 4] = '\1';
+      },
+      "powered_off flag");
+}
+
+TEST(SsdInvariants, DetectsFlushBarrierCountDrift) {
+  // A barrier only exists between a flush's arrival and its last fenced
+  // program's completion; scan pause points until one holds a live
+  // barrier, then overstate its remaining count.
+  for (std::uint64_t pause = 8; pause < 64; ++pause) {
+    auto device = busy_powered_device(pause);
+    snapshot::StateWriter probe;
+    device->save_state(probe);
+    const std::vector<char> raw = probe.take();
+    const std::size_t pwrs = find_tag(raw, "PWRS");
+    if (read_u64(raw, pwrs + 6) == 0) continue;  // no live barrier here
+    expect_corruption_detected(
+        *device,
+        [](std::vector<char>& bytes) {
+          // PWRS barrier records are {u64 request, u64 threshold,
+          // u32 remaining} starting at +14; bump barrier 0's count.
+          const std::size_t at = find_tag(bytes, "PWRS");
+          std::uint32_t rem = 0;
+          std::memcpy(&rem, bytes.data() + at + 30, 4);
+          write_u32(bytes, at + 30, rem + 1);
+        },
+        "flush barrier remaining", powered_options());
+    return;
+  }
+  FAIL() << "no pause point held a live flush barrier";
 }
 
 // --- periodic audit hook ------------------------------------------------------

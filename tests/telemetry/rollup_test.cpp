@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 
+#include "ssd/ssd.hpp"
 #include "util/csv.hpp"
 
 namespace ssdk::telemetry {
@@ -131,14 +133,92 @@ TEST(RollupCsv, HeaderAndRowsParseBack) {
   std::istringstream is(os.str());
   std::string line;
   std::getline(is, line);
-  EXPECT_EQ(split_csv_line(line).size(), 12u);
+  EXPECT_EQ(split_csv_line(line).size(), 13u);
   EXPECT_EQ(line.substr(0, 15), "window_start_us");
   std::getline(is, line);
   const auto fields = split_csv_line(line);
-  ASSERT_EQ(fields.size(), 12u);
+  ASSERT_EQ(fields.size(), 13u);
   EXPECT_EQ(parse_u64(fields[1]), 3u);          // tenant
   EXPECT_EQ(parse_u64(fields[3]), 1u);          // writes
   EXPECT_DOUBLE_EQ(parse_double(fields[6]), 50.0);  // write_mean_us
+  EXPECT_EQ(parse_u64(fields[12]), 0u);         // volatile_lost
+}
+
+TEST(Rollup, VolatileLossBucketsByCutTimeAndTenant) {
+  RollupConfig config;
+  config.window_ns = 1000;
+  const auto loss = [](SimTime at, sim::TenantId tenant,
+                       std::uint64_t pages) {
+    TraceEvent e;
+    e.begin = at;
+    e.end = at;
+    e.tenant = tenant;
+    e.kind = SpanKind::kVolatileLoss;
+    e.detail = pages;
+    return e;
+  };
+  const std::vector<TraceEvent> events{
+      loss(100, 0, 3),
+      loss(100, 1, 2),
+      // A second cut in window 1 hits tenant 0 again.
+      loss(1500, 0, 4),
+  };
+  const auto rows = build_rollup(events, config);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].tenant, 0u);
+  EXPECT_EQ(rows[0].volatile_lost, 3u);
+  EXPECT_EQ(rows[1].tenant, 1u);
+  EXPECT_EQ(rows[1].volatile_lost, 2u);
+  EXPECT_EQ(rows[2].window_start, 1000u);
+  EXPECT_EQ(rows[2].volatile_lost, 4u);
+}
+
+TEST(Rollup, VolatileLossReconcilesWithDeviceMetrics) {
+  // A traced run with a power cut while the write buffer is dirty: the
+  // rollup's per-tenant volatile_lost totals must equal the device's
+  // acked_volatile_lost counters — the same loss, observed through two
+  // independent paths (trace points vs. metrics).
+  ssd::SsdOptions options;
+  options.geometry = sim::Geometry::tiny();
+  options.power.enabled = true;
+  options.power.cut_at_arrival = 40;
+  options.power.auto_recover = true;
+  options.write_buffer.capacity_pages = 8;
+
+  Tracer tracer;
+  ssd::Ssd device(options);
+  device.set_tracer(&tracer);
+  std::vector<sim::IoRequest> reqs;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    sim::IoRequest r;
+    r.id = i;
+    r.tenant = static_cast<sim::TenantId>(i % 2);
+    r.type = sim::OpType::kWrite;
+    r.lpn = i % 24;
+    r.page_count = 1;
+    r.arrival = 2000 * i;
+    reqs.push_back(r);
+  }
+  device.submit(reqs);
+  device.run_to_completion();
+
+  std::map<sim::TenantId, std::uint64_t> device_lost;
+  std::uint64_t device_total = 0;
+  for (sim::TenantId t = 0; t < 2; ++t) {
+    device_lost[t] = device.metrics().tenant(t).acked_volatile_lost;
+    device_total += device_lost[t];
+  }
+  ASSERT_GT(device_total, 0u) << "cut never caught a dirty buffer";
+
+  RollupConfig config;
+  config.window_ns = 1000 * kMicrosecond;
+  std::map<sim::TenantId, std::uint64_t> rollup_lost;
+  for (const auto& row : build_rollup(tracer.events(), config)) {
+    rollup_lost[row.tenant] += row.volatile_lost;
+  }
+  for (sim::TenantId t = 0; t < 2; ++t) {
+    EXPECT_EQ(rollup_lost[t], device_lost[t]) << "tenant " << t;
+  }
 }
 
 }  // namespace

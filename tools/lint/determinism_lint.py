@@ -302,6 +302,7 @@ def self_test() -> int:
         "float_time.cpp": {"float-time"},
         "suppressed_ok.cpp": set(),
         "suppressed_no_reason.cpp": {"unordered-iter"},
+        "recovery_unordered_scan.cpp": {"unordered-iter"},
         "clean.cpp": set(),
     }
     failures = 0

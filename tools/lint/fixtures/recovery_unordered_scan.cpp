@@ -1,0 +1,21 @@
+// Fixture: a recovery-style scan accumulating per-LPN winners in an
+// unordered map and then installing them by iteration — the exact shape
+// that would make a post-crash rebuild depend on hash order. The real
+// recovery pass (src/ftl/recovery.cpp) uses an ordered map for this.
+#include <cstdint>
+#include <unordered_map>
+
+struct Winner {
+  std::uint64_t ppn;
+  std::uint64_t seq;
+};
+
+std::unordered_map<std::uint64_t, Winner> winners_;
+
+std::uint64_t install_winners_bad() {
+  std::uint64_t installed = 0;
+  for (const auto& [key, w] : winners_) {
+    installed += w.ppn ^ key;
+  }
+  return installed;
+}
