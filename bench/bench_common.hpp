@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "core/label_gen.hpp"
@@ -17,6 +18,32 @@ namespace ssdk::bench {
 
 inline constexpr const char* kDefaultModelPath =
     "/tmp/ssdkeeper_bench_model.txt";
+
+/// Git revision the bench binary was configured from (baked in by
+/// bench/CMakeLists.txt at configure time; "unknown" outside a checkout).
+inline const char* git_rev() {
+#ifdef SSDK_GIT_REV
+  return SSDK_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+/// Open a BENCH_*.json file and emit the shared schema prefix every bench
+/// reports: `bench_name` (stable identifier, independent of the output
+/// path), `git_rev` (provenance for archived artifacts), and `floor` (the
+/// minimum acceptable value of the bench's headline metric; 0 =
+/// informational, nothing asserted). The caller streams its own fields
+/// after the prefix and writes the closing brace.
+inline std::ofstream open_bench_json(const std::string& path,
+                                     const char* bench_name, double floor) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench_name\": \"" << bench_name << "\",\n"
+     << "  \"git_rev\": \"" << git_rev() << "\",\n"
+     << "  \"floor\": " << floor << ",\n";
+  return os;
+}
 
 inline void print_header(const char* title, const core::RunConfig& run) {
   std::printf("==================================================\n");

@@ -1,0 +1,186 @@
+// Fleet-scale throughput and placement ablation (DESIGN.md §15).
+//
+// Two questions in one bench:
+//   1. Scaling — how fast does one fleet run complete as the worker pool
+//      grows? Reported as devices/s (device-epochs per wall second /
+//      epochs) and events/s (page ops per wall second) per thread count.
+//      The fleet result fingerprint must be identical at every thread
+//      count; the bench exits non-zero if pooled execution ever changes
+//      the simulation.
+//   2. Placement ablation — aggregate p99 under round_robin,
+//      least_loaded and workload_aware on the same tenant population.
+//      The population puts a heavy sequential writer at every
+//      `devices`-th tenant index, the adversarial case for round-robin
+//      (all writers collapse onto device 0); workload-aware spreads them
+//      and must beat round-robin on aggregate p99 (floor 1.0 on the
+//      p99 ratio — asserted, not just recorded).
+//
+// Usage: bench_fleet_scale [devices=16] [tenants=32] [epochs=3]
+//          [epoch_ms=40] [threads=1,2,4,8] [seed=7]
+//          [json=BENCH_fleet_scale.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/report.hpp"
+#include "util/config.hpp"
+
+using namespace ssdk;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::vector<std::size_t> parse_threads(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    out.push_back(static_cast<std::size_t>(std::stoull(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::uint64_t total_page_ops(const fleet::FleetResult& r) {
+  std::uint64_t ops = 0;
+  for (const auto& d : r.device_results) ops += d.run.counters.page_ops;
+  return ops;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  fleet::FleetConfig config;
+  config.devices = static_cast<std::uint32_t>(cfg.get_uint("devices", 16));
+  config.epochs = static_cast<std::uint32_t>(cfg.get_uint("epochs", 3));
+  config.epoch_ns = static_cast<Duration>(cfg.get_uint("epoch_ms", 40)) *
+                    kMillisecond;
+  config.seed = cfg.get_uint("seed", 7);
+  config.ssd.geometry = sim::Geometry::small();
+  config.isolated_baseline = false;  // scaling bench: fleet wall time only
+  const auto tenants_n =
+      static_cast<std::uint32_t>(cfg.get_uint("tenants", 32));
+  const auto thread_counts =
+      parse_threads(cfg.get_string("threads", "1,2,4,8"));
+  const std::string json_path =
+      cfg.get_string("json", "BENCH_fleet_scale.json");
+
+  const auto specs =
+      fleet::make_tenant_specs(tenants_n, config.devices, config.epoch_ns);
+  std::printf("fleet: %u devices, %u tenants, %u epochs of %.0f ms "
+              "(seed %llu)\n",
+              config.devices, tenants_n, config.epochs,
+              static_cast<double>(config.epoch_ns) / 1e6,
+              static_cast<unsigned long long>(config.seed));
+
+  // --- 1. scaling: same fleet, growing pool ------------------------------
+  const fleet::WorkloadAwarePlacement aware;
+  struct ScalePoint {
+    std::size_t threads;
+    double wall_s;
+    double devices_per_s;
+    double events_per_s;
+    std::uint64_t fingerprint;
+  };
+  std::vector<ScalePoint> scale;
+  for (const std::size_t threads : thread_counts) {
+    const auto start = Clock::now();
+    const auto result = fleet::run_fleet(config, specs, aware, threads);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    ScalePoint p;
+    p.threads = threads;
+    p.wall_s = wall;
+    p.devices_per_s = static_cast<double>(config.devices) / wall;
+    p.events_per_s = static_cast<double>(total_page_ops(result)) / wall;
+    p.fingerprint = result.fingerprint();
+    std::printf("threads=%2zu: %.3f s wall, %.1f devices/s, "
+                "%.0f events/s, fingerprint %016llx\n",
+                threads, wall, p.devices_per_s, p.events_per_s,
+                static_cast<unsigned long long>(p.fingerprint));
+    scale.push_back(p);
+  }
+  for (const auto& p : scale) {
+    if (p.fingerprint != scale.front().fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL: fleet result diverged across thread counts\n");
+      return EXIT_FAILURE;
+    }
+  }
+
+  // --- 2. placement ablation at the widest pool --------------------------
+  const std::size_t ablation_threads = thread_counts.back();
+  struct AblationPoint {
+    std::string policy;
+    double p99_total_us;
+    double aggregate_total_us;
+    std::size_t migrations;
+  };
+  std::vector<AblationPoint> ablation;
+  for (const auto& name : fleet::policy_names()) {
+    const auto policy = fleet::make_policy(name);
+    const auto result =
+        fleet::run_fleet(config, specs, *policy, ablation_threads);
+    AblationPoint a;
+    a.policy = name;
+    a.p99_total_us =
+        result.aggregate_p99_read_us + result.aggregate_p99_write_us;
+    a.aggregate_total_us = result.aggregate_total_us;
+    a.migrations = result.migrations.size();
+    std::printf("policy %-15s: aggregate p99 %.1f us, total %.1f us, "
+                "%zu migrations\n",
+                name.c_str(), a.p99_total_us, a.aggregate_total_us,
+                a.migrations);
+    ablation.push_back(a);
+  }
+  const double rr_p99 = ablation[0].p99_total_us;
+  const double aware_p99 = ablation[2].p99_total_us;
+  const double p99_ratio = aware_p99 > 0.0 ? rr_p99 / aware_p99 : 0.0;
+  std::printf("round_robin / workload_aware p99 ratio: %.2fx\n", p99_ratio);
+
+  std::ofstream os = bench::open_bench_json(json_path, "fleet_scale", 1.0);
+  os << "  \"devices\": " << config.devices << ",\n"
+     << "  \"tenants\": " << tenants_n << ",\n"
+     << "  \"epochs\": " << config.epochs << ",\n"
+     << "  \"seed\": " << config.seed << ",\n"
+     << "  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    os << "    {\"threads\": " << scale[i].threads
+       << ", \"wall_s\": " << scale[i].wall_s
+       << ", \"devices_per_s\": " << scale[i].devices_per_s
+       << ", \"events_per_s\": " << scale[i].events_per_s << "}"
+       << (i + 1 < scale.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"deterministic_across_threads\": true,\n"
+     << "  \"ablation\": [\n";
+  for (std::size_t i = 0; i < ablation.size(); ++i) {
+    os << "    {\"policy\": \"" << ablation[i].policy
+       << "\", \"aggregate_p99_us\": " << ablation[i].p99_total_us
+       << ", \"aggregate_total_us\": " << ablation[i].aggregate_total_us
+       << ", \"migrations\": " << ablation[i].migrations << "}"
+       << (i + 1 < ablation.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"p99_ratio_round_robin_over_workload_aware\": " << p99_ratio
+     << "\n"
+     << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (p99_ratio < 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: workload_aware did not beat round_robin on "
+                 "aggregate p99 (ratio %.3f < floor 1.0)\n",
+                 p99_ratio);
+    return EXIT_FAILURE;
+  }
+  return 0;
+}

@@ -94,10 +94,10 @@ int main(int argc, char** argv) {
   std::printf("label_workload: %.3f s for %zu strategies\n", label_s,
               space.size());
 
-  std::ofstream os(json_path);
-  os << "{\n"
-     << "  \"bench\": \"sim_throughput\",\n"
-     << "  \"mix\": " << mix << ",\n"
+  // floor 0: shared CI runners are too noisy for an absolute
+  // throughput threshold — the trajectory is archived, not asserted.
+  std::ofstream os = bench::open_bench_json(json_path, "sim_throughput", 0.0);
+  os << "  \"mix\": " << mix << ",\n"
      << "  \"duration_s\": " << duration_s << ",\n"
      << "  \"requests\": " << replay.requests << ",\n"
      << "  \"page_ops\": " << replay.page_ops << ",\n"

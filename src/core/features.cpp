@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace ssdk::core {
 
@@ -116,6 +118,47 @@ MixFeatures features_of(std::span<const sim::IoRequest> requests,
   FeaturesCollector collector(config);
   for (const auto& r : requests) collector.observe(r);
   return collector.finalize();
+}
+
+std::vector<TenantStreamStats> per_tenant_stats(
+    std::span<const sim::IoRequest> requests) {
+  // Tenant ids are arbitrary here; a sorted map keeps the result ordered
+  // by id without assuming density.
+  std::map<sim::TenantId, TenantStreamStats> by_tenant;
+  std::map<sim::TenantId, std::pair<SimTime, SimTime>> spans;
+  for (const auto& r : requests) {
+    auto [it, inserted] = by_tenant.try_emplace(r.tenant);
+    it->second.tenant = r.tenant;
+    if (r.type == sim::OpType::kRead) {
+      ++it->second.reads;
+    } else if (r.type == sim::OpType::kWrite) {
+      ++it->second.writes;
+    } else {
+      continue;  // trims/flushes carry no read/write signal
+    }
+    auto [sit, first] = spans.try_emplace(r.tenant, r.arrival, r.arrival);
+    if (!first) {
+      sit->second.first = std::min(sit->second.first, r.arrival);
+      sit->second.second = std::max(sit->second.second, r.arrival);
+    }
+  }
+  std::vector<TenantStreamStats> out;
+  out.reserve(by_tenant.size());
+  for (const auto& [id, stats] : by_tenant) {
+    TenantStreamStats s = stats;
+    const auto span_it = spans.find(id);
+    if (span_it != spans.end()) {
+      const double span_s =
+          static_cast<double>(span_it->second.second -
+                              span_it->second.first) /
+          1e9;
+      s.requests_per_s = span_s > 0.0
+                             ? static_cast<double>(s.requests()) / span_s
+                             : static_cast<double>(s.requests());
+    }
+    if (s.requests() > 0) out.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace ssdk::core

@@ -80,4 +80,32 @@ class FeaturesCollector {
 MixFeatures features_of(std::span<const sim::IoRequest> requests,
                         const FeatureConfig& config = {});
 
+/// Raw per-tenant traffic shape of a request stream — the fleet placement
+/// tier's input. MixFeatures quantizes the read/write characteristic to
+/// one bit per tenant (what the 9-D network wants); consolidation across
+/// devices needs the continuous ratio and each tenant's absolute request
+/// rate, so those are reported unquantized here.
+struct TenantStreamStats {
+  sim::TenantId tenant = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Mean arrival rate over the stream's observed span (requests/s).
+  double requests_per_s = 0.0;
+
+  std::uint64_t requests() const { return reads + writes; }
+  double write_fraction() const {
+    return requests() > 0
+               ? static_cast<double>(writes) /
+                     static_cast<double>(requests())
+               : 0.0;
+  }
+  bool read_dominated() const { return reads > writes; }
+};
+
+/// Per-tenant stats of a (possibly mixed) stream, ordered by tenant id.
+/// Tenants that issued no requests are omitted. Unlike features_of this
+/// accepts any tenant id (the fleet's global ids are not limited to 0..3).
+std::vector<TenantStreamStats> per_tenant_stats(
+    std::span<const sim::IoRequest> requests);
+
 }  // namespace ssdk::core

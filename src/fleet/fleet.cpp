@@ -1,0 +1,673 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "core/features.hpp"
+#include "ftl/ftl.hpp"
+
+namespace ssdk::fleet {
+
+namespace {
+
+constexpr int kSlotFree = -1;
+/// A slot a tenant migrated out of. Never reused: keeping (device, slot)
+/// unique per tenant lets the final report attribute a slot's cumulative
+/// metrics to exactly one tenant.
+constexpr int kSlotDead = -2;
+
+constexpr std::uint32_t kBulkRequestPages = 16;
+
+/// Mutable per-device state owned by run_fleet. Epoch workers touch only
+/// their own entry; the serial consolidation step at epoch boundaries is
+/// the only cross-device reader/writer.
+struct DeviceState {
+  std::unique_ptr<ssd::Ssd> device;
+  std::unique_ptr<telemetry::Tracer> tracer;
+  std::unique_ptr<core::SsdKeeper> keeper;
+  bool faulty = false;
+  /// slot -> fleet tenant id, kSlotFree, or kSlotDead.
+  std::array<int, kMaxSlots> slot_tenant{};
+  /// Logical pages each slot's tenant has written so far (from the
+  /// generated traffic — deterministic, no device introspection needed).
+  std::array<std::uint64_t, kMaxSlots> footprint_pages{};
+  /// Write pages per slot in the most recent epoch (victim selection).
+  std::array<std::uint64_t, kMaxSlots> epoch_write_pages{};
+  /// Migration copy traffic to replay at the next epoch start.
+  std::vector<sim::IoRequest> pending_bulk;
+  std::uint64_t next_request_id = 0;
+  std::vector<telemetry::RollupSummary> epoch_summaries;
+  /// The device aborted with DeviceFullError; it stops receiving traffic
+  /// and drops out of consolidation. The partial result is kept.
+  bool full = false;
+  core::RunResult full_result;
+};
+
+/// Where one tenant lives and has lived.
+struct TenantState {
+  std::uint32_t device = 0;
+  std::uint32_t slot = 0;
+  std::uint32_t initial_device = 0;
+  std::uint32_t migrations = 0;
+  /// Every (device, slot) this tenant occupied, in order. Metrics of all
+  /// segments merge into the tenant's fleet-wide latency distribution.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> segments;
+};
+
+std::uint64_t epoch_seed(std::uint64_t fleet_seed, std::uint32_t tenant,
+                         std::uint32_t epoch) {
+  // Distinct co-prime strides keep (tenant, epoch) streams disjoint for
+  // any realistic fleet size; the +1 keeps seed 0 out of the generator.
+  return fleet_seed * 1000003ULL +
+         static_cast<std::uint64_t>(tenant) * 1009ULL + epoch + 1;
+}
+
+void validate(const FleetConfig& config, std::size_t tenant_count) {
+  if (config.devices == 0) {
+    throw std::invalid_argument("fleet: devices must be > 0");
+  }
+  if (config.slots_per_device == 0 ||
+      config.slots_per_device > kMaxSlots) {
+    throw std::invalid_argument("fleet: slots_per_device must be 1..4");
+  }
+  if (config.epochs == 0) {
+    throw std::invalid_argument("fleet: epochs must be > 0");
+  }
+  if (config.epoch_ns <= 0) {
+    throw std::invalid_argument("fleet: epoch_ns must be > 0");
+  }
+  if (tenant_count == 0) {
+    throw std::invalid_argument("fleet: no tenants");
+  }
+  // Migrations need headroom (a never-used destination slot); placement
+  // capacity itself is checked by the policy.
+}
+
+/// FNV-1a accumulator over the result's numeric fields.
+struct Fnv {
+  std::uint64_t h = 14695981039346656037ULL;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
+  void mix(std::uint32_t v) { mix(static_cast<std::uint64_t>(v)); }
+  void mix(bool v) { mix(static_cast<std::uint64_t>(v)); }
+};
+
+std::vector<sim::IoRequest> records_to_requests(
+    std::span<const trace::TraceRecord> records, sim::TenantId slot) {
+  std::vector<sim::IoRequest> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    sim::IoRequest req;
+    req.tenant = slot;
+    req.type = r.type;
+    req.lpn = r.lpn;
+    req.page_count = r.pages;
+    req.arrival = r.arrival;
+    out.push_back(req);
+  }
+  return out;
+}
+
+/// Merge per-slot request vectors by arrival. Appending in slot order and
+/// stable-sorting keeps ties in slot order — a fixed rule, so the merged
+/// stream is identical on every run.
+void sort_by_arrival(std::vector<sim::IoRequest>& requests) {
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const sim::IoRequest& a, const sim::IoRequest& b) {
+                     return a.arrival < b.arrival;
+                   });
+}
+
+/// The next epoch's traffic of every live slot of a device, merged —
+/// the what-if trials' preview stream.
+std::vector<sim::IoRequest> next_epoch_preview(
+    const DeviceState& st, std::span<const TenantSpec> specs,
+    const FleetConfig& config, std::uint32_t next_epoch) {
+  std::vector<sim::IoRequest> preview;
+  for (std::uint32_t s = 0; s < config.slots_per_device; ++s) {
+    if (st.slot_tenant[s] < 0) continue;
+    const auto& spec = specs[static_cast<std::size_t>(st.slot_tenant[s])];
+    const auto records =
+        epoch_records(spec, config.seed, next_epoch, config.epoch_ns);
+    auto reqs = records_to_requests(records, s);
+    preview.insert(preview.end(), reqs.begin(), reqs.end());
+  }
+  sort_by_arrival(preview);
+  return preview;
+}
+
+void truncate_trial(std::vector<sim::IoRequest>& trial,
+                    std::uint64_t limit) {
+  if (limit > 0 && trial.size() > limit) {
+    trial.resize(static_cast<std::size_t>(limit));
+  }
+  for (std::size_t i = 0; i < trial.size(); ++i) trial[i].id = i;
+}
+
+/// Advance one device through one epoch. Runs on a pool worker; touches
+/// only this device's state.
+void run_epoch_on_device(DeviceState& st,
+                         std::span<const TenantSpec> specs,
+                         const FleetConfig& config, std::uint32_t epoch) {
+  st.epoch_write_pages = {};
+  if (st.full) {
+    st.epoch_summaries.emplace_back();  // all-zero: never hot, never a target
+    return;
+  }
+  st.tracer->clear();
+
+  std::vector<sim::IoRequest> requests = std::move(st.pending_bulk);
+  st.pending_bulk.clear();
+  for (std::uint32_t s = 0; s < config.slots_per_device; ++s) {
+    if (st.slot_tenant[s] < 0) continue;
+    const auto& spec = specs[static_cast<std::size_t>(st.slot_tenant[s])];
+    const auto records =
+        epoch_records(spec, config.seed, epoch, config.epoch_ns);
+    for (const auto& r : records) {
+      if (r.type == sim::OpType::kWrite) {
+        st.epoch_write_pages[s] += r.pages;
+        st.footprint_pages[s] += r.pages;
+      }
+    }
+    auto reqs = records_to_requests(records, s);
+    requests.insert(requests.end(), reqs.begin(), reqs.end());
+  }
+  sort_by_arrival(requests);
+  for (auto& r : requests) r.id = st.next_request_id++;
+
+  try {
+    st.device->submit(requests);
+    st.device->run_to_completion();
+  } catch (const ftl::DeviceFullError& e) {
+    st.full = true;
+    st.full_result = core::summarize_device_full(*st.device, e, "fleet");
+  }
+
+  telemetry::RollupConfig rollup = config.rollup;
+  rollup.channels = st.device->options().geometry.channels;
+  const auto events = st.tracer->events();
+  st.epoch_summaries.push_back(
+      telemetry::summarize_rollup(telemetry::build_rollup(events, rollup)));
+}
+
+/// Serial consolidation step at the boundary after `epoch`: detect hot
+/// devices, pick victims, score destinations via fork trials, commit the
+/// winning moves. All inputs are merged per-device state in device-id
+/// order, so the decisions are independent of worker scheduling.
+void consolidate(std::vector<DeviceState>& states,
+                 std::vector<TenantState>& tenants,
+                 std::span<const TenantSpec> specs,
+                 const FleetConfig& config, std::uint32_t epoch,
+                 std::vector<MigrationRecord>& out) {
+  const std::uint32_t next_epoch = epoch + 1;
+  std::vector<telemetry::RollupSummary> summaries;
+  summaries.reserve(states.size());
+  for (const auto& st : states) summaries.push_back(st.epoch_summaries.back());
+  const auto hot = detect_hot_devices(summaries, config.migration);
+
+  std::uint32_t committed = 0;
+  for (std::uint32_t d = 0;
+       d < states.size() && committed < config.migration.max_per_epoch; ++d) {
+    if (!hot[d] || states[d].full) continue;
+    DeviceState& src = states[d];
+
+    // Victim: the slot that wrote the most pages last epoch — writes are
+    // the channel-monopolizing traffic class, so shedding the heaviest
+    // writer relieves the most contention per move.
+    int victim_slot = -1;
+    std::uint64_t victim_writes = 0;
+    std::uint32_t residents = 0;
+    for (std::uint32_t s = 0; s < config.slots_per_device; ++s) {
+      if (src.slot_tenant[s] < 0) continue;
+      ++residents;
+      if (victim_slot < 0 || src.epoch_write_pages[s] > victim_writes) {
+        victim_slot = static_cast<int>(s);
+        victim_writes = src.epoch_write_pages[s];
+      }
+    }
+    if (residents < 2 || victim_slot < 0) continue;  // nothing to shed
+    const auto vslot = static_cast<std::uint32_t>(victim_slot);
+    const auto tenant_id =
+        static_cast<std::uint32_t>(src.slot_tenant[vslot]);
+    const TenantSpec& vspec = specs[tenant_id];
+
+    // Candidate destinations: cold devices with a never-used slot,
+    // coldest first (ties toward the lower device id).
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t c = 0; c < states.size(); ++c) {
+      if (c == d || hot[c] || states[c].full) continue;
+      bool has_free = false;
+      for (std::uint32_t s = 0; s < config.slots_per_device; ++s) {
+        if (states[c].slot_tenant[s] == kSlotFree) has_free = true;
+      }
+      if (has_free) candidates.push_back(c);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return summaries[a].heat() < summaries[b].heat();
+                     });
+    if (candidates.size() > config.migration.candidates) {
+      candidates.resize(config.migration.candidates);
+    }
+    if (candidates.empty()) continue;
+
+    const auto victim_records =
+        epoch_records(vspec, config.seed, next_epoch, config.epoch_ns);
+
+    // "Stay" trial: the source replays its own next epoch unchanged.
+    auto stay_trial = next_epoch_preview(src, specs, config, next_epoch);
+    truncate_trial(stay_trial, config.migration.trial_requests);
+    const double stay_score = score_placement(*src.device, stay_trial);
+
+    MigrationRecord record;
+    record.epoch = epoch;
+    record.tenant = tenant_id;
+    record.from_device = d;
+    record.from_slot = vslot;
+    record.stay_score_us = stay_score;
+
+    std::uint32_t best_device = 0;
+    std::uint32_t best_slot = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (const std::uint32_t c : candidates) {
+      std::uint32_t free_slot = kMaxSlots;
+      for (std::uint32_t s = 0; s < config.slots_per_device; ++s) {
+        if (states[c].slot_tenant[s] == kSlotFree) {
+          free_slot = s;
+          break;
+        }
+      }
+      auto trial = next_epoch_preview(states[c], specs, config, next_epoch);
+      auto victim_reqs = records_to_requests(victim_records, free_slot);
+      trial.insert(trial.end(), victim_reqs.begin(), victim_reqs.end());
+      sort_by_arrival(trial);
+      truncate_trial(trial, config.migration.trial_requests);
+      const double score = score_placement(*states[c].device, trial);
+      record.trials.push_back({c, score});
+      if (score < best_score) {
+        best_score = score;
+        best_device = c;
+        best_slot = free_slot;
+      }
+    }
+
+    if (best_score >= stay_score) continue;  // staying measured no worse
+
+    // Commit: retire the source slot, occupy the destination slot, and
+    // queue the (capped) copy traffic for the next epoch start.
+    record.to_device = best_device;
+    record.to_slot = best_slot;
+    record.move_score_us = best_score;
+    record.footprint_pages = src.footprint_pages[vslot];
+    record.injected_pages =
+        std::min<std::uint64_t>(record.footprint_pages,
+                                config.migration.bulk_pages_cap);
+    const auto& opts = states[best_device].device->options();
+    record.modeled_cost_ns =
+        static_cast<Duration>(record.footprint_pages) *
+        opts.timing.write_service_ns(opts.geometry);
+
+    DeviceState& dst = states[best_device];
+    src.slot_tenant[vslot] = kSlotDead;
+    dst.slot_tenant[best_slot] = static_cast<int>(tenant_id);
+    dst.footprint_pages[best_slot] = record.footprint_pages;
+
+    const SimTime bulk_at =
+        static_cast<SimTime>(next_epoch) * config.epoch_ns;
+    const std::uint64_t space = vspec.traffic.address_space_pages;
+    std::uint64_t remaining = record.injected_pages;
+    std::uint64_t lpn = 0;
+    while (remaining > 0) {
+      sim::IoRequest req;
+      req.tenant = best_slot;
+      req.type = sim::OpType::kWrite;
+      req.lpn = lpn % space;
+      req.page_count = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(kBulkRequestPages, remaining));
+      req.arrival = bulk_at;
+      dst.pending_bulk.push_back(req);
+      lpn += req.page_count;
+      remaining -= req.page_count;
+    }
+
+    TenantState& ts = tenants[tenant_id];
+    ts.device = best_device;
+    ts.slot = best_slot;
+    ++ts.migrations;
+    ts.segments.emplace_back(best_device, best_slot);
+
+    out.push_back(std::move(record));
+    ++committed;
+  }
+}
+
+}  // namespace
+
+std::vector<trace::TraceRecord> epoch_records(const TenantSpec& spec,
+                                              std::uint64_t fleet_seed,
+                                              std::uint32_t epoch,
+                                              Duration epoch_ns) {
+  trace::SyntheticSpec s = spec.traffic;
+  s.seed = epoch_seed(fleet_seed, spec.id, epoch);
+  trace::Workload records = trace::generate_synthetic(s);
+  std::erase_if(records, [epoch_ns](const trace::TraceRecord& r) {
+    return r.arrival >= epoch_ns;
+  });
+  const SimTime base = static_cast<SimTime>(epoch) * epoch_ns;
+  for (auto& r : records) r.arrival += base;
+  return records;
+}
+
+std::vector<TenantSpec> make_tenant_specs(std::uint32_t count,
+                                          std::uint32_t writer_stride,
+                                          Duration epoch_ns) {
+  const double epoch_s = static_cast<double>(epoch_ns) / 1e9;
+  std::vector<TenantSpec> specs;
+  specs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TenantSpec spec;
+    spec.id = i;
+    trace::SyntheticSpec& t = spec.traffic;
+    if (writer_stride > 0 && i % writer_stride == 0) {
+      // Heavy sequential writer — the tenant class that saturates shared
+      // channels and forces consolidation decisions.
+      t.name = "writer";
+      t.write_fraction = 0.9;
+      t.intensity_rps = 9'000.0;
+      t.mean_request_pages = 4.0;
+      t.sequential_fraction = 0.7;
+    } else if (i % 2 == 1) {
+      t.name = "reader";
+      t.write_fraction = 0.1;
+      t.intensity_rps = 6'000.0;
+      t.mean_request_pages = 2.0;
+    } else {
+      t.name = "mixed";
+      t.write_fraction = 0.4;
+      t.intensity_rps = 4'000.0;
+      t.mean_request_pages = 2.0;
+    }
+    // ~1.5x the expected count so the epoch window is always filled; the
+    // overhang past epoch_ns is clipped by epoch_records.
+    t.request_count = static_cast<std::uint64_t>(
+        t.intensity_rps * epoch_s * 1.5) + 16;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::uint64_t FleetResult::fingerprint() const {
+  Fnv f;
+  f.mix(devices);
+  f.mix(tenants);
+  f.mix(epochs);
+  f.mix(seed);
+  f.mix(total_requests);
+  f.mix(aggregate_p99_read_us);
+  f.mix(aggregate_p99_write_us);
+  f.mix(aggregate_total_us);
+  f.mix(mean_slowdown);
+  for (const auto& d : device_results) {
+    f.mix(d.device);
+    f.mix(d.faulty);
+    f.mix(d.run.avg_read_us);
+    f.mix(d.run.avg_write_us);
+    f.mix(d.run.total_us);
+    f.mix(d.run.p99_read_us);
+    f.mix(d.run.p99_write_us);
+    f.mix(d.run.counters.host_reads);
+    f.mix(d.run.counters.host_writes);
+    f.mix(d.run.counters.conflicts);
+    f.mix(d.run.counters.gc_migrations);
+    f.mix(d.run.device_full);
+    for (const auto& s : d.epoch_summaries) {
+      f.mix(s.reads);
+      f.mix(s.writes);
+      f.mix(s.conflicts);
+      f.mix(s.iops);
+      f.mix(s.read_p99_us);
+      f.mix(s.write_p99_us);
+      f.mix(s.mean_bus_util);
+      f.mix(s.peak_bus_util);
+    }
+  }
+  for (const auto& t : tenant_results) {
+    f.mix(t.tenant);
+    f.mix(t.initial_device);
+    f.mix(t.final_device);
+    f.mix(t.migrations);
+    f.mix(t.reads);
+    f.mix(t.writes);
+    f.mix(t.avg_read_us);
+    f.mix(t.avg_write_us);
+    f.mix(t.total_us);
+    f.mix(t.p99_read_us);
+    f.mix(t.p99_write_us);
+    f.mix(t.isolated_total_us);
+    f.mix(t.slowdown);
+  }
+  for (const auto& m : migrations) {
+    f.mix(m.epoch);
+    f.mix(m.tenant);
+    f.mix(m.from_device);
+    f.mix(m.to_device);
+    f.mix(m.from_slot);
+    f.mix(m.to_slot);
+    f.mix(m.stay_score_us);
+    f.mix(m.move_score_us);
+    f.mix(m.footprint_pages);
+    f.mix(m.injected_pages);
+    f.mix(static_cast<std::uint64_t>(m.modeled_cost_ns));
+    for (const auto& trial : m.trials) {
+      f.mix(trial.device);
+      f.mix(trial.score_us);
+    }
+  }
+  return f.h;
+}
+
+FleetResult run_fleet(const FleetConfig& config,
+                      std::span<const TenantSpec> tenants,
+                      const PlacementPolicy& policy, ThreadPool& pool) {
+  validate(config, tenants.size());
+
+  // Placement input: each tenant's first-epoch traffic, measured by the
+  // per-tenant feature extractor (the same signal the keeper's collector
+  // quantizes, kept continuous here).
+  std::vector<TenantLoad> loads;
+  loads.reserve(tenants.size());
+  for (const auto& spec : tenants) {
+    const auto records =
+        epoch_records(spec, config.seed, 0, config.epoch_ns);
+    std::vector<sim::IoRequest> reqs;
+    reqs.reserve(records.size());
+    for (const auto& r : records) {
+      sim::IoRequest req;
+      req.tenant = spec.id;
+      req.type = r.type;
+      req.lpn = r.lpn;
+      req.page_count = r.pages;
+      req.arrival = r.arrival;
+      reqs.push_back(req);
+    }
+    const auto stats = core::per_tenant_stats(reqs);
+    TenantLoad load;
+    load.tenant = spec.id;
+    if (!stats.empty()) load = load_of(spec.id, stats.front());
+    loads.push_back(load);
+  }
+  const auto placement =
+      policy.place(loads, config.devices, config.slots_per_device);
+
+  // Build the fleet: one device (+ tracer, + optional keeper) per slot of
+  // the device vector, tenants assigned to slots in tenant-id order.
+  std::vector<DeviceState> states(config.devices);
+  std::vector<TenantState> tenant_states(tenants.size());
+  for (std::uint32_t d = 0; d < config.devices; ++d) {
+    DeviceState& st = states[d];
+    ssd::SsdOptions options = config.ssd;
+    if (config.faulty_device_stride > 0 &&
+        d % config.faulty_device_stride == 0) {
+      options.faults = config.faults;
+      st.faulty = true;
+    }
+    st.device = std::make_unique<ssd::Ssd>(options);
+    st.tracer = std::make_unique<telemetry::Tracer>(telemetry::TelemetryConfig{
+        .capacity_events = config.tracer_capacity_events});
+    st.device->set_tracer(st.tracer.get());
+    if (config.allocator != nullptr) {
+      st.keeper =
+          std::make_unique<core::SsdKeeper>(*config.allocator, config.keeper);
+      st.keeper->attach(*st.device);
+    }
+    st.slot_tenant.fill(kSlotFree);
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const std::uint32_t d = placement[i];
+    DeviceState& st = states[d];
+    std::uint32_t slot = kMaxSlots;
+    for (std::uint32_t s = 0; s < config.slots_per_device; ++s) {
+      if (st.slot_tenant[s] == kSlotFree) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot >= kMaxSlots) {
+      throw std::logic_error("fleet: placement oversubscribed a device");
+    }
+    st.slot_tenant[slot] = static_cast<int>(tenants[i].id);
+    TenantState& ts = tenant_states[i];
+    ts.device = ts.initial_device = d;
+    ts.slot = slot;
+    ts.segments.emplace_back(d, slot);
+  }
+
+  FleetResult result;
+  result.policy = policy.name();
+  result.devices = config.devices;
+  result.tenants = static_cast<std::uint32_t>(tenants.size());
+  result.epochs = config.epochs;
+  result.seed = config.seed;
+
+  for (std::uint32_t epoch = 0; epoch < config.epochs; ++epoch) {
+    parallel_map(pool, states.size(), [&](std::size_t d) {
+      run_epoch_on_device(states[d], tenants, config, epoch);
+      return 0;
+    });
+    if (config.migration.enabled && epoch + 1 < config.epochs) {
+      consolidate(states, tenant_states, tenants, config, epoch,
+                  result.migrations);
+    }
+  }
+
+  // Per-device results, merged in device-id order.
+  double p99r_w = 0.0, p99w_w = 0.0, total_w = 0.0;
+  double read_n = 0.0, write_n = 0.0, req_n = 0.0;
+  for (std::uint32_t d = 0; d < config.devices; ++d) {
+    DeviceState& st = states[d];
+    FleetDeviceResult dr;
+    dr.device = d;
+    dr.faulty = st.faulty;
+    dr.run = st.full ? st.full_result : core::summarize(*st.device);
+    dr.epoch_summaries = st.epoch_summaries;
+    const auto agg = st.device->metrics().aggregate();
+    const double reads = static_cast<double>(agg.read_latency_us.count());
+    const double writes = static_cast<double>(agg.write_latency_us.count());
+    read_n += reads;
+    write_n += writes;
+    req_n += reads + writes;
+    p99r_w += dr.run.p99_read_us * reads;
+    p99w_w += dr.run.p99_write_us * writes;
+    total_w += dr.run.total_us * (reads + writes);
+    result.total_requests += st.device->metrics().counters().host_reads +
+                             st.device->metrics().counters().host_writes;
+    result.device_results.push_back(std::move(dr));
+  }
+  if (read_n > 0.0) result.aggregate_p99_read_us = p99r_w / read_n;
+  if (write_n > 0.0) result.aggregate_p99_write_us = p99w_w / write_n;
+  if (req_n > 0.0) result.aggregate_total_us = total_w / req_n;
+
+  // Isolated baselines: each tenant alone on a fresh (fault-free) device,
+  // replaying all epochs of its own traffic — the denominator of the
+  // slowdown column. Independent per tenant, so it fans out on the pool.
+  std::vector<double> isolated(tenants.size(), 0.0);
+  if (config.isolated_baseline) {
+    isolated = parallel_map(pool, tenants.size(), [&](std::size_t i) {
+      ssd::Ssd device(config.ssd);
+      std::vector<sim::IoRequest> reqs;
+      for (std::uint32_t e = 0; e < config.epochs; ++e) {
+        const auto records =
+            epoch_records(tenants[i], config.seed, e, config.epoch_ns);
+        auto epoch_reqs = records_to_requests(records, 0);
+        reqs.insert(reqs.end(), epoch_reqs.begin(), epoch_reqs.end());
+      }
+      for (std::size_t r = 0; r < reqs.size(); ++r) reqs[r].id = r;
+      try {
+        device.submit(reqs);
+        device.run_to_completion();
+      } catch (const ftl::DeviceFullError&) {
+        // Partial metrics still give a usable denominator.
+      }
+      const auto agg = device.metrics().aggregate();
+      return agg.total_us();
+    });
+  }
+
+  double slowdown_sum = 0.0;
+  std::uint32_t slowdown_n = 0;
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantState& ts = tenant_states[i];
+    FleetTenantResult tr;
+    tr.tenant = tenants[i].id;
+    tr.initial_device = ts.initial_device;
+    tr.final_device = ts.device;
+    tr.migrations = ts.migrations;
+    sim::TenantMetrics merged;
+    for (const auto& [dev, slot] : ts.segments) {
+      const auto& metrics = states[dev].device->metrics();
+      if (!metrics.has_tenant(slot)) continue;
+      const auto& tm = metrics.tenant(slot);
+      merged.read_latency_us.merge(tm.read_latency_us);
+      merged.write_latency_us.merge(tm.write_latency_us);
+    }
+    tr.reads = merged.read_latency_us.count();
+    tr.writes = merged.write_latency_us.count();
+    tr.avg_read_us = merged.avg_read_us();
+    tr.avg_write_us = merged.avg_write_us();
+    tr.total_us = merged.total_us();
+    tr.p99_read_us = merged.read_latency_us.empty()
+                         ? 0.0
+                         : merged.read_latency_us.percentile(99.0);
+    tr.p99_write_us = merged.write_latency_us.empty()
+                          ? 0.0
+                          : merged.write_latency_us.percentile(99.0);
+    tr.isolated_total_us = isolated[i];
+    if (tr.isolated_total_us > 0.0) {
+      tr.slowdown = tr.total_us / tr.isolated_total_us;
+      slowdown_sum += tr.slowdown;
+      ++slowdown_n;
+    }
+    result.tenant_results.push_back(std::move(tr));
+  }
+  if (slowdown_n > 0) {
+    result.mean_slowdown = slowdown_sum / slowdown_n;
+  }
+  return result;
+}
+
+FleetResult run_fleet(const FleetConfig& config,
+                      std::span<const TenantSpec> tenants,
+                      const PlacementPolicy& policy, std::size_t threads) {
+  ThreadPool pool(threads);
+  return run_fleet(config, tenants, policy, pool);
+}
+
+}  // namespace ssdk::fleet

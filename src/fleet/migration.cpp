@@ -1,0 +1,72 @@
+#include "fleet/migration.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ftl/ftl.hpp"
+#include "sim/metrics.hpp"
+
+namespace ssdk::fleet {
+
+std::vector<bool> detect_hot_devices(
+    std::span<const telemetry::RollupSummary> summaries,
+    const MigrationConfig& config) {
+  std::vector<bool> hot(summaries.size(), false);
+  if (summaries.empty()) return hot;
+
+  std::vector<double> heats;
+  heats.reserve(summaries.size());
+  for (const auto& s : summaries) heats.push_back(s.heat());
+  std::sort(heats.begin(), heats.end());
+  const std::size_t n = heats.size();
+  const double median = n % 2 == 1
+                            ? heats[n / 2]
+                            : 0.5 * (heats[n / 2 - 1] + heats[n / 2]);
+
+  for (std::size_t d = 0; d < summaries.size(); ++d) {
+    const bool heat_hot = median > 0.0 &&
+                          summaries[d].heat() >=
+                              config.hot_heat_ratio * median &&
+                          summaries[d].heat() > 0.0;
+    const bool bus_hot =
+        summaries[d].mean_bus_util >= config.hot_bus_util;
+    hot[d] = heat_hot || bus_hot;
+  }
+  return hot;
+}
+
+double score_placement(const ssd::Ssd& device,
+                       std::span<const sim::IoRequest> trial) {
+  if (trial.empty()) return 0.0;
+  // Same scoring discipline as SsdKeeper::measure_best: the fork inherits
+  // the parent's completed history, so the candidate is judged on the
+  // *suffix* latency the trial adds, not on history it cannot change.
+  const sim::TenantMetrics before = device.metrics().aggregate();
+  const double read_sum0 = before.read_latency_us.sum();
+  const double write_sum0 = before.write_latency_us.sum();
+  const double read_n0 =
+      static_cast<double>(before.read_latency_us.count());
+  const double write_n0 =
+      static_cast<double>(before.write_latency_us.count());
+
+  auto forked = device.fork();
+  try {
+    forked->submit(trial);
+    forked->run_to_completion();
+  } catch (const ftl::DeviceFullError&) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const sim::TenantMetrics after = forked->metrics().aggregate();
+  const double reads =
+      static_cast<double>(after.read_latency_us.count()) - read_n0;
+  const double writes =
+      static_cast<double>(after.write_latency_us.count()) - write_n0;
+  const double suffix_read =
+      reads > 0.0 ? (after.read_latency_us.sum() - read_sum0) / reads : 0.0;
+  const double suffix_write =
+      writes > 0.0 ? (after.write_latency_us.sum() - write_sum0) / writes
+                   : 0.0;
+  return suffix_read + suffix_write;
+}
+
+}  // namespace ssdk::fleet

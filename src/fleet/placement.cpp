@@ -1,0 +1,148 @@
+#include "fleet/placement.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace ssdk::fleet {
+
+namespace {
+
+void check_capacity(std::size_t tenants, std::uint32_t devices,
+                    std::uint32_t slots_per_device) {
+  if (devices == 0) {
+    throw std::invalid_argument("placement: fleet has no devices");
+  }
+  if (slots_per_device == 0) {
+    throw std::invalid_argument("placement: slots_per_device must be > 0");
+  }
+  if (tenants > static_cast<std::size_t>(devices) * slots_per_device) {
+    throw std::invalid_argument(
+        "placement: more tenants than fleet slots");
+  }
+}
+
+/// Tenant indices ordered heaviest-first by `pressure`, ties broken by
+/// tenant id so the order (and therefore the placement) is deterministic.
+std::vector<std::size_t> heaviest_first(
+    std::span<const TenantLoad> tenants,
+    const std::function<double(const TenantLoad&)>& pressure) {
+  std::vector<std::size_t> order(tenants.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double pa = pressure(tenants[a]);
+              const double pb = pressure(tenants[b]);
+              if (pa != pb) return pa > pb;
+              return tenants[a].tenant < tenants[b].tenant;
+            });
+  return order;
+}
+
+}  // namespace
+
+TenantLoad load_of(std::uint32_t tenant, const core::TenantStreamStats& s) {
+  TenantLoad load;
+  load.tenant = tenant;
+  load.read_dominated = s.read_dominated();
+  load.write_fraction = s.write_fraction();
+  load.intensity_rps = s.requests_per_s;
+  load.requests = s.requests();
+  return load;
+}
+
+std::vector<std::uint32_t> RoundRobinPlacement::place(
+    std::span<const TenantLoad> tenants, std::uint32_t devices,
+    std::uint32_t slots_per_device) const {
+  check_capacity(tenants.size(), devices, slots_per_device);
+  std::vector<std::uint32_t> out(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(i % devices);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> LeastLoadedPlacement::place(
+    std::span<const TenantLoad> tenants, std::uint32_t devices,
+    std::uint32_t slots_per_device) const {
+  check_capacity(tenants.size(), devices, slots_per_device);
+  std::vector<std::uint32_t> out(tenants.size());
+  std::vector<double> load(devices, 0.0);
+  std::vector<std::uint32_t> occupancy(devices, 0);
+  const auto order = heaviest_first(
+      tenants, [](const TenantLoad& t) { return t.intensity_rps; });
+  for (const std::size_t i : order) {
+    std::uint32_t best = devices;
+    double best_load = std::numeric_limits<double>::infinity();
+    for (std::uint32_t d = 0; d < devices; ++d) {
+      if (occupancy[d] >= slots_per_device) continue;
+      if (load[d] < best_load) {
+        best_load = load[d];
+        best = d;
+      }
+    }
+    out[i] = best;
+    load[best] += tenants[i].intensity_rps;
+    ++occupancy[best];
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> WorkloadAwarePlacement::place(
+    std::span<const TenantLoad> tenants, std::uint32_t devices,
+    std::uint32_t slots_per_device) const {
+  check_capacity(tenants.size(), devices, slots_per_device);
+  std::vector<std::uint32_t> out(tenants.size());
+  std::vector<double> write_rps(devices, 0.0);
+  std::vector<double> total_rps(devices, 0.0);
+  std::vector<std::uint32_t> occupancy(devices, 0);
+  // Heaviest tenants first, where "heavy" already reflects the write
+  // weighting — a modest writer can be harder to place than a fast
+  // reader.
+  const double w = write_weight_;
+  const auto order = heaviest_first(tenants, [w](const TenantLoad& t) {
+    return w * t.write_rps() + t.intensity_rps;
+  });
+  for (const std::size_t i : order) {
+    const TenantLoad& t = tenants[i];
+    std::uint32_t best = devices;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::uint32_t d = 0; d < devices; ++d) {
+      if (occupancy[d] >= slots_per_device) continue;
+      const double cost = w * (write_rps[d] + t.write_rps()) +
+                          (total_rps[d] + t.intensity_rps);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = d;
+      }
+    }
+    out[i] = best;
+    write_rps[best] += t.write_rps();
+    total_rps[best] += t.intensity_rps;
+    ++occupancy[best];
+  }
+  return out;
+}
+
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name) {
+  if (name == "round_robin") {
+    return std::make_unique<RoundRobinPlacement>();
+  }
+  if (name == "least_loaded") {
+    return std::make_unique<LeastLoadedPlacement>();
+  }
+  if (name == "workload_aware") {
+    return std::make_unique<WorkloadAwarePlacement>();
+  }
+  throw std::invalid_argument("placement: unknown policy '" + name + "'");
+}
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names = {
+      "round_robin", "least_loaded", "workload_aware"};
+  return names;
+}
+
+}  // namespace ssdk::fleet

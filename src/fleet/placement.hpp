@@ -1,0 +1,114 @@
+// Tenant-to-device placement for the fleet tier (Serifos-style workload
+// consolidation, PAPERS.md).
+//
+// A fleet run starts by assigning every tenant to one device; the policy
+// decides which. Placement is the fleet's first-order lever: SSDKeeper can
+// re-partition channels *inside* a device, but a device saturated with
+// four write-heavy tenants has no good partition — the consolidation tier
+// must avoid creating that device in the first place. Three policies
+// bracket the space: feature-blind round-robin, intensity-only
+// least-loaded, and the workload-aware consolidator that balances write
+// pressure (the channel-monopolizing traffic class) across devices using
+// the per-tenant read/write-ratio features from core/features.
+//
+// Every policy is a pure function of its arguments: same tenants + same
+// device count => same placement, on every run and thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+
+namespace ssdk::fleet {
+
+/// What the placement tier knows about one tenant before it runs: the
+/// shape of its request stream, extracted via core::per_tenant_stats.
+struct TenantLoad {
+  std::uint32_t tenant = 0;  ///< fleet-wide tenant id
+  bool read_dominated = true;
+  /// Continuous write ratio (MixFeatures quantizes this to one bit; the
+  /// consolidator needs the magnitude).
+  double write_fraction = 0.0;
+  double intensity_rps = 0.0;  ///< mean arrival rate
+  std::uint64_t requests = 0;
+
+  /// Write-request pressure — the traffic class that monopolizes shared
+  /// channels (the paper's motivation experiment).
+  double write_rps() const { return intensity_rps * write_fraction; }
+};
+
+/// TenantLoad from a single-tenant stream's measured stats.
+TenantLoad load_of(std::uint32_t tenant, const core::TenantStreamStats& s);
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Assign every tenant to a device: result[i] is the device index for
+  /// tenants[i]. No device may receive more than `slots_per_device`
+  /// tenants; implementations throw std::invalid_argument when the fleet
+  /// cannot hold the tenant set. Must be deterministic in its arguments.
+  virtual std::vector<std::uint32_t> place(
+      std::span<const TenantLoad> tenants, std::uint32_t devices,
+      std::uint32_t slots_per_device) const = 0;
+};
+
+/// Feature-blind striping: tenant i lands on device i % devices. The
+/// baseline every consolidation paper argues against — correlated heavy
+/// tenants (every D-th tenant in arrival order) all pile onto one device.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "round_robin"; }
+  std::vector<std::uint32_t> place(std::span<const TenantLoad> tenants,
+                                   std::uint32_t devices,
+                                   std::uint32_t slots_per_device)
+      const override;
+};
+
+/// Intensity-only balancing: tenants are placed heaviest-first onto the
+/// device with the lowest accumulated request rate. Blind to read/write
+/// mix — two write-heavy tenants of equal rate look identical to two
+/// readers.
+class LeastLoadedPlacement final : public PlacementPolicy {
+ public:
+  std::string name() const override { return "least_loaded"; }
+  std::vector<std::uint32_t> place(std::span<const TenantLoad> tenants,
+                                   std::uint32_t devices,
+                                   std::uint32_t slots_per_device)
+      const override;
+};
+
+/// Serifos-style workload-aware consolidation: tenants are placed
+/// heaviest-first onto the device minimizing a cost that weights write
+/// pressure `write_weight` times as heavily as total pressure. Spreading
+/// writers apart (and pairing them with readers) leaves every device with
+/// a mix the per-device keeper can actually partition.
+class WorkloadAwarePlacement final : public PlacementPolicy {
+ public:
+  explicit WorkloadAwarePlacement(double write_weight = 4.0)
+      : write_weight_(write_weight) {}
+
+  std::string name() const override { return "workload_aware"; }
+  std::vector<std::uint32_t> place(std::span<const TenantLoad> tenants,
+                                   std::uint32_t devices,
+                                   std::uint32_t slots_per_device)
+      const override;
+
+ private:
+  double write_weight_;
+};
+
+/// Policy by name ("round_robin", "least_loaded", "workload_aware");
+/// throws std::invalid_argument for unknown names.
+std::unique_ptr<PlacementPolicy> make_policy(const std::string& name);
+
+/// The names make_policy accepts, in ablation order.
+const std::vector<std::string>& policy_names();
+
+}  // namespace ssdk::fleet

@@ -1,0 +1,142 @@
+#include "fleet/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace ssdk::fleet {
+
+namespace {
+
+std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string format_report(const FleetResult& result) {
+  std::ostringstream os;
+  os << "# Fleet run: " << result.policy << "\n\n";
+  os << "- devices: " << result.devices << ", tenants: " << result.tenants
+     << ", epochs: " << result.epochs << ", seed: " << result.seed << "\n";
+  os << "- total host requests: " << result.total_requests << "\n";
+  os << "- aggregate p99 read/write: " << fmt(result.aggregate_p99_read_us)
+     << " / " << fmt(result.aggregate_p99_write_us) << " us\n";
+  os << "- aggregate total latency: " << fmt(result.aggregate_total_us)
+     << " us\n";
+  if (result.mean_slowdown > 0.0) {
+    os << "- mean slowdown vs isolated: " << fmt(result.mean_slowdown)
+       << "x\n";
+  }
+  os << "- migrations committed: " << result.migrations.size() << "\n\n";
+
+  os << "## Devices\n\n";
+  os << "| device | faulty | avg read us | avg write us | p99 read us "
+        "| p99 write us | conflicts | gc migrations | full |\n";
+  os << "|---|---|---|---|---|---|---|---|---|\n";
+  for (const auto& d : result.device_results) {
+    os << "| " << d.device << " | " << (d.faulty ? "yes" : "no") << " | "
+       << fmt(d.run.avg_read_us) << " | " << fmt(d.run.avg_write_us)
+       << " | " << fmt(d.run.p99_read_us) << " | "
+       << fmt(d.run.p99_write_us) << " | " << d.run.counters.conflicts
+       << " | " << d.run.counters.gc_migrations << " | "
+       << (d.run.device_full ? "yes" : "no") << " |\n";
+  }
+
+  os << "\n## Tenants\n\n";
+  os << "| tenant | placed | final | moves | reads | writes "
+        "| total us | p99 read us | p99 write us | slowdown |\n";
+  os << "|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const auto& t : result.tenant_results) {
+    os << "| " << t.tenant << " | " << t.initial_device << " | "
+       << t.final_device << " | " << t.migrations << " | " << t.reads
+       << " | " << t.writes << " | " << fmt(t.total_us) << " | "
+       << fmt(t.p99_read_us) << " | " << fmt(t.p99_write_us) << " | "
+       << (t.slowdown > 0.0 ? fmt(t.slowdown) + "x" : std::string("-"))
+       << " |\n";
+  }
+
+  os << "\n## Migrations\n\n";
+  if (result.migrations.empty()) {
+    os << "(none committed)\n";
+  } else {
+    os << "| epoch | tenant | from | to | stay us | move us "
+          "| footprint pages | injected pages | modeled cost ms |\n";
+    os << "|---|---|---|---|---|---|---|---|---|\n";
+    for (const auto& m : result.migrations) {
+      os << "| " << m.epoch << " | " << m.tenant << " | " << m.from_device
+         << ":" << m.from_slot << " | " << m.to_device << ":" << m.to_slot
+         << " | " << fmt(m.stay_score_us) << " | " << fmt(m.move_score_us)
+         << " | " << m.footprint_pages << " | " << m.injected_pages
+         << " | "
+         << fmt(static_cast<double>(m.modeled_cost_ns) / 1e6, 3)
+         << " |\n";
+    }
+  }
+  return os.str();
+}
+
+void write_device_csv(std::ostream& os, const FleetResult& result) {
+  CsvWriter csv(os);
+  csv.write_row({"device", "faulty", "avg_read_us", "avg_write_us",
+                 "total_us", "p99_read_us", "p99_write_us", "conflicts",
+                 "gc_migrations", "host_reads", "host_writes",
+                 "final_heat_us", "final_mean_bus_util", "device_full"});
+  for (const auto& d : result.device_results) {
+    const telemetry::RollupSummary last = d.epoch_summaries.empty()
+                                              ? telemetry::RollupSummary{}
+                                              : d.epoch_summaries.back();
+    csv.write_row({std::to_string(d.device), d.faulty ? "1" : "0",
+                   fmt(d.run.avg_read_us, 4), fmt(d.run.avg_write_us, 4),
+                   fmt(d.run.total_us, 4), fmt(d.run.p99_read_us, 4),
+                   fmt(d.run.p99_write_us, 4),
+                   std::to_string(d.run.counters.conflicts),
+                   std::to_string(d.run.counters.gc_migrations),
+                   std::to_string(d.run.counters.host_reads),
+                   std::to_string(d.run.counters.host_writes),
+                   fmt(last.heat(), 4), fmt(last.mean_bus_util, 4),
+                   d.run.device_full ? "1" : "0"});
+  }
+}
+
+void write_tenant_csv(std::ostream& os, const FleetResult& result) {
+  CsvWriter csv(os);
+  csv.write_row({"tenant", "initial_device", "final_device", "migrations",
+                 "reads", "writes", "avg_read_us", "avg_write_us",
+                 "total_us", "p99_read_us", "p99_write_us",
+                 "isolated_total_us", "slowdown"});
+  for (const auto& t : result.tenant_results) {
+    csv.write_row({std::to_string(t.tenant),
+                   std::to_string(t.initial_device),
+                   std::to_string(t.final_device),
+                   std::to_string(t.migrations), std::to_string(t.reads),
+                   std::to_string(t.writes), fmt(t.avg_read_us, 4),
+                   fmt(t.avg_write_us, 4), fmt(t.total_us, 4),
+                   fmt(t.p99_read_us, 4), fmt(t.p99_write_us, 4),
+                   fmt(t.isolated_total_us, 4), fmt(t.slowdown, 4)});
+  }
+}
+
+void write_rollup_csv(std::ostream& os, const FleetResult& result) {
+  CsvWriter csv(os);
+  csv.write_row({"device", "epoch", "reads", "writes", "conflicts", "iops",
+                 "read_p99_us", "write_p99_us", "mean_bus_util",
+                 "peak_bus_util", "heat_us"});
+  for (const auto& d : result.device_results) {
+    for (std::size_t e = 0; e < d.epoch_summaries.size(); ++e) {
+      const auto& s = d.epoch_summaries[e];
+      csv.write_row({std::to_string(d.device), std::to_string(e),
+                     std::to_string(s.reads), std::to_string(s.writes),
+                     std::to_string(s.conflicts), fmt(s.iops, 2),
+                     fmt(s.read_p99_us, 4), fmt(s.write_p99_us, 4),
+                     fmt(s.mean_bus_util, 4), fmt(s.peak_bus_util, 4),
+                     fmt(s.heat(), 4)});
+    }
+  }
+}
+
+}  // namespace ssdk::fleet

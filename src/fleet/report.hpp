@@ -1,0 +1,28 @@
+// Human- and machine-readable views of a FleetResult: a markdown summary
+// (per-device table, per-tenant table with slowdown vs. isolated,
+// migration log) and RFC 4180 CSV exports for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fleet/fleet.hpp"
+
+namespace ssdk::fleet {
+
+/// Markdown report: fleet header, per-device table, per-tenant table,
+/// migration log (empty section when no move committed).
+std::string format_report(const FleetResult& result);
+
+/// One CSV row per device: cumulative latency stats plus the final
+/// epoch's rollup summary.
+void write_device_csv(std::ostream& os, const FleetResult& result);
+
+/// One CSV row per tenant: placement history, latency, slowdown.
+void write_tenant_csv(std::ostream& os, const FleetResult& result);
+
+/// One CSV row per (device, epoch) rollup summary — the hot-device
+/// detector's input, exported for plotting heat over time.
+void write_rollup_csv(std::ostream& os, const FleetResult& result);
+
+}  // namespace ssdk::fleet

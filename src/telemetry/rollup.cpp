@@ -104,6 +104,48 @@ std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
   return rows;
 }
 
+RollupSummary summarize_rollup(std::span<const RollupRow> rows) {
+  RollupSummary s;
+  // Distinct windows that saw traffic (rows are ordered by window, then
+  // tenant) and per-window bus utilization for the peak/mean stats.
+  std::uint64_t windows = 0;
+  SimTime last_window = 0;
+  bool any_window = false;
+  double weighted_read_p99 = 0.0;
+  double weighted_write_p99 = 0.0;
+  double weighted_bus = 0.0;
+  std::uint64_t bus_weight = 0;
+  for (const auto& r : rows) {
+    if (!any_window || r.window_start != last_window) {
+      ++windows;
+      last_window = r.window_start;
+      any_window = true;
+    }
+    s.reads += r.reads;
+    s.writes += r.writes;
+    s.conflicts += r.conflicts;
+    weighted_read_p99 += r.read_p99_us * static_cast<double>(r.reads);
+    weighted_write_p99 += r.write_p99_us * static_cast<double>(r.writes);
+    weighted_bus += r.bus_util * static_cast<double>(r.reads + r.writes);
+    bus_weight += r.reads + r.writes;
+    s.peak_bus_util = std::max(s.peak_bus_util, r.bus_util);
+    const double window_iops = r.iops;
+    s.iops += window_iops;  // summed per row; normalized below
+  }
+  if (s.reads > 0) weighted_read_p99 /= static_cast<double>(s.reads);
+  if (s.writes > 0) weighted_write_p99 /= static_cast<double>(s.writes);
+  s.read_p99_us = weighted_read_p99;
+  s.write_p99_us = weighted_write_p99;
+  if (bus_weight > 0) {
+    s.mean_bus_util = weighted_bus / static_cast<double>(bus_weight);
+  }
+  // Each row's iops is requests/window-second for one tenant, so summing
+  // rows and dividing by the distinct window count yields the device's
+  // mean requests/s over active windows.
+  s.iops = windows > 0 ? s.iops / static_cast<double>(windows) : 0.0;
+  return s;
+}
+
 void write_rollup_csv(std::ostream& os, std::span<const RollupRow> rows) {
   CsvWriter writer(os);
   writer.write_row({"window_start_us", "tenant", "reads", "writes",

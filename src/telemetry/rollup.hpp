@@ -51,6 +51,35 @@ struct RollupRow {
 std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
                                     const RollupConfig& config);
 
+/// Device-level aggregation of a rollup — the load signal the fleet tier
+/// reads when ranking devices for hotness and migration targets. All
+/// fields derive from the rollup rows alone, so one device's summary is
+/// independent of every other device (and of thread scheduling).
+struct RollupSummary {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t conflicts = 0;
+  /// Completed requests per second, averaged over the windows that saw
+  /// traffic.
+  double iops = 0.0;
+  /// Request-weighted mean of the per-window p99s — a rolling-window tail
+  /// signal that reacts to sustained congestion rather than one bad
+  /// window.
+  double read_p99_us = 0.0;
+  double write_p99_us = 0.0;
+  /// Bus utilization over windows with traffic: traffic-weighted mean and
+  /// the single worst window.
+  double mean_bus_util = 0.0;
+  double peak_bus_util = 0.0;
+
+  /// Scalar heat score the fleet tier ranks devices by: the summed
+  /// weighted read/write p99 (us). Zero on an idle device.
+  double heat() const { return read_p99_us + write_p99_us; }
+};
+
+/// Collapse per-(window, tenant) rows into one device summary.
+RollupSummary summarize_rollup(std::span<const RollupRow> rows);
+
 /// CSV with a fixed header; one row per (window, tenant).
 void write_rollup_csv(std::ostream& os, std::span<const RollupRow> rows);
 void write_rollup_csv_file(const std::string& path,

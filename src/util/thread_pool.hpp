@@ -67,4 +67,22 @@ void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t chunk = 1);
 
+/// Completion-order-independent fan-out: run fn(i) for i in [0, n) across
+/// the pool and return the results merged by index — results[i] == fn(i)
+/// regardless of which worker finished first or how many workers the pool
+/// has. This is the merge discipline that makes pooled runs (label sweeps,
+/// fleet device workers) bit-reproducible across thread counts: every
+/// task writes only its own slot, and the caller consumes the vector in
+/// index order. R must be default-constructible and movable. Exceptions
+/// from fn propagate (the first one encountered is rethrown).
+template <typename F,
+          typename R = std::invoke_result_t<F&, std::size_t>>
+std::vector<R> parallel_map(ThreadPool& pool, std::size_t n, F&& fn,
+                            std::size_t chunk = 1) {
+  std::vector<R> results(n);
+  parallel_for(
+      pool, n, [&](std::size_t i) { results[i] = fn(i); }, chunk);
+  return results;
+}
+
 }  // namespace ssdk

@@ -1,0 +1,127 @@
+#include "fleet/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/synthetic.hpp"
+
+namespace ssdk::fleet {
+namespace {
+
+telemetry::RollupSummary summary(double heat_us, double bus = 0.0) {
+  telemetry::RollupSummary s;
+  s.read_p99_us = heat_us / 2;
+  s.write_p99_us = heat_us / 2;
+  s.mean_bus_util = bus;
+  return s;
+}
+
+TEST(HotDetection, FlagsDevicesAboveMedianHeat) {
+  MigrationConfig config;  // hot_heat_ratio = 1.3
+  const std::vector<telemetry::RollupSummary> summaries = {
+      summary(100.0), summary(100.0), summary(100.0), summary(500.0)};
+  const auto hot = detect_hot_devices(summaries, config);
+  EXPECT_EQ(hot, (std::vector<bool>{false, false, false, true}));
+}
+
+TEST(HotDetection, BusSaturationIsHotEvenWhenHeatIsUniform) {
+  MigrationConfig config;
+  const std::vector<telemetry::RollupSummary> summaries = {
+      summary(100.0, 0.95), summary(100.0, 0.2)};
+  const auto hot = detect_hot_devices(summaries, config);
+  EXPECT_TRUE(hot[0]);
+  EXPECT_FALSE(hot[1]);
+}
+
+TEST(HotDetection, IdleFleetHasNoHotDevices) {
+  MigrationConfig config;
+  const std::vector<telemetry::RollupSummary> summaries = {
+      summary(0.0), summary(0.0), summary(0.0)};
+  const auto hot = detect_hot_devices(summaries, config);
+  for (const bool h : hot) EXPECT_FALSE(h);
+  EXPECT_TRUE(detect_hot_devices({}, config).empty());
+}
+
+std::vector<sim::IoRequest> trial_stream(std::uint64_t count,
+                                         double write_fraction,
+                                         SimTime start) {
+  trace::SyntheticSpec spec;
+  spec.request_count = count;
+  spec.write_fraction = write_fraction;
+  spec.intensity_rps = 20'000.0;
+  spec.address_space_pages = 4096;
+  spec.seed = 11;
+  const auto records = trace::generate_synthetic(spec);
+  std::vector<sim::IoRequest> reqs;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    sim::IoRequest r;
+    r.id = i;
+    r.tenant = 0;
+    r.type = records[i].type;
+    r.lpn = records[i].lpn;
+    r.page_count = records[i].pages;
+    r.arrival = start + records[i].arrival;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+TEST(ScorePlacement, MeasuresSuffixWithoutMutatingParent) {
+  ssd::Ssd device{ssd::SsdOptions{}};
+  const auto warm = trial_stream(500, 0.5, 0);
+  device.submit(warm);
+  device.run_to_completion();
+  const auto before = device.metrics().aggregate();
+  const SimTime now_before = device.now();
+
+  const auto trial =
+      trial_stream(400, 0.5, device.now() + kMillisecond);
+  const double score = score_placement(device, trial);
+  EXPECT_GT(score, 0.0);
+  EXPECT_TRUE(std::isfinite(score));
+
+  // The trial ran on a fork; the parent saw nothing.
+  const auto after = device.metrics().aggregate();
+  EXPECT_EQ(after.read_latency_us.count(), before.read_latency_us.count());
+  EXPECT_EQ(after.write_latency_us.count(),
+            before.write_latency_us.count());
+  EXPECT_EQ(device.now(), now_before);
+}
+
+TEST(ScorePlacement, EmptyTrialScoresZero) {
+  ssd::Ssd device{ssd::SsdOptions{}};
+  EXPECT_DOUBLE_EQ(score_placement(device, {}), 0.0);
+}
+
+TEST(ScorePlacement, BusierDestinationScoresWorse) {
+  // Same trial on an idle device vs one with a deep queued backlog at the
+  // same instant: contention must be visible in the score.
+  ssd::Ssd idle{ssd::SsdOptions{}};
+  ssd::Ssd busy{ssd::SsdOptions{}};
+  auto backlog = trial_stream(3000, 0.9, 0);
+  // Compress arrivals so the backlog is still draining when the trial
+  // lands on the fork.
+  for (auto& r : backlog) r.arrival /= 16;
+  busy.submit(backlog);
+  busy.run_to_completion();
+
+  const SimTime at = busy.now() + kMillisecond;
+  auto trial = trial_stream(600, 0.5, at);
+  const double idle_score = score_placement(idle, trial);
+  // Heavier concurrent native traffic on the busy candidate.
+  auto native = trial_stream(2000, 0.9, at);
+  for (auto& r : native) r.tenant = 1;
+  auto combined = trial;
+  combined.insert(combined.end(), native.begin(), native.end());
+  std::stable_sort(combined.begin(), combined.end(),
+                   [](const sim::IoRequest& a, const sim::IoRequest& b) {
+                     return a.arrival < b.arrival;
+                   });
+  const double busy_score = score_placement(busy, combined);
+  EXPECT_GT(busy_score, idle_score);
+}
+
+}  // namespace
+}  // namespace ssdk::fleet

@@ -1,0 +1,104 @@
+#include "fleet/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ssdk::fleet {
+namespace {
+
+TenantLoad tenant(std::uint32_t id, double intensity,
+                  double write_fraction) {
+  TenantLoad t;
+  t.tenant = id;
+  t.intensity_rps = intensity;
+  t.write_fraction = write_fraction;
+  t.read_dominated = write_fraction < 0.5;
+  t.requests = 1000;
+  return t;
+}
+
+TEST(Placement, RoundRobinStripes) {
+  const std::vector<TenantLoad> tenants = {
+      tenant(0, 100, 0.9), tenant(1, 100, 0.1), tenant(2, 100, 0.9),
+      tenant(3, 100, 0.1), tenant(4, 100, 0.5)};
+  RoundRobinPlacement policy;
+  const auto out = policy.place(tenants, 2, 4);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 0, 1, 0}));
+  EXPECT_EQ(policy.name(), "round_robin");
+}
+
+TEST(Placement, CapacityViolationsThrow) {
+  const std::vector<TenantLoad> tenants = {tenant(0, 1, 0.5),
+                                           tenant(1, 1, 0.5)};
+  RoundRobinPlacement rr;
+  LeastLoadedPlacement ll;
+  WorkloadAwarePlacement wa;
+  EXPECT_THROW(rr.place(tenants, 0, 4), std::invalid_argument);
+  EXPECT_THROW(ll.place(tenants, 2, 0), std::invalid_argument);
+  EXPECT_THROW(wa.place(tenants, 1, 1), std::invalid_argument);
+}
+
+TEST(Placement, LeastLoadedBalancesIntensity) {
+  // One heavy tenant and three light ones on two devices: the heavy one
+  // must sit alone against the three light ones, not share with any.
+  const std::vector<TenantLoad> tenants = {
+      tenant(0, 9000, 0.5), tenant(1, 1000, 0.5), tenant(2, 1000, 0.5),
+      tenant(3, 1000, 0.5)};
+  LeastLoadedPlacement policy;
+  const auto out = policy.place(tenants, 2, 4);
+  EXPECT_NE(out[0], out[1]);
+  EXPECT_EQ(out[1], out[2]);
+  EXPECT_EQ(out[2], out[3]);
+}
+
+TEST(Placement, WorkloadAwareSeparatesWriters) {
+  // Two equal-rate writers and two equal-rate readers, two devices with
+  // two slots each. Intensity-blind-to-mix policies can pair the writers;
+  // the workload-aware consolidator must split them.
+  const std::vector<TenantLoad> tenants = {
+      tenant(0, 5000, 0.9), tenant(1, 5000, 0.9), tenant(2, 5000, 0.05),
+      tenant(3, 5000, 0.05)};
+  WorkloadAwarePlacement policy;
+  const auto out = policy.place(tenants, 2, 2);
+  EXPECT_NE(out[0], out[1]) << "heavy writers were collocated";
+  EXPECT_NE(out[2], out[3]);
+}
+
+TEST(Placement, DeterministicAcrossCalls) {
+  std::vector<TenantLoad> tenants;
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    tenants.push_back(tenant(i, 1000.0 + 137.0 * (i % 5),
+                             (i % 3) * 0.45));
+  }
+  for (const auto& name : policy_names()) {
+    const auto policy = make_policy(name);
+    const auto a = policy->place(tenants, 4, 3);
+    const auto b = policy->place(tenants, 4, 3);
+    EXPECT_EQ(a, b) << name;
+  }
+}
+
+TEST(Placement, FactoryRejectsUnknownNames) {
+  EXPECT_THROW(make_policy("greedy"), std::invalid_argument);
+  EXPECT_EQ(policy_names().size(), 3u);
+  for (const auto& name : policy_names()) {
+    EXPECT_EQ(make_policy(name)->name(), name);
+  }
+}
+
+TEST(Placement, LoadOfCarriesStreamShape) {
+  core::TenantStreamStats stats;
+  stats.tenant = 7;
+  stats.reads = 300;
+  stats.writes = 700;
+  stats.requests_per_s = 12'000.0;
+  const TenantLoad load = load_of(7, stats);
+  EXPECT_EQ(load.tenant, 7u);
+  EXPECT_FALSE(load.read_dominated);
+  EXPECT_DOUBLE_EQ(load.write_fraction, 0.7);
+  EXPECT_DOUBLE_EQ(load.write_rps(), 12'000.0 * 0.7);
+}
+
+}  // namespace
+}  // namespace ssdk::fleet

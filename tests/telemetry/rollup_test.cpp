@@ -122,6 +122,43 @@ TEST(Rollup, RejectsZeroWindow) {
   EXPECT_THROW(build_rollup({}, config), std::invalid_argument);
 }
 
+TEST(RollupSummary, AggregatesAcrossWindowsAndTenants) {
+  RollupConfig config;
+  config.window_ns = 1000;
+  config.channels = 1;
+  const std::vector<TraceEvent> events{
+      // Window 0: tenant 0 reads (100 us each), bus 50% busy.
+      request(0, 100, 0, OpClass::kHostRead),
+      request(0, 100, 0, OpClass::kHostRead),
+      bus(0, 500, 0),
+      // Window 1: tenant 1 writes, bus fully busy — the peak window.
+      request(1000, 1300, 1, OpClass::kHostWrite),
+      bus(1000, 2000, 0),
+  };
+  const auto rows = build_rollup(events, config);
+  const RollupSummary s = summarize_rollup(rows);
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_NEAR(s.read_p99_us, 0.1, 1e-9);   // all reads took 100 ns
+  EXPECT_NEAR(s.write_p99_us, 0.3, 1e-9);  // the write took 300 ns
+  EXPECT_NEAR(s.peak_bus_util, 1.0, 1e-9);
+  // Window 0 carries weight 2 at util 0.5, window 1 weight 1 at util 1.0.
+  EXPECT_NEAR(s.mean_bus_util, (2.0 * 0.5 + 1.0 * 1.0) / 3.0, 1e-9);
+  // 2 requests in window 0 + 1 in window 1, each window 1 us long, so
+  // the per-window rates are 2e6 and 1e6 requests/s.
+  EXPECT_NEAR(s.iops, (2e6 + 1e6) / 2.0, 1.0);
+  EXPECT_GT(s.heat(), 0.0);
+}
+
+TEST(RollupSummary, EmptyRollupIsAllZero) {
+  const RollupSummary s = summarize_rollup({});
+  EXPECT_EQ(s.reads, 0u);
+  EXPECT_EQ(s.writes, 0u);
+  EXPECT_EQ(s.iops, 0.0);
+  EXPECT_EQ(s.heat(), 0.0);
+  EXPECT_EQ(s.mean_bus_util, 0.0);
+}
+
 TEST(RollupCsv, HeaderAndRowsParseBack) {
   RollupConfig config;
   config.window_ns = 1000 * kMicrosecond;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -87,6 +89,56 @@ TEST(ParallelFor, ResultMatchesSequential) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     ASSERT_EQ(out[i], static_cast<double>(i) * 2.0);
   }
+}
+
+TEST(ParallelMap, MergesByIndexNotCompletionOrder) {
+  ThreadPool pool(4);
+  // Make early indices the slowest so completion order is roughly the
+  // reverse of index order; the merged result must not care.
+  const auto results = parallel_map(pool, std::size_t{64}, [](std::size_t i) {
+    volatile std::uint64_t spin = (64 - i) * 5000;
+    while (spin > 0) spin = spin - 1;
+    return i * i;
+  });
+  ASSERT_EQ(results.size(), 64u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_EQ(results[i], i * i);
+  }
+}
+
+TEST(ParallelMap, IdenticalAcrossThreadCounts) {
+  std::vector<std::vector<std::uint64_t>> runs;
+  for (const std::size_t threads : {1u, 4u, 16u}) {
+    ThreadPool pool(threads);
+    runs.push_back(parallel_map(pool, std::size_t{200}, [](std::size_t i) {
+      return i * 2654435761u + 17;
+    }));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(ParallelMap, MoveOnlyResults) {
+  ThreadPool pool(2);
+  auto results =
+      parallel_map(pool, std::size_t{10}, [](std::size_t i) {
+        return std::make_unique<int>(static_cast<int>(i));
+      });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_NE(results[i], nullptr);
+    EXPECT_EQ(*results[i], static_cast<int>(i));
+  }
+}
+
+TEST(ParallelMap, EmptyAndExceptions) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(parallel_map(pool, 0, [](std::size_t i) { return i; }).empty());
+  EXPECT_THROW(parallel_map(pool, std::size_t{32},
+                            [](std::size_t i) -> int {
+                              if (i == 7) throw std::invalid_argument("7");
+                              return 0;
+                            }),
+               std::invalid_argument);
 }
 
 }  // namespace
