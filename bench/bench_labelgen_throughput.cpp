@@ -14,8 +14,16 @@
 // workloads) understate the win a long campaign sees.
 //
 // Usage: bench_labelgen_throughput [workloads=4] [duration_s=0.6]
-//          [fork_point=0.7] [repeat=2] [threads=0  (0 = serial sweep)]
+//          [fork_point=0.7] [repeat=2]
+//          [threads=0  (0 = hardware concurrency)]
+//          [floor_cold_sweep_s=1.5]
 //          [json=BENCH_labelgen_throughput.json] [audit=0]
+//
+// Both sweeps run through a ThreadPool (threads=0 sizes it to the
+// machine); the JSON records the pool's actual worker count, never a
+// placeholder 0. floor_cold_sweep_s lands in the JSON as the max-bound
+// the CI gate (tools/bench/check_bench_floors.py) enforces against
+// future runs.
 //
 // audit=N (N > 0) runs the device invariant auditor every N arrivals on
 // every device both sweeps create (including the per-candidate forks).
@@ -69,6 +77,11 @@ int main(int argc, char** argv) {
   const double fork_point = cfg.get_double("fork_point", 0.7);
   const int repeat = static_cast<int>(cfg.get_uint("repeat", 2));
   const std::uint64_t threads = cfg.get_uint("threads", 0);
+  // Max-bound with wide noise margin: a dedicated single-core box runs
+  // the cold sweep in ~1.0 s; the floor flags only regressions far past
+  // shared-runner jitter. (Fan-out helps on multi-core runners, but the
+  // floor must hold on one core, where the sweep is serial.)
+  const double floor_cold_sweep_s = cfg.get_double("floor_cold_sweep_s", 1.5);
   const std::string json_path =
       cfg.get_string("json", "BENCH_labelgen_throughput.json");
 
@@ -84,16 +97,18 @@ int main(int argc, char** argv) {
     mixes.push_back(core::synthesize_mix(gen, i));
     total_requests += mixes.back().size();
   }
+  // Always run through the pool (threads=0 = hardware concurrency): the
+  // sweep is the parallel code path production uses, and the JSON records
+  // the pool's real worker count.
+  const auto pool = std::make_unique<ThreadPool>(threads);
+
   bench::print_header("Label-generation throughput: cold vs fork sweep",
                       gen.label.run);
   std::printf("%llu workloads, %llu requests total, %zu strategies, "
-              "fork_point %.2f, %s sweep\n",
+              "fork_point %.2f, pool of %zu\n",
               static_cast<unsigned long long>(workloads),
               static_cast<unsigned long long>(total_requests), space.size(),
-              fork_point, threads == 0 ? "serial" : "pooled");
-
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 0) pool = std::make_unique<ThreadPool>(threads);
+              fork_point, pool->size());
 
   core::LabelGenConfig cold = gen.label;
   cold.fork_point = fork_point;
@@ -136,10 +151,11 @@ int main(int argc, char** argv) {
      << "  \"requests\": " << total_requests << ",\n"
      << "  \"strategies\": " << space.size() << ",\n"
      << "  \"fork_point\": " << fork_point << ",\n"
-     << "  \"threads\": " << threads << ",\n"
+     << "  \"threads\": " << pool->size() << ",\n"
      << "  \"cold_sweep_s\": " << cold_s << ",\n"
      << "  \"fork_sweep_s\": " << fork_s << ",\n"
      << "  \"speedup\": " << speedup << ",\n"
+     << "  \"floor_cold_sweep_s\": " << floor_cold_sweep_s << ",\n"
      << "  \"labels_identical\": true\n"
      << "}\n";
   std::printf("wrote %s\n", json_path.c_str());

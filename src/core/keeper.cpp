@@ -39,43 +39,49 @@ std::uint32_t SsdKeeper::measure_best(
   what_if_.clear();
   // Latency accumulated so far; each fork's score is the *suffix* average
   // (what the candidate strategy can still influence), not the whole-run
-  // average the prefix already fixed.
-  const sim::TenantMetrics before = device.metrics().aggregate();
-  const double read_sum0 = before.read_latency_us.sum();
-  const double write_sum0 = before.write_latency_us.sum();
-  const double read_n0 = static_cast<double>(before.read_latency_us.count());
-  const double write_n0 =
-      static_cast<double>(before.write_latency_us.count());
+  // average the prefix already fixed. aggregate_sums reads the running
+  // sums in O(tenants) instead of copying every latency sample.
+  const sim::LatencySums before = device.metrics().aggregate_sums();
 
-  std::uint32_t best = candidates.front();
-  double best_score = std::numeric_limits<double>::infinity();
-  for (const std::uint32_t index : candidates) {
+  const std::size_t n = candidates.size();
+  std::vector<double> scores(n, std::numeric_limits<double>::infinity());
+  const auto trial = [&](std::size_t i) {
     auto forked = device.fork();
-    configure_ssd(*forked, allocator_.space().at(index), profiles,
+    configure_ssd(*forked, allocator_.space().at(candidates[i]), profiles,
                   config_.hybrid_page_allocation);
-    double score = std::numeric_limits<double>::infinity();
     try {
       forked->run_to_completion();
-      const sim::TenantMetrics after = forked->metrics().aggregate();
-      const double reads =
-          static_cast<double>(after.read_latency_us.count()) - read_n0;
+      const sim::LatencySums after = forked->metrics().aggregate_sums();
+      const double reads = static_cast<double>(after.reads - before.reads);
       const double writes =
-          static_cast<double>(after.write_latency_us.count()) - write_n0;
+          static_cast<double>(after.writes - before.writes);
       const double suffix_read =
-          reads > 0.0 ? (after.read_latency_us.sum() - read_sum0) / reads
+          reads > 0.0 ? (after.read_sum_us - before.read_sum_us) / reads
                       : 0.0;
       const double suffix_write =
           writes > 0.0
-              ? (after.write_latency_us.sum() - write_sum0) / writes
+              ? (after.write_sum_us - before.write_sum_us) / writes
               : 0.0;
-      score = suffix_read + suffix_write;
+      scores[i] = suffix_read + suffix_write;
     } catch (const ftl::DeviceFullError&) {
       // A candidate that fills the device scores worst; keep infinity.
     }
-    what_if_.emplace_back(index, score);
-    if (score < best_score) {
-      best_score = score;
-      best = index;
+  };
+  if (config_.what_if_pool != nullptr && n > 1) {
+    parallel_for(*config_.what_if_pool, n, trial);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) trial(i);
+  }
+
+  // Serial argmin in candidate order: ties keep the earliest candidate
+  // (the allocator's higher-confidence prediction) at any thread count.
+  std::uint32_t best = candidates.front();
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    what_if_.emplace_back(candidates[i], scores[i]);
+    if (scores[i] < best_score) {
+      best_score = scores[i];
+      best = candidates[i];
     }
   }
   return best;

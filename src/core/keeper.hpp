@@ -39,6 +39,7 @@
 #include "core/runner.hpp"
 #include "ssd/ssd.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "util/time_types.hpp"
 
 namespace ssdk::core {
@@ -65,6 +66,12 @@ struct KeeperConfig {
   /// the decision arrival (its page ops are not yet created when the
   /// arrival hook runs) — a deliberate heuristic, not an oracle.
   std::uint32_t what_if_top_k = 0;
+  /// Optional pool for the what-if fork trials: each candidate's fork
+  /// replays the remaining work on its own worker (nullptr = serial).
+  /// Every trial writes only its own score slot and the argmin scans the
+  /// slots in candidate order afterwards, so the chosen strategy is
+  /// identical at any thread count. Non-owning; must outlive the keeper.
+  ThreadPool* what_if_pool = nullptr;
   /// p99 regression watchdog. 0 disables. Otherwise, after every strategy
   /// *change*, read/write completions over the next `watchdog_window_ns`
   /// form a post-switch latency sample; if its p99 exceeds

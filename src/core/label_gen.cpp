@@ -51,28 +51,42 @@ LabeledSample label_workload(std::span<const sim::IoRequest> requests,
     }
   }
 
+  // Drive one configured device to completion and score it. The score is
+  // total_us only, read from the metrics' running sums — the full
+  // RunResult summary (sample copies, percentile selection) is pure
+  // overhead here and this lambda runs once per (workload, strategy).
+  const auto run_and_score = [](ssd::Ssd& device) {
+    try {
+      device.run_to_completion();
+      return summarize_total_us(device);
+    } catch (const ftl::DeviceFullError& e) {
+      return summarize_device_full(device, e, "label_gen").total_us;
+    }
+  };
+
   const auto evaluate = [&](std::size_t i) {
     if (prefix) {
       auto device = prefix->fork();
       configure_ssd(*device, space.at(i), profiles,
                     config.run.hybrid_page_allocation);
-      RunResult r;
-      try {
-        device->run_to_completion();
-        r = summarize(*device);
-      } catch (const ftl::DeviceFullError& e) {
-        r = summarize_device_full(*device, e, "label_gen");
-      }
-      sample.strategy_total_us[i] = r.total_us;
+      sample.strategy_total_us[i] = run_and_score(*device);
       return;
     }
-    const RunResult r =
-        switch_at == 0
-            ? run_with_strategy(requests, space.at(i), profiles, config.run)
-            : run_with_strategy_switch(requests, config.base_strategy,
-                                       space.at(i), switch_at, profiles,
-                                       config.run);
-    sample.strategy_total_us[i] = r.total_us;
+    auto device = make_run_device(
+        requests, switch_at == 0 ? space.at(i) : config.base_strategy,
+        profiles, config.run);
+    if (switch_at != 0) {
+      try {
+        device->run_until_arrival(switch_at);
+      } catch (const ftl::DeviceFullError& e) {
+        sample.strategy_total_us[i] =
+            summarize_device_full(*device, e, "label_gen").total_us;
+        return;
+      }
+      configure_ssd(*device, space.at(i), profiles,
+                    config.run.hybrid_page_allocation);
+    }
+    sample.strategy_total_us[i] = run_and_score(*device);
   };
 
   if (pool != nullptr) {
@@ -152,11 +166,14 @@ GeneratedDataset generate_dataset(const StrategySpace& space,
   GeneratedDataset out;
   out.samples.resize(config.workloads);
 
-  // One task per workload; each runs its 8/42 strategy sweeps inline so
-  // tasks are coarse and evenly sized.
+  // One task per workload, and each workload's 8/42 strategy sweep fans
+  // out on the same pool (parallel_for is nested-safe: the workload task
+  // claims strategy chunks itself when every worker is busy). Workload
+  // tasks keep the fan-out coarse; the nested sweep fills the tail when
+  // fewer workloads than workers remain.
   parallel_for(pool, config.workloads, [&](std::size_t i) {
     const auto requests = synthesize_mix(config, i);
-    out.samples[i] = label_workload(requests, space, config.label, nullptr);
+    out.samples[i] = label_workload(requests, space, config.label, &pool);
   });
 
   nn::Matrix features(config.workloads, kFeatureDim);

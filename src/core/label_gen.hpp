@@ -91,7 +91,9 @@ std::vector<sim::IoRequest> synthesize_mix(const DatasetGenConfig& config,
                                            std::uint64_t index);
 
 /// Generate the full dataset; workloads are distributed over the pool and
-/// each workload's strategies run sequentially within its task.
+/// each workload's per-strategy sweep fans out on the same pool (nested
+/// parallel_for). Results are merged by index, so the dataset is
+/// bit-identical at any pool size.
 GeneratedDataset generate_dataset(const StrategySpace& space,
                                   const DatasetGenConfig& config,
                                   ThreadPool& pool);

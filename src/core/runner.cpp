@@ -103,6 +103,10 @@ RunResult summarize_device_full(ssd::Ssd& device,
   return result;
 }
 
+double summarize_total_us(const ssd::Ssd& device) {
+  return device.metrics().aggregate_sums().total_us();
+}
+
 RunResult summarize(const ssd::Ssd& device) {
   RunResult result;
   const auto& metrics = device.metrics();

@@ -94,6 +94,12 @@ RunResult run_with_strategy_switch(std::span<const sim::IoRequest> requests,
 /// Summarize a finished device's metrics.
 RunResult summarize(const ssd::Ssd& device);
 
+/// total_us only (avg read + avg write), from the metrics' running sums —
+/// same value summarize().total_us reports, without copying any latency
+/// samples or computing percentiles. The label sweep's per-strategy score
+/// needs nothing else, and it runs once per (workload, strategy) pair.
+double summarize_total_us(const ssd::Ssd& device);
+
 /// Degrade a device-full abort gracefully: bump the failure counter, warn
 /// once through util/logger with `context` ("runner", "keeper", ...), and
 /// return the partial result with device_full/abort_reason populated.

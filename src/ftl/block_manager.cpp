@@ -1,6 +1,7 @@
 #include "ftl/block_manager.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -13,13 +14,70 @@ BlockManager::BlockManager(const sim::Geometry& geometry) : geom_(geometry) {
   geom_.validate();
   blocks_.resize(geom_.total_blocks());
   planes_.resize(geom_.total_planes());
-  page_owner_.assign(geom_.total_pages(), kNoOwner);
+  total_pages_ = geom_.total_pages();
+  valid_bits_.assign((total_pages_ + 63) / 64, 0);
+  // Deliberately uninitialized — 8 MB on the paper geometry, of which a
+  // typical run ever touches a fraction. The bitmap gates every read.
+  owner_ = std::make_unique_for_overwrite<std::uint64_t[]>(total_pages_);
   for (std::uint64_t p = 0; p < planes_.size(); ++p) {
     auto& plane = planes_[p];
     plane.free_list.reserve(geom_.blocks_per_plane);
     for (std::uint32_t b = 0; b < geom_.blocks_per_plane; ++b) {
       plane.free_list.push_back(b);
     }
+  }
+}
+
+BlockManager::BlockManager(const BlockManager& other)
+    : geom_(other.geom_),
+      blocks_(other.blocks_),
+      planes_(other.planes_),
+      retired_(other.retired_),
+      total_pages_(other.total_pages_),
+      valid_bits_(other.valid_bits_),
+      owner_(std::make_unique_for_overwrite<std::uint64_t[]>(
+          other.total_pages_)) {
+  copy_owners_from(other);
+}
+
+BlockManager& BlockManager::operator=(const BlockManager& other) {
+  if (this == &other) return *this;
+  geom_ = other.geom_;
+  blocks_ = other.blocks_;
+  planes_ = other.planes_;
+  retired_ = other.retired_;
+  if (total_pages_ != other.total_pages_) {
+    owner_ =
+        std::make_unique_for_overwrite<std::uint64_t[]>(other.total_pages_);
+    total_pages_ = other.total_pages_;
+  }
+  valid_bits_ = other.valid_bits_;
+  copy_owners_from(other);
+  return *this;
+}
+
+void BlockManager::copy_owners_from(const BlockManager& other) {
+  for (std::size_t w = 0; w < valid_bits_.size(); ++w) {
+    std::uint64_t word = valid_bits_[w];
+    while (word != 0) {
+      const auto bit = static_cast<unsigned>(std::countr_zero(word));
+      const std::uint64_t p = (static_cast<std::uint64_t>(w) << 6) | bit;
+      owner_[p] = other.owner_[p];
+      word &= word - 1;
+    }
+  }
+}
+
+void BlockManager::clear_valid_range(sim::Ppn first, std::uint64_t count) {
+  sim::Ppn p = first;
+  const sim::Ppn end = first + count;
+  while (p < end && (p & 63) != 0) {
+    valid_bits_[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
+    ++p;
+  }
+  for (; p + 64 <= end; p += 64) valid_bits_[p >> 6] = 0;
+  for (; p < end; ++p) {
+    valid_bits_[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
   }
 }
 
@@ -109,7 +167,7 @@ void BlockManager::valid_pages_into(std::uint64_t plane_id,
   const std::uint64_t base =
       block_index(plane_id, block) * geom_.pages_per_block;
   for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
-    if (page_owner_[base + p] != kNoOwner) out.push_back(base + p);
+    if (page_valid(base + p)) out.push_back(base + p);
   }
 }
 
@@ -160,9 +218,7 @@ void BlockManager::erase_block(std::uint64_t plane_id, std::uint32_t block) {
   }
   const std::uint64_t base =
       block_index(plane_id, block) * geom_.pages_per_block;
-  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
-    page_owner_[base + p] = kNoOwner;
-  }
+  clear_valid_range(base, geom_.pages_per_block);
   info.state = BlockState::kFree;
   info.write_ptr = 0;
   info.valid = 0;
@@ -288,7 +344,7 @@ void BlockManager::check_invariants() const {
           block_index(plane, b) * geom_.pages_per_block;
       std::uint32_t owned = 0;
       for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
-        if (page_owner_[base + p] != kNoOwner) ++owned;
+        if (page_valid(base + p)) ++owned;
       }
       SSDK_CHECK_MSG(owned == info.valid,
                      block_label(plane, b) + " valid counter " +
@@ -352,7 +408,21 @@ void BlockManager::save_state(snapshot::StateWriter& w) const {
     w.vec_u32(p.free_list);
     w.i64(p.open_block);
   }
-  w.vec_u64(page_owner_);
+  // The wire format predates the validity bitmap: one u64 per page,
+  // kNoOwner for invalid pages. Materializing the dense table costs one
+  // pass on the (rare) snapshot path and keeps every existing snapshot
+  // readable, byte-identical, and free of uninitialized bytes.
+  std::vector<std::uint64_t> dense(total_pages_, kNoOwner);
+  for (std::size_t word = 0; word < valid_bits_.size(); ++word) {
+    std::uint64_t bits = valid_bits_[word];
+    while (bits != 0) {
+      const auto bit = static_cast<unsigned>(std::countr_zero(bits));
+      const std::uint64_t p = (static_cast<std::uint64_t>(word) << 6) | bit;
+      dense[p] = owner_[p];
+      bits &= bits - 1;
+    }
+  }
+  w.vec_u64(dense);
 }
 
 void BlockManager::load_state(snapshot::StateReader& r) {
@@ -388,14 +458,18 @@ void BlockManager::load_state(snapshot::StateReader& r) {
     p.free_list = r.vec_u32();
     p.open_block = r.i64();
   }
-  page_owner_ = r.vec_u64();
-  if (page_owner_.size() != blocks_.size() * geom_.pages_per_block) {
+  const std::vector<std::uint64_t> dense = r.vec_u64();
+  if (dense.size() != blocks_.size() * geom_.pages_per_block) {
     throw snapshot::SnapshotError(
         "snapshot: page-owner table size mismatch at offset " +
             std::to_string(r.offset()) + ": expected " +
             std::to_string(blocks_.size() * geom_.pages_per_block) +
-            ", found " + std::to_string(page_owner_.size()),
+            ", found " + std::to_string(dense.size()),
         r.offset());
+  }
+  std::fill(valid_bits_.begin(), valid_bits_.end(), 0);
+  for (sim::Ppn p = 0; p < dense.size(); ++p) {
+    if (dense[p] != kNoOwner) set_owner_raw(p, dense[p]);
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -44,6 +45,16 @@ struct WearStats {
 class BlockManager {
  public:
   explicit BlockManager(const sim::Geometry& geometry);
+
+  // The owner array is deliberately left uninitialized where the validity
+  // bitmap says "invalid", so copies must be bitmap-guided: a full-array
+  // memcpy would drag ~8 MB of never-written memory through the cache per
+  // fork on the paper geometry, and device construction would pay the
+  // same in memset. These copies are what make 42-way fork sweeps cheap.
+  BlockManager(const BlockManager& other);
+  BlockManager& operator=(const BlockManager& other);
+  BlockManager(BlockManager&&) = default;
+  BlockManager& operator=(BlockManager&&) = default;
 
   const sim::Geometry& geometry() const { return geom_; }
 
@@ -82,33 +93,36 @@ class BlockManager {
 
   /// Record ownership of a just-written page and mark it valid.
   void mark_valid(sim::Ppn ppn, sim::TenantId tenant, std::uint64_t lpn) {
-    assert(ppn < page_owner_.size());
-    assert(page_owner_[ppn] == kNoOwner);
-    page_owner_[ppn] = pack_owner(tenant, lpn);
+    assert(ppn < total_pages_);
+    assert(!page_valid(ppn));
+    valid_bits_[ppn >> 6] |= std::uint64_t{1} << (ppn & 63);
+    owner_[ppn] = pack_owner(tenant, lpn);
     ++blocks_[ppn / geom_.pages_per_block].valid;
   }
 
   /// Invalidate a page (its LPN was overwritten or trimmed).
   void invalidate(sim::Ppn ppn) {
-    assert(ppn < page_owner_.size());
-    if (page_owner_[ppn] == kNoOwner) return;
-    page_owner_[ppn] = kNoOwner;
+    assert(ppn < total_pages_);
+    const std::uint64_t mask = std::uint64_t{1} << (ppn & 63);
+    std::uint64_t& word = valid_bits_[ppn >> 6];
+    if ((word & mask) == 0) return;
+    word &= ~mask;
     auto& info = blocks_[ppn / geom_.pages_per_block];
     assert(info.valid > 0);
     --info.valid;
   }
 
   bool is_valid(sim::Ppn ppn) const {
-    assert(ppn < page_owner_.size());
-    return page_owner_[ppn] != kNoOwner;
+    assert(ppn < total_pages_);
+    return page_valid(ppn);
   }
 
   PageOwner owner(sim::Ppn ppn) const {
-    assert(ppn < page_owner_.size());
-    const std::uint64_t packed = page_owner_[ppn];
-    if (packed == kNoOwner) {
+    assert(ppn < total_pages_);
+    if (!page_valid(ppn)) {
       throw std::logic_error("block_manager: page has no owner");
     }
+    const std::uint64_t packed = owner_[ppn];
     return PageOwner{static_cast<sim::TenantId>(packed >> 40),
                      packed & kLpnMask};
   }
@@ -233,11 +247,34 @@ class BlockManager {
     std::int64_t open_block = -1;          ///< -1 = none
   };
 
+  bool page_valid(sim::Ppn ppn) const {
+    return (valid_bits_[ppn >> 6] >> (ppn & 63)) & 1;
+  }
+
+  /// Install an owner during recovery/snapshot load (no valid-count
+  /// bookkeeping — the caller rebuilds counters itself).
+  void set_owner_raw(sim::Ppn ppn, std::uint64_t packed) {
+    valid_bits_[ppn >> 6] |= std::uint64_t{1} << (ppn & 63);
+    owner_[ppn] = packed;
+  }
+
+  /// Clear validity for [first, first + count) (block erase, recovery).
+  void clear_valid_range(sim::Ppn first, std::uint64_t count);
+
+  /// Bitmap-guided copy of another manager's owner state into this one's
+  /// (already-allocated) arrays.
+  void copy_owners_from(const BlockManager& other);
+
   std::vector<BlockInfo> blocks_;     // indexed by global block id
   std::vector<PlaneInfo> planes_;     // indexed by plane id
   std::uint64_t retired_ = 0;         // device-wide retired-block count
-  // Per-page packed owner (tenant<<40 | lpn); kNoOwner = invalid page.
-  std::vector<std::uint64_t> page_owner_;
+  std::uint64_t total_pages_ = 0;
+  // Page validity, one bit per PPN. A page's packed owner
+  // (tenant<<40 | lpn) lives in owner_[ppn] *only while its bit is set*;
+  // owner_ is allocated uninitialized and entries for invalid pages are
+  // never read or copied (see the copy-constructor note above).
+  std::vector<std::uint64_t> valid_bits_;
+  std::unique_ptr<std::uint64_t[]> owner_;
 };
 
 }  // namespace ssdk::ftl

@@ -28,7 +28,10 @@ Ftl::TenantPolicy& Ftl::policy_for(sim::TenantId tenant) {
     policies_.resize(static_cast<std::size_t>(tenant) + 1);
   }
   auto& p = policies_[tenant];
-  if (p.channels.empty()) p.channels = all_channels_;
+  if (p.channels.empty()) {
+    p.channels = all_channels_;
+    p.plan = make_static_plan(geom_, p.channels.size());
+  }
   return p;
 }
 
@@ -49,7 +52,9 @@ void Ftl::set_tenant_channels(sim::TenantId tenant,
   std::sort(channels.begin(), channels.end());
   channels.erase(std::unique(channels.begin(), channels.end()),
                  channels.end());
-  policy_for(tenant).channels = std::move(channels);
+  auto& policy = policy_for(tenant);
+  policy.channels = std::move(channels);
+  policy.plan = make_static_plan(geom_, policy.channels.size());
 }
 
 const std::vector<std::uint32_t>& Ftl::tenant_channels(
@@ -110,7 +115,8 @@ sim::Ppn Ftl::translate_read(sim::TenantId tenant, std::uint64_t lpn) {
   // Prepopulate: the data is assumed to predate the simulation. Static
   // placement keeps sequential LPNs striped over the tenant's channels.
   const auto& policy = policy_for(tenant);
-  const PlaneTarget target = static_place(geom_, policy.channels, lpn);
+  const PlaneTarget target =
+      static_place(geom_, policy.channels, policy.plan, lpn);
   const sim::Ppn ppn = allocate_near(target, policy.channels);
   if (ppn == sim::kInvalidPpn) throw DeviceFullError(tenant, lpn);
   blocks_.mark_valid(ppn, tenant, lpn);
@@ -123,14 +129,10 @@ sim::Ppn Ftl::translate_read(sim::TenantId tenant, std::uint64_t lpn) {
   return ppn;
 }
 
-sim::Ppn Ftl::allocate_write(sim::TenantId tenant, std::uint64_t lpn,
-                             const LoadView& load) {
-  auto& policy = policy_for(tenant);
-  const PlaneTarget target =
-      policy.mode == AllocMode::kStatic
-          ? static_place(geom_, policy.channels, lpn)
-          : dynamic_place(geom_, policy.channels, load, policy.rr_counter);
-  const sim::Ppn ppn = allocate_near(target, policy.channels);
+sim::Ppn Ftl::finish_host_write(sim::TenantId tenant, std::uint64_t lpn,
+                                const PlaneTarget& target,
+                                const std::vector<std::uint32_t>& channels) {
+  const sim::Ppn ppn = allocate_near(target, channels);
   if (ppn == sim::kInvalidPpn) throw DeviceFullError(tenant, lpn);
   blocks_.mark_valid(ppn, tenant, lpn);
   const sim::Ppn old = map_.update(tenant, lpn, ppn);
@@ -351,6 +353,9 @@ void Ftl::load_state(snapshot::StateReader& r) {
     p.channels = r.vec_u32();
     p.mode = static_cast<AllocMode>(r.u8());
     p.rr_counter = r.u64();
+    if (!p.channels.empty()) {
+      p.plan = make_static_plan(geom_, p.channels.size());
+    }
   }
   oob_.load_state(r, geom_);
 }

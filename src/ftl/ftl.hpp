@@ -81,9 +81,20 @@ class Ftl {
 
   /// Place a write according to the tenant's mode, invalidate the previous
   /// location, install the new mapping. Throws DeviceFullError when no
-  /// allowed plane has a free page.
+  /// allowed plane has a free page. Templated on the load view's concrete
+  /// type so the device model's backlog probes devirtualize (see
+  /// dynamic_place); the placement decision is identical for any Load.
+  template <typename Load>
   sim::Ppn allocate_write(sim::TenantId tenant, std::uint64_t lpn,
-                          const LoadView& load);
+                          const Load& load) {
+    auto& policy = policy_for(tenant);
+    const PlaneTarget target =
+        policy.mode == AllocMode::kStatic
+            ? static_place(geom_, policy.channels, policy.plan, lpn)
+            : dynamic_place(geom_, policy.channels, load,
+                            policy.rr_counter);
+    return finish_host_write(tenant, lpn, target, policy.channels);
+  }
 
   /// Host discard: drop the mapping and invalidate the physical page.
   /// Returns true when the LPN was mapped (false = no-op trim).
@@ -215,10 +226,18 @@ class Ftl {
     std::vector<std::uint32_t> channels;
     AllocMode mode = AllocMode::kStatic;
     std::uint64_t rr_counter = 0;  // dynamic-placement plane rotation
+    StaticPlan plan;  // strides for `channels`; rebuilt whenever it changes
   };
 
   TenantPolicy& policy_for(sim::TenantId tenant);
   const TenantPolicy& policy_for(sim::TenantId tenant) const;
+
+  /// Tail of allocate_write after the placement decision: allocate at or
+  /// near the target, install mapping + validity, invalidate the old
+  /// copy, trace. Out of line — only the placement dispatch is templated.
+  sim::Ppn finish_host_write(sim::TenantId tenant, std::uint64_t lpn,
+                             const PlaneTarget& target,
+                             const std::vector<std::uint32_t>& channels);
 
   /// Allocate a page at/near `target`, falling back to sibling planes,
   /// chips and allowed channels when full. kInvalidPpn if nothing free.

@@ -1,40 +1,6 @@
+// Placement policies are fully header-inlined (page_alloc.hpp):
+// static_place folds into the per-page-write loop, and dynamic_place is a
+// template so the device model's concrete load view devirtualizes its
+// backlog probes. This translation unit remains as the library anchor for
+// the header.
 #include "ftl/page_alloc.hpp"
-
-#include <bit>
-#include <cassert>
-#include <limits>
-
-namespace ssdk::ftl {
-
-PlaneTarget dynamic_place(const sim::Geometry& g,
-                          const std::vector<std::uint32_t>& channels,
-                          const LoadView& load, std::uint64_t& rr_counter) {
-  assert(!channels.empty());
-  // Least-backlogged channel among the allowed set.
-  std::uint32_t best_channel = channels.front();
-  Duration best_cb = std::numeric_limits<Duration>::max();
-  for (const std::uint32_t ch : channels) {
-    const Duration cb = load.channel_backlog(ch);
-    if (cb < best_cb) {
-      best_cb = cb;
-      best_channel = ch;
-    }
-  }
-  // Least-backlogged chip on that channel.
-  std::uint32_t best_chip = 0;
-  Duration best_chb = std::numeric_limits<Duration>::max();
-  for (std::uint32_t c = 0; c < g.chips_per_channel; ++c) {
-    const Duration chb = load.chip_backlog(g.chip_id(best_channel, c));
-    if (chb < best_chb) {
-      best_chb = chb;
-      best_chip = c;
-    }
-  }
-  PlaneTarget t;
-  t.channel = best_channel;
-  t.chip = best_chip;
-  t.plane = static_cast<std::uint32_t>(rr_counter++ % g.planes_per_chip);
-  return t;
-}
-
-}  // namespace ssdk::ftl

@@ -8,6 +8,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -108,12 +109,99 @@ inline PlaneTarget static_place(const sim::Geometry& g,
   return t;
 }
 
+/// Precomputed static-placement strides for a fixed (geometry, channel
+/// count) pair. static_place re-derives the power-of-two test (three
+/// popcounts) and both shift amounts on every placed page; cached per
+/// tenant policy they are recomputed only when the channel set changes,
+/// which removes the popcount traffic from the per-page-write path
+/// entirely. Decisions are identical to the plain static_place by
+/// construction — same strides, just hoisted.
+struct StaticPlan {
+  bool pow2 = false;
+  std::uint32_t n_shift = 0;   ///< log2(channel count)
+  std::uint32_t np_shift = 0;  ///< log2(channels) + log2(chips)
+  std::uint64_t n_mask = 0;
+  std::uint64_t chip_mask = 0;
+  std::uint64_t plane_mask = 0;
+};
+
+inline StaticPlan make_static_plan(const sim::Geometry& g,
+                                   std::uint64_t n_channels) {
+  const std::uint64_t chips = g.chips_per_channel;
+  const std::uint64_t planes = g.planes_per_chip;
+  StaticPlan p;
+  p.pow2 = std::has_single_bit(n_channels) && std::has_single_bit(chips) &&
+           std::has_single_bit(planes);
+  if (p.pow2) {
+    p.n_shift = static_cast<std::uint32_t>(std::countr_zero(n_channels));
+    p.np_shift =
+        p.n_shift + static_cast<std::uint32_t>(std::countr_zero(chips));
+    p.n_mask = n_channels - 1;
+    p.chip_mask = chips - 1;
+    p.plane_mask = planes - 1;
+  }
+  return p;
+}
+
+/// static_place with the strides precomputed by make_static_plan for this
+/// exact (geometry, channels.size()) pair.
+inline PlaneTarget static_place(const sim::Geometry& g,
+                                const std::vector<std::uint32_t>& channels,
+                                const StaticPlan& plan, std::uint64_t lpn) {
+  assert(plan.pow2 ==
+         (std::has_single_bit(channels.size()) &&
+          std::has_single_bit(std::uint64_t{g.chips_per_channel}) &&
+          std::has_single_bit(std::uint64_t{g.planes_per_chip})));
+  if (!plan.pow2) return static_place(g, channels, lpn);
+  PlaneTarget t;
+  t.channel = channels[lpn & plan.n_mask];
+  t.chip = static_cast<std::uint32_t>((lpn >> plan.n_shift) & plan.chip_mask);
+  t.plane =
+      static_cast<std::uint32_t>((lpn >> plan.np_shift) & plan.plane_mask);
+  return t;
+}
+
 /// Dynamic placement: least-backlogged allowed channel, then least-
 /// backlogged chip on it; plane chosen round-robin via `rr_counter`
 /// (incremented by the call). Ties break toward lower indices so results
 /// are deterministic.
+///
+/// Templated on the load view's concrete type: the device model passes
+/// its final LoadViewImpl, so the two backlog probes on the inner loop
+/// devirtualize and inline instead of dispatching through the LoadView
+/// vtable per allowed channel and chip. Probe order (ascending channel,
+/// then ascending chip) and tie-breaks are part of the schedule contract
+/// — identical inputs must yield identical placements on any path.
+template <typename Load>
 PlaneTarget dynamic_place(const sim::Geometry& g,
                           const std::vector<std::uint32_t>& channels,
-                          const LoadView& load, std::uint64_t& rr_counter);
+                          const Load& load, std::uint64_t& rr_counter) {
+  assert(!channels.empty());
+  // Least-backlogged channel among the allowed set.
+  std::uint32_t best_channel = channels.front();
+  Duration best_cb = std::numeric_limits<Duration>::max();
+  for (const std::uint32_t ch : channels) {
+    const Duration cb = load.channel_backlog(ch);
+    if (cb < best_cb) {
+      best_cb = cb;
+      best_channel = ch;
+    }
+  }
+  // Least-backlogged chip on that channel.
+  std::uint32_t best_chip = 0;
+  Duration best_chb = std::numeric_limits<Duration>::max();
+  for (std::uint32_t c = 0; c < g.chips_per_channel; ++c) {
+    const Duration chb = load.chip_backlog(g.chip_id(best_channel, c));
+    if (chb < best_chb) {
+      best_chb = chb;
+      best_chip = c;
+    }
+  }
+  PlaneTarget t;
+  t.channel = best_channel;
+  t.chip = best_chip;
+  t.plane = static_cast<std::uint32_t>(rr_counter++ % g.planes_per_chip);
+  return t;
+}
 
 }  // namespace ssdk::ftl

@@ -37,7 +37,7 @@ void BlockManager::recover_from_oob(OobStore& oob, MappingTable& map,
                                     RecoveryReport& report) {
   const std::uint32_t ppb = geom_.pages_per_block;
   const std::uint64_t nblocks = blocks_.size();
-  report.scanned_pages += page_owner_.size();
+  report.scanned_pages += total_pages_;
 
   // Pass 1: settle unknown blocks (erase was in flight at the cut). A
   // healthy block is re-erased at mount; a retired block is never erased,
@@ -62,7 +62,7 @@ void BlockManager::recover_from_oob(OobStore& oob, MappingTable& map,
   // to kFailed so a later crash-recovery cycle does not recount them.
   std::map<std::uint64_t, std::pair<std::uint64_t, sim::Ppn>> best;
   std::uint64_t readable = 0;
-  for (sim::Ppn p = 0; p < page_owner_.size(); ++p) {
+  for (sim::Ppn p = 0; p < total_pages_; ++p) {
     switch (oob.state(p)) {
       case OobState::kData: {
         ++readable;
@@ -106,12 +106,12 @@ void BlockManager::recover_from_oob(OobStore& oob, MappingTable& map,
       info.write_ptr = 0;
     }
   }
-  std::fill(page_owner_.begin(), page_owner_.end(), kNoOwner);
+  std::fill(valid_bits_.begin(), valid_bits_.end(), 0);
 
   // Pass 4: install the winners — owner table, valid counts, L2P map.
   for (const auto& [key, win] : best) {
     const sim::Ppn ppn = win.second;
-    page_owner_[ppn] = key;
+    set_owner_raw(ppn, key);
     ++blocks_[ppn / ppb].valid;
     map.update(OobStore::owner_tenant(key), OobStore::owner_lpn(key), ppn);
   }

@@ -35,6 +35,13 @@ const Matrix& DenseLayer::forward(const Matrix& input) {
   return output_;
 }
 
+void DenseLayer::forward_into(const Matrix& input, Matrix& out) const {
+  assert(input.cols() == weights_.rows());
+  matmul_into(input, weights_, out);
+  add_row_broadcast(out, bias_);
+  apply_activation(act_, out, out);
+}
+
 const Matrix& DenseLayer::backward(const Matrix& grad_out,
                                    bool grad_is_pre_activation) {
   assert(grad_out.rows() == input_.rows());

@@ -34,6 +34,13 @@ class DenseLayer {
   /// Returns the activated output (batch x out).
   const Matrix& forward(const Matrix& input);
 
+  /// Inference-only forward into caller-provided storage: same matmul ->
+  /// bias -> activation sequence as forward(), so the output is
+  /// bit-identical, but the training caches (input_/output_) are left
+  /// untouched and nothing is copied or allocated once `out` has the
+  /// right shape. Interleaving with training on the same layer is safe.
+  void forward_into(const Matrix& input, Matrix& out) const;
+
   /// Backward pass: given d(loss)/d(output activation), accumulates
   /// d(loss)/dW into grad_w_ and d(loss)/db into grad_b_, and returns
   /// d(loss)/d(input) for the upstream layer.

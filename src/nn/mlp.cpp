@@ -38,6 +38,19 @@ const Matrix& Mlp::forward(const Matrix& input) {
   return *x;
 }
 
+const Matrix& Mlp::forward_inference(const Matrix& input) {
+  const Matrix* x = &input;
+  Matrix* bufs[2] = {&infer_a_, &infer_b_};
+  std::size_t which = 0;
+  for (const auto& layer : layers_) {
+    Matrix& out = *bufs[which];
+    layer.forward_into(*x, out);
+    x = &out;
+    which ^= 1;
+  }
+  return *x;
+}
+
 void Mlp::backward(const Matrix& dlogits) {
   const Matrix* grad = &dlogits;
   bool pre_activation = true;  // fused softmax+CE gives d loss / d z directly
@@ -60,7 +73,7 @@ double Mlp::train_loss_and_grad(const Matrix& input,
 }
 
 std::vector<std::uint32_t> Mlp::predict(const Matrix& input) {
-  const Matrix& logits = forward(input);
+  const Matrix& logits = forward_inference(input);
   std::vector<std::uint32_t> out(logits.rows());
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     std::size_t best = 0;
@@ -73,7 +86,7 @@ std::vector<std::uint32_t> Mlp::predict(const Matrix& input) {
 }
 
 Matrix Mlp::predict_proba(const Matrix& input) {
-  const Matrix& logits = forward(input);
+  const Matrix& logits = forward_inference(input);
   Matrix probs;
   softmax_rows(logits, probs);
   return probs;

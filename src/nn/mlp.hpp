@@ -32,8 +32,16 @@ class Mlp {
   std::size_t input_size() const { return layers_.front().in_features(); }
   std::size_t output_size() const { return layers_.back().out_features(); }
 
-  /// Forward pass to raw logits (batch x classes).
+  /// Forward pass to raw logits (batch x classes). Stores per-layer
+  /// caches for a subsequent backward() — the training path.
   const Matrix& forward(const Matrix& input);
+
+  /// Inference-only forward to raw logits: ping-pongs between two
+  /// internal scratch matrices, touching no layer caches and allocating
+  /// nothing after the first call at a given batch size. Logits are
+  /// bit-identical to forward() (same kernels, same order), and any batch
+  /// partitioning yields the same rows because rows are independent.
+  const Matrix& forward_inference(const Matrix& input);
 
   /// Backprop of the fused-softmax gradient (d loss / d logits).
   void backward(const Matrix& dlogits);
@@ -61,6 +69,8 @@ class Mlp {
  private:
   std::vector<DenseLayer> layers_;
   Matrix logits_grad_;  // scratch
+  Matrix infer_a_;      // forward_inference ping-pong scratch
+  Matrix infer_b_;
 };
 
 }  // namespace ssdk::nn

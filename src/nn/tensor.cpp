@@ -44,11 +44,54 @@ void Matrix::axpy(double s, const Matrix& other) {
 void matmul(const Matrix& a, const Matrix& b, Matrix& out) {
   assert(a.cols() == b.rows());
   out = Matrix(a.rows(), b.cols());
+  matmul_into(a, b, out);
+}
+
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out) {
+  assert(a.cols() == b.rows());
+  assert(&out != &a && &out != &b);
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    out = Matrix(a.rows(), b.cols());
+  } else {
+    out.zero();
+  }
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    double* out_row = out.data() + i * n;
+  std::size_t i = 0;
+  // Four batch rows share one streaming pass over b: each b row is read
+  // from cache once per block instead of once per sample. Every output
+  // row still accumulates in ascending p with the same zero skip, so the
+  // result is bit-identical to the row-at-a-time tail loop below.
+  for (; i + 4 <= m; i += 4) {
+    const double* a0 = a.data() + i * k;
+    const double* a1 = a0 + k;
+    const double* a2 = a1 + k;
+    const double* a3 = a2 + k;
+    double* o0 = out.data() + i * n;
+    double* o1 = o0 + n;
+    double* o2 = o1 + n;
+    double* o3 = o2 + n;
     for (std::size_t p = 0; p < k; ++p) {
-      const double aip = a(i, p);
+      const double* b_row = b.data() + p * n;
+      const double c0 = a0[p], c1 = a1[p], c2 = a2[p], c3 = a3[p];
+      if (c0 != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) o0[j] += c0 * b_row[j];
+      }
+      if (c1 != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) o1[j] += c1 * b_row[j];
+      }
+      if (c2 != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) o2[j] += c2 * b_row[j];
+      }
+      if (c3 != 0.0) {
+        for (std::size_t j = 0; j < n; ++j) o3[j] += c3 * b_row[j];
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    double* out_row = out.data() + i * n;
+    const double* a_row = a.data() + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = a_row[p];
       if (aip == 0.0) continue;
       const double* b_row = b.data() + p * n;
       for (std::size_t j = 0; j < n; ++j) out_row[j] += aip * b_row[j];

@@ -64,6 +64,13 @@ class Matrix {
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n). `out` is resized.
 void matmul(const Matrix& a, const Matrix& b, Matrix& out);
 
+/// out = a * b, reusing out's storage when the shape already matches (the
+/// inference hot path allocates nothing after warm-up). Batch rows are
+/// processed in blocks of four so each row of `b` streams from cache once
+/// per block; per-row accumulation order is unchanged, so results are
+/// bit-identical to matmul(). `out` must not alias `a` or `b`.
+void matmul_into(const Matrix& a, const Matrix& b, Matrix& out);
+
 /// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
 void matmul_at_b(const Matrix& a, const Matrix& b, Matrix& out);
 

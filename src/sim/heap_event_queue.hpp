@@ -1,0 +1,90 @@
+// Reference event queue: the 4-ary binary min-heap that EventQueue used
+// before the calendar-queue rewrite, preserved verbatim (minus snapshot
+// support) as the oracle for the randomized differential test in
+// tests/sim/event_queue_diff_test.cpp. (time, seq) is a unique total
+// order, so any correct priority queue must produce exactly this pop
+// sequence — the test drives both implementations with the same pushes
+// and asserts identical pops.
+//
+// Not used on the simulator hot path; do not add features here. If the
+// Event layout or tie-break rule changes, change it in event_queue.hpp
+// first and mirror it here.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace ssdk::sim {
+
+class HeapEventQueue {
+ public:
+  void reserve(std::size_t capacity) { heap_.reserve(capacity); }
+
+  void push(SimTime time, EventKind kind, std::uint64_t a,
+            std::uint64_t b = 0) {
+    heap_.push_back(Event{time, next_seq_++, kind, a, b});
+    sift_up(heap_.size() - 1);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  void clear() { heap_.clear(); }
+
+  SimTime next_time() const {
+    assert(!heap_.empty());
+    return heap_.front().time;
+  }
+
+  Event pop() {
+    assert(!heap_.empty());
+    const Event top = heap_.front();
+    const Event displaced = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(displaced);
+    return top;
+  }
+
+ private:
+  static bool earlier(const Event& x, const Event& y) {
+    if (x.time != y.time) return x.time < y.time;
+    return x.seq < y.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    const Event e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void sift_down(const Event& e) {
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t fence = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < fence; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], e)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = e;
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ssdk::sim

@@ -100,6 +100,21 @@ TenantMetrics MetricsCollector::aggregate() const {
   return agg;
 }
 
+LatencySums MetricsCollector::aggregate_sums() const {
+  LatencySums out;
+  const auto fold = [&out](const TenantMetrics& t) {
+    out.read_sum_us += t.read_latency_us.sum();
+    out.write_sum_us += t.write_latency_us.sum();
+    out.reads += t.read_latency_us.count();
+    out.writes += t.write_latency_us.count();
+  };
+  for (TenantId id = 0; id < dense_.size(); ++id) {
+    if (present_[id]) fold(dense_[id]);
+  }
+  if (internal_present_) fold(internal_);
+  return out;
+}
+
 double MetricsCollector::conflict_rate() const {
   if (counters_.page_ops == 0) return 0.0;
   return static_cast<double>(counters_.conflicts) /

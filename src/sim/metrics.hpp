@@ -94,6 +94,25 @@ struct DeviceCounters {
   }
 };
 
+/// Device-wide latency sums and counts. Everything the keeper's what-if
+/// scoring and the label sweep's total_us need, gathered in O(tenants)
+/// from the SampleSets' running sums — aggregate() by contrast copies
+/// every latency sample.
+struct LatencySums {
+  double read_sum_us = 0.0;
+  double write_sum_us = 0.0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+
+  double avg_read_us() const {
+    return reads ? read_sum_us / static_cast<double>(reads) : 0.0;
+  }
+  double avg_write_us() const {
+    return writes ? write_sum_us / static_cast<double>(writes) : 0.0;
+  }
+  double total_us() const { return avg_read_us() + avg_write_us(); }
+};
+
 /// Tenant slots are a dense vector indexed by tenant id — `record` runs
 /// once per host completion, and a map lookup there was one of the larger
 /// costs on the simulator hot path. Host tenant ids are small and
@@ -136,6 +155,10 @@ class MetricsCollector {
 
   /// Aggregate over every tenant (used when normalizing Figure 2/5 bars).
   TenantMetrics aggregate() const;
+
+  /// O(tenants) latency sums/counts; same totals aggregate() would report,
+  /// without touching the per-sample storage.
+  LatencySums aggregate_sums() const;
 
   /// Conflict rate = conflicts / page ops dispatched.
   double conflict_rate() const;

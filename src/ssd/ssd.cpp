@@ -30,6 +30,7 @@ Ssd::Ssd(SsdOptions options)
       units_(options_.multiplane_program
                  ? options_.geometry.total_planes()
                  : options_.geometry.total_chips()),
+      grant_seq_(units_.size(), ~std::uint64_t{0}),
       channel_busy_ns_(options_.geometry.channels, 0),
       unit_busy_ns_(units_.size(), 0),
       gc_job_of_plane_(options_.geometry.total_planes(), kNoJob),
@@ -144,6 +145,48 @@ void Ssd::submit(const sim::IoRequest& request) {
 
 void Ssd::run_to_completion() { run_until_arrival(kNoRequest); }
 
+#ifdef SSDK_LOOP_STATS
+// Opt-in rdtsc accounting of the replay loop (-DSSDK_LOOP_STATS, x86 only).
+// Sampling profilers under-sample this workload badly in containerized
+// runs; these counters are the ground truth behind the DESIGN.md §16
+// cycle budgets. Printed once from a static destructor at process exit.
+#include <x86intrin.h>
+
+#include <cstdio>
+namespace {
+struct LoopStats {
+  std::uint64_t arrivals = 0, arrival_cyc = 0;
+  std::uint64_t pops = 0, pop_cyc = 0;
+  std::uint64_t kinds[5] = {}, kind_cyc[5] = {};
+  std::uint64_t wr_pages = 0, wr_buf_cyc = 0, wr_alloc_cyc = 0,
+                wr_disp_cyc = 0, wr_gc_cyc = 0;
+  ~LoopStats() {
+    if (wr_pages) {
+      std::fprintf(stderr,
+                   "LOOP wr_pages %llu buf %.0f alloc %.0f disp %.0f gc %.0f "
+                   "cyc/page\n",
+                   (unsigned long long)wr_pages, (double)wr_buf_cyc / wr_pages,
+                   (double)wr_alloc_cyc / wr_pages,
+                   (double)wr_disp_cyc / wr_pages, (double)wr_gc_cyc / wr_pages);
+    }
+    std::fprintf(stderr, "LOOP arrivals %llu cyc/ea %.0f\n",
+                 (unsigned long long)arrivals,
+                 arrivals ? (double)arrival_cyc / arrivals : 0.0);
+    std::fprintf(stderr, "LOOP pops %llu cyc/ea %.0f\n",
+                 (unsigned long long)pops, pops ? (double)pop_cyc / pops : 0.0);
+    const char* names[5] = {"Arrival", "FlashDone", "BusFree", "BufferDone",
+                            "WriteDone"};
+    for (int i = 0; i < 5; ++i)
+      std::fprintf(stderr, "LOOP %s %llu cyc/ea %.0f total Mcyc %.1f\n",
+                   names[i], (unsigned long long)kinds[i],
+                   kinds[i] ? (double)kind_cyc[i] / kinds[i] : 0.0,
+                   kind_cyc[i] / 1e6);
+  }
+};
+LoopStats g_loop_stats;
+}  // namespace
+#endif
+
 void Ssd::run_until_arrival(std::uint64_t request_index) {
   if (powered_off_) {
     throw std::logic_error(
@@ -168,10 +211,25 @@ void Ssd::run_until_arrival(std::uint64_t request_index) {
       // at or after it has — the exact cut a fork or snapshot wants.
       if (arrival_cursor_ >= request_index) return;
       now_ = std::max(now_, requests_[arrival_cursor_].req.arrival);
+#ifdef SSDK_LOOP_STATS
+      const std::uint64_t t0 = __rdtsc();
+#endif
       handle_arrival(arrival_cursor_++);
+#ifdef SSDK_LOOP_STATS
+      ++g_loop_stats.arrivals;
+      g_loop_stats.arrival_cyc += __rdtsc() - t0;
+#endif
       maybe_audit();
     } else {
+#ifdef SSDK_LOOP_STATS
+      const std::uint64_t p0 = __rdtsc();
+#endif
       const sim::Event e = events_.pop();
+#ifdef SSDK_LOOP_STATS
+      const std::uint64_t p1 = __rdtsc();
+      ++g_loop_stats.pops;
+      g_loop_stats.pop_cyc += p1 - p0;
+#endif
       now_ = e.time;
       switch (e.kind) {
         case EventKind::kArrival:
@@ -193,6 +251,11 @@ void Ssd::run_until_arrival(std::uint64_t request_index) {
           handle_write_done(e.a, e.b);
           break;
       }
+#ifdef SSDK_LOOP_STATS
+      const int k = static_cast<int>(e.kind);
+      ++g_loop_stats.kinds[k];
+      g_loop_stats.kind_cyc[k] += __rdtsc() - p1;
+#endif
     }
   }
 }
@@ -268,6 +331,10 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
       op.addr = options_.geometry.decode(op.ppn);
       dispatch_read(op_id);
     } else {
+#ifdef SSDK_LOOP_STATS
+      ++g_loop_stats.wr_pages;
+      const std::uint64_t w0 = __rdtsc();
+#endif
       if (buffer_write(rs.req.tenant, lpn)) {
         free_op(op_id);
         // Acked at DRAM latency without touching flash: the completion
@@ -292,14 +359,29 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
       }
       op.kind = OpKind::kHostWrite;
       op.lpn = lpn;
+#ifdef SSDK_LOOP_STATS
+      const std::uint64_t w1 = __rdtsc();
+      g_loop_stats.wr_buf_cyc += w1 - w0;
+#endif
       op.ppn = ftl_.allocate_write(rs.req.tenant, lpn, load_view_);
       op.addr = options_.geometry.decode(op.ppn);
       // The OOB seq is drawn in L2P-update order (here, at placement) but
       // recorded on flash only when the program completes — the window in
       // between is exactly what a power cut tears.
       if (ftl_.oob().enabled()) op.oob_seq = ftl_.oob().fresh_seq();
+#ifdef SSDK_LOOP_STATS
+      const std::uint64_t w2 = __rdtsc();
+      g_loop_stats.wr_alloc_cyc += w2 - w1;
+#endif
       dispatch_write(op_id);
+#ifdef SSDK_LOOP_STATS
+      const std::uint64_t w3 = __rdtsc();
+      g_loop_stats.wr_disp_cyc += w3 - w2;
+#endif
       maybe_start_gc(options_.geometry.plane_id(op.addr));
+#ifdef SSDK_LOOP_STATS
+      g_loop_stats.wr_gc_cyc += __rdtsc() - w3;
+#endif
     }
   }
 }
@@ -468,7 +550,10 @@ void Ssd::dispatch_write(std::uint64_t op_id) {
   }
   UnitState& u = units_[unit];
   u.write_q.push_back(op_id);
-  if (u.write_q.size() == 1) u.front_write_seq = op.enq_seq;
+  if (u.write_q.size() == 1) {
+    u.front_write_seq = op.enq_seq;
+    if (!u.busy) grant_seq_[unit] = op.enq_seq;
+  }
   ++channels_[op.addr.channel].queued_writes;
   arbitrate(op.addr.channel);
 }
@@ -496,6 +581,7 @@ void Ssd::start_array_read(std::uint64_t unit, std::uint64_t op_id) {
   UnitState& u = units_[unit];
   assert(!u.busy);
   u.busy = true;
+  grant_seq_[unit] = ~std::uint64_t{0};
   u.busy_until = now_ + options_.timing.read_ns;
   metrics_.counters().chip_busy_ns += options_.timing.read_ns;
   unit_busy_ns_[unit] += options_.timing.read_ns;
@@ -511,6 +597,7 @@ void Ssd::start_erase(std::uint64_t unit, std::uint64_t op_id) {
   UnitState& u = units_[unit];
   assert(!u.busy);
   u.busy = true;
+  grant_seq_[unit] = ~std::uint64_t{0};
   u.busy_until = now_ + options_.timing.erase_ns;
   metrics_.counters().chip_busy_ns += options_.timing.erase_ns;
   unit_busy_ns_[unit] += options_.timing.erase_ns;
@@ -542,8 +629,9 @@ bool Ssd::write_grantable(std::uint32_t channel) const {
   const std::uint64_t base = first_unit(channel);
   const std::uint64_t count = units_per_channel();
   for (std::uint64_t i = 0; i < count; ++i) {
-    const UnitState& u = units_[base + i];
-    if (!u.busy && !u.write_q.empty()) return true;
+    // grant_seq_ is all-ones exactly when the unit is busy or has no
+    // queued write — a single dense load replaces the UnitState probe.
+    if (grant_seq_[base + i] != ~std::uint64_t{0}) return true;
   }
   return false;
 }
@@ -615,16 +703,16 @@ bool Ssd::try_grant_write(std::uint32_t channel) {
   const std::uint64_t base = first_unit(channel);
   const std::uint64_t count = units_per_channel();
 
-  // Oldest queued write among units that are currently free. The cached
-  // front_write_seq is all-ones for empty queues, so they lose every
-  // comparison without an explicit emptiness test.
+  // Oldest queued write among units that are currently free. grant_seq_
+  // is all-ones for busy units and empty queues, so they lose every
+  // comparison without touching their UnitState at all — the scan reads
+  // one dense cache line per channel.
   std::uint64_t best_unit = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
   for (std::uint64_t i = 0; i < count; ++i) {
-    const UnitState& u = units_[base + i];
-    if (u.busy) continue;
-    if (u.front_write_seq < best_seq) {
-      best_seq = u.front_write_seq;
+    const std::uint64_t s = grant_seq_[base + i];
+    if (s < best_seq) {
+      best_seq = s;
       best_unit = base + i;
     }
   }
@@ -636,6 +724,7 @@ bool Ssd::try_grant_write(std::uint32_t channel) {
   u.front_write_seq = u.write_q.empty()
                           ? ~std::uint64_t{0}
                           : ops_[u.write_q.front()].enq_seq;
+  grant_seq_[best_unit] = ~std::uint64_t{0};  // the unit goes busy below
   --ch.queued_writes;
   metrics_.counters().write_wait_ns += now_ - ops_[op_id].dispatched_at;
   ++metrics_.counters().write_ops_started;
@@ -699,6 +788,7 @@ void Ssd::handle_flash_done(std::uint64_t unit, std::uint64_t op_id) {
     case OpKind::kFlushWrite:
     case OpKind::kGcWrite: {
       units_[unit].busy = false;
+      grant_seq_[unit] = units_[unit].front_write_seq;
       bool fault = false;
       bool program_failed = false;
       if (faults_on_) {
@@ -729,6 +819,7 @@ void Ssd::handle_flash_done(std::uint64_t unit, std::uint64_t op_id) {
     }
     case OpKind::kErase:
       units_[unit].busy = false;
+      grant_seq_[unit] = units_[unit].front_write_seq;
       on_erase_done(op_id);
       unit_next(unit);
       break;
@@ -743,6 +834,7 @@ void Ssd::handle_bus_free(std::uint32_t channel, std::uint64_t op_id) {
     PageOp& op = ops_[op_id];
     const std::uint64_t unit = unit_of(op.addr);
     units_[unit].busy = false;
+    grant_seq_[unit] = units_[unit].front_write_seq;
     // The unit lives on `channel`, so when unit_next falls through to
     // arbitration it already covers this channel — arbitrating again
     // would re-scan the queues only to no-op.
@@ -842,6 +934,7 @@ void Ssd::start_read_retry(std::uint64_t unit, std::uint64_t op_id) {
   UnitState& u = units_[unit];
   assert(!u.busy);
   u.busy = true;
+  grant_seq_[unit] = ~std::uint64_t{0};
   u.busy_until = now_ + sense;
   metrics_.counters().chip_busy_ns += sense;
   unit_busy_ns_[unit] += sense;

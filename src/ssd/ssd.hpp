@@ -553,6 +553,13 @@ class Ssd {
 
   std::vector<ChannelState> channels_;
   std::vector<UnitState> units_;
+  /// Per-unit write-grant key: front_write_seq when the unit is free with
+  /// a queued write, all-ones otherwise. The arbitration argmin scans only
+  /// this dense array — one cache line per channel instead of one
+  /// UnitState line per unit — and selects exactly the unit the
+  /// (busy, front_write_seq) pair would. Maintained at every busy-flag and
+  /// write-queue transition; audited against both in check_invariants.
+  std::vector<std::uint64_t> grant_seq_;
   std::vector<Duration> channel_busy_ns_;
   std::vector<Duration> unit_busy_ns_;
 

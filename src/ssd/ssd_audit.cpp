@@ -175,6 +175,13 @@ void Ssd::check_invariants() const {
                        " front_write_seq cache " +
                        std::to_string(unit.front_write_seq) + " != actual " +
                        std::to_string(expect));
+    const std::uint64_t expect_grant =
+        unit.busy ? ~std::uint64_t{0} : unit.front_write_seq;
+    SSDK_CHECK_MSG(grant_seq_[u] == expect_grant,
+                   "ssd: unit " + std::to_string(u) + " grant_seq cache " +
+                       std::to_string(grant_seq_[u]) + " != expected " +
+                       std::to_string(expect_grant) +
+                       " from (busy, front_write_seq)");
     // A past busy_until is legal only while the unit's read op is parked
     // in the channel read_q (page register held, waiting for the bus).
     SSDK_CHECK_MSG(!unit.busy || unit.busy_until >= now_ ||

@@ -131,6 +131,7 @@ PowerLossReport Ssd::power_off() {
     u.erase_wait.clear();
     u.write_q.clear();
   }
+  std::fill(grant_seq_.begin(), grant_seq_.end(), ~std::uint64_t{0});
   ops_.clear();
   free_ops_.clear();
   gc_jobs_.clear();

@@ -214,13 +214,17 @@ void Ssd::load_state(snapshot::StateReader& r) {
             std::to_string(nunit),
         r.offset());
   }
-  for (UnitState& u : units_) {
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    UnitState& u = units_[i];
     u.busy = r.boolean();
     u.front_write_seq = r.u64();
     u.busy_until = r.u64();
     load_ring(r, u.read_wait);
     load_ring(r, u.erase_wait);
     load_ring(r, u.write_q);
+    // grant_seq_ is derived state, not wire format: rebuild it from the
+    // (busy, front_write_seq) pair it mirrors.
+    grant_seq_[i] = u.busy ? ~std::uint64_t{0} : u.front_write_seq;
   }
   channel_busy_ns_ = r.vec_u64();
   unit_busy_ns_ = r.vec_u64();

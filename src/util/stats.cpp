@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <numeric>
 #include <sstream>
 
 namespace ssdk {
@@ -46,48 +45,55 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 void SampleSet::merge(const SampleSet& other) {
+  if (other.samples_.empty()) return;
+  if (samples_.empty()) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
   samples_.insert(samples_.end(), other.samples_.begin(),
                   other.samples_.end());
-  sorted_ = false;
 }
 
-double SampleSet::mean() const {
-  if (samples_.empty()) return 0.0;
-  return sum() / static_cast<double>(samples_.size());
-}
-
-double SampleSet::sum() const {
-  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
-}
-
-double SampleSet::min() const {
-  ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.front();
-}
-
-double SampleSet::max() const {
-  ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.back();
+void SampleSet::restore(std::vector<double> samples) {
+  samples_ = std::move(samples);
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const double x = samples_[i];
+    if (i == 0) {
+      min_ = max_ = x;
+    } else if (x < min_) {
+      min_ = x;
+    } else if (x > max_) {
+      max_ = x;
+    }
+    sum_ += x;
+  }
 }
 
 double SampleSet::percentile(double p) const {
   assert(!samples_.empty());
   assert(p >= 0.0 && p <= 100.0);
-  ensure_sorted();
-  if (samples_.size() == 1) return samples_[0];
-  const double rank =
-      p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t n = samples_.size();
+  if (n == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= samples_.size()) return samples_.back();
-  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
-}
-
-void SampleSet::ensure_sorted() const {
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
+  if (lo + 1 >= n) return max_;
+  // Two order statistics via selection on a scratch copy: O(n) per query
+  // instead of a cached full sort. The selected values are exact order
+  // statistics, so the interpolated result matches the sorted-array
+  // formula bit for bit.
+  scratch_.assign(samples_.begin(), samples_.end());
+  const auto nth = scratch_.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(scratch_.begin(), nth, scratch_.end());
+  const double low = *nth;
+  const double high = *std::min_element(nth + 1, scratch_.end());
+  return low * (1.0 - frac) + high * frac;
 }
 
 std::string summarize(const SampleSet& s) {

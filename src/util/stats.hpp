@@ -37,38 +37,57 @@ class RunningStats {
 
 /// Collects raw samples and answers percentile queries. Intended for
 /// latency distributions where the full sample set fits in memory.
+///
+/// sum/mean/min/max are maintained incrementally and cost O(1); percentile
+/// selects order statistics out of place (the sample order is never
+/// disturbed, so samples() is always insertion order). Note merge() adds
+/// the other set's running sum in one step, so a merged mean can differ
+/// from re-accumulating the concatenated samples by rounding only.
 class SampleSet {
  public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(double x) {
+    if (samples_.empty()) {
+      min_ = max_ = x;
+    } else if (x < min_) {
+      min_ = x;
+    } else if (x > max_) {
+      max_ = x;
+    }
+    sum_ += x;
+    samples_.push_back(x);
+  }
   void reserve(std::size_t n) { samples_.reserve(n); }
   void merge(const SampleSet& other);
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
-  double mean() const;
-  double sum() const;
-  double min() const;
-  double max() const;
+  double mean() const {
+    return samples_.empty()
+               ? 0.0
+               : sum_ / static_cast<double>(samples_.size());
+  }
+  double sum() const { return sum_; }
+  double min() const { return samples_.empty() ? 0.0 : min_; }
+  double max() const { return samples_.empty() ? 0.0 : max_; }
 
   /// Linear-interpolated percentile, p in [0, 100]. Requires non-empty set.
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
+  /// Samples in insertion order.
   const std::vector<double>& samples() const { return samples_; }
 
   /// Replace the sample set wholesale (snapshot restore). The samples are
-  /// taken in the given order; re-sorting for percentile queries is lazy
-  /// and idempotent, so restoring an already-sorted set is harmless.
-  void restore(std::vector<double> samples) {
-    samples_ = std::move(samples);
-    sorted_ = false;
-  }
+  /// taken in the given order; the running aggregates are rebuilt by one
+  /// left-to-right pass, matching what add() in that order would produce.
+  void restore(std::vector<double> samples);
 
  private:
-  void ensure_sorted() const;
-
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> scratch_;  ///< percentile selection buffer
 };
 
 /// One-line human-readable summary: "n=... mean=... p50=... p99=... max=...".

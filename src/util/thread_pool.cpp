@@ -56,33 +56,63 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   if (n == 0) return;
   chunk = std::max<std::size_t>(1, chunk);
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  // Nested-safe fan-out. The caller claims chunks alongside the pooled
+  // helpers and the return condition is "every index completed", not
+  // "every helper ran" — so a parallel_for issued from *inside* a pool
+  // task makes progress even when every worker is busy (the caller drains
+  // the chunks itself and the queued helpers wake up to nothing). The
+  // shared state outlives the call via shared_ptr because late helpers
+  // may still probe `next` after the caller has returned.
+  struct State {
+    std::function<void(std::size_t)> fn;
+    std::size_t n = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::size_t done = 0;  // guarded by mutex
+    std::exception_ptr error;
+  };
+  auto st = std::make_shared<State>();
+  st->fn = fn;
+  st->n = n;
+  st->chunk = chunk;
 
-  const std::size_t tasks = std::min(pool.size(), (n + chunk - 1) / chunk);
-  std::vector<std::future<void>> futures;
-  futures.reserve(tasks);
-  for (std::size_t t = 0; t < tasks; ++t) {
-    futures.push_back(pool.submit([&] {
-      for (;;) {
-        const std::size_t begin = next.fetch_add(chunk);
-        if (begin >= n) return;
-        const std::size_t end = std::min(begin + chunk, n);
-        for (std::size_t i = begin; i < end; ++i) {
-          try {
-            fn(i);
-          } catch (...) {
-            std::lock_guard lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-            return;
-          }
+  const auto run_chunks = [](State& s) {
+    for (;;) {
+      const std::size_t begin = s.next.fetch_add(s.chunk);
+      if (begin >= s.n) return;
+      const std::size_t end = std::min(begin + s.chunk, s.n);
+      std::exception_ptr err;
+      for (std::size_t i = begin; i < end && !err; ++i) {
+        try {
+          s.fn(i);
+        } catch (...) {
+          err = std::current_exception();
         }
       }
-    }));
+      std::lock_guard lock(s.mutex);
+      if (err && !s.error) s.error = err;
+      // A chunk that threw still counts every index as settled; other
+      // chunks keep running (matching the old semantics: first exception
+      // is reported, the rest of the range is best-effort).
+      s.done += end - begin;
+      if (s.done == s.n) s.done_cv.notify_all();
+    }
+  };
+
+  const std::size_t total_chunks = (n + chunk - 1) / chunk;
+  const std::size_t helpers =
+      std::min(pool.size(), total_chunks > 0 ? total_chunks - 1 : 0);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    pool.submit([st, run_chunks] { run_chunks(*st); });
   }
-  for (auto& f : futures) f.get();
-  if (first_error) std::rethrow_exception(first_error);
+  run_chunks(*st);
+  {
+    std::unique_lock lock(st->mutex);
+    st->done_cv.wait(lock, [&] { return st->done == st->n; });
+  }
+  if (st->error) std::rethrow_exception(st->error);
 }
 
 }  // namespace ssdk

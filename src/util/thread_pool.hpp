@@ -63,6 +63,11 @@ class ThreadPool {
 /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.
 /// Indices are chunked to limit task overhead. Exceptions from fn propagate
 /// (the first one encountered is rethrown).
+///
+/// Safe to call from inside a pool task (nested fan-out): the caller
+/// participates in the work and returns when every index has run, so
+/// progress never depends on a free worker. Pooled helpers that arrive
+/// after the range is drained are no-ops.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t chunk = 1);

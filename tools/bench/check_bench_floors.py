@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench-floor regression gate.
+
+Compares fresh BENCH_*.json results against the floors committed in the
+repo's reference copies. A committed JSON opts a field into enforcement
+by carrying a ``floor_<field>`` key; for every such key the same-named
+``<field>`` in the fresh JSON must respect the bound:
+
+  * fields ending in ``_s`` (but not ``_per_s``) are wall-clock
+    times                                        -> fresh <= floor
+  * everything else (rates like ``events_per_s``,
+    scores, counts)                              -> fresh >= floor
+
+Fields without a floor_* key are archived trajectory only, never gated.
+The fresh file's own floor_* keys are ignored (a regenerated bench cannot
+loosen its committed floor).
+
+Usage:
+  check_bench_floors.py COMMITTED FRESH [COMMITTED FRESH ...]
+
+Exit status: 0 all floors respected, 1 regression (or missing field),
+2 usage / unreadable input.
+"""
+
+import json
+import sys
+
+FLOOR_PREFIX = "floor_"
+
+
+def check_pair(committed_path, fresh_path):
+    """Returns a list of failure strings (empty = pass)."""
+    with open(committed_path, encoding="utf-8") as f:
+        committed = json.load(f)
+    with open(fresh_path, encoding="utf-8") as f:
+        fresh = json.load(f)
+
+    failures = []
+    floors = {
+        key[len(FLOOR_PREFIX):]: value
+        for key, value in committed.items()
+        if key.startswith(FLOOR_PREFIX)
+    }
+    if not floors:
+        print(f"  {committed_path}: no floor_* keys, nothing enforced")
+        return failures
+
+    for field, floor in sorted(floors.items()):
+        if field not in fresh:
+            failures.append(
+                f"{fresh_path}: field '{field}' missing (floor {floor})")
+            continue
+        value = fresh[field]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            failures.append(
+                f"{fresh_path}: field '{field}' is not numeric: {value!r}")
+            continue
+        # _s fields are durations (smaller is better) — except _per_s,
+        # which is a rate; rates and scores are bigger-is-better.
+        if field.endswith("_s") and not field.endswith("_per_s"):
+            ok = value <= floor
+            relation = "<="
+        else:
+            ok = value >= floor
+            relation = ">="
+        status = "ok" if ok else "REGRESSION"
+        print(f"  {field}: {value:g} {relation} floor {floor:g} ... {status}")
+        if not ok:
+            failures.append(
+                f"{fresh_path}: {field} = {value:g} violates floor "
+                f"{relation} {floor:g} (committed in {committed_path})")
+    return failures
+
+
+def main(argv):
+    args = argv[1:]
+    if not args or len(args) % 2 != 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = []
+    for committed, fresh in zip(args[0::2], args[1::2]):
+        print(f"checking {fresh} against floors in {committed}")
+        try:
+            failures.extend(check_pair(committed, fresh))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"check_bench_floors: cannot read inputs: {e}",
+                  file=sys.stderr)
+            return 2
+    if failures:
+        print(f"\ncheck_bench_floors: {len(failures)} failure(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\ncheck_bench_floors: all floors respected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

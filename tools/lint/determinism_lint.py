@@ -51,7 +51,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 
 # Directories whose code can affect the event schedule.
 DEFAULT_SCAN_DIRS = ["src/sim", "src/ssd", "src/ftl", "src/core",
-                     "src/snapshot", "src/fleet"]
+                     "src/snapshot", "src/fleet", "src/nn", "src/util"]
 
 SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
