@@ -1,0 +1,215 @@
+// Scheduler policy sweep on the adversarial writer-collocation mix
+// (DESIGN.md §17).
+//
+// Two tenants share every channel (Strategy{} — the collocation case the
+// paper's allocator exists to avoid): tenant 0 is a light, latency-
+// sensitive reader, tenant 1 a heavy sequential writer that saturates the
+// device whenever admission is open. With a finite admission window the
+// dispatch order is the scheduler's to choose, so the four policies
+// produce genuinely different schedules on identical inputs.
+//
+// For each policy the bench reports total latency, per-tenant slowdown
+// against the tenant's isolated baseline (same requests, whole device to
+// itself), Jain's fairness index over those slowdowns, and SLO misses
+// against the reader's latency target. Two properties are asserted, not
+// just recorded (non-zero exit on violation):
+//
+//   1. WFQ at 4:1 reader weight must improve Jain's index over FIFO.
+//   2. WFQ must improve the worst-tenant slowdown over FIFO.
+//
+// Usage: bench_scheduler [reader_requests=2000] [writer_requests=8000]
+//          [window=8] [reader_weight=4] [reader_slo_us=400]
+//          [json=BENCH_scheduler.json]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/runner.hpp"
+#include "core/strategy.hpp"
+#include "sched/scheduler.hpp"
+#include "trace/mixer.hpp"
+#include "trace/synthetic.hpp"
+
+using namespace ssdk;
+
+namespace {
+
+struct PolicyPoint {
+  sched::Policy policy;
+  double total_us = 0.0;
+  double jain = 0.0;
+  double worst_slowdown = 0.0;
+  double reader_slowdown = 0.0;
+  double writer_slowdown = 0.0;
+  std::uint64_t slo_violations = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto reader_requests = cfg.get_uint("reader_requests", 2'000);
+  const auto writer_requests = cfg.get_uint("writer_requests", 8'000);
+  const auto window =
+      static_cast<std::uint32_t>(cfg.get_uint("window", 8));
+  const auto reader_weight =
+      static_cast<std::uint32_t>(cfg.get_uint("reader_weight", 4));
+  const auto reader_slo_us = cfg.get_uint("reader_slo_us", 400);
+  const std::string json_path =
+      cfg.get_string("json", "BENCH_scheduler.json");
+
+  // The committed adversarial pair: same shape the label-objective test
+  // pins, scaled up so the backlog the window creates is long-lived.
+  trace::SyntheticSpec reader;
+  reader.name = "light_reader";
+  reader.write_fraction = 0.05;
+  reader.request_count = reader_requests;
+  reader.intensity_rps = 3'000.0;
+  reader.mean_request_pages = 2.0;
+  reader.address_space_pages = 4096;
+  reader.zipf_theta = 0.2;
+  reader.sequential_fraction = 0.3;
+  reader.seed = 11;
+
+  trace::SyntheticSpec writer;
+  writer.name = "heavy_writer";
+  writer.write_fraction = 0.95;
+  writer.request_count = writer_requests;
+  writer.intensity_rps = 12'000.0;
+  writer.mean_request_pages = 4.0;
+  writer.address_space_pages = 8192;
+  writer.zipf_theta = 0.2;
+  writer.sequential_fraction = 0.6;
+  writer.seed = 13;
+
+  const trace::Workload workloads[] = {trace::generate_synthetic(reader),
+                                       trace::generate_synthetic(writer)};
+  const auto requests = trace::mix_workloads(workloads);
+
+  const double total = static_cast<double>(requests.size());
+  const std::vector<core::TenantProfile> profiles = {
+      {.id = 0,
+       .read_dominated = true,
+       .relative_intensity = static_cast<double>(reader_requests) / total},
+      {.id = 1,
+       .read_dominated = false,
+       .relative_intensity = static_cast<double>(writer_requests) / total},
+  };
+  const core::Strategy collocated{};  // every channel shared: worst case
+
+  core::RunConfig config;
+  config.ssd.sched.max_outstanding_requests = window;
+  config.ssd.sched.shares.push_back({.tenant = 0,
+                                     .weight = reader_weight,
+                                     .slo_target_us = reader_slo_us});
+  config.ssd.sched.shares.push_back({.tenant = 1, .weight = 1});
+
+  std::printf("scheduler sweep: %zu requests (%llu reader / %llu writer), "
+              "window %u, reader weight %u, reader SLO %llu us\n",
+              requests.size(),
+              static_cast<unsigned long long>(reader_requests),
+              static_cast<unsigned long long>(writer_requests), window,
+              reader_weight,
+              static_cast<unsigned long long>(reader_slo_us));
+
+  // Isolated baselines are policy-independent (isolated_baselines strips
+  // the scheduler config): compute once, reuse for every policy's
+  // slowdowns.
+  const auto baselines =
+      core::isolated_baselines(requests, profiles, config);
+  if (baselines.size() != profiles.size()) {
+    std::fprintf(stderr, "FAIL: %zu of %zu isolated baselines usable\n",
+                 baselines.size(), profiles.size());
+    return EXIT_FAILURE;
+  }
+
+  const sched::Policy policies[] = {
+      sched::Policy::kFifo, sched::Policy::kWfq, sched::Policy::kDrr,
+      sched::Policy::kWeightedShare};
+  std::vector<PolicyPoint> points;
+  for (const sched::Policy policy : policies) {
+    config.ssd.sched.policy = policy;
+    core::RunResult run =
+        core::run_with_strategy(requests, collocated, profiles, config);
+    if (run.device_full) {
+      std::fprintf(stderr, "FAIL: %s run aborted: %s\n",
+                   sched::policy_name(policy), run.abort_reason.c_str());
+      return EXIT_FAILURE;
+    }
+    core::apply_fairness(run, baselines);
+    PolicyPoint p;
+    p.policy = policy;
+    p.total_us = run.total_us;
+    p.jain = run.jain_index;
+    p.worst_slowdown = run.worst_slowdown;
+    p.reader_slowdown = run.tenant_slowdown.count(0)
+                            ? run.tenant_slowdown.at(0)
+                            : 0.0;
+    p.writer_slowdown = run.tenant_slowdown.count(1)
+                            ? run.tenant_slowdown.at(1)
+                            : 0.0;
+    p.slo_violations = run.slo_violations;
+    std::printf("policy %-14s: total %9.1f us, jain %.4f, "
+                "worst slowdown %6.2fx (reader %6.2fx, writer %5.2fx), "
+                "%llu SLO misses\n",
+                sched::policy_name(policy), p.total_us, p.jain,
+                p.worst_slowdown, p.reader_slowdown, p.writer_slowdown,
+                static_cast<unsigned long long>(p.slo_violations));
+    points.push_back(p);
+  }
+
+  const PolicyPoint& fifo = points[0];
+  const PolicyPoint& wfq = points[1];
+  const double jain_gain = fifo.jain > 0.0 ? wfq.jain / fifo.jain : 0.0;
+  const double worst_ratio =
+      wfq.worst_slowdown > 0.0 ? fifo.worst_slowdown / wfq.worst_slowdown
+                               : 0.0;
+  std::printf("wfq/fifo jain gain: %.3fx, fifo/wfq worst-slowdown "
+              "ratio: %.3fx\n",
+              jain_gain, worst_ratio);
+
+  std::ofstream os = bench::open_bench_json(json_path, "scheduler", 1.0);
+  os << "  \"requests\": " << requests.size() << ",\n"
+     << "  \"window\": " << window << ",\n"
+     << "  \"reader_weight\": " << reader_weight << ",\n"
+     << "  \"reader_slo_us\": " << reader_slo_us << ",\n"
+     << "  \"policies\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const PolicyPoint& p = points[i];
+    os << "    {\"policy\": \"" << sched::policy_name(p.policy)
+       << "\", \"total_us\": " << p.total_us
+       << ", \"jain_index\": " << p.jain
+       << ", \"worst_slowdown\": " << p.worst_slowdown
+       << ", \"reader_slowdown\": " << p.reader_slowdown
+       << ", \"writer_slowdown\": " << p.writer_slowdown
+       << ", \"slo_violations\": " << p.slo_violations << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"fifo_jain_index\": " << fifo.jain << ",\n"
+     << "  \"wfq_jain_index\": " << wfq.jain << ",\n"
+     << "  \"fifo_worst_slowdown\": " << fifo.worst_slowdown << ",\n"
+     << "  \"wfq_worst_slowdown\": " << wfq.worst_slowdown << ",\n"
+     << "  \"jain_gain_wfq_over_fifo\": " << jain_gain << ",\n"
+     << "  \"worst_slowdown_ratio_fifo_over_wfq\": " << worst_ratio << "\n"
+     << "}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (jain_gain <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: wfq did not improve Jain's index over fifo "
+                 "(gain %.4f <= 1.0)\n",
+                 jain_gain);
+    return EXIT_FAILURE;
+  }
+  if (worst_ratio <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: wfq did not improve worst-tenant slowdown over "
+                 "fifo (ratio %.4f <= 1.0)\n",
+                 worst_ratio);
+    return EXIT_FAILURE;
+  }
+  return 0;
+}

@@ -83,6 +83,10 @@ int main(int argc, char** argv) {
       config, specs, *policy, static_cast<std::size_t>(threads));
 
   std::fputs(fleet::format_report(result).c_str(), stdout);
+  if (result.jain_index > 0.0) {
+    std::printf("\nfairness: jain %.4f, worst slowdown %.2fx\n",
+                result.jain_index, result.worst_slowdown);
+  }
   std::printf("\nfingerprint: %016llx\n",
               static_cast<unsigned long long>(result.fingerprint()));
 

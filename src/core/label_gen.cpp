@@ -21,6 +21,15 @@ std::uint64_t switch_index(std::size_t request_count, double fork_point) {
 
 }  // namespace
 
+const char* label_objective_name(LabelObjective objective) {
+  switch (objective) {
+    case LabelObjective::kTotalLatency: return "total_latency";
+    case LabelObjective::kFairness: return "fairness";
+    case LabelObjective::kSloViolations: return "slo_violations";
+  }
+  return "unknown";
+}
+
 LabeledSample label_workload(std::span<const sim::IoRequest> requests,
                              const StrategySpace& space,
                              const LabelGenConfig& config,
@@ -29,9 +38,18 @@ LabeledSample label_workload(std::span<const sim::IoRequest> requests,
   sample.features = features_of(requests, config.features);
   const auto profiles = sample.features.profiles(space.tenants());
   sample.strategy_total_us.assign(space.size(), 0.0);
+  sample.strategy_score.assign(space.size(), 0.0);
 
   const std::uint64_t switch_at =
       switch_index(requests.size(), config.fork_point);
+
+  // Fairness labels score each strategy by its worst tenant slowdown, so
+  // the per-tenant isolated baselines are computed once up front (they
+  // depend on the workload only, not on the candidate strategy).
+  std::map<sim::TenantId, double> baselines;
+  if (config.objective == LabelObjective::kFairness) {
+    baselines = isolated_baselines(requests, profiles, config.run);
+  }
 
   // Shared-prefix fork sweep: simulate [0, switch_at) once under the base
   // strategy, then fork the device per candidate. Each fork replays the
@@ -51,17 +69,67 @@ LabeledSample label_workload(std::span<const sim::IoRequest> requests,
     }
   }
 
-  // Drive one configured device to completion and score it. The score is
-  // total_us only, read from the metrics' running sums — the full
-  // RunResult summary (sample copies, percentile selection) is pure
-  // overhead here and this lambda runs once per (workload, strategy).
-  const auto run_and_score = [](ssd::Ssd& device) {
+  // Objective value of a finished (or gracefully aborted) run.
+  const auto score_of = [&](const RunResult& r) {
+    switch (config.objective) {
+      case LabelObjective::kTotalLatency:
+        return r.total_us;
+      case LabelObjective::kSloViolations:
+        return static_cast<double>(r.slo_violations);
+      case LabelObjective::kFairness:
+        break;
+    }
+    // Worst tenant slowdown; a run with no baselined tenants degenerates
+    // to total latency so the argmin stays well-defined.
+    double worst = 0.0;
+    bool any = false;
+    for (const auto& [id, t] : r.per_tenant) {
+      if (id == sim::kInternalTenant) continue;
+      const auto it = baselines.find(id);
+      if (it == baselines.end() || it->second <= 0.0) continue;
+      worst = std::max(worst, t.total_us() / it->second);
+      any = true;
+    }
+    return any ? worst : r.total_us;
+  };
+
+  struct Scored {
+    double total_us;
+    double score;
+  };
+  const auto scored = [&](const RunResult& r) {
+    return Scored{r.total_us, score_of(r)};
+  };
+
+  // Drive one configured device to completion and score it. Under the
+  // latency objective the score is total_us only, read from the metrics'
+  // running sums — the full RunResult summary (sample copies, percentile
+  // selection) is pure overhead there and this lambda runs once per
+  // (workload, strategy). The other objectives need the per-tenant
+  // breakdown, so they pay for the full summary.
+  const auto run_and_score = [&](ssd::Ssd& device) {
+    if (config.objective == LabelObjective::kTotalLatency) {
+      try {
+        device.run_to_completion();
+        const double us = summarize_total_us(device);
+        return Scored{us, us};
+      } catch (const ftl::DeviceFullError& e) {
+        const double us =
+            summarize_device_full(device, e, "label_gen").total_us;
+        return Scored{us, us};
+      }
+    }
     try {
       device.run_to_completion();
-      return summarize_total_us(device);
+      return scored(summarize(device));
     } catch (const ftl::DeviceFullError& e) {
-      return summarize_device_full(device, e, "label_gen").total_us;
+      return scored(summarize_device_full(device, e, "label_gen"));
     }
+  };
+
+  const auto record = [&](std::size_t i, Scored s) {
+    sample.strategy_total_us[i] = s.total_us;
+    sample.strategy_score[i] = s.score;
   };
 
   const auto evaluate = [&](std::size_t i) {
@@ -69,7 +137,7 @@ LabeledSample label_workload(std::span<const sim::IoRequest> requests,
       auto device = prefix->fork();
       configure_ssd(*device, space.at(i), profiles,
                     config.run.hybrid_page_allocation);
-      sample.strategy_total_us[i] = run_and_score(*device);
+      record(i, run_and_score(*device));
       return;
     }
     auto device = make_run_device(
@@ -79,14 +147,13 @@ LabeledSample label_workload(std::span<const sim::IoRequest> requests,
       try {
         device->run_until_arrival(switch_at);
       } catch (const ftl::DeviceFullError& e) {
-        sample.strategy_total_us[i] =
-            summarize_device_full(*device, e, "label_gen").total_us;
+        record(i, scored(summarize_device_full(*device, e, "label_gen")));
         return;
       }
       configure_ssd(*device, space.at(i), profiles,
                     config.run.hybrid_page_allocation);
     }
-    sample.strategy_total_us[i] = run_and_score(*device);
+    record(i, run_and_score(*device));
   };
 
   if (pool != nullptr) {
@@ -95,10 +162,19 @@ LabeledSample label_workload(std::span<const sim::IoRequest> requests,
     for (std::size_t i = 0; i < space.size(); ++i) evaluate(i);
   }
 
-  const auto best = std::min_element(sample.strategy_total_us.begin(),
-                                     sample.strategy_total_us.end());
-  sample.label = static_cast<std::uint32_t>(
-      std::distance(sample.strategy_total_us.begin(), best));
+  // Argmin over the objective; ties fall back to total latency, then to
+  // the lower index. Under kTotalLatency score == total_us, so this keeps
+  // the legacy first-min labels bit-for-bit.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < space.size(); ++i) {
+    const double s = sample.strategy_score[i];
+    const double b = sample.strategy_score[best];
+    if (s < b || (s == b && sample.strategy_total_us[i] <
+                                sample.strategy_total_us[best])) {
+      best = i;
+    }
+  }
+  sample.label = static_cast<std::uint32_t>(best);
   return sample;
 }
 

@@ -18,9 +18,27 @@
 
 namespace ssdk::core {
 
+/// What the label sweep minimizes when picking the argmin strategy.
+/// kTotalLatency is the paper's objective (avg read + avg write latency);
+/// the other two label for multi-tenant service quality instead:
+/// kFairness minimizes the worst tenant's slowdown vs running alone,
+/// kSloViolations minimizes the total SLO-target misses (requires
+/// slo_target_us entries in the run's scheduler config to be non-trivial).
+/// Ties fall back to total latency, then to the lower strategy index, so
+/// kTotalLatency reproduces the legacy first-min labels exactly.
+enum class LabelObjective : std::uint8_t {
+  kTotalLatency,
+  kFairness,
+  kSloViolations,
+};
+
+const char* label_objective_name(LabelObjective objective);
+
 struct LabelGenConfig {
   RunConfig run;
   FeatureConfig features;
+  /// Objective the argmin label minimizes (see LabelObjective).
+  LabelObjective objective = LabelObjective::kTotalLatency;
   /// Fraction of the request stream (by request index) simulated under
   /// `base_strategy` before each candidate strategy takes effect — the
   /// fork-at-decision methodology. 0 (default) keeps the legacy cold-start
@@ -41,6 +59,10 @@ struct LabeledSample {
   /// Overall latency (avg read + avg write, us) per strategy, aligned with
   /// the space — the raw material of Figures 2 and 6.
   std::vector<double> strategy_total_us;
+  /// Objective value per strategy (what the label minimized). Identical to
+  /// strategy_total_us under kTotalLatency; worst-tenant slowdown under
+  /// kFairness; total SLO violations under kSloViolations.
+  std::vector<double> strategy_score;
 };
 
 /// Evaluate every strategy on one workload. When `pool` is non-null the

@@ -46,14 +46,40 @@ void write_sweep_csv_file(const std::string& path, const SweepTable& table) {
 
 std::string format_run_markdown(const RunResult& result) {
   std::ostringstream os;
-  os << "| tenant | avg read (us) | avg write (us) | total (us) |\n"
-     << "|---|---|---|---|\n";
+  // Fairness / SLO columns appear only when the run produced them, so
+  // plain single-objective reports keep the paper's original table shape.
+  const bool fairness = !result.tenant_slowdown.empty();
+  const bool slo = result.slo_violations > 0;
+  os << "| tenant | avg read (us) | avg write (us) | total (us) |";
+  if (fairness) os << " slowdown |";
+  if (slo) os << " slo misses |";
+  os << "\n|---|---|---|---|";
+  if (fairness) os << "---|";
+  if (slo) os << "---|";
+  os << "\n";
   for (const auto& [tenant, metrics] : result.per_tenant) {
     os << "| " << tenant << " | " << metrics.avg_read_us() << " | "
-       << metrics.avg_write_us() << " | " << metrics.total_us() << " |\n";
+       << metrics.avg_write_us() << " | " << metrics.total_us() << " |";
+    if (fairness) {
+      const auto it = result.tenant_slowdown.find(tenant);
+      if (it != result.tenant_slowdown.end()) {
+        os << " " << it->second << " |";
+      } else {
+        os << " - |";
+      }
+    }
+    if (slo) os << " " << metrics.slo_violations << " |";
+    os << "\n";
   }
   os << "| **all** | " << result.avg_read_us << " | " << result.avg_write_us
-     << " | " << result.total_us << " |\n";
+     << " | " << result.total_us << " |";
+  if (fairness) os << " - |";
+  if (slo) os << " " << result.slo_violations << " |";
+  os << "\n";
+  if (fairness) {
+    os << "\nfairness: jain " << result.jain_index << ", worst slowdown "
+       << result.worst_slowdown << "\n";
+  }
   if (result.device_full) {
     os << "\n**aborted** (tenant " << result.device_full_tenant
        << "): " << result.abort_reason << "\n";

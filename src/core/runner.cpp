@@ -1,7 +1,9 @@
 #include "core/runner.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "sched/fairness.hpp"
 #include "util/check.hpp"
 #include "util/logger.hpp"
 
@@ -122,7 +124,52 @@ RunResult summarize(const ssd::Ssd& device) {
   }
   result.per_tenant = metrics.all_tenants();
   result.counters = metrics.counters();
+  for (const auto& [id, t] : result.per_tenant) {
+    result.slo_violations += t.slo_violations;
+  }
   return result;
+}
+
+std::map<sim::TenantId, double> isolated_baselines(
+    std::span<const sim::IoRequest> requests,
+    std::span<const TenantProfile> profiles, const RunConfig& config) {
+  std::map<sim::TenantId, double> baselines;
+  for (const TenantProfile& profile : profiles) {
+    std::vector<sim::IoRequest> own;
+    for (const sim::IoRequest& req : requests) {
+      if (req.tenant == profile.id) own.push_back(req);
+    }
+    if (own.empty()) continue;
+    RunConfig solo = config;
+    solo.tracer = nullptr;           // baseline is a score, not a trace
+    solo.ssd.sched = {};             // unshaped: FIFO, unlimited window
+    solo.reserve_requests = 0;
+    const TenantProfile alone[] = {profile};
+    // Strategy{} shares every channel, so the lone tenant sees the whole
+    // device — the denominator of the paper-style slowdown ratio.
+    const RunResult r = run_with_strategy(own, Strategy{}, alone, solo);
+    if (r.device_full || r.total_us <= 0.0) continue;
+    baselines.emplace(profile.id, r.total_us);
+  }
+  return baselines;
+}
+
+void apply_fairness(RunResult& result,
+                    const std::map<sim::TenantId, double>& baselines) {
+  result.tenant_slowdown.clear();
+  result.worst_slowdown = 0.0;
+  result.jain_index = 0.0;
+  std::vector<double> slowdowns;
+  for (const auto& [id, t] : result.per_tenant) {
+    if (id == sim::kInternalTenant) continue;
+    const auto it = baselines.find(id);
+    if (it == baselines.end() || it->second <= 0.0) continue;
+    const double slowdown = t.total_us() / it->second;
+    result.tenant_slowdown.emplace(id, slowdown);
+    result.worst_slowdown = std::max(result.worst_slowdown, slowdown);
+    slowdowns.push_back(slowdown);
+  }
+  result.jain_index = sched::jain_index(slowdowns);
 }
 
 }  // namespace ssdk::core

@@ -51,6 +51,17 @@ struct RunResult {
   double p99_write_us = 0.0;
   std::map<sim::TenantId, sim::TenantMetrics> per_tenant;
   sim::DeviceCounters counters;
+  /// Total SLO-target misses across tenants (nonzero only when the run's
+  /// scheduler config carries slo_target_us entries).
+  std::uint64_t slo_violations = 0;
+  /// Fairness block — populated by apply_fairness() from per-tenant
+  /// isolated baselines, zero/empty otherwise. Slowdown is this run's
+  /// tenant total_us over the tenant's total_us running alone on the
+  /// whole device; jain_index is Jain's fairness index over those
+  /// slowdowns (1 = perfectly fair).
+  std::map<sim::TenantId, double> tenant_slowdown;
+  double worst_slowdown = 0.0;
+  double jain_index = 0.0;
   /// Replay aborted because a write could not be placed anywhere in the
   /// offending tenant's channel set. The latencies above cover everything
   /// completed up to that point.
@@ -106,5 +117,22 @@ double summarize_total_us(const ssd::Ssd& device);
 RunResult summarize_device_full(ssd::Ssd& device,
                                 const ftl::DeviceFullError& error,
                                 std::string_view context);
+
+/// Per-tenant isolated baselines: replay each tenant's own requests alone
+/// on a fresh full-width device (Strategy{} = all channels shared, default
+/// scheduler) and return tenant -> total_us. Telemetry and scheduler
+/// shaping are stripped so the baseline measures the workload, not the
+/// policy under test. Tenants whose isolated run aborts or records no
+/// samples are omitted.
+std::map<sim::TenantId, double> isolated_baselines(
+    std::span<const sim::IoRequest> requests,
+    std::span<const TenantProfile> profiles, const RunConfig& config);
+
+/// Fill `result`'s fairness block (tenant_slowdown, worst_slowdown,
+/// jain_index) from per-tenant isolated baselines. Tenants absent from
+/// `baselines` or with a zero baseline are skipped; the internal (GC)
+/// tenant never participates.
+void apply_fairness(RunResult& result,
+                    const std::map<sim::TenantId, double>& baselines);
 
 }  // namespace ssdk::core

@@ -8,6 +8,7 @@
 
 #include "core/features.hpp"
 #include "ftl/ftl.hpp"
+#include "sched/fairness.hpp"
 
 namespace ssdk::fleet {
 
@@ -415,6 +416,8 @@ std::uint64_t FleetResult::fingerprint() const {
   f.mix(aggregate_p99_write_us);
   f.mix(aggregate_total_us);
   f.mix(mean_slowdown);
+  f.mix(jain_index);
+  f.mix(worst_slowdown);
   for (const auto& d : device_results) {
     f.mix(d.device);
     f.mix(d.faulty);
@@ -623,6 +626,7 @@ FleetResult run_fleet(const FleetConfig& config,
 
   double slowdown_sum = 0.0;
   std::uint32_t slowdown_n = 0;
+  std::vector<double> slowdowns;
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     const TenantState& ts = tenant_states[i];
     FleetTenantResult tr;
@@ -654,11 +658,14 @@ FleetResult run_fleet(const FleetConfig& config,
       tr.slowdown = tr.total_us / tr.isolated_total_us;
       slowdown_sum += tr.slowdown;
       ++slowdown_n;
+      slowdowns.push_back(tr.slowdown);
+      result.worst_slowdown = std::max(result.worst_slowdown, tr.slowdown);
     }
     result.tenant_results.push_back(std::move(tr));
   }
   if (slowdown_n > 0) {
     result.mean_slowdown = slowdown_sum / slowdown_n;
+    result.jain_index = sched::jain_index(slowdowns);
   }
   return result;
 }

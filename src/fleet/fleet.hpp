@@ -158,6 +158,11 @@ struct FleetResult {
   double aggregate_total_us = 0.0;
   /// Mean per-tenant slowdown vs. isolated (0 when baseline disabled).
   double mean_slowdown = 0.0;
+  /// Fairness over the per-tenant slowdowns: Jain index (1 = every tenant
+  /// pays the same consolidation penalty) and the single worst slowdown.
+  /// Both 0 when the isolated baseline is disabled.
+  double jain_index = 0.0;
+  double worst_slowdown = 0.0;
 
   /// FNV-1a over every numeric field (device, tenant and migration rows
   /// included). Two runs are treated as bit-identical iff their

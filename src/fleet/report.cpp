@@ -31,6 +31,8 @@ std::string format_report(const FleetResult& result) {
   if (result.mean_slowdown > 0.0) {
     os << "- mean slowdown vs isolated: " << fmt(result.mean_slowdown)
        << "x\n";
+    os << "- fairness: jain " << fmt(result.jain_index, 4)
+       << ", worst slowdown " << fmt(result.worst_slowdown) << "x\n";
   }
   os << "- migrations committed: " << result.migrations.size() << "\n\n";
 
@@ -125,7 +127,8 @@ void write_rollup_csv(std::ostream& os, const FleetResult& result) {
   CsvWriter csv(os);
   csv.write_row({"device", "epoch", "reads", "writes", "conflicts", "iops",
                  "read_p99_us", "write_p99_us", "mean_bus_util",
-                 "peak_bus_util", "heat_us"});
+                 "peak_bus_util", "heat_us", "tenant_share_jain",
+                 "sched_waits"});
   for (const auto& d : result.device_results) {
     for (std::size_t e = 0; e < d.epoch_summaries.size(); ++e) {
       const auto& s = d.epoch_summaries[e];
@@ -134,7 +137,8 @@ void write_rollup_csv(std::ostream& os, const FleetResult& result) {
                      std::to_string(s.conflicts), fmt(s.iops, 2),
                      fmt(s.read_p99_us, 4), fmt(s.write_p99_us, 4),
                      fmt(s.mean_bus_util, 4), fmt(s.peak_bus_util, 4),
-                     fmt(s.heat(), 4)});
+                     fmt(s.heat(), 4), fmt(s.tenant_share_jain, 4),
+                     std::to_string(s.sched_waits)});
     }
   }
 }

@@ -1,0 +1,17 @@
+#include "sched/fairness.hpp"
+
+namespace ssdk::sched {
+
+double jain_index(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace ssdk::sched

@@ -1,0 +1,15 @@
+// Fairness arithmetic shared by the runner, the fleet tier and the
+// benches: Jain's index over per-tenant allocations (slowdowns,
+// throughput shares, ...).
+#pragma once
+
+#include <span>
+
+namespace ssdk::sched {
+
+/// Jain's fairness index (Σx)² / (n · Σx²) over non-negative allocations.
+/// 1.0 = perfectly even, 1/n = one tenant takes everything. Returns 0 for
+/// an empty span or all-zero values.
+double jain_index(std::span<const double> values);
+
+}  // namespace ssdk::sched

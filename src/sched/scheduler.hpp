@@ -1,0 +1,151 @@
+// Pluggable multi-tenant admission scheduling (ROADMAP open item 2).
+//
+// The scheduler sits between the host request stream and channel dispatch:
+// every arrival is enqueued, and the device admits requests only when the
+// scheduler grants them. The default — FIFO with an unlimited admission
+// window — grants each request immediately at its arrival instant, so the
+// dispatch schedule (and therefore every golden trace) is bit-identical to
+// the historical direct-dispatch path. Fairness policies (WFQ, DRR,
+// weighted share) reorder admissions only when a finite
+// max_outstanding_requests window makes requests actually queue.
+//
+// Determinism: every policy is pure integer arithmetic over scheduler
+// state, tie-broken by enqueue sequence or tenant id — a given enqueue
+// history always yields the same grant sequence, on any thread count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/request.hpp"
+#include "snapshot/archive.hpp"
+
+namespace ssdk::sched {
+
+enum class Policy : std::uint8_t {
+  kFifo,           ///< arrival order (the schedule-neutral default)
+  kWfq,            ///< start-time fair queueing over weighted page service
+  kDrr,            ///< deficit round robin with weight-scaled quanta
+  kWeightedShare,  ///< least served-pages/weight first
+};
+
+const char* policy_name(Policy policy);
+/// Parse "fifo" | "wfq" | "drr" | "weighted_share" (bench/CLI spelling).
+/// Throws std::invalid_argument on anything else.
+Policy parse_policy(std::string_view name);
+
+/// Per-tenant scheduling contract: relative weight for the fair policies
+/// and an optional latency SLO the metrics layer counts violations
+/// against. Tenants without an entry default to weight 1, no SLO.
+struct TenantShare {
+  sim::TenantId tenant = 0;
+  std::uint32_t weight = 1;
+  /// Per-request latency target in microseconds (arrival to completion);
+  /// 0 = no target. Violations are counted per tenant in TenantMetrics.
+  std::uint64_t slo_target_us = 0;
+};
+
+struct SchedConfig {
+  Policy policy = Policy::kFifo;
+  /// Admission window: requests admitted to dispatch but not yet fully
+  /// completed. 0 = unlimited — every request is admitted the instant it
+  /// arrives, which keeps FIFO bit-identical to the pre-scheduler device.
+  /// A finite window is what lets the fair policies reorder admissions.
+  std::uint32_t max_outstanding_requests = 0;
+  /// DRR: pages of credit added per round-robin visit, scaled by the
+  /// tenant's weight.
+  std::uint32_t drr_quantum_pages = 8;
+  std::vector<TenantShare> shares;
+
+  std::uint32_t weight_of(sim::TenantId tenant) const;
+  std::uint64_t slo_target_us_of(sim::TenantId tenant) const;
+  /// True when this config provably cannot change the dispatch schedule
+  /// (FIFO + unlimited window): arrivals drain through the scheduler
+  /// synchronously in arrival order.
+  bool schedule_neutral() const {
+    return policy == Policy::kFifo && max_outstanding_requests == 0;
+  }
+  /// Throws std::invalid_argument on zero weights, zero DRR quantum, or
+  /// duplicate tenant entries.
+  void validate() const;
+};
+
+/// One admission decision handed back by pick().
+struct Grant {
+  std::uint64_t request_index = 0;  ///< index into the device request table
+  sim::TenantId tenant = 0;
+  SimTime enqueued_at = 0;          ///< when the request entered the queue
+  std::uint64_t decision_seq = 0;   ///< monotone pick counter (telemetry)
+};
+
+/// Admission-policy interface. The device enqueues every arrival, then
+/// drains pick() until it returns false (window closed or nothing
+/// pending); on_complete() reopens the window as requests finish.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual Policy policy() const = 0;
+  virtual void enqueue(std::uint64_t request_index, sim::TenantId tenant,
+                       std::uint32_t page_count, SimTime now) = 0;
+  /// Admit the next request under the policy; false when the admission
+  /// window is closed or no request is pending.
+  virtual bool pick(Grant& out) = 0;
+  /// One previously admitted request fully completed.
+  virtual void on_complete(sim::TenantId tenant) = 0;
+
+  /// Requests enqueued but not yet admitted.
+  virtual std::size_t pending() const = 0;
+  /// Requests admitted but not yet completed.
+  virtual std::uint64_t outstanding() const = 0;
+  /// Request indices currently held in the queues (audit/power-loss
+  /// introspection; policy iteration order, deterministic).
+  virtual std::vector<std::uint64_t> pending_requests() const = 0;
+  /// Total admissions granted so far (monotone; survives clear()).
+  virtual std::uint64_t decisions() const = 0;
+
+  /// Drop all queued work and outstanding accounting (power loss: queued
+  /// requests vanish like every other volatile structure).
+  virtual void clear() = 0;
+  virtual std::unique_ptr<Scheduler> clone() const = 0;
+
+  virtual void save_state(snapshot::StateWriter& w) const = 0;
+  virtual void load_state(snapshot::StateReader& r) = 0;
+  /// Structural self-audit; throws util::InvariantViolation.
+  virtual void check_invariants() const = 0;
+};
+
+std::unique_ptr<Scheduler> make_scheduler(const SchedConfig& config);
+
+/// Copyable owner of a Scheduler. Copying clones the policy state, which
+/// keeps Ssd's memberwise copy constructor (fork()) defaulted — a raw
+/// unique_ptr member would delete it.
+class SchedulerHandle {
+ public:
+  SchedulerHandle() = default;
+  explicit SchedulerHandle(std::unique_ptr<Scheduler> impl)
+      : impl_(std::move(impl)) {}
+  SchedulerHandle(const SchedulerHandle& other)
+      : impl_(other.impl_ ? other.impl_->clone() : nullptr) {}
+  SchedulerHandle& operator=(const SchedulerHandle& other) {
+    if (this != &other) impl_ = other.impl_ ? other.impl_->clone() : nullptr;
+    return *this;
+  }
+  SchedulerHandle(SchedulerHandle&&) noexcept = default;
+  SchedulerHandle& operator=(SchedulerHandle&&) noexcept = default;
+
+  Scheduler* operator->() { return impl_.get(); }
+  const Scheduler* operator->() const { return impl_.get(); }
+  Scheduler& operator*() { return *impl_; }
+  const Scheduler& operator*() const { return *impl_; }
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  std::unique_ptr<Scheduler> impl_;
+};
+
+}  // namespace ssdk::sched

@@ -40,6 +40,19 @@ void MetricsCollector::record(const Completion& c) {
   } else {
     t.write_latency_us.add(us);
   }
+  if (c.tenant != kInternalTenant && c.tenant < slo_target_us_.size()) {
+    const std::uint64_t target = slo_target_us_[c.tenant];
+    if (target != 0 && us > static_cast<double>(target)) ++t.slo_violations;
+  }
+}
+
+void MetricsCollector::set_slo_target_us(TenantId tenant, std::uint64_t us) {
+  if (tenant == kInternalTenant) return;  // GC traffic has no SLO
+  if (tenant >= slo_target_us_.size()) {
+    if (us == 0) return;
+    slo_target_us_.resize(tenant + 1, 0);
+  }
+  slo_target_us_[tenant] = us;
 }
 
 const TenantMetrics& MetricsCollector::tenant(TenantId id) const {
@@ -92,6 +105,7 @@ TenantMetrics MetricsCollector::aggregate() const {
     agg.program_retries += t.program_retries;
     agg.retry_wait_ns += t.retry_wait_ns;
     agg.acked_volatile_lost += t.acked_volatile_lost;
+    agg.slo_violations += t.slo_violations;
   };
   for (TenantId id = 0; id < dense_.size(); ++id) {
     if (present_[id]) merge(dense_[id]);
@@ -131,6 +145,7 @@ void save_tenant(snapshot::StateWriter& w, const TenantMetrics& t) {
   w.u64(t.program_retries);
   w.u64(t.retry_wait_ns);
   w.u64(t.acked_volatile_lost);
+  w.u64(t.slo_violations);
 }
 
 void load_tenant(snapshot::StateReader& r, TenantMetrics& t) {
@@ -141,6 +156,7 @@ void load_tenant(snapshot::StateReader& r, TenantMetrics& t) {
   t.program_retries = r.u64();
   t.retry_wait_ns = r.u64();
   t.acked_volatile_lost = r.u64();
+  t.slo_violations = r.u64();
 }
 
 void save_counters(snapshot::StateWriter& w, const DeviceCounters& c) {

@@ -30,6 +30,10 @@ struct TenantMetrics {
   /// Acked-volatile pages this tenant lost to power cuts: dirty write-buffer
   /// residents at the instant of a power_off() (zero without a power model).
   std::uint64_t acked_volatile_lost = 0;
+  /// Measured completions (post-warmup reads/writes) slower than the
+  /// tenant's latency SLO target — zero unless the run's scheduler config
+  /// carries a slo_target_us for this tenant.
+  std::uint64_t slo_violations = 0;
 
   double avg_read_us() const { return read_latency_us.mean(); }
   double avg_write_us() const { return write_latency_us.mean(); }
@@ -129,6 +133,13 @@ class MetricsCollector {
   void set_warmup_ns(SimTime t) { warmup_ns_ = t; }
   SimTime warmup_ns() const { return warmup_ns_; }
 
+  /// Latency SLO target for `tenant` (microseconds, arrival to
+  /// completion); measured completions slower than it bump the tenant's
+  /// slo_violations. 0 clears the target. Construction-time config like
+  /// the warmup window — NOT serialized; a restored device re-arms it
+  /// from its options.
+  void set_slo_target_us(TenantId tenant, std::uint64_t us);
+
   void count_conflict() { ++counters_.conflicts; }
   DeviceCounters& counters() { return counters_; }
   const DeviceCounters& counters() const { return counters_; }
@@ -177,6 +188,9 @@ class MetricsCollector {
   bool internal_present_ = false;
   DeviceCounters counters_;
   SimTime warmup_ns_ = 0;
+  /// Per-tenant SLO targets (us), dense by tenant id; 0 = no target.
+  /// Config, not device state: excluded from save_state/load_state.
+  std::vector<std::uint64_t> slo_target_us_;
 };
 
 }  // namespace ssdk::sim

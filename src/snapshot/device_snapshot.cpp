@@ -45,6 +45,18 @@ void save_options(StateWriter& w, const ssd::SsdOptions& o) {
   w.u32(o.faults.erase_fails_to_retire);
   w.u64(o.faults.max_pe_cycles);
   w.u64(o.faults.seed);
+  // Scheduler config. Must travel with the snapshot: load_device
+  // reconstructs the Ssd from these options, and the scheduler's own
+  // SCHD state section refuses to load under a different policy.
+  w.u8(static_cast<std::uint8_t>(o.sched.policy));
+  w.u32(o.sched.max_outstanding_requests);
+  w.u32(o.sched.drr_quantum_pages);
+  w.u64(o.sched.shares.size());
+  for (const auto& s : o.sched.shares) {
+    w.u32(s.tenant);
+    w.u32(s.weight);
+    w.u64(s.slo_target_us);
+  }
 }
 
 ssd::SsdOptions load_options(StateReader& r) {
@@ -83,6 +95,19 @@ ssd::SsdOptions load_options(StateReader& r) {
   o.faults.erase_fails_to_retire = r.u32();
   o.faults.max_pe_cycles = r.u64();
   o.faults.seed = r.u64();
+  o.sched.policy = static_cast<sched::Policy>(r.u8());
+  o.sched.max_outstanding_requests = r.u32();
+  o.sched.drr_quantum_pages = r.u32();
+  const std::uint64_t n_shares = r.checked_count(4 + 4 + 8);
+  o.sched.shares.clear();
+  o.sched.shares.reserve(n_shares);
+  for (std::uint64_t i = 0; i < n_shares; ++i) {
+    sched::TenantShare s;
+    s.tenant = r.u32();
+    s.weight = r.u32();
+    s.slo_target_us = r.u64();
+    o.sched.shares.push_back(s);
+  }
   return o;
 }
 

@@ -39,6 +39,15 @@ Ssd::Ssd(SsdOptions options)
       faults_on_(options_.faults.enabled()) {
   options_.faults.validate();
   options_.power.validate();
+  sched_ = sched::SchedulerHandle(sched::make_scheduler(options_.sched));
+  // SLO targets are construction-time config: they gate violation
+  // counting only, never the schedule, and survive fork/restore because
+  // both rebuild from the same options.
+  for (const auto& share : options_.sched.shares) {
+    if (share.slo_target_us > 0) {
+      metrics_.set_slo_target_us(share.tenant, share.slo_target_us);
+    }
+  }
   // OOB metadata must record from the first program; recovery cannot
   // reconstruct pages written before the store was armed.
   if (options_.power.enabled) ftl_.enable_oob();
@@ -193,6 +202,10 @@ void Ssd::run_until_arrival(std::uint64_t request_index) {
         "ssd: device is powered off; call power_on() before running");
   }
   const bool cut_armed = options_.power.cut_scheduled();
+  // A device forked (or restored) from a cut inside the arrival hook
+  // holds an enqueued-but-unadmitted request; admit it now, at the same
+  // simulated instant the source device did after its hook returned.
+  pump_scheduler();
   while (arrival_cursor_ < requests_.size() || !events_.empty()) {
     if (cut_armed && !cut_fired_ && maybe_fire_power_cut()) {
       // auto_recover resumed service already; otherwise the run stops
@@ -264,7 +277,49 @@ void Ssd::run_until_arrival(std::uint64_t request_index) {
 
 void Ssd::handle_arrival(std::uint64_t request_index) {
   RequestState& rs = requests_[request_index];
+  // Enqueue before the arrival hook: a fork() taken inside the hook (the
+  // keeper's what-if trials) must clone a scheduler that owns this
+  // request, or the clone would never service it. Admission still
+  // happens after the hook at the same instant, so a strategy switch
+  // made by the hook governs this request's placement either way.
+  sched_->enqueue(request_index, rs.req.tenant, rs.req.page_count, now_);
   if (arrival_hook_) arrival_hook_(rs.req);
+  pump_scheduler();
+}
+
+void Ssd::pump_scheduler() {
+  // Admissions can complete synchronously (trims, empty flushes), and
+  // every completion pumps — the guard collapses those nested pumps into
+  // the outer drain loop.
+  if (sched_pumping_) return;
+  sched_pumping_ = true;
+  // RAII reset: a DeviceFullError unwinding out of admit_request must not
+  // leave the guard stuck (the runner summarizes the partial run).
+  struct Reset {
+    bool& flag;
+    ~Reset() { flag = false; }
+  } reset{sched_pumping_};
+  sched::Grant grant;
+  while (sched_->pick(grant)) {
+    if (tracer_ && now_ > grant.enqueued_at) {
+      // Admission wait span. Zero-length waits are skipped (like
+      // kQueueWait), which keeps the schedule-neutral FIFO default's
+      // traces byte-identical to the pre-scheduler refs.
+      telemetry::TraceEvent e;
+      e.begin = grant.enqueued_at;
+      e.end = now_;
+      e.kind = telemetry::SpanKind::kSchedWait;
+      e.tenant = grant.tenant;
+      e.request_id = requests_[grant.request_index].req.id;
+      e.detail = grant.decision_seq;
+      tracer_->record(e);
+    }
+    admit_request(grant.request_index);
+  }
+}
+
+void Ssd::admit_request(std::uint64_t request_index) {
+  RequestState& rs = requests_[request_index];
   if (rs.req.type == sim::OpType::kFlush) {
     // Whole-request durability barrier, not a per-page op.
     handle_flush(request_index);
@@ -304,6 +359,8 @@ void Ssd::handle_arrival(std::uint64_t request_index) {
           tracer_->record(e);
         }
         if (completion_hook_) completion_hook_(c);
+        sched_->on_complete(rs.req.tenant);
+        pump_scheduler();
       }
     } else if (rs.req.type == sim::OpType::kRead) {
       if (buffer_holds(rs.req.tenant, lpn)) {
@@ -1093,6 +1150,11 @@ void Ssd::complete_request_page(std::uint64_t request_index, bool failed) {
       tracer_->record(e);
     }
     if (completion_hook_) completion_hook_(c);
+    // The finished request leaves the admission window; grant whatever
+    // the policy lines up next (no-op while this completion happened
+    // inside an admission — the outer pump continues the drain).
+    sched_->on_complete(rs.req.tenant);
+    pump_scheduler();
   }
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ftl/ftl.hpp"
+#include "sched/scheduler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/geometry.hpp"
@@ -88,6 +89,13 @@ struct SsdOptions {
   /// device. Enabled: every program also records per-page OOB metadata so
   /// a power_off()/power_on() cycle can rebuild the FTL from flash alone.
   sim::PowerModel power;
+  /// Multi-tenant admission scheduling. The default (FIFO, unlimited
+  /// window) admits every request the instant it arrives — provably
+  /// schedule-neutral, so golden traces stay bit-identical. Fair policies
+  /// with a finite max_outstanding_requests window reorder admissions by
+  /// tenant weight; per-tenant SLO targets feed TenantMetrics violation
+  /// counts.
+  sched::SchedConfig sched;
 };
 
 /// What a power cut destroyed, returned by Ssd::power_off() so tests can
@@ -161,6 +169,9 @@ class Ssd {
   SimTime now() const { return now_; }
   sim::MetricsCollector& metrics() { return metrics_; }
   const sim::MetricsCollector& metrics() const { return metrics_; }
+
+  /// The admission scheduler configured at construction (options().sched).
+  const sched::Scheduler& scheduler() const { return *sched_; }
 
   // --- power loss + recovery (ssd_power.cpp) -------------------------------
 
@@ -420,6 +431,15 @@ class Ssd {
   /// copied version from the pending op instead of the (unwritten) src OOB.
   void record_resolved_migration_oob(const PageOp& op);
 
+  // Admission scheduling (the path every arrival takes).
+  /// Drain the scheduler: admit granted requests until the window closes
+  /// or nothing is pending. Re-entrant calls (a synchronous completion
+  /// inside an admission) are absorbed by the outer pump.
+  void pump_scheduler();
+  /// Dispatch one granted request's page ops (the pre-scheduler
+  /// handle_arrival body).
+  void admit_request(std::uint64_t request_index);
+
   // Event handlers.
   void handle_arrival(std::uint64_t request_index);
   void handle_flash_done(std::uint64_t unit, std::uint64_t op_id);
@@ -592,6 +612,11 @@ class Ssd {
   bool powered_off_ = false;
   bool cut_fired_ = false;  ///< the scheduled cut fires at most once
   std::vector<std::uint64_t> media_lost_keys_;
+
+  // Admission scheduler (serialized in the SCHD section; the handle's
+  // copy constructor clones, so fork()'s memberwise copy stays defaulted).
+  sched::SchedulerHandle sched_;
+  bool sched_pumping_ = false;  ///< re-entrancy guard for pump_scheduler
 
   sim::MetricsCollector metrics_;
   ArrivalHook arrival_hook_;

@@ -288,6 +288,57 @@ void Ssd::check_invariants() const {
                        " not registered at its plane " +
                        std::to_string(job.plane_id));
   }
+
+  // --- admission scheduler <-> request table -------------------------------
+  sched_->check_invariants();
+  std::vector<std::uint64_t> held = sched_->pending_requests();
+  SSDK_CHECK_MSG(held.size() == sched_->pending(),
+                 "ssd: scheduler pending count " +
+                     std::to_string(sched_->pending()) +
+                     " != enumerated held requests " +
+                     std::to_string(held.size()));
+  for (const std::uint64_t idx : held) {
+    SSDK_CHECK_MSG(idx < arrival_cursor_,
+                   "ssd: scheduler holds request " + std::to_string(idx) +
+                       " that never arrived (cursor " +
+                       std::to_string(arrival_cursor_) + ")");
+    const RequestState& rs = requests_[idx];
+    // A held request must be virgin: no page dispatched, nothing failed,
+    // nothing absorbed by the write buffer.
+    SSDK_CHECK_MSG(rs.remaining == rs.req.page_count && rs.failed == 0 &&
+                       rs.volatile_pages == 0,
+                   "ssd: scheduler holds request " + std::to_string(idx) +
+                       " that already started executing");
+  }
+  std::sort(held.begin(), held.end());
+  for (std::size_t id = 0; id < ops_.size(); ++id) {
+    const PageOp& op = ops_[id];
+    if (!op.in_use || op.request == kNoRequest) continue;
+    SSDK_CHECK_MSG(
+        !std::binary_search(held.begin(), held.end(), op.request),
+        "ssd: " + op_str(id) + " in flight for request " +
+            std::to_string(op.request) + " the scheduler still holds");
+  }
+  // Admission accounting: every arrived-but-incomplete request is either
+  // held (pending) or admitted (outstanding). Power cuts orphan admitted
+  // requests without a completion, so the equality only holds on devices
+  // that never cut power.
+  if (metrics_.counters().power_cycles == 0 && !cut_fired_) {
+    std::uint64_t incomplete = 0;
+    for (std::uint64_t i = 0; i < arrival_cursor_; ++i) {
+      if (requests_[i].remaining > 0) ++incomplete;
+    }
+    SSDK_CHECK_MSG(incomplete == sched_->outstanding() + held.size(),
+                   "ssd: " + std::to_string(incomplete) +
+                       " incomplete arrived requests != scheduler "
+                       "outstanding " +
+                       std::to_string(sched_->outstanding()) + " + held " +
+                       std::to_string(held.size()));
+  }
+  if (powered_off_) {
+    SSDK_CHECK_MSG(sched_->pending() == 0 && sched_->outstanding() == 0,
+                   "ssd: powered-off device still holds scheduler state");
+  }
 }
 
 }  // namespace ssdk::ssd

@@ -139,6 +139,10 @@ PowerLossReport Ssd::power_off() {
   buffer_.clear();
   buffer_fifo_.clear();
   flush_barriers_.clear();
+  // Requests still held by the admission scheduler vanish with the rest
+  // of the volatile state (they are counted in interrupted_requests above
+  // — arrived, never completed — like every admitted-but-unfinished one).
+  sched_->clear();
   powered_off_ = true;
   return report;
 }

@@ -176,6 +176,9 @@ void Ssd::save_state(snapshot::StateWriter& w) const {
   }
   w.vec_u64(media_lost_keys_);
 
+  // Admission scheduler (writes its own SCHD tag + policy byte).
+  sched_->save_state(w);
+
   w.tag("DONE");
 }
 
@@ -325,6 +328,8 @@ void Ssd::load_state(snapshot::StateReader& r) {
     fb.remaining = r.u32();
   }
   media_lost_keys_ = r.vec_u64();
+
+  sched_->load_state(r);
 
   r.tag("DONE");
 

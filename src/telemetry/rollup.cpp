@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "sched/fairness.hpp"
 #include "util/csv.hpp"
 #include "util/stats.hpp"
 
@@ -18,6 +19,8 @@ struct Cell {
   std::uint64_t conflicts = 0;
   Duration wait_ns = 0;
   std::uint64_t volatile_lost = 0;
+  std::uint64_t sched_waits = 0;
+  Duration sched_wait_ns = 0;
 };
 }  // namespace
 
@@ -67,6 +70,12 @@ std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
         c.volatile_lost += e.detail;
         break;
       }
+      case SpanKind::kSchedWait: {
+        Cell& c = cells[{e.end / w, e.tenant}];
+        ++c.sched_waits;
+        c.sched_wait_ns += e.duration();
+        break;
+      }
       default:
         break;
     }
@@ -95,6 +104,8 @@ std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
     r.conflicts = c.conflicts;
     r.wait_ns = c.wait_ns;
     r.volatile_lost = c.volatile_lost;
+    r.sched_waits = c.sched_waits;
+    r.sched_wait_ns = c.sched_wait_ns;
     const auto it = bus_busy.find(key.first);
     if (it != bus_busy.end()) {
       r.bus_util = static_cast<double>(it->second) / denom;
@@ -115,6 +126,10 @@ RollupSummary summarize_rollup(std::span<const RollupRow> rows) {
   double weighted_write_p99 = 0.0;
   double weighted_bus = 0.0;
   std::uint64_t bus_weight = 0;
+  // Per-tenant completed-request counts for the throughput-share Jain
+  // index; std::map for deterministic order (value order is irrelevant to
+  // Jain, but determinism everywhere is cheaper than reasoning about it).
+  std::map<sim::TenantId, std::uint64_t> tenant_requests;
   for (const auto& r : rows) {
     if (!any_window || r.window_start != last_window) {
       ++windows;
@@ -129,9 +144,20 @@ RollupSummary summarize_rollup(std::span<const RollupRow> rows) {
     weighted_bus += r.bus_util * static_cast<double>(r.reads + r.writes);
     bus_weight += r.reads + r.writes;
     s.peak_bus_util = std::max(s.peak_bus_util, r.bus_util);
+    s.sched_waits += r.sched_waits;
+    s.sched_wait_ns += r.sched_wait_ns;
+    if (r.reads + r.writes > 0) {
+      tenant_requests[r.tenant] += r.reads + r.writes;
+    }
     const double window_iops = r.iops;
     s.iops += window_iops;  // summed per row; normalized below
   }
+  std::vector<double> shares;
+  shares.reserve(tenant_requests.size());
+  for (const auto& [tenant, count] : tenant_requests) {
+    shares.push_back(static_cast<double>(count));
+  }
+  s.tenant_share_jain = sched::jain_index(shares);
   if (s.reads > 0) weighted_read_p99 /= static_cast<double>(s.reads);
   if (s.writes > 0) weighted_write_p99 /= static_cast<double>(s.writes);
   s.read_p99_us = weighted_read_p99;
@@ -151,7 +177,8 @@ void write_rollup_csv(std::ostream& os, std::span<const RollupRow> rows) {
   writer.write_row({"window_start_us", "tenant", "reads", "writes",
                     "read_mean_us", "read_p99_us", "write_mean_us",
                     "write_p99_us", "iops", "conflicts", "wait_us",
-                    "bus_util", "volatile_lost"});
+                    "bus_util", "volatile_lost", "sched_waits",
+                    "sched_wait_us"});
   for (const auto& r : rows) {
     writer.write_row({std::to_string(to_us(r.window_start)),
                       std::to_string(r.tenant), std::to_string(r.reads),
@@ -163,7 +190,9 @@ void write_rollup_csv(std::ostream& os, std::span<const RollupRow> rows) {
                       std::to_string(r.iops), std::to_string(r.conflicts),
                       std::to_string(to_us(r.wait_ns)),
                       std::to_string(r.bus_util),
-                      std::to_string(r.volatile_lost)});
+                      std::to_string(r.volatile_lost),
+                      std::to_string(r.sched_waits),
+                      std::to_string(to_us(r.sched_wait_ns))});
   }
 }
 

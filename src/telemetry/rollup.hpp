@@ -46,6 +46,11 @@ struct RollupRow {
   /// Acked-volatile pages this tenant lost to power cuts in this window
   /// (kVolatileLoss point events, bucketed by cut time).
   std::uint64_t volatile_lost = 0;
+  /// Requests of this tenant that waited for a scheduler admission grant
+  /// (kSchedWait spans, bucketed by grant time) and their summed wait.
+  /// Zero unless the device ran with a finite admission window.
+  std::uint64_t sched_waits = 0;
+  Duration sched_wait_ns = 0;
 };
 
 std::vector<RollupRow> build_rollup(std::span<const TraceEvent> events,
@@ -71,6 +76,14 @@ struct RollupSummary {
   /// the single worst window.
   double mean_bus_util = 0.0;
   double peak_bus_util = 0.0;
+  /// Scheduler admission waits summed over the trace (zero without a
+  /// finite admission window).
+  std::uint64_t sched_waits = 0;
+  Duration sched_wait_ns = 0;
+  /// Jain fairness index over per-tenant completed-request counts: 1 when
+  /// every host tenant got an equal share of the device's throughput, 1/n
+  /// when one tenant monopolized it. 0 on an idle trace.
+  double tenant_share_jain = 0.0;
 
   /// Scalar heat score the fleet tier ranks devices by: the summed
   /// weighted read/write p99 (us). Zero on an idle device.

@@ -23,6 +23,9 @@
 //   kPowerLoss    point: sudden power cut (detail = torn pages)
 //   kVolatileLoss point: per-tenant acked-volatile pages lost at a cut
 //                 (detail = page count)
+//   kSchedWait    admission wait: arrival -> scheduler grant (recorded
+//                 only when > 0, i.e. a finite admission window made the
+//                 request queue; detail = grant decision seq)
 #pragma once
 
 #include <cstdint>
@@ -49,6 +52,7 @@ enum class SpanKind : std::uint8_t {
   kRecovery,
   kPowerLoss,
   kVolatileLoss,
+  kSchedWait,
 };
 
 /// Traffic class of the op a span belongs to (mirrors the device's op

@@ -20,6 +20,7 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kRecovery: return "recovery";
     case SpanKind::kPowerLoss: return "power_loss";
     case SpanKind::kVolatileLoss: return "volatile_loss";
+    case SpanKind::kSchedWait: return "sched_wait";
   }
   return "unknown";
 }

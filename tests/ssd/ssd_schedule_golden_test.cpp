@@ -48,6 +48,35 @@ TEST_P(GoldenScheduleTest, BitIdenticalToPreOptimizationTrace) {
       << reference.events.size() << ")";
 }
 
+// The scheduler subsystem's neutrality claim, checked against the same
+// committed references: an *explicit* FIFO config with an unlimited
+// admission window — even with per-tenant weights and SLO targets
+// attached — must leave every recorded span untouched. Weights only
+// matter to the fair policies and SLO targets only feed the metrics
+// layer, so the dispatch schedule cannot move.
+TEST_P(GoldenScheduleTest, ExplicitFifoSchedConfigIsScheduleNeutral) {
+  testing::GoldenRecipe recipe = GetParam();
+  recipe.config.ssd.sched.policy = sched::Policy::kFifo;
+  recipe.config.ssd.sched.max_outstanding_requests = 0;
+  recipe.config.ssd.sched.shares.push_back(
+      {.tenant = 0, .weight = 4, .slo_target_us = 100});
+  recipe.config.ssd.sched.shares.push_back({.tenant = 1, .weight = 1});
+  ASSERT_TRUE(recipe.config.ssd.sched.schedule_neutral());
+
+  const auto reference =
+      telemetry::read_binary_trace_file(reference_path(recipe.name));
+  telemetry::Tracer tracer;
+  const core::RunResult run = testing::replay_golden(recipe, tracer);
+  EXPECT_FALSE(run.device_full) << recipe.name << ": " << run.abort_reason;
+  ASSERT_EQ(tracer.dropped(), 0u) << recipe.name;
+
+  const std::size_t divergence =
+      telemetry::first_divergence(tracer.events(), reference.events);
+  ASSERT_EQ(divergence, telemetry::kNoDivergence)
+      << recipe.name << ": explicit FIFO scheduler config changed the "
+      << "schedule at event " << divergence;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllRecipes, GoldenScheduleTest,
     ::testing::ValuesIn(testing::all_golden_recipes()),

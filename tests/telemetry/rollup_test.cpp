@@ -170,15 +170,17 @@ TEST(RollupCsv, HeaderAndRowsParseBack) {
   std::istringstream is(os.str());
   std::string line;
   std::getline(is, line);
-  EXPECT_EQ(split_csv_line(line).size(), 13u);
+  EXPECT_EQ(split_csv_line(line).size(), 15u);
   EXPECT_EQ(line.substr(0, 15), "window_start_us");
   std::getline(is, line);
   const auto fields = split_csv_line(line);
-  ASSERT_EQ(fields.size(), 13u);
+  ASSERT_EQ(fields.size(), 15u);
   EXPECT_EQ(parse_u64(fields[1]), 3u);          // tenant
   EXPECT_EQ(parse_u64(fields[3]), 1u);          // writes
   EXPECT_DOUBLE_EQ(parse_double(fields[6]), 50.0);  // write_mean_us
   EXPECT_EQ(parse_u64(fields[12]), 0u);         // volatile_lost
+  EXPECT_EQ(parse_u64(fields[13]), 0u);         // sched_waits
+  EXPECT_DOUBLE_EQ(parse_double(fields[14]), 0.0);  // sched_wait_us
 }
 
 TEST(Rollup, VolatileLossBucketsByCutTimeAndTenant) {

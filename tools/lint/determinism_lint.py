@@ -50,8 +50,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 # Directories whose code can affect the event schedule.
-DEFAULT_SCAN_DIRS = ["src/sim", "src/ssd", "src/ftl", "src/core",
-                     "src/snapshot", "src/fleet", "src/nn", "src/util"]
+DEFAULT_SCAN_DIRS = ["src/sim", "src/ssd", "src/sched", "src/ftl",
+                     "src/core", "src/snapshot", "src/fleet", "src/nn",
+                     "src/util"]
 
 SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
