@@ -26,7 +26,8 @@ std::uint32_t ChannelAllocator::predict_index(
   nn::Matrix x(1, kFeatureDim);
   for (std::size_t c = 0; c < kFeatureDim; ++c) x(0, c) = row[c];
   const nn::Matrix scaled = scaler_.transform(x);
-  return model_.predict(scaled).front();
+  nn::InferenceScratch scratch;
+  return model_.predict(scaled, scratch).front();
 }
 
 Strategy ChannelAllocator::predict(const MixFeatures& features) const {
@@ -38,7 +39,8 @@ std::vector<std::uint32_t> ChannelAllocator::predict_top_k(
   const auto row = features.to_vector();
   nn::Matrix x(1, kFeatureDim);
   for (std::size_t c = 0; c < kFeatureDim; ++c) x(0, c) = row[c];
-  const nn::Matrix proba = model_.predict_proba(scaler_.transform(x));
+  nn::InferenceScratch scratch;
+  const nn::Matrix proba = model_.predict_proba(scaler_.transform(x), scratch);
 
   std::vector<std::uint32_t> order(proba.cols());
   for (std::size_t i = 0; i < order.size(); ++i) {

@@ -51,7 +51,15 @@ class ChannelAllocator {
   static ChannelAllocator load(const std::string& path, StrategySpace space);
 
  private:
-  mutable nn::Mlp model_;  // forward() caches activations internally
+  // Immutable after construction. The predict paths run the model through
+  // the const, caller-scratch inference overloads with per-call scratch,
+  // so one allocator can safely serve concurrent keepers (a fleet shares
+  // a single const allocator across devices running on worker threads;
+  // ThreadSanitizer caught the previous `mutable` shared-scratch design
+  // racing there). Predictions are one 1-row pass per collect window, so
+  // per-call scratch costs nothing that matters; the allocation-free
+  // member-scratch path remains for big-batch single-owner callers.
+  nn::Mlp model_;
   nn::StandardScaler scaler_;
   StrategySpace space_;
 };

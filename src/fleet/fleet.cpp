@@ -24,7 +24,11 @@ constexpr std::uint32_t kBulkRequestPages = 16;
 
 /// Mutable per-device state owned by run_fleet. Epoch workers touch only
 /// their own entry; the serial consolidation step at epoch boundaries is
-/// the only cross-device reader/writer.
+/// the only cross-device reader/writer. The parallel_for barrier between
+/// the two phases is the sole synchronization — owner-partitioned state,
+/// no mutexes, so thread-safety annotations (SSDK_GUARDED_BY) do not
+/// apply here; the 1/4/16-worker fingerprint tests and the TSan preset
+/// are what police this discipline.
 struct DeviceState {
   std::unique_ptr<ssd::Ssd> device;
   std::unique_ptr<telemetry::Tracer> tracer;

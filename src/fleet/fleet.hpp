@@ -68,6 +68,10 @@ struct FleetConfig {
   ssd::SsdOptions ssd;
   /// Per-device online keeper. Null = no keeper: tenants keep the FTL
   /// default policy (all channels, Shared) and only the fleet tier acts.
+  /// One allocator is shared by every device's keeper, including devices
+  /// running concurrently on different epoch workers — safe because the
+  /// allocator is immutable after construction and its predict paths use
+  /// per-call inference scratch.
   const core::ChannelAllocator* allocator = nullptr;
   core::KeeperConfig keeper;
   MigrationConfig migration;

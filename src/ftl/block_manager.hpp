@@ -232,6 +232,7 @@ class BlockManager {
   /// Pop the least-erased free block of a plane and open it.
   bool open_new_block(std::uint64_t plane_id);
 
+  // ssdk-snap: skip(geom_): fixed at construction; a loaded device is built from the OPTS geometry before load_state runs
   sim::Geometry geom_;
 
   struct BlockInfo {
@@ -268,12 +269,14 @@ class BlockManager {
   std::vector<BlockInfo> blocks_;     // indexed by global block id
   std::vector<PlaneInfo> planes_;     // indexed by plane id
   std::uint64_t retired_ = 0;         // device-wide retired-block count
+  // ssdk-snap: skip(total_pages_): derived from geometry at construction, never mutated
   std::uint64_t total_pages_ = 0;
   // Page validity, one bit per PPN. A page's packed owner
   // (tenant<<40 | lpn) lives in owner_[ppn] *only while its bit is set*;
   // owner_ is allocated uninitialized and entries for invalid pages are
   // never read or copied (see the copy-constructor note above).
   std::vector<std::uint64_t> valid_bits_;
+  // ssdk-snap: skip(owner_): rebuilt entry-by-entry via set_owner_raw while the validity bitmap loads; invalid entries are deliberately uninitialized
   std::unique_ptr<std::uint64_t[]> owner_;
 };
 

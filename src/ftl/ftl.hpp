@@ -226,6 +226,7 @@ class Ftl {
     std::vector<std::uint32_t> channels;
     AllocMode mode = AllocMode::kStatic;
     std::uint64_t rr_counter = 0;  // dynamic-placement plane rotation
+    // ssdk-snap: skip(plan): cache rebuilt from `channels` (make_static_plan) whenever they change, including on load
     StaticPlan plan;  // strides for `channels`; rebuilt whenever it changes
   };
 
@@ -249,14 +250,19 @@ class Ftl {
     return static_cast<std::uint32_t>(plane_id / geom_.planes_per_channel());
   }
 
+  // ssdk-snap: skip(geom_): fixed at construction; a loaded device is built from the OPTS geometry before load_state runs
   sim::Geometry geom_;
+  // ssdk-snap: skip(config_): construction-time configuration, reconstructed from OPTS on load
   FtlConfig config_;
   MappingTable map_;
   BlockManager blocks_;
   OobStore oob_;
+  // ssdk-snap: skip(all_channels_): derived channel list [0, channels) computed from geometry at construction
   std::vector<std::uint32_t> all_channels_;
   mutable std::vector<TenantPolicy> policies_;
+  // ssdk-snap: skip(tracer_): non-owning observer, explicitly not captured (see save_state doc comment)
   telemetry::Tracer* tracer_ = nullptr;
+  // ssdk-snap: skip(trace_now_): non-owning pointer to the owner's clock, rewired by the owner after load
   const SimTime* trace_now_ = nullptr;
 };
 

@@ -96,6 +96,7 @@ class OobStore {
   void load_state(snapshot::StateReader& r, const sim::Geometry& geometry);
 
  private:
+  // ssdk-snap: skip(enabled_): construction-time switch (PowerModel.enabled); a loaded device re-arms it from its options
   bool enabled_ = false;
   std::uint64_t next_seq_ = 1;  // 0 is never a valid recorded seq
   std::vector<std::uint64_t> owner_;    // kNoOwner unless kData

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/activations.hpp"
 #include "nn/loss.hpp"
@@ -38,9 +39,10 @@ const Matrix& Mlp::forward(const Matrix& input) {
   return *x;
 }
 
-const Matrix& Mlp::forward_inference(const Matrix& input) {
+const Matrix& Mlp::forward_inference(const Matrix& input,
+                                     InferenceScratch& scratch) const {
   const Matrix* x = &input;
-  Matrix* bufs[2] = {&infer_a_, &infer_b_};
+  Matrix* bufs[2] = {&scratch.a, &scratch.b};
   std::size_t which = 0;
   for (const auto& layer : layers_) {
     Matrix& out = *bufs[which];
@@ -49,6 +51,10 @@ const Matrix& Mlp::forward_inference(const Matrix& input) {
     which ^= 1;
   }
   return *x;
+}
+
+const Matrix& Mlp::forward_inference(const Matrix& input) {
+  return forward_inference(input, infer_scratch_);
 }
 
 void Mlp::backward(const Matrix& dlogits) {
@@ -72,8 +78,9 @@ double Mlp::train_loss_and_grad(const Matrix& input,
   return loss;
 }
 
-std::vector<std::uint32_t> Mlp::predict(const Matrix& input) {
-  const Matrix& logits = forward_inference(input);
+std::vector<std::uint32_t> Mlp::predict(const Matrix& input,
+                                        InferenceScratch& scratch) const {
+  const Matrix& logits = forward_inference(input, scratch);
   std::vector<std::uint32_t> out(logits.rows());
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     std::size_t best = 0;
@@ -85,11 +92,20 @@ std::vector<std::uint32_t> Mlp::predict(const Matrix& input) {
   return out;
 }
 
-Matrix Mlp::predict_proba(const Matrix& input) {
-  const Matrix& logits = forward_inference(input);
+std::vector<std::uint32_t> Mlp::predict(const Matrix& input) {
+  return std::as_const(*this).predict(input, infer_scratch_);
+}
+
+Matrix Mlp::predict_proba(const Matrix& input,
+                          InferenceScratch& scratch) const {
+  const Matrix& logits = forward_inference(input, scratch);
   Matrix probs;
   softmax_rows(logits, probs);
   return probs;
+}
+
+Matrix Mlp::predict_proba(const Matrix& input) {
+  return std::as_const(*this).predict_proba(input, infer_scratch_);
 }
 
 std::size_t Mlp::parameter_count() const {

@@ -15,6 +15,17 @@
 
 namespace ssdk::nn {
 
+/// Caller-owned ping-pong buffers for the inference-only forward pass.
+/// Owning the scratch is what makes concurrent inference on one shared
+/// (const) model safe: the model's weights are read-only during
+/// forward_inference, so threads race only if they share scratch. Give
+/// each thread (or each owner-partitioned caller, e.g. a per-device
+/// keeper) its own InferenceScratch and the model needs no locking.
+struct InferenceScratch {
+  Matrix a;
+  Matrix b;
+};
+
 class Mlp {
  public:
   /// `layer_sizes` = {in, hidden..., out}; hidden layers use `hidden_act`,
@@ -36,11 +47,17 @@ class Mlp {
   /// caches for a subsequent backward() — the training path.
   const Matrix& forward(const Matrix& input);
 
-  /// Inference-only forward to raw logits: ping-pongs between two
-  /// internal scratch matrices, touching no layer caches and allocating
-  /// nothing after the first call at a given batch size. Logits are
-  /// bit-identical to forward() (same kernels, same order), and any batch
-  /// partitioning yields the same rows because rows are independent.
+  /// Inference-only forward to raw logits: ping-pongs between the two
+  /// scratch matrices, touching no layer caches and allocating nothing
+  /// after the first call at a given batch size. Logits are bit-identical
+  /// to forward() (same kernels, same order), and any batch partitioning
+  /// yields the same rows because rows are independent. The const
+  /// overload writes only into `scratch`, so one model may serve
+  /// concurrent callers as long as each brings its own scratch.
+  const Matrix& forward_inference(const Matrix& input,
+                                  InferenceScratch& scratch) const;
+  /// Convenience overload using the Mlp's internal scratch — single-owner
+  /// use only (training/eval loops); not safe on a shared model.
   const Matrix& forward_inference(const Matrix& input);
 
   /// Backprop of the fused-softmax gradient (d loss / d logits).
@@ -53,9 +70,12 @@ class Mlp {
                              const std::vector<std::uint32_t>& labels);
 
   /// Argmax class per row.
+  std::vector<std::uint32_t> predict(const Matrix& input,
+                                     InferenceScratch& scratch) const;
   std::vector<std::uint32_t> predict(const Matrix& input);
 
   /// Class probabilities (softmax of logits).
+  Matrix predict_proba(const Matrix& input, InferenceScratch& scratch) const;
   Matrix predict_proba(const Matrix& input);
 
   /// Total parameters; the paper's storage-overhead estimate is 16 bytes
@@ -68,9 +88,8 @@ class Mlp {
 
  private:
   std::vector<DenseLayer> layers_;
-  Matrix logits_grad_;  // scratch
-  Matrix infer_a_;      // forward_inference ping-pong scratch
-  Matrix infer_b_;
+  Matrix logits_grad_;             // training scratch
+  InferenceScratch infer_scratch_; // convenience-overload inference scratch
 };
 
 }  // namespace ssdk::nn

@@ -126,6 +126,7 @@ class SchedulerBase : public Scheduler {
     next_seq_ = r.u64();
   }
 
+  // ssdk-snap: skip(config_): construction-time configuration; travels with the snapshot in the OPTS section, not in SCHD
   SchedConfig config_;
   std::uint64_t outstanding_ = 0;
   std::uint64_t decision_seq_ = 0;
@@ -476,8 +477,10 @@ class FairScheduler final : public SchedulerBase {
     return tenants_.end();  // unreachable while pending_ > 0
   }
 
+  // ssdk-snap: skip(policy_): fixed at construction; the SCHD section stores a policy tag and refuses to load under a different one
   Policy policy_;
   TenantMap tenants_;
+  // ssdk-snap: skip(pending_): derived count of queued requests, recomputed while the per-tenant queues load
   std::size_t pending_ = 0;
   std::uint64_t vtime_ = 0;        ///< WFQ virtual clock
   sim::TenantId rr_cursor_ = 0;    ///< DRR: next tenant id to visit

@@ -145,6 +145,7 @@ class SchedulerHandle {
   explicit operator bool() const { return impl_ != nullptr; }
 
  private:
+  // ssdk-snap: skip(impl_): polymorphic owner handle; the concrete scheduler serializes itself through virtual save_state/load_state
   std::unique_ptr<Scheduler> impl_;
 };
 

@@ -353,17 +353,31 @@ class EventQueue {
     for (const Event& e : events) insert(e);
   }
 
+  // Snapshot note: save_state writes the canonical (time, seq)-sorted
+  // event list plus next_seq_; every layout member below is rebuilt by
+  // load_state's insert() calls, so the wire format stays independent of
+  // the calendar's bucketing.
+  // ssdk-snap: skip(buckets_): layout rebuilt by insert() on load; wire format is the canonical event list
   std::array<std::vector<Event>, kBuckets> buckets_;
+  // ssdk-snap: skip(overflow_): layout rebuilt by insert() on load
   std::vector<Event> overflow_;  ///< events at slots >= base_slot_ + kBuckets
+  // ssdk-snap: skip(overflow_min_): cache rebuilt by insert() on load
   Event overflow_min_;           ///< earliest parked event (valid iff any)
+  // ssdk-snap: skip(occ_): occupancy bitmap rebuilt by insert() on load
   std::uint64_t occ_ = 0;        ///< bit i set iff buckets_[i] is non-empty
+  // ssdk-snap: skip(base_slot_): window base re-established by the first insert() on load
   std::uint64_t base_slot_ = 0;  ///< lowest slot the window admits
+  // ssdk-snap: skip(size_): recomputed by insert() on load; equals the serialized event count
   std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
   // Cached minimum (valid iff size_ > 0); always resident in a bucket.
+  // ssdk-snap: skip(min_time_): cached minimum rebuilt by insert() on load
   SimTime min_time_ = 0;
+  // ssdk-snap: skip(min_seq_): cached minimum rebuilt by insert() on load
   std::uint64_t min_seq_ = 0;
+  // ssdk-snap: skip(min_bucket_): cached minimum position rebuilt by insert() on load
   std::uint32_t min_bucket_ = 0;
+  // ssdk-snap: skip(min_pos_): cached minimum position rebuilt by insert() on load
   std::uint32_t min_pos_ = 0;
 };
 

@@ -190,6 +190,7 @@ class MetricsCollector {
   SimTime warmup_ns_ = 0;
   /// Per-tenant SLO targets (us), dense by tenant id; 0 = no target.
   /// Config, not device state: excluded from save_state/load_state.
+  // ssdk-snap: skip(slo_target_us_): configuration (OPTS sched.shares carries the targets), reapplied by the owner after load
   std::vector<std::uint64_t> slo_target_us_;
 };
 

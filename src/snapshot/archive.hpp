@@ -27,6 +27,7 @@ namespace ssdk::snapshot {
 /// truncated payload, checksum mismatch, or a section tag out of place.
 /// `offset` is the byte position in the payload (or file) where decoding
 /// failed.
+// ssdk-snap: ignore-type(SnapshotError): exception type thrown by serializers, not snapshotted state
 class SnapshotError : public std::runtime_error {
  public:
   SnapshotError(std::string message, std::uint64_t offset)
@@ -226,7 +227,9 @@ class StateReader {
 
 inline constexpr char kSnapshotMagic[8] = {'S', 'S', 'D', 'K',
                                            'S', 'N', 'P', '1'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// Version 2: OPTS carries the power model; campaign samples carry
+// per-strategy objective scores.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 enum class PayloadKind : std::uint32_t {
   kDevice = 1,    ///< full SSD device state

@@ -9,6 +9,13 @@ namespace ssdk::snapshot {
 
 namespace {
 
+// The two config serializers below exist only to feed campaign_fingerprint:
+// their bytes are hashed so a checkpoint refuses to resume under a different
+// generation config. The configs themselves always come from the caller and
+// are never reloaded, so no load_* counterpart exists by design.
+// ssdk-snap: ignore-type(LabelGenConfig): write-only fingerprint record, never deserialized
+// ssdk-snap: ignore-type(DatasetGenConfig): write-only fingerprint record, never deserialized
+
 void save_label_config(StateWriter& w, const core::LabelGenConfig& c) {
   save_options(w, c.run.ssd);
   w.boolean(c.run.hybrid_page_allocation);
@@ -51,6 +58,7 @@ void save_sample(StateWriter& w, const core::LabeledSample& s) {
   for (const double p : s.features.proportion) w.f64(p);
   w.u32(s.label);
   w.vec_f64(s.strategy_total_us);
+  w.vec_f64(s.strategy_score);
 }
 
 core::LabeledSample load_sample(StateReader& r) {
@@ -60,6 +68,7 @@ core::LabeledSample load_sample(StateReader& r) {
   for (double& p : s.features.proportion) p = r.f64();
   s.label = r.u32();
   s.strategy_total_us = r.vec_f64();
+  s.strategy_score = r.vec_f64();
   return s;
 }
 

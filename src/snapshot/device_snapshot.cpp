@@ -45,6 +45,13 @@ void save_options(StateWriter& w, const ssd::SsdOptions& o) {
   w.u32(o.faults.erase_fails_to_retire);
   w.u64(o.faults.max_pe_cycles);
   w.u64(o.faults.seed);
+  // Power model. A resumed run must keep its scheduled cut and recovery
+  // behaviour: a crash campaign restarted from a checkpoint would
+  // otherwise silently drop its pending power-loss injection.
+  w.boolean(o.power.enabled);
+  w.u64(o.power.cut_at_time);
+  w.u64(o.power.cut_at_arrival);
+  w.boolean(o.power.auto_recover);
   // Scheduler config. Must travel with the snapshot: load_device
   // reconstructs the Ssd from these options, and the scheduler's own
   // SCHD state section refuses to load under a different policy.
@@ -95,6 +102,10 @@ ssd::SsdOptions load_options(StateReader& r) {
   o.faults.erase_fails_to_retire = r.u32();
   o.faults.max_pe_cycles = r.u64();
   o.faults.seed = r.u64();
+  o.power.enabled = r.boolean();
+  o.power.cut_at_time = r.u64();
+  o.power.cut_at_arrival = r.u64();
+  o.power.auto_recover = r.boolean();
   o.sched.policy = static_cast<sched::Policy>(r.u8());
   o.sched.max_outstanding_requests = r.u32();
   o.sched.drr_quantum_pages = r.u32();

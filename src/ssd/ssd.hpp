@@ -563,10 +563,14 @@ class Ssd {
     const Ssd* ssd;
   };
 
+  // ssdk-snap: skip(options_): saved as the OPTS section via options(); load_device reconstructs the Ssd from load_options before load_state runs
   SsdOptions options_;
+  // ssdk-snap: skip(units_per_channel_): cached from the options' conflict granularity at construction
   std::uint64_t units_per_channel_ = 1;  ///< cached from the granularity
+  // ssdk-snap: skip(unit_shift_): derived log2 cache of units_per_channel_, computed at construction
   int unit_shift_ = -1;  ///< log2(units_per_channel_) when pow2, else -1
   ftl::Ftl ftl_;
+  // ssdk-snap: skip(load_view_): self-referential adapter constructed in place; holds no state beyond the back-pointer
   LoadViewImpl load_view_{this};
   sim::EventQueue events_;
   SimTime now_ = 0;
@@ -579,6 +583,7 @@ class Ssd {
   /// UnitState line per unit — and selects exactly the unit the
   /// (busy, front_write_seq) pair would. Maintained at every busy-flag and
   /// write-queue transition; audited against both in check_invariants.
+  // ssdk-snap: skip(grant_seq_): derived arbitration cache, recomputed from the unit states on load and audited by check_invariants
   std::vector<std::uint64_t> grant_seq_;
   std::vector<Duration> channel_busy_ns_;
   std::vector<Duration> unit_busy_ns_;
@@ -593,6 +598,7 @@ class Ssd {
 
   std::vector<GcJob> gc_jobs_;
   std::vector<std::uint32_t> gc_job_of_plane_;  // kNoJob when idle
+  // ssdk-snap: skip(gc_scratch_): scratch buffer with no meaning between events; snapshots are taken at event boundaries
   std::vector<sim::Ppn> gc_scratch_;  ///< survivor list, reused per round
 
   // Write buffer: dirty (tenant, lpn) keys with FIFO eviction order.
@@ -616,24 +622,33 @@ class Ssd {
   // Admission scheduler (serialized in the SCHD section; the handle's
   // copy constructor clones, so fork()'s memberwise copy stays defaulted).
   sched::SchedulerHandle sched_;
+  // ssdk-snap: skip(sched_pumping_): re-entrancy guard, always false at the event boundaries where snapshots are taken
   bool sched_pumping_ = false;  ///< re-entrancy guard for pump_scheduler
 
   sim::MetricsCollector metrics_;
+  // ssdk-snap: skip(arrival_hook_): observer callback, runtime wiring reinstalled by the owner after load
   ArrivalHook arrival_hook_;
+  // ssdk-snap: skip(completion_hook_): observer callback, runtime wiring reinstalled by the owner after load
   CompletionHook completion_hook_;
+  // ssdk-snap: skip(power_hook_): observer callback, runtime wiring reinstalled by the owner after load
   PowerHook power_hook_;
+  // ssdk-snap: skip(tracer_): non-owning observer, rewired by the owner; null = telemetry off
   telemetry::Tracer* tracer_ = nullptr;  ///< null = telemetry off
 
+  // ssdk-snap: skip(page_xfer_ns_): derived from timing.xfer_ns_per_byte and the page size at construction
   Duration page_xfer_ns_ = 0;
 
   // Fault injection: one seeded per-device stream, consumed in event
   // order, so a fixed (workload, seed) reproduces the fault sequence.
   Rng fault_rng_;
+  // ssdk-snap: skip(faults_on_): derived at construction from whether any fault-model rate is non-zero
   bool faults_on_ = false;
 
   // Periodic self-audit cadence (runtime config, like the hooks: not
   // serialized, copied by fork's memberwise copy).
+  // ssdk-snap: skip(audit_interval_): runtime debug config, reapplied by the owner after load
   std::uint64_t audit_interval_ = 0;
+  // ssdk-snap: skip(arrivals_since_audit_): debug-audit phase counter; restarting the cadence after load is harmless
   std::uint64_t arrivals_since_audit_ = 0;
 };
 

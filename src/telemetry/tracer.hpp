@@ -68,6 +68,12 @@ class Tracer {
   void clear();
 
  private:
+  // Concurrency: a Tracer is owner-partitioned, not mutex-protected —
+  // each device (and each fleet worker's devices) writes to its own
+  // tracer, and readers consume it only after the owning run returns.
+  // Thread-safety annotations (SSDK_GUARDED_BY) would assert a locking
+  // discipline this type neither has nor needs; do not share one tracer
+  // across concurrently-running devices.
   TelemetryConfig config_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  ///< next write slot (overwrite mode)

@@ -1,0 +1,62 @@
+// Clang thread-safety analysis annotations, no-ops everywhere else.
+//
+// The macros wrap Clang's capability attributes
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so that
+// mutex-protected structures can declare, in the type system, which lock
+// guards which field and which functions expect a lock to be held. Clang
+// builds compile with -Wthread-safety (see the ssdkeeper_warnings target),
+// turning a forgotten lock into a build error; GCC expands every macro to
+// nothing and sees the same code it always did.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the analysis
+// cannot see through it. util/mutex.hpp provides the annotated
+// Mutex/MutexLock/CondVar wrappers these macros are designed for.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define SSDK_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SSDK_THREAD_ANNOTATION
+#define SSDK_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" names it in diagnostics).
+#define SSDK_CAPABILITY(name) SSDK_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SSDK_SCOPED_CAPABILITY SSDK_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member may only be touched while `mu` is held.
+#define SSDK_GUARDED_BY(mu) SSDK_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Declares that the pointed-to data is guarded by `mu` (the pointer
+/// itself is not).
+#define SSDK_PT_GUARDED_BY(mu) SSDK_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+/// Declares that callers must hold the given capabilities on entry.
+#define SSDK_REQUIRES(...) \
+  SSDK_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that the function acquires the given capabilities.
+#define SSDK_ACQUIRE(...) \
+  SSDK_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Declares that the function releases the given capabilities.
+#define SSDK_RELEASE(...) \
+  SSDK_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Declares a try-lock: acquires the capability iff the return value
+/// equals `result`.
+#define SSDK_TRY_ACQUIRE(...) \
+  SSDK_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that callers must NOT hold the given capabilities (guards
+/// against self-deadlock on non-recursive mutexes).
+#define SSDK_EXCLUDES(...) SSDK_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define SSDK_NO_THREAD_SAFETY_ANALYSIS \
+  SSDK_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -2,13 +2,18 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace ssdk {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+// Serializes whole lines onto std::cerr. The stream itself cannot carry a
+// GUARDED_BY (it is external), so the capability discipline is: the only
+// writes to std::cerr in this library happen in log_message below, under
+// this mutex.
+util::Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,7 +31,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard lock(g_mutex);
+  util::MutexLock lock(g_mutex);
   std::cerr << "[" << level_name(level) << "] " << msg << '\n';
 }
 

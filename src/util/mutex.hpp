@@ -1,0 +1,79 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// Thin shims over std::mutex and std::condition_variable that carry the
+// Clang thread-safety capability attributes (util/annotations.hpp), so
+// `SSDK_GUARDED_BY(mutex_)` declarations are actually enforced on Clang
+// builds. Two deliberate departures from the std API follow from how the
+// analysis works:
+//
+//  - CondVar::wait takes the Mutex directly (not a unique_lock) and is
+//    annotated SSDK_REQUIRES(m): the caller keeps an ordinary MutexLock in
+//    scope and the analysis can see the lock is held across the wait.
+//  - There is no predicate overload. A `wait(lock, pred)` lambda body is
+//    invisible to the analysis (it cannot prove the lambda runs under the
+//    lock), so waits are written as explicit while-loops at the call site,
+//    where every guarded read is checked.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace ssdk::util {
+
+/// std::mutex with capability attributes. Non-recursive.
+class SSDK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SSDK_ACQUIRE() { m_.lock(); }
+  void unlock() SSDK_RELEASE() { m_.unlock(); }
+  bool try_lock() SSDK_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII scoped lock over Mutex (the std::lock_guard equivalent).
+class SSDK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) SSDK_ACQUIRE(m) : mutex_(m) { mutex_.lock(); }
+  ~MutexLock() SSDK_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex at each wait call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `m`, sleep, and re-acquire `m` before returning.
+  /// Spurious wakeups happen; callers loop on their predicate.
+  void wait(Mutex& m) SSDK_REQUIRES(m) {
+    // Adopt the already-held mutex for the duration of the wait, then
+    // release the unique_lock's ownership claim so the caller's MutexLock
+    // remains the one true owner. The lock is held at both edges, so the
+    // capability bookkeeping in the caller stays accurate.
+    std::unique_lock<std::mutex> native(m.m_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ssdk::util

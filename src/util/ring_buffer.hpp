@@ -78,8 +78,14 @@ class RingBuffer {
     head_ = 0;
   }
 
+  // Snapshot note: rings are serialized element-wise in logical order via
+  // the public API; capacity and head position are storage details a
+  // restored ring is free to choose differently.
+  // ssdk-snap: skip(data_): serialized element-wise in logical order through the public API
   std::vector<T> data_;  ///< capacity; always empty or a power of two
+  // ssdk-snap: skip(head_): storage-layout detail; a restored ring re-packs from index 0
   std::size_t head_ = 0;
+  // ssdk-snap: skip(count_): implied by the serialized element count
   std::size_t count_ = 0;
 };
 

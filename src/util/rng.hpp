@@ -67,6 +67,7 @@ class Rng {
   void set_state(const std::array<std::uint64_t, 4>& s);
 
  private:
+  // ssdk-snap: skip(s_): owners capture the stream via state()/set_state(); the raw array is never serialized directly
   std::array<std::uint64_t, 4> s_{};
 };
 

@@ -83,10 +83,17 @@ class SampleSet {
   void restore(std::vector<double> samples);
 
  private:
+  // Snapshot note: owners serialize via samples() and restore(); restore()
+  // rebuilds every running aggregate from the sample list.
+  // ssdk-snap: skip(samples_): serialized through samples()/restore() by owners
   std::vector<double> samples_;
+  // ssdk-snap: skip(sum_): running aggregate rebuilt by restore()
   double sum_ = 0.0;
+  // ssdk-snap: skip(min_): running aggregate rebuilt by restore()
   double min_ = 0.0;
+  // ssdk-snap: skip(max_): running aggregate rebuilt by restore()
   double max_ = 0.0;
+  // ssdk-snap: skip(scratch_): percentile scratch buffer, not state
   mutable std::vector<double> scratch_;  ///< percentile selection buffer
 };
 

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace ssdk {
 
@@ -18,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -29,8 +33,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -38,7 +42,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       --active_;
       if (tasks_.empty() && active_ == 0) idle_cv_.notify_all();
     }
@@ -46,8 +50,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+  util::MutexLock lock(mutex_);
+  while (!tasks_.empty() || active_ != 0) idle_cv_.wait(mutex_);
 }
 
 void parallel_for(ThreadPool& pool, std::size_t n,
@@ -68,10 +72,10 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     std::size_t n = 0;
     std::size_t chunk = 1;
     std::atomic<std::size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::size_t done = 0;  // guarded by mutex
-    std::exception_ptr error;
+    util::Mutex mutex;
+    util::CondVar done_cv;
+    std::size_t done SSDK_GUARDED_BY(mutex) = 0;
+    std::exception_ptr error SSDK_GUARDED_BY(mutex);
   };
   auto st = std::make_shared<State>();
   st->fn = fn;
@@ -91,7 +95,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
           err = std::current_exception();
         }
       }
-      std::lock_guard lock(s.mutex);
+      util::MutexLock lock(s.mutex);
       if (err && !s.error) s.error = err;
       // A chunk that threw still counts every index as settled; other
       // chunks keep running (matching the old semantics: first exception
@@ -108,11 +112,13 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     pool.submit([st, run_chunks] { run_chunks(*st); });
   }
   run_chunks(*st);
+  std::exception_ptr error;
   {
-    std::unique_lock lock(st->mutex);
-    st->done_cv.wait(lock, [&] { return st->done == st->n; });
+    util::MutexLock lock(st->mutex);
+    while (st->done != st->n) st->done_cv.wait(st->mutex);
+    error = st->error;
   }
-  if (st->error) std::rethrow_exception(st->error);
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace ssdk

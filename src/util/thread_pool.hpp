@@ -4,16 +4,21 @@
 // (workload, strategy) pair) and by the dataset-generation benches. The pool
 // is deliberately simple: a single mutex-protected FIFO is ample because
 // every task here is coarse (milliseconds to seconds of simulation).
+//
+// All shared state is declared SSDK_GUARDED_BY its mutex (util/mutex.hpp),
+// so Clang's -Wthread-safety proves at compile time that no path touches
+// the queue or the counters without the lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace ssdk {
 
@@ -38,7 +43,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> result = task->get_future();
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       tasks_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -52,12 +57,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  util::Mutex mutex_;
+  util::CondVar cv_;       ///< signalled on task enqueue and shutdown
+  util::CondVar idle_cv_;  ///< signalled when the pool drains fully
+  std::queue<std::function<void()>> tasks_ SSDK_GUARDED_BY(mutex_);
+  std::size_t active_ SSDK_GUARDED_BY(mutex_) = 0;
+  bool stop_ SSDK_GUARDED_BY(mutex_) = false;
 };
 
 /// Run fn(i) for i in [0, n) across the pool; blocks until all complete.

@@ -41,6 +41,9 @@ void expect_same_samples(std::span<const core::LabeledSample> a,
     EXPECT_EQ(a[i].label, b[i].label) << "workload " << i;
     EXPECT_EQ(a[i].strategy_total_us, b[i].strategy_total_us)
         << "workload " << i;
+    // Regression: strategy_score was once dropped by save_sample, so
+    // resumed campaigns lost the objective values behind their labels.
+    EXPECT_EQ(a[i].strategy_score, b[i].strategy_score) << "workload " << i;
     EXPECT_EQ(a[i].features.intensity_level, b[i].features.intensity_level);
   }
 }

@@ -162,6 +162,31 @@ INSTANTIATE_TEST_SUITE_P(
       return param.param.name;
     });
 
+// Regression: the OPTS section used to drop the power model entirely, so
+// a crash campaign resumed from a checkpoint silently lost its scheduled
+// power cut (found by tools/lint/snapshot_coverage_lint.py).
+TEST(DeviceSnapshot, PowerModelSurvivesRoundTrip) {
+  auto recipe = testing::golden_mix1_default();
+  recipe.config.ssd.power.enabled = true;
+  // One scheduled cut only — the model rejects arming both kinds. The cut
+  // sits past the checkpoint point, so it is still pending in the bytes.
+  recipe.config.ssd.power.cut_at_arrival = recipe.requests.size() - 1;
+  recipe.config.ssd.power.auto_recover = true;
+
+  const auto features = core::features_of(recipe.requests);
+  const auto profiles = features.profiles(recipe.tenants);
+  auto device = core::make_run_device(recipe.requests, core::Strategy{},
+                                      profiles, recipe.config);
+  device->run_until_arrival(recipe.requests.size() / 2);
+
+  auto restored = snapshot::load_device(snapshot::save_device(*device));
+  const auto& power = restored->options().power;
+  EXPECT_TRUE(power.enabled);
+  EXPECT_EQ(power.cut_at_time, 0u);
+  EXPECT_EQ(power.cut_at_arrival, recipe.requests.size() - 1);
+  EXPECT_TRUE(power.auto_recover);
+}
+
 TEST(DeviceSnapshotFile, RoundTripAndCorruptionDetection) {
   const auto recipe = testing::golden_mix1_default();
   const auto features = core::features_of(recipe.requests);

@@ -96,8 +96,13 @@ TEST(ParallelMap, MergesByIndexNotCompletionOrder) {
   // Make early indices the slowest so completion order is roughly the
   // reverse of index order; the merged result must not care.
   const auto results = parallel_map(pool, std::size_t{64}, [](std::size_t i) {
-    volatile std::uint64_t spin = (64 - i) * 5000;
-    while (spin > 0) spin = spin - 1;
+    // std::atomic, not volatile: the point is only to defeat the
+    // optimizer's loop elision, and relaxed atomic ops do that without
+    // pretending volatile has threading semantics.
+    std::atomic<std::uint64_t> spin{(64 - i) * 5000};
+    while (spin.load(std::memory_order_relaxed) > 0) {
+      spin.fetch_sub(1, std::memory_order_relaxed);
+    }
     return i * i;
   });
   ASSERT_EQ(results.size(), 64u);

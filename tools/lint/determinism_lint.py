@@ -35,7 +35,11 @@ above it,
     // ssdk-lint: allow(<rule>): <justification>
 
 The justification is mandatory; an allow() without one is itself a
-finding. Scope is that single line.
+finding. Scope is that single line. A suppression must also stay *live*:
+an allow() whose rule no longer fires on the statement it governs is
+reported as `stale-allow` — suppressions that outlive the code they
+excused are deleted, not hoarded (they would silently excuse the next
+real finding on that line).
 
 Exit status: 0 = clean, 1 = findings, 2 = usage/self-test harness error.
 """
@@ -57,7 +61,7 @@ DEFAULT_SCAN_DIRS = ["src/sim", "src/ssd", "src/sched", "src/ftl",
 SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
 RULES = ("wall-clock", "unseeded-rng", "unordered-iter", "pointer-order",
-         "float-time")
+         "float-time", "stale-allow")
 
 ALLOW_RE = re.compile(
     r"//\s*ssdk-lint:\s*allow\(([a-z-]+)\)(?::\s*(.*\S))?\s*$")
@@ -186,22 +190,23 @@ def statement_start(lines: list[str], idx: int) -> int:
     return j
 
 
-def line_suppressions(lines: list[str], idx: int) -> list[tuple[str, bool]]:
+def line_suppressions(lines: list[str],
+                      idx: int) -> list[tuple[str, bool, int]]:
     """allow() directives governing line `idx` (0-based): on any line of
     the statement it belongs to, or on the contiguous run of pure comment
     lines directly above that statement. Returns (rule,
-    has_justification) pairs."""
+    has_justification, directive_line_idx) triples."""
     found = []
     start = statement_start(lines, idx)
     for k in range(start, idx + 1):
         m = ALLOW_RE.search(lines[k])
         if m:
-            found.append((m.group(1), bool(m.group(2))))
+            found.append((m.group(1), bool(m.group(2)), k))
     j = start - 1
     while j >= 0 and lines[j].lstrip().startswith("//"):
         m = ALLOW_RE.search(lines[j])
         if m:
-            found.append((m.group(1), bool(m.group(2))))
+            found.append((m.group(1), bool(m.group(2)), j))
         j -= 1
     return found
 
@@ -209,6 +214,15 @@ def line_suppressions(lines: list[str], idx: int) -> list[tuple[str, bool]]:
 def scan_file(path: Path, unordered_names: set[str]) -> list[Finding]:
     lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
     findings: list[Finding] = []
+
+    # Every allow() directive in the file, by line; marked used when its
+    # rule actually fires on the statement it governs.
+    directives: dict[int, tuple[str, bool]] = {}
+    for k, raw in enumerate(lines):
+        m = ALLOW_RE.search(raw)
+        if m:
+            directives[k] = (m.group(1), bool(m.group(2)))
+    used_directives: set[int] = set()
 
     iter_res = []
     if unordered_names:
@@ -244,28 +258,34 @@ def scan_file(path: Path, unordered_names: set[str]) -> list[Finding]:
                 hits.append(("unordered-iter", template.format(m.group(1))))
 
         if not hits:
-            # An allow() with no justification is a finding even when
-            # nothing fires on the line: stale or lazy suppressions must
-            # not linger.
-            for rule, justified in line_suppressions(lines, idx):
-                if ALLOW_RE.search(lines[idx]) and not justified:
-                    findings.append(Finding(
-                        path, idx + 1, rule,
-                        "allow() without a justification — explain why "
-                        "this is schedule-safe"))
             continue
 
         suppressions = line_suppressions(lines, idx)
         for rule, message in hits:
             matching = [s for s in suppressions if s[0] == rule]
+            for _, _, directive_idx in matching:
+                used_directives.add(directive_idx)
             if not matching:
                 findings.append(Finding(path, idx + 1, rule, message))
                 continue
-            if not any(justified for _, justified in matching):
+            if not any(justified for _, justified, _ in matching):
                 findings.append(Finding(
                     path, idx + 1, rule,
                     "allow(" + rule + ") without a justification — "
                     "explain why this is schedule-safe"))
+
+    # Every allow() must earn its keep: a directive whose rule never fired
+    # on the statement it governs is stale (the code it excused is gone,
+    # or it was written against the wrong line) and would silently excuse
+    # the next real finding there. Unjustified directives are reported
+    # whether or not they are stale.
+    for directive_idx, (rule, _justified) in sorted(directives.items()):
+        if directive_idx not in used_directives:
+            findings.append(Finding(
+                path, directive_idx + 1, "stale-allow",
+                f"allow({rule}) suppresses nothing — '{rule}' does not "
+                "fire on the statement this governs; delete the "
+                "suppression"))
     return findings
 
 
@@ -303,6 +323,7 @@ def self_test() -> int:
         "float_time.cpp": {"float-time"},
         "suppressed_ok.cpp": set(),
         "suppressed_no_reason.cpp": {"unordered-iter"},
+        "stale_allow.cpp": {"stale-allow"},
         "recovery_unordered_scan.cpp": {"unordered-iter"},
         "clean.cpp": set(),
     }

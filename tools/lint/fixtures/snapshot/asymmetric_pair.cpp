@@ -1,0 +1,18 @@
+// Fixture: a save serializer with no load counterpart — whatever it
+// writes can never be restored. Must fire asymmetric-pair.
+#include <cstdint>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+class Orphan {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+void Orphan::save_state(snapshot::StateWriter& w) const { w.u64(value_); }

@@ -1,0 +1,29 @@
+// Fixture: a malformed ssdk-snap comment is a finding, not a silent
+// no-op — a typo must never quietly disable a suppression.
+#include <cstdint>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+class Tally {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::uint64_t n_ = 0;
+  // ssdk-snap: skipp(m_): typo in the directive verb
+  std::uint64_t m_ = 0;
+};
+
+void Tally::save_state(snapshot::StateWriter& w) const {
+  w.u64(n_);
+  w.u64(m_);
+}
+
+void Tally::load_state(snapshot::StateReader& r) {
+  n_ = r.u64();
+  m_ = r.u64();
+}

@@ -1,0 +1,45 @@
+// Fixture: a type whose save/load pair touches every member — must lint
+// clean. Includes a ranged-for element struct and a nested member chain.
+#include <cstdint>
+#include <vector>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+struct WirePoint {
+  std::uint64_t x = 0;
+  std::uint64_t y = 0;
+};
+
+class Track {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::uint64_t epoch_ = 0;
+  std::vector<WirePoint> points_;
+};
+
+void Track::save_state(snapshot::StateWriter& w) const {
+  w.u64(epoch_);
+  w.u64(points_.size());
+  for (const WirePoint& p : points_) {
+    w.u64(p.x);
+    w.u64(p.y);
+  }
+}
+
+void Track::load_state(snapshot::StateReader& r) {
+  epoch_ = r.u64();
+  const std::uint64_t n = r.u64();
+  points_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WirePoint p;
+    p.x = r.u64();
+    p.y = r.u64();
+    points_.push_back(p);
+  }
+}

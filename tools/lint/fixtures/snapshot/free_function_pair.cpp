@@ -1,0 +1,25 @@
+// Fixture: a free-function serializer pair (save_X(StateWriter&, T) /
+// load_X(StateReader&, T&)) with a forgotten field — the SsdOptions
+// idiom. Must fire missing-save and missing-load on Knobs::retries.
+#include <cstdint>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+struct Knobs {
+  std::uint64_t depth = 0;
+  std::uint64_t width = 0;
+  std::uint64_t retries = 0;  // forgotten below
+};
+
+void save_knobs(snapshot::StateWriter& w, const Knobs& k) {
+  w.u64(k.depth);
+  w.u64(k.width);
+}
+
+void load_knobs(snapshot::StateReader& r, Knobs& k) {
+  k.depth = r.u64();
+  k.width = r.u64();
+}

@@ -1,0 +1,26 @@
+// Fixture: a member that neither serializer mentions — the classic
+// forgotten-field bug. Must fire missing-save AND missing-load.
+#include <cstdint>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+class Counter {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;  // forgotten by both serializers
+};
+
+void Counter::save_state(snapshot::StateWriter& w) const {
+  w.u64(total_);
+}
+
+void Counter::load_state(snapshot::StateReader& r) {
+  total_ = r.u64();
+}

@@ -1,0 +1,28 @@
+// Fixture: a field written on save but never read back on load — restore
+// silently leaves it stale. Must fire missing-load only.
+#include <cstdint>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+class Gauge {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::uint64_t level_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+void Gauge::save_state(snapshot::StateWriter& w) const {
+  w.u64(level_);
+  w.u64(peak_);
+}
+
+void Gauge::load_state(snapshot::StateReader& r) {
+  level_ = r.u64();
+  r.u64();  // peak value read into the void, never stored
+}

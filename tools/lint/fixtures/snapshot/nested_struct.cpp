@@ -1,0 +1,44 @@
+// Fixture: an element struct serialized in a ranged-for loop with one of
+// its members forgotten by both sides. The lint must attribute the miss
+// to the element struct, not the container owner.
+#include <cstdint>
+#include <vector>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+struct Slot {
+  std::uint64_t index = 0;
+  std::uint64_t owner = 0;
+  std::uint64_t wear = 0;  // forgotten below
+};
+
+class SlotTable {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+void SlotTable::save_state(snapshot::StateWriter& w) const {
+  w.u64(slots_.size());
+  for (const Slot& s : slots_) {
+    w.u64(s.index);
+    w.u64(s.owner);
+  }
+}
+
+void SlotTable::load_state(snapshot::StateReader& r) {
+  const std::uint64_t n = r.u64();
+  slots_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Slot s;
+    s.index = r.u64();
+    s.owner = r.u64();
+    slots_.push_back(s);
+  }
+}

@@ -1,0 +1,22 @@
+// Fixture: a skip with no reason is itself a finding (unjustified-skip)
+// even though it does suppress the coverage miss.
+#include <cstdint>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+class Cache {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::uint64_t entries_ = 0;
+  // ssdk-snap: skip(hits_)
+  std::uint64_t hits_ = 0;
+};
+
+void Cache::save_state(snapshot::StateWriter& w) const { w.u64(entries_); }
+void Cache::load_state(snapshot::StateReader& r) { entries_ = r.u64(); }

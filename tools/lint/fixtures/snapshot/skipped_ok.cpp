@@ -1,0 +1,33 @@
+// Fixture: a justified skip silences a genuinely-not-serialized member
+// (a derived cache rebuilt on load) — must lint clean.
+#include <cstdint>
+#include <vector>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+class Index {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  // ssdk-snap: skip(lookup_): derived acceleration table, rebuilt from
+  // keys_ by rebuild() at the end of load_state.
+  std::vector<std::uint32_t> lookup_;
+};
+
+void Index::save_state(snapshot::StateWriter& w) const {
+  w.u64(keys_.size());
+  for (const std::uint64_t k : keys_) w.u64(k);
+}
+
+void Index::load_state(snapshot::StateReader& r) {
+  const std::uint64_t n = r.u64();
+  keys_.clear();
+  for (std::uint64_t i = 0; i < n; ++i) keys_.push_back(r.u64());
+  rebuild();
+}

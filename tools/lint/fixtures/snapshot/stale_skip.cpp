@@ -1,0 +1,29 @@
+// Fixture: a skip on a field that IS serialized by both sides — the
+// suppression outlived the gap it excused and must be deleted.
+#include <cstdint>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+class Meter {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::uint64_t count_ = 0;
+  // ssdk-snap: skip(sum_): was derived once; now serialized directly.
+  std::uint64_t sum_ = 0;
+};
+
+void Meter::save_state(snapshot::StateWriter& w) const {
+  w.u64(count_);
+  w.u64(sum_);
+}
+
+void Meter::load_state(snapshot::StateReader& r) {
+  count_ = r.u64();
+  sum_ = r.u64();
+}

@@ -1,0 +1,21 @@
+// Fixture: a skip naming a member that no type in scope declares —
+// stale after a rename, or simply misplaced.
+#include <cstdint>
+
+namespace snapshot {
+class StateWriter;
+class StateReader;
+}  // namespace snapshot
+
+class Ledger {
+ public:
+  void save_state(snapshot::StateWriter& w) const;
+  void load_state(snapshot::StateReader& r);
+
+ private:
+  std::uint64_t balance_ = 0;
+  // ssdk-snap: skip(old_balance_): renamed to balance_ long ago.
+};
+
+void Ledger::save_state(snapshot::StateWriter& w) const { w.u64(balance_); }
+void Ledger::load_state(snapshot::StateReader& r) { balance_ = r.u64(); }

@@ -1,0 +1,17 @@
+// Fixture: a justified allow() whose rule no longer fires on the
+// statement it governs is a stale-allow finding — the hazardous code it
+// excused was removed, so the suppression must go too.
+#include <cstdint>
+#include <map>
+
+std::map<std::uint64_t, std::uint64_t> counters_;
+
+std::uint64_t ordered_sum() {
+  std::uint64_t total = 0;
+  // ssdk-lint: allow(unordered-iter): this used to walk an unordered_map,
+  // but the container was switched to std::map and the allow was left in.
+  for (const auto& [key, value] : counters_) {
+    total += value;
+  }
+  return total;
+}

@@ -13,6 +13,9 @@
 #   --build-dir    Build tree holding compile_commands.json (default:
 #                  <repo>/build; configured on the fly when missing).
 #   paths          Restrict the run to these files/directories under src/.
+#                  Default: every directory in the covered_dirs list below
+#                  (all of src/); the list is a guard against new
+#                  directories silently escaping tidy coverage.
 #
 # Exit status: 0 clean (or tool skipped in non-strict mode), 1 findings,
 # 127 tool missing in strict mode.
@@ -27,7 +30,7 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --strict) strict=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
-    -h|--help) sed -n '2,19p' "${BASH_SOURCE[0]}"; exit 0 ;;
+    -h|--help) sed -n '2,22p' "${BASH_SOURCE[0]}"; exit 0 ;;
     *) paths+=("$1"); shift ;;
   esac
 done
@@ -59,8 +62,29 @@ if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
   cmake -S "${repo_root}" -B "${build_dir}" >/dev/null
 fi
 
+# Explicit coverage list: every first-party source directory, including
+# the post-scheduler additions (sched, fleet, snapshot). The guard below
+# fails when a new src/ subdirectory is not listed, so tidy coverage
+# cannot silently lag the tree.
+covered_dirs=(core fleet ftl nn sched sim snapshot ssd telemetry trace util)
+
+for d in "${repo_root}"/src/*/; do
+  name="$(basename "${d}")"
+  found=0
+  for c in "${covered_dirs[@]}"; do
+    [[ "${c}" == "${name}" ]] && found=1 && break
+  done
+  if [[ ${found} -eq 0 ]]; then
+    echo "run_tidy: src/${name} is not in the covered_dirs list —" \
+         "add it (and sweep its warnings) to keep tidy coverage complete" >&2
+    exit 2
+  fi
+done
+
 if [[ ${#paths[@]} -eq 0 ]]; then
-  paths=("${repo_root}/src")
+  for c in "${covered_dirs[@]}"; do
+    [[ -d "${repo_root}/src/${c}" ]] && paths+=("${repo_root}/src/${c}")
+  done
 fi
 
 files=()
